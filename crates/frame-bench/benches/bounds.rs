@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the timing analysis: per-topic admission and
+//! deadline computation (the Message Proxy does this once per topic at
+//! configuration time, and the worked-example ordering over whole topic
+//! sets).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use frame_core::{admit, deadline_ordering, dispatch_deadline, replication_needed};
+use frame_types::{NetworkParams, TopicId, TopicSpec};
+
+fn specs(n: usize) -> Vec<TopicSpec> {
+    (0..n)
+        .map(|i| TopicSpec::category((i % 6) as u8, TopicId(i as u32)))
+        .collect()
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let net = NetworkParams::paper_example();
+    let spec = TopicSpec::category(2, TopicId(0));
+
+    c.bench_function("dispatch_deadline", |b| {
+        b.iter(|| black_box(dispatch_deadline(black_box(&spec), &net).unwrap()));
+    });
+    c.bench_function("replication_needed_prop1", |b| {
+        b.iter(|| black_box(replication_needed(black_box(&spec), &net).unwrap()));
+    });
+    c.bench_function("admit_full", |b| {
+        b.iter(|| black_box(admit(black_box(&spec), &net).unwrap()));
+    });
+
+    let mut group = c.benchmark_group("deadline_ordering");
+    for &n in &[6usize, 1_525, 13_525] {
+        let set = specs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| black_box(deadline_ordering(set, &net).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! End-to-end broker pipeline throughput: message in → jobs scheduled →
+//! jobs executed → effects out, for each evaluation configuration. This is
+//! the real (not modeled) cost of the Rust implementation, and shows how
+//! selective replication and coordination change broker work per message.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frame_core::{admit, Broker, BrokerConfig, BrokerRole, SchedulingPolicy};
+use frame_types::{
+    BrokerId, Message, NetworkParams, PublisherId, SeqNo, SubscriberId, Time, TopicId, TopicSpec,
+};
+
+fn broker(config: BrokerConfig, topics: u32) -> Broker {
+    let net = NetworkParams::paper_example();
+    let mut b = Broker::new(BrokerId(0), BrokerRole::Primary, config);
+    for t in 0..topics {
+        let spec = TopicSpec::category((t % 6) as u8, TopicId(t));
+        let adm = admit(&spec, &net).unwrap();
+        b.register_topic(adm, vec![SubscriberId(t)]).unwrap();
+    }
+    b
+}
+
+fn msg(topic: u32, seq: u64) -> Message {
+    Message::new(
+        TopicId(topic),
+        PublisherId(0),
+        SeqNo(seq),
+        Time::from_nanos(seq * 1000),
+        Bytes::from_static(b"0123456789abcdef"),
+    )
+}
+
+fn run_pipeline(b: &mut Broker, batch: u64, seq0: u64) -> usize {
+    let now = Time::from_nanos(seq0 * 1000);
+    for i in 0..batch {
+        let topic = (i % 600) as u32;
+        b.on_message(msg(topic, seq0 + i), now).unwrap();
+    }
+    let mut effects = 0;
+    while let Some(active) = b.take_job(now) {
+        effects += b.finish_job(&active, now).len();
+    }
+    effects
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    const BATCH: u64 = 1_000;
+    let configs: [(&str, BrokerConfig); 4] = [
+        ("frame", BrokerConfig::frame()),
+        ("fcfs", BrokerConfig::fcfs()),
+        ("fcfs_minus", BrokerConfig::fcfs_minus()),
+        (
+            "edf_no_coordination",
+            BrokerConfig {
+                policy: SchedulingPolicy::Edf,
+                coordination: false,
+                ..BrokerConfig::frame()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("broker_pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH));
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bch, &cfg| {
+            let mut b = broker(cfg, 600);
+            let mut seq = 0u64;
+            bch.iter(|| {
+                let effects = run_pipeline(&mut b, BATCH, seq);
+                seq += BATCH;
+                black_box(effects);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Cost of Backup promotion: scan + job creation over the backup buffer.
+    let net = NetworkParams::paper_example();
+    let mut group = c.benchmark_group("backup_promotion");
+    group.sample_size(10);
+    for &topics in &[100u32, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topics),
+            &topics,
+            |bch, &topics| {
+                bch.iter_with_setup(
+                    || {
+                        let mut b =
+                            Broker::new(BrokerId(1), BrokerRole::Backup, BrokerConfig::fcfs_minus());
+                        for t in 0..topics {
+                            let spec = TopicSpec::category(2, TopicId(t));
+                            b.register_topic(admit(&spec, &net).unwrap(), vec![SubscriberId(t)])
+                                .unwrap();
+                        }
+                        // Fill every topic's backup buffer (capacity 10).
+                        for t in 0..topics {
+                            for s in 0..10 {
+                                b.on_replica(msg(t, s), Time::ZERO).unwrap();
+                            }
+                        }
+                        b
+                    },
+                    |mut b| {
+                        let created = b.promote(Time::from_secs(1)).unwrap();
+                        assert_eq!(created as u32, topics * 10);
+                        black_box(created);
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the ring buffers (Message/Backup/Retention) that
+//! back every data path in the broker.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use frame_core::{BufferedMessage, RetentionBuffer, RingBuffer};
+use frame_types::{Message, PublisherId, SeqNo, Time, TopicId};
+
+fn msg(seq: u64) -> Message {
+    Message::new(
+        TopicId(1),
+        PublisherId(1),
+        SeqNo(seq),
+        Time::from_nanos(seq),
+        Bytes::from_static(b"0123456789abcdef"),
+    )
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_buffer");
+    for &cap in &[64usize, 4096, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::new("push_wraparound", cap),
+            &cap,
+            |b, &cap| {
+                let mut rb = RingBuffer::new(cap);
+                let mut i = 0u64;
+                b.iter(|| {
+                    let (slot, evicted) = rb.push(BufferedMessage::new(msg(i), 1));
+                    black_box(evicted);
+                    black_box(slot);
+                    i += 1;
+                });
+            },
+        );
+    }
+    group.bench_function("get_hit", |b| {
+        let mut rb = RingBuffer::new(4096);
+        let slots: Vec<_> = (0..4096).map(|i| rb.push(BufferedMessage::new(msg(i), 1)).0).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = slots[i % slots.len()];
+            black_box(rb.get(s).is_some());
+            i += 1;
+        });
+    });
+    group.bench_function("get_stale", |b| {
+        let mut rb = RingBuffer::new(64);
+        let (old, _) = rb.push(BufferedMessage::new(msg(0), 1));
+        for i in 1..=64 {
+            rb.push(BufferedMessage::new(msg(i), 1));
+        }
+        b.iter(|| black_box(rb.get(old).is_none()));
+    });
+    group.finish();
+}
+
+fn bench_retention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retention_buffer");
+    for &depth in &[1u32, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("retain", depth), &depth, |b, &depth| {
+            let mut rb = RetentionBuffer::new(depth);
+            let mut i = 0u64;
+            b.iter(|| {
+                rb.retain(msg(i));
+                i += 1;
+            });
+        });
+    }
+    group.bench_function("snapshot_depth2", |b| {
+        let mut rb = RetentionBuffer::new(2);
+        rb.retain(msg(0));
+        rb.retain(msg(1));
+        b.iter(|| black_box(rb.snapshot().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_retention);
+criterion_main!(benches);

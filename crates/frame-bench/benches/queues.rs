@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the EDF Job Queue against the FCFS baseline:
+//! push/pop throughput and the cost of lazy cancellation — the mechanisms
+//! behind the paper's scheduling differentiation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use frame_core::{
+    BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, RingBuffer,
+};
+use frame_types::{MessageKey, SeqNo, Time, TopicId};
+
+fn mk_job(id: u64, deadline_ns: u64, slot: frame_core::SlotRef) -> Job {
+    Job {
+        id: JobId(id),
+        kind: if id % 2 == 0 {
+            JobKind::Dispatch
+        } else {
+            JobKind::Replicate
+        },
+        topic: TopicId((id % 1024) as u32),
+        key: MessageKey {
+            topic: TopicId((id % 1024) as u32),
+            seq: SeqNo(id),
+        },
+        slot,
+        source: BufferSource::Message,
+        release: Time::ZERO,
+        deadline: Time::from_nanos(deadline_ns),
+    }
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut rb = RingBuffer::new(1);
+    let (slot, _) = rb.push(());
+    let mut group = c.benchmark_group("queue_push_pop");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("edf", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EdfQueue::new();
+                for i in 0..n as u64 {
+                    // Pseudo-random deadlines to exercise heap reordering.
+                    q.push(mk_job(i, (i.wrapping_mul(2654435761)) % 1_000_000, slot));
+                }
+                let mut popped = 0;
+                while let Some(j) = q.pop() {
+                    popped += 1;
+                    black_box(j.deadline);
+                }
+                assert_eq!(popped, n);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fcfs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = FcfsQueue::new();
+                for i in 0..n as u64 {
+                    q.push(mk_job(i, (i.wrapping_mul(2654435761)) % 1_000_000, slot));
+                }
+                let mut popped = 0;
+                while let Some(j) = q.pop() {
+                    popped += 1;
+                    black_box(j.deadline);
+                }
+                assert_eq!(popped, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancel(c: &mut Criterion) {
+    let mut rb = RingBuffer::new(1);
+    let (slot, _) = rb.push(());
+    let mut group = c.benchmark_group("queue_cancel");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("edf_cancel_half", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EdfQueue::new();
+                for i in 0..n as u64 {
+                    q.push(mk_job(i, i, slot));
+                }
+                // Cancel every other job (the coordination pattern: each
+                // dispatch cancels its replication sibling).
+                for i in (1..n as u64).step_by(2) {
+                    q.cancel(JobId(i));
+                }
+                let mut popped = 0;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                assert_eq!(popped, n / 2 + n % 2);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_pop, bench_cancel);
+criterion_main!(benches);

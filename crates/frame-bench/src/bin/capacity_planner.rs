@@ -1,0 +1,56 @@
+//! Capacity planner: the analytic utilization law applied to the paper's
+//! workload family. Answers "how many topics fit on this broker pair?" per
+//! configuration — the provisioning question behind the paper's §VI-E
+//! lesson 1 ("replication removal can help a system accommodate more
+//! topics").
+
+use frame_bench::TextTable;
+use frame_sim::{max_sustainable_topics, predict, ConfigName, CpuAllocation, ServiceParams, Workload};
+use frame_types::NetworkParams;
+
+fn main() {
+    let service = ServiceParams::default();
+    let cpu = CpuAllocation::default();
+    let net = NetworkParams::paper_example();
+
+    println!("Predicted module utilization (%) per workload and configuration\n");
+    let mut t = TextTable::new(vec![
+        "Topics",
+        "Config",
+        "delivery@P",
+        "proxy@P",
+        "proxy@B",
+        "msgs/s",
+        "replicas/s",
+        "verdict",
+    ]);
+    for &size in &Workload::PAPER_SIZES {
+        for config in ConfigName::ALL {
+            let w = Workload::paper(size, config.extra_retention());
+            let p = predict(&w, config, &service, &cpu, &net);
+            t.row(vec![
+                size.to_string(),
+                config.label().to_owned(),
+                format!("{:.1}", 100.0 * p.primary_delivery),
+                format!("{:.1}", 100.0 * p.primary_proxy),
+                format!("{:.1}", 100.0 * p.backup_proxy),
+                format!("{:.0}", p.message_rate),
+                format!("{:.0}", p.replication_rate),
+                if p.overloaded() { "OVERLOAD" } else { "ok" }.to_owned(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("Maximum sustainable workload (paper topic mix, step 500):\n");
+    let mut t = TextTable::new(vec!["Config", "max topics"]);
+    for config in ConfigName::ALL {
+        let max = max_sustainable_topics(config, &service, &cpu, &net, 500, 60_000);
+        t.row(vec![config.label().to_owned(), max.to_string()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(The paper's lesson 1, quantified: Proposition 1 lets FRAME carry more \
+         topics than FCFS on the same cores, and FRAME+ more still.)"
+    );
+}

@@ -1,0 +1,139 @@
+//! Regenerates paper Fig 7: CPU utilization of (a) the Message Delivery
+//! module in the Primary, (b) the Message Proxy module in the Primary, and
+//! (c) the Message Proxy module in the Backup, per configuration across
+//! workload sizes (fault-free runs).
+
+use std::collections::BTreeMap;
+
+use frame_bench::{Options, TextTable, CONFIGS};
+use frame_sim::{mean_ci95, run, SimConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    size: usize,
+    config: String,
+    module: &'static str,
+    utilization_pct: f64,
+    ci95: f64,
+}
+
+fn main() {
+    let opts = Options::parse(&[1525, 4525, 7525, 10525, 13525]);
+    let mut points: Vec<Point> = Vec::new();
+    // (module, config, size) -> per-seed utilizations
+    let mut series: BTreeMap<(&'static str, usize, usize), Vec<f64>> = BTreeMap::new();
+
+    const MODULES: [&str; 3] = [
+        "Message Delivery @ Primary",
+        "Message Proxy @ Primary",
+        "Message Proxy @ Backup",
+    ];
+
+    for &size in &opts.sizes {
+        for (ci, &config) in CONFIGS.iter().enumerate() {
+            for seed in 0..opts.seeds {
+                let mut cfg = SimConfig::new(config, size).with_seed(seed + 1);
+                cfg.schedule = opts.schedule(false);
+                let m = run(cfg);
+                let utils = [
+                    m.primary_delivery_util(),
+                    m.primary_proxy_util(),
+                    m.backup_proxy_util(),
+                ];
+                for (module, util) in MODULES.iter().zip(utils) {
+                    series
+                        .entry((module, ci, size))
+                        .or_default()
+                        .push(100.0 * util);
+                }
+            }
+            eprintln!("done: {config} @ {size} topics");
+        }
+    }
+
+    for (fig, module) in ["(a)", "(b)", "(c)"].iter().zip(MODULES) {
+        println!("\nFig 7{fig} — CPU utilization (%): {module}\n");
+        let mut t = TextTable::new(vec!["Topics", "FRAME+", "FRAME", "FCFS", "FCFS-"]);
+        for &size in &opts.sizes {
+            let mut row = vec![size.to_string()];
+            for (ci, &config) in CONFIGS.iter().enumerate() {
+                let (mean, ci95) = mean_ci95(&series[&(module, ci, size)]);
+                row.push(format!("{mean:.1}"));
+                points.push(Point {
+                    size,
+                    config: config.label().to_owned(),
+                    module,
+                    utilization_pct: mean,
+                    ci95,
+                });
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+
+    // Analytic cross-check: the utilization-law prediction next to the
+    // measured delivery utilization.
+    println!("analytic capacity prediction vs measured (Message Delivery @ Primary, %):\n");
+    let mut t = TextTable::new(vec!["Topics", "Config", "predicted", "measured"]);
+    for &size in &opts.sizes {
+        for (ci, &config) in CONFIGS.iter().enumerate() {
+            let w = frame_sim::Workload::paper(size, config.extra_retention());
+            let pred = frame_sim::predict(
+                &w,
+                config,
+                &frame_sim::ServiceParams::default(),
+                &frame_sim::CpuAllocation::default(),
+                &frame_types::NetworkParams::paper_example(),
+            );
+            let (measured, _) = mean_ci95(&series[&(MODULES[0], ci, size)]);
+            t.row(vec![
+                size.to_string(),
+                config.label().to_owned(),
+                format!("{:.1}", 100.0 * pred.primary_delivery),
+                format!("{measured:.1}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // Shape checks.
+    println!("shape checks (paper expectations):");
+    let util = |module: &str, config: &str, size: usize| -> f64 {
+        points
+            .iter()
+            .find(|p| p.module == module && p.config == config && p.size == size)
+            .map(|p| p.utilization_pct)
+            .unwrap_or(f64::NAN)
+    };
+    if let Some(&size) = opts.sizes.iter().find(|&&s| s >= 7525) {
+        let fcfs = util(MODULES[0], "FCFS", size);
+        let frame = util(MODULES[0], "FRAME", size);
+        println!(
+            "  [{}] delivery module at {size}: FCFS {fcfs:.1}% saturated vs FRAME {frame:.1}% \
+             (paper: >50% saving)",
+            if fcfs > 95.0 && frame < 0.66 * fcfs { "ok" } else { "MISS" }
+        );
+        let bp_plus = util(MODULES[2], "FRAME+", size);
+        let bp_frame = util(MODULES[2], "FRAME", size);
+        let bp_fcfs = util(MODULES[2], "FCFS", size);
+        println!(
+            "  [{}] backup proxy at {size}: FRAME+ {bp_plus:.1}% < FRAME {bp_frame:.1}% < FCFS {bp_fcfs:.1}%",
+            if bp_plus < 0.1 && bp_frame < bp_fcfs { "ok" } else { "MISS" }
+        );
+    }
+    for &size in &opts.sizes {
+        let d_plus = util(MODULES[0], "FRAME+", size);
+        let d_frame = util(MODULES[0], "FRAME", size);
+        let d_minus = util(MODULES[0], "FCFS-", size);
+        let d_fcfs = util(MODULES[0], "FCFS", size);
+        let ordered = d_plus <= d_frame + 1.0 && d_frame <= d_minus + 2.0 && d_minus <= d_fcfs + 1.0;
+        println!(
+            "  [{}] delivery ordering FRAME+ <= FRAME <= FCFS- <= FCFS at {size}: \
+             {d_plus:.1} / {d_frame:.1} / {d_minus:.1} / {d_fcfs:.1}",
+            if ordered { "ok" } else { "MISS" }
+        );
+    }
+    opts.write_json("fig7", &points);
+}

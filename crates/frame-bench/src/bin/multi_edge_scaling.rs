@@ -1,0 +1,69 @@
+//! Extension experiment: multi-edge cloud-ingest scaling (the paper's
+//! Fig 1 premise — a private cloud serving N edges — quantified).
+//!
+//! Sweeps the number of edges feeding one cloud ingest node and reports
+//! ingest utilization and queueing-delay percentiles, plus the largest edge
+//! count whose p99 ingest delay fits within the category-5 deadline slack
+//! (D − measured one-way path ≈ 480 ms for the paper's logging topics).
+
+use frame_bench::{Options, TextTable};
+use frame_sim::{cloud_ingest_scaling, max_edges_within_budget};
+use frame_types::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    edges: usize,
+    messages: u64,
+    utilization_pct: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+fn main() {
+    let opts = Options::parse(&[1525]);
+    let per_edge = opts.sizes[0];
+    let ingest_cost = Duration::from_millis(2); // cloud-side processing per message
+    let cores = 1;
+    let budget = Duration::from_millis(480); // cat-5 deadline slack
+
+    println!(
+        "Cloud ingest scaling — {per_edge}-topic edges, {ingest_cost} per message, \
+         {cores} ingest core(s)\n"
+    );
+    let mut rows = Vec::new();
+    let mut t = TextTable::new(vec![
+        "edges", "msgs", "util (%)", "p50 (ms)", "p99 (ms)", "max (ms)",
+    ]);
+    for edges in [1usize, 5, 10, 25, 50, 100, 200, 300] {
+        let r = cloud_ingest_scaling(edges, per_edge, ingest_cost, cores, 1);
+        t.row(vec![
+            edges.to_string(),
+            r.messages.to_string(),
+            format!("{:.1}", 100.0 * r.utilization),
+            format!("{:.1}", r.delay.p50().as_millis_f64()),
+            format!("{:.1}", r.delay.p99().as_millis_f64()),
+            format!("{:.1}", r.delay.max().as_millis_f64()),
+        ]);
+        rows.push(Row {
+            edges,
+            messages: r.messages,
+            utilization_pct: 100.0 * r.utilization,
+            p50_ms: r.delay.p50().as_millis_f64(),
+            p99_ms: r.delay.p99().as_millis_f64(),
+            max_ms: r.delay.max().as_millis_f64(),
+        });
+        if r.utilization > 1.2 {
+            break; // deep overload: further points are off the chart
+        }
+    }
+    println!("{}", t.render());
+
+    let max = max_edges_within_budget(per_edge, ingest_cost, cores, budget, 400, 1);
+    println!(
+        "largest edge count with p99 ingest delay within the {budget} category-5 \
+         slack: {max} edges"
+    );
+    opts.write_json("multi_edge", &rows);
+}

@@ -1,0 +1,80 @@
+//! Regenerates paper Table 2 (topic categories with the minimum admissible
+//! publisher retention `N_i`) and the §III-D.2 worked example: the deadline
+//! ordering and the Proposition 1 selective-replication verdicts.
+
+use frame_bench::TextTable;
+use frame_core::{
+    deadline_ordering, dispatch_deadline, min_admissible_retention, replication_deadline,
+    replication_needed, Deadline, DeadlineKind,
+};
+use frame_types::{Duration, NetworkParams, TopicId, TopicSpec};
+
+fn main() {
+    // The §III-D.2 worked example folds ΔPB into its constants.
+    let net = NetworkParams {
+        delta_pb: Duration::ZERO,
+        ..NetworkParams::paper_example()
+    };
+
+    let specs: Vec<TopicSpec> = (0u8..=5).map(|c| TopicSpec::category(c, TopicId(c as u32))).collect();
+
+    println!("Table 2 — topic categories (timing values in ms)\n");
+    let mut t = TextTable::new(vec![
+        "Category", "T_i", "D_i", "L_i", "N_i(min)", "Dest", "D^d_i", "D^r_i", "Replicate?",
+    ]);
+    for (c, spec) in specs.iter().enumerate() {
+        let min_n = min_admissible_retention(spec, &net)
+            .map_or("-".to_owned(), |n| n.to_string());
+        let dd = dispatch_deadline(spec, &net)
+            .map_or("<0".to_owned(), |d| format!("{:.2}", d.as_millis_f64()));
+        let dr = match replication_deadline(spec, &net) {
+            Ok(Deadline::Finite(d)) => format!("{:.2}", d.as_millis_f64()),
+            Ok(Deadline::Unbounded) => "inf".to_owned(),
+            Err(_) => "<0".to_owned(),
+        };
+        let rep = match replication_needed(spec, &net) {
+            Ok(true) => "yes",
+            Ok(false) => "no (Prop 1)",
+            Err(_) => "inadmissible",
+        };
+        t.row(vec![
+            c.to_string(),
+            spec.period.as_millis().to_string(),
+            spec.deadline.as_millis().to_string(),
+            spec.loss_tolerance.to_string(),
+            min_n,
+            spec.destination.to_string(),
+            dd,
+            dr,
+            rep.to_owned(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Deadline ordering (§III-D.2), tightest first:");
+    let order = deadline_ordering(&specs, &net);
+    let mut parts = Vec::new();
+    for l in &order {
+        let kind = match l.kind {
+            DeadlineKind::Dispatch => "Dd",
+            DeadlineKind::Replicate => "Dr",
+        };
+        let val = match l.deadline {
+            Deadline::Finite(d) => format!("{:.2}", d.as_millis_f64()),
+            Deadline::Unbounded => "inf".to_owned(),
+        };
+        parts.push(format!("{kind}{} = {val}", l.topic_index));
+    }
+    println!("  {{ {} }}", parts.join(" ≤ "));
+
+    println!("\nFRAME+ (§III-D.3): retention +1 for categories 2 and 5:");
+    for c in [2u8, 5] {
+        let bumped = TopicSpec::category(c, TopicId(c as u32)).with_extra_retention(1);
+        let needed = replication_needed(&bumped, &net).unwrap();
+        println!(
+            "  category {c}: N = {} → replication {}",
+            bumped.retention,
+            if needed { "still needed" } else { "removed" }
+        );
+    }
+}

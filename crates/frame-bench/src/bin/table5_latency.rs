@@ -1,0 +1,119 @@
+//! Regenerates paper Table 5: success rate for the latency requirement (%)
+//! during fault-free operation, per configuration and workload.
+//!
+//! A message succeeds if its end-to-end latency (publisher creation →
+//! subscriber delivery) is within `D_i`; lost messages count as misses.
+
+use std::collections::BTreeMap;
+
+use frame_bench::{fmt_rate, Options, TextTable, CONFIGS, TABLE_ROWS};
+use frame_sim::{mean_ci95, run, SimConfig, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    size: usize,
+    config: String,
+    deadline_ms: &'static str,
+    loss_tolerance: &'static str,
+    mean: f64,
+    ci95: f64,
+}
+
+fn main() {
+    let opts = Options::parse(&[4525, 7525, 10525, 13525]);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &size in &opts.sizes {
+        let mut rates: BTreeMap<(usize, u8), Vec<f64>> = BTreeMap::new();
+        for (ci, &config) in CONFIGS.iter().enumerate() {
+            for seed in 0..opts.seeds {
+                let mut cfg = SimConfig::new(config, size).with_seed(seed + 1);
+                cfg.schedule = opts.schedule(false);
+                let m = run(cfg);
+                let w = Workload::paper(size, config.extra_retention());
+                for &(_, _, cat) in &TABLE_ROWS {
+                    let idxs = w.category_topics(cat);
+                    rates
+                        .entry((ci, cat))
+                        .or_default()
+                        .push(m.latency_success(&idxs));
+                }
+            }
+            eprintln!("done: {config} @ {size} topics ({} seeds)", opts.seeds);
+        }
+
+        println!("\nTable 5 — latency success rate (%), workload = {size} topics\n");
+        let mut t = TextTable::new(vec!["D_i", "L_i", "FRAME+", "FRAME", "FCFS", "FCFS-"]);
+        for &(d, l, cat) in &TABLE_ROWS {
+            let mut row = vec![d.to_owned(), l.to_owned()];
+            for (ci, &config) in CONFIGS.iter().enumerate() {
+                let (mean, ci95) = mean_ci95(&rates[&(ci, cat)]);
+                row.push(fmt_rate(mean, ci95));
+                cells.push(Cell {
+                    size,
+                    config: config.label().to_owned(),
+                    deadline_ms: d,
+                    loss_tolerance: l,
+                    mean,
+                    ci95,
+                });
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+
+    // Latency distribution summary (last seed of the largest workload):
+    // the percentile view behind the success rates.
+    if let Some(&size) = opts.sizes.last() {
+        println!("latency distribution by category (FRAME, {size} topics, last seed):\n");
+        let mut cfg = SimConfig::new(frame_sim::ConfigName::Frame, size).with_seed(opts.seeds);
+        cfg.schedule = opts.schedule(false);
+        let m = run(cfg);
+        let mut t = TextTable::new(vec!["category", "p50", "p99", "max", "samples"]);
+        for (cat, h) in m.latency_by_category.iter().enumerate() {
+            if h.is_empty() {
+                continue;
+            }
+            t.row(vec![
+                cat.to_string(),
+                h.p50().to_string(),
+                h.p99().to_string(),
+                h.max().to_string(),
+                h.len().to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    // Shape summary.
+    println!("shape checks (paper expectations):");
+    let mean_of = |size: usize, config: &str| -> f64 {
+        let vals: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.size == size && c.config == config)
+            .map(|c| c.mean)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let mut sizes: Vec<usize> = cells.iter().map(|c| c.size).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for &size in &sizes {
+        let frame = mean_of(size, "FRAME");
+        let fcfs = mean_of(size, "FCFS");
+        if size >= 7525 {
+            println!(
+                "  [{}] FCFS overloaded at {size}: mean {fcfs:.1}% (FRAME {frame:.1}%)",
+                if fcfs < 50.0 && frame > 80.0 { "ok" } else { "MISS" }
+            );
+        } else {
+            println!(
+                "  [{}] all configurations healthy at {size}: FCFS {fcfs:.1}%, FRAME {frame:.1}%",
+                if fcfs > 99.0 && frame > 99.0 { "ok" } else { "MISS" }
+            );
+        }
+    }
+    opts.write_json("table5", &cells);
+}

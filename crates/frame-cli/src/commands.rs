@@ -1,0 +1,393 @@
+//! The `frame-cli` subcommands, exposed as library functions so they can be
+//! tested without spawning processes.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use frame_clock::{Clock, MonotonicClock};
+use frame_core::{
+    admit, dispatch_deadline, min_admissible_retention, replication_deadline,
+    replication_needed, BrokerConfig, BrokerRole, Deadline, Publisher,
+};
+use frame_rt::{
+    connect_backup_over_tcp, RtBroker, TcpBrokerServer, TcpPublisher, TcpSubscriber,
+};
+use frame_types::{BrokerId, PublisherId, SubscriberId};
+
+use crate::manifest::Manifest;
+
+/// Shared stop flag (Ctrl-C or test-driven).
+pub type StopFlag = Arc<AtomicBool>;
+
+/// Parses a broker configuration name.
+///
+/// # Errors
+///
+/// Returns an error message on unknown names.
+pub fn parse_config(name: &str) -> Result<BrokerConfig, String> {
+    match name {
+        "frame" => Ok(BrokerConfig::frame()),
+        "fcfs" => Ok(BrokerConfig::fcfs()),
+        "fcfs-" => Ok(BrokerConfig::fcfs_minus()),
+        other => Err(format!(
+            "unknown config `{other}` (expected frame | fcfs | fcfs-)"
+        )),
+    }
+}
+
+/// `frame-cli admit`: run the admission test over a manifest and print the
+/// verdicts. Returns the number of rejected topics.
+pub fn cmd_admit(manifest: &Manifest, out: &mut impl std::io::Write) -> std::io::Result<usize> {
+    let mut rejected = 0;
+    for t in &manifest.topics {
+        let (spec, _) = t.to_spec();
+        write!(out, "topic {}: ", spec.id)?;
+        match admit(&spec, &manifest.network) {
+            Ok(_) => {
+                let dd = dispatch_deadline(&spec, &manifest.network).unwrap();
+                let dr = match replication_deadline(&spec, &manifest.network).unwrap() {
+                    Deadline::Finite(d) => d.to_string(),
+                    Deadline::Unbounded => "inf".to_owned(),
+                };
+                let rep = replication_needed(&spec, &manifest.network).unwrap();
+                writeln!(
+                    out,
+                    "ADMIT  D^d={dd}  D^r={dr}  replication={}",
+                    if rep { "required" } else { "suppressed (Prop 1)" }
+                )?;
+            }
+            Err(e) => {
+                rejected += 1;
+                write!(out, "REJECT  {e}")?;
+                if let Some(n) = min_admissible_retention(&spec, &manifest.network) {
+                    if n > spec.retention {
+                        write!(out, "  (fix: retention >= {n})")?;
+                    }
+                }
+                writeln!(out)?;
+            }
+        }
+    }
+    Ok(rejected)
+}
+
+/// A running broker process: server plus broker handle.
+pub struct RunningBroker {
+    /// The broker.
+    pub broker: RtBroker,
+    /// Its TCP front end.
+    pub server: TcpBrokerServer,
+    threads: frame_rt::RtBrokerThreads,
+}
+
+impl RunningBroker {
+    /// Stops everything.
+    pub fn shutdown(self) {
+        self.broker.shutdown();
+        self.server.shutdown();
+        self.threads.join();
+    }
+}
+
+/// `frame-cli broker`: start a broker from a manifest and serve TCP.
+///
+/// # Errors
+///
+/// Admission failures, duplicate topics, or bind errors as strings.
+pub fn cmd_broker(
+    manifest: &Manifest,
+    listen: &str,
+    role: BrokerRole,
+    config: BrokerConfig,
+    workers: usize,
+    backup_addr: Option<SocketAddr>,
+) -> Result<RunningBroker, String> {
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+    let (broker, threads) = RtBroker::spawn(
+        BrokerId(match role {
+            BrokerRole::Primary => 0,
+            BrokerRole::Backup => 1,
+        }),
+        role,
+        config,
+        workers,
+        clock,
+    );
+    for t in &manifest.topics {
+        let (spec, subscribers) = t.to_spec();
+        let admitted = admit(&spec, &manifest.network).map_err(|e| e.to_string())?;
+        broker
+            .register_topic(admitted, subscribers)
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(addr) = backup_addr {
+        // Fire-and-forget bridge; it lives as long as the broker.
+        let bridge = connect_backup_over_tcp(&broker, addr).map_err(|e| e.to_string())?;
+        std::mem::forget(bridge);
+    }
+    let server = TcpBrokerServer::bind(listen, broker.clone()).map_err(|e| e.to_string())?;
+    Ok(RunningBroker {
+        broker,
+        server,
+        threads,
+    })
+}
+
+/// `frame-cli publish`: publish every manifest topic periodically until
+/// `stop` is set or `max_rounds` completes. Returns messages sent.
+///
+/// # Errors
+///
+/// Connection errors as strings.
+pub fn cmd_publish(
+    manifest: &Manifest,
+    addr: SocketAddr,
+    publisher_id: u32,
+    max_rounds: u64,
+    stop: &StopFlag,
+) -> Result<u64, String> {
+    let mut conn = TcpPublisher::connect(addr).map_err(|e| e.to_string())?;
+    let clock = MonotonicClock::new();
+    let mut core = Publisher::new(PublisherId(publisher_id));
+    let mut specs = Vec::new();
+    for t in &manifest.topics {
+        let (spec, _) = t.to_spec();
+        core.register_topic(spec.id, spec.retention)
+            .map_err(|e| e.to_string())?;
+        specs.push(spec);
+    }
+    // Publish on the smallest period grid; each topic fires on multiples of
+    // its own period.
+    let base_ms = specs
+        .iter()
+        .filter(|s| s.period != frame_types::Duration::MAX)
+        .map(|s| s.period.as_millis())
+        .min()
+        .unwrap_or(100)
+        .max(1);
+    let mut sent = 0u64;
+    for round in 0..max_rounds {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        for spec in &specs {
+            if spec.period == frame_types::Duration::MAX {
+                continue; // aperiodic topics publish only on demand
+            }
+            if (round * base_ms) % spec.period.as_millis() != 0 {
+                continue;
+            }
+            let msg = core
+                .publish(spec.id, clock.now(), &b"0123456789abcdef"[..])
+                .map_err(|e| e.to_string())?;
+            conn.publish(msg).map_err(|e| e.to_string())?;
+            sent += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(base_ms));
+    }
+    Ok(sent)
+}
+
+/// `frame-cli subscribe`: receive deliveries and write one line per message
+/// until `stop` is set or `max_messages` arrive. Returns messages received.
+///
+/// # Errors
+///
+/// Connection errors as strings.
+pub fn cmd_subscribe(
+    addr: SocketAddr,
+    subscriber_id: u32,
+    max_messages: u64,
+    stop: &StopFlag,
+    out: &mut impl std::io::Write,
+) -> Result<u64, String> {
+    let sub = TcpSubscriber::connect(addr, SubscriberId(subscriber_id))
+        .map_err(|e| e.to_string())?;
+    let clock = MonotonicClock::new();
+    let mut received = 0u64;
+    while received < max_messages && !stop.load(Ordering::Acquire) {
+        match sub
+            .deliveries()
+            .recv_timeout(std::time::Duration::from_millis(200))
+        {
+            Ok(m) => {
+                received += 1;
+                let _ = writeln!(
+                    out,
+                    "{} {} ({} bytes) at {}",
+                    m.topic,
+                    m.seq,
+                    m.payload.len(),
+                    clock.now()
+                );
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Ok(received)
+}
+
+/// `frame-cli detector`: poll the Primary over TCP; once it stops
+/// acknowledging for `timeout`, send `Promote` to the Backup. Returns the
+/// number of recovery dispatches the Backup reported, or `None` if `stop`
+/// was set before a crash was detected.
+///
+/// # Errors
+///
+/// Connection errors to the Backup (the whole point is that the Primary
+/// may die, so its errors are expected and non-fatal).
+pub fn cmd_detector(
+    primary: SocketAddr,
+    backup: SocketAddr,
+    interval: std::time::Duration,
+    timeout: std::time::Duration,
+    stop: &StopFlag,
+) -> Result<Option<u64>, String> {
+    use frame_rt::{read_frame, write_frame, WireMsg};
+    let clock = MonotonicClock::new();
+    let mut detector = frame_core::PollingDetector::new(
+        frame_types::Duration::from_std(interval),
+        frame_types::Duration::from_std(timeout),
+        clock.now(),
+    );
+    let mut token = 0u64;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        detector.on_poll_sent(clock.now());
+        token += 1;
+        // Fresh connection per poll: also detects a dead host, not only a
+        // dead process.
+        let acked = (|| -> std::io::Result<bool> {
+            let mut s = std::net::TcpStream::connect_timeout(&primary, timeout)?;
+            s.set_read_timeout(Some(timeout))?;
+            write_frame(&mut s, &WireMsg::Poll(token))?;
+            matches!(read_frame(&mut s)?, WireMsg::PollAck(t) if t == token)
+                .then_some(true)
+                .ok_or_else(|| std::io::Error::other("bad ack"))
+        })()
+        .unwrap_or(false);
+        if acked {
+            detector.on_ack(clock.now());
+        }
+        if detector.status(clock.now()) == frame_core::PrimaryStatus::Crashed {
+            let mut s = std::net::TcpStream::connect(backup).map_err(|e| e.to_string())?;
+            s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                .map_err(|e| e.to_string())?;
+            write_frame(&mut s, &WireMsg::Promote).map_err(|e| e.to_string())?;
+            return match read_frame(&mut s).map_err(|e| e.to_string())? {
+                WireMsg::Promoted(n) => Ok(Some(n)),
+                other => Err(format!("unexpected promotion reply: {other:?}")),
+            };
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_config_names() {
+        assert!(parse_config("frame").unwrap().selective_replication);
+        assert!(!parse_config("fcfs").unwrap().selective_replication);
+        assert!(!parse_config("fcfs-").unwrap().coordination);
+        assert!(parse_config("bogus").is_err());
+    }
+
+    #[test]
+    fn admit_reports_verdicts() {
+        let mut manifest = Manifest::table2();
+        // Break one topic: zero retention on a zero-loss topic.
+        manifest.topics[0].retention = 0;
+        let mut out = Vec::new();
+        let rejected = cmd_admit(&manifest, &mut out).unwrap();
+        assert_eq!(rejected, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("REJECT"));
+        assert!(text.contains("fix: retention >= 2"));
+        assert!(text.contains("suppressed (Prop 1)"));
+        assert!(text.contains("replication=required"));
+    }
+
+    #[test]
+    fn detector_promotes_backup_over_tcp() {
+        let manifest = Manifest::table2();
+        let primary = cmd_broker(
+            &manifest,
+            "127.0.0.1:0",
+            BrokerRole::Primary,
+            BrokerConfig::frame(),
+            2,
+            None,
+        )
+        .unwrap();
+        let backup = cmd_broker(
+            &manifest,
+            "127.0.0.1:0",
+            BrokerRole::Backup,
+            BrokerConfig::frame(),
+            2,
+            None,
+        )
+        .unwrap();
+        let p_addr = primary.server.local_addr();
+        let b_addr = backup.server.local_addr();
+        let stop: StopFlag = Arc::new(AtomicBool::new(false));
+
+        // Kill the primary immediately; the detector should notice within a
+        // few polls and promote the backup.
+        primary.broker.kill();
+        let promoted = cmd_detector(
+            p_addr,
+            b_addr,
+            std::time::Duration::from_millis(20),
+            std::time::Duration::from_millis(80),
+            &stop,
+        )
+        .unwrap();
+        assert_eq!(promoted, Some(0), "empty backup buffer: 0 recoveries");
+        assert_eq!(backup.broker.role(), BrokerRole::Primary);
+        primary.shutdown();
+        backup.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_broker_publish_subscribe() {
+        let manifest = Manifest::table2();
+        let broker = cmd_broker(
+            &manifest,
+            "127.0.0.1:0",
+            BrokerRole::Primary,
+            BrokerConfig::frame(),
+            2,
+            None,
+        )
+        .unwrap();
+        let addr = broker.server.local_addr();
+
+        // Subscriber for topic 0's subscriber id 0.
+        let stop: StopFlag = Arc::new(AtomicBool::new(false));
+        let stop_sub = stop.clone();
+        let sub_thread = std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            cmd_subscribe(addr, 0, 3, &stop_sub, &mut sink).map(|n| (n, sink))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        // Publish a few rounds (topic 0 has the smallest 50 ms period).
+        let sent = cmd_publish(&manifest, addr, 0, 5, &stop).unwrap();
+        assert!(sent >= 5, "sent {sent}");
+
+        let (received, sink) = sub_thread.join().unwrap().unwrap();
+        assert_eq!(received, 3);
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("topic-0 #0"));
+        stop.store(true, Ordering::Release);
+        broker.shutdown();
+    }
+}

@@ -1,0 +1,199 @@
+//! `frame-cli` — run FRAME brokers, publishers and subscribers over TCP.
+//!
+//! ```text
+//! frame-cli admit     --manifest topics.json
+//! frame-cli broker    --manifest topics.json --listen 0.0.0.0:7400
+//!                     [--role primary|backup] [--config frame|fcfs|fcfs-]
+//!                     [--workers N] [--backup-addr host:port]
+//! frame-cli publish   --manifest topics.json --addr host:port
+//!                     [--publisher-id N] [--rounds N]
+//! frame-cli subscribe --addr host:port --subscriber-id N [--count N]
+//! frame-cli example-manifest            # print the paper's Table 2
+//! ```
+
+mod commands;
+mod manifest;
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use commands::{cmd_admit, cmd_broker, cmd_publish, cmd_subscribe, parse_config};
+use frame_core::BrokerRole;
+use manifest::Manifest;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing {name}"))
+    }
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags = Flags(args[1..].to_vec());
+    match cmd.as_str() {
+        "admit" => {
+            let m = Manifest::load(flags.require("--manifest")?)?;
+            let rejected =
+                cmd_admit(&m, &mut std::io::stdout()).map_err(|e| e.to_string())?;
+            Ok(if rejected == 0 { 0 } else { 1 })
+        }
+        "broker" => {
+            let m = Manifest::load(flags.require("--manifest")?)?;
+            let listen = flags.get("--listen").unwrap_or("127.0.0.1:7400");
+            let role = match flags.get("--role").unwrap_or("primary") {
+                "primary" => BrokerRole::Primary,
+                "backup" => BrokerRole::Backup,
+                other => return Err(format!("unknown role `{other}`")),
+            };
+            let config = parse_config(flags.get("--config").unwrap_or("frame"))?;
+            let workers: usize = flags
+                .get("--workers")
+                .unwrap_or("6")
+                .parse()
+                .map_err(|_| "bad --workers".to_owned())?;
+            let backup_addr: Option<SocketAddr> = match flags.get("--backup-addr") {
+                Some(a) => Some(a.parse().map_err(|_| "bad --backup-addr".to_owned())?),
+                None => None,
+            };
+            let running = cmd_broker(&m, listen, role, config, workers, backup_addr)?;
+            eprintln!(
+                "broker listening on {} ({:?}, {} topics); Ctrl-C to stop",
+                running.server.local_addr(),
+                running.broker.role(),
+                m.topics.len()
+            );
+            // Serve until the process is killed; the RunningBroker's
+            // threads (and its shutdown path, used by tests) stay alive
+            // for the process lifetime.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+                if !running.broker.is_alive() {
+                    running.shutdown();
+                    return Ok(0);
+                }
+            }
+        }
+        "publish" => {
+            let m = Manifest::load(flags.require("--manifest")?)?;
+            let addr: SocketAddr = flags
+                .require("--addr")?
+                .parse()
+                .map_err(|_| "bad --addr".to_owned())?;
+            let publisher_id: u32 = flags
+                .get("--publisher-id")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| "bad --publisher-id".to_owned())?;
+            let rounds: u64 = flags
+                .get("--rounds")
+                .unwrap_or("18446744073709551615")
+                .parse()
+                .map_err(|_| "bad --rounds".to_owned())?;
+            let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
+            let sent = cmd_publish(&m, addr, publisher_id, rounds, &stop)?;
+            eprintln!("published {sent} messages");
+            Ok(0)
+        }
+        "subscribe" => {
+            let addr: SocketAddr = flags
+                .require("--addr")?
+                .parse()
+                .map_err(|_| "bad --addr".to_owned())?;
+            let id: u32 = flags
+                .require("--subscriber-id")?
+                .parse()
+                .map_err(|_| "bad --subscriber-id".to_owned())?;
+            let count: u64 = flags
+                .get("--count")
+                .unwrap_or("18446744073709551615")
+                .parse()
+                .map_err(|_| "bad --count".to_owned())?;
+            let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
+            let n = cmd_subscribe(addr, id, count, &stop, &mut std::io::stdout())?;
+            eprintln!("received {n} messages");
+            let _ = stop.load(Ordering::Acquire);
+            Ok(0)
+        }
+        "detector" => {
+            let primary: SocketAddr = flags
+                .require("--primary")?
+                .parse()
+                .map_err(|_| "bad --primary".to_owned())?;
+            let backup: SocketAddr = flags
+                .require("--backup")?
+                .parse()
+                .map_err(|_| "bad --backup".to_owned())?;
+            let interval_ms: u64 = flags
+                .get("--interval-ms")
+                .unwrap_or("10")
+                .parse()
+                .map_err(|_| "bad --interval-ms".to_owned())?;
+            let timeout_ms: u64 = flags
+                .get("--timeout-ms")
+                .unwrap_or("30")
+                .parse()
+                .map_err(|_| "bad --timeout-ms".to_owned())?;
+            let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
+            match commands::cmd_detector(
+                primary,
+                backup,
+                std::time::Duration::from_millis(interval_ms),
+                std::time::Duration::from_millis(timeout_ms),
+                &stop,
+            )? {
+                Some(n) => {
+                    eprintln!("primary crashed; backup promoted ({n} recovery dispatches)");
+                    Ok(0)
+                }
+                None => Ok(0),
+            }
+        }
+        "example-manifest" => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&Manifest::table2()).expect("serialize")
+            );
+            Ok(0)
+        }
+        "--help" | "-h" | "help" => {
+            eprintln!("{}", usage());
+            Ok(0)
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  frame-cli admit     --manifest topics.json\n  \
+     frame-cli broker    --manifest topics.json --listen ADDR [--role primary|backup]\n            \
+     \u{20}         [--config frame|fcfs|fcfs-] [--workers N] [--backup-addr ADDR]\n  \
+     frame-cli publish   --manifest topics.json --addr ADDR [--publisher-id N] [--rounds N]\n  \
+     frame-cli subscribe --addr ADDR --subscriber-id N [--count N]\n  \
+     frame-cli detector  --primary ADDR --backup ADDR [--interval-ms N] [--timeout-ms N]\n  \
+     frame-cli example-manifest"
+        .to_owned()
+}

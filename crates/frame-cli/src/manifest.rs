@@ -1,0 +1,211 @@
+//! The JSON topic manifest consumed by every `frame-cli` command.
+//!
+//! ```json
+//! {
+//!   "network": {
+//!     "delta_pb": 50000, "delta_bs_edge": 1000000,
+//!     "delta_bs_cloud": 20000000, "delta_bb": 50000, "failover": 50000000
+//!   },
+//!   "topics": [
+//!     { "id": 1, "period_ms": 50, "deadline_ms": 50, "loss_tolerance": 0,
+//!       "retention": 2, "destination": "edge", "subscribers": [1] },
+//!     { "id": 2, "period_ms": 500, "deadline_ms": 500, "loss_tolerance": "inf",
+//!       "retention": 1, "destination": "cloud", "subscribers": [2, 3] }
+//!   ]
+//! }
+//! ```
+//!
+//! Durations inside `network` are raw nanoseconds (the serde encoding of
+//! [`frame_types::Duration`]); topic timings use friendlier
+//! `*_ms` fields. `loss_tolerance` is an integer or the string `"inf"`.
+
+use frame_types::{
+    Destination, Duration, LossTolerance, NetworkParams, SubscriberId, TopicId, TopicSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// One topic entry of the manifest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManifestTopic {
+    /// Topic id.
+    pub id: u32,
+    /// Period `T_i` in milliseconds (omit or `null` for aperiodic).
+    #[serde(default)]
+    pub period_ms: Option<u64>,
+    /// End-to-end deadline `D_i` in milliseconds.
+    pub deadline_ms: u64,
+    /// Loss tolerance `L_i`: an integer or `"inf"`.
+    pub loss_tolerance: LossToleranceField,
+    /// Publisher retention `N_i`.
+    #[serde(default)]
+    pub retention: u32,
+    /// `"edge"` or `"cloud"`.
+    pub destination: DestinationField,
+    /// Subscriber ids.
+    pub subscribers: Vec<u32>,
+}
+
+/// `L_i` as written in JSON.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum LossToleranceField {
+    /// A finite bound.
+    Finite(u32),
+    /// The string `"inf"`.
+    Infinite(InfString),
+}
+
+/// The literal string `"inf"`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum InfString {
+    /// `"inf"`.
+    #[serde(rename = "inf")]
+    Inf,
+}
+
+/// Destination as written in JSON.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum DestinationField {
+    /// Within the edge.
+    Edge,
+    /// In the cloud.
+    Cloud,
+}
+
+/// The whole manifest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Deployment timing bounds (defaults to the paper's example values).
+    #[serde(default = "NetworkParams::paper_example")]
+    pub network: NetworkParams,
+    /// Topics.
+    pub topics: Vec<ManifestTopic>,
+}
+
+impl ManifestTopic {
+    /// Converts to a [`TopicSpec`] plus its subscriber list.
+    pub fn to_spec(&self) -> (TopicSpec, Vec<SubscriberId>) {
+        let period = self
+            .period_ms
+            .map_or(Duration::MAX, Duration::from_millis);
+        let loss = match self.loss_tolerance {
+            LossToleranceField::Finite(l) => LossTolerance::Consecutive(l),
+            LossToleranceField::Infinite(_) => LossTolerance::BestEffort,
+        };
+        let destination = match self.destination {
+            DestinationField::Edge => Destination::Edge,
+            DestinationField::Cloud => Destination::Cloud,
+        };
+        (
+            TopicSpec::new(
+                TopicId(self.id),
+                period,
+                Duration::from_millis(self.deadline_ms),
+                loss,
+                self.retention,
+                destination,
+            ),
+            self.subscribers.iter().map(|&s| SubscriberId(s)).collect(),
+        )
+    }
+}
+
+impl Manifest {
+    /// Parses a manifest from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message.
+    pub fn from_json(json: &str) -> Result<Manifest, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Loads a manifest from a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O or parse errors as strings.
+    pub fn load(path: &str) -> Result<Manifest, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Manifest::from_json(&json)
+    }
+
+    /// The paper's Table 2 as a ready-made manifest (one topic per
+    /// category, subscriber id = topic id).
+    pub fn table2() -> Manifest {
+        Manifest {
+            network: NetworkParams::paper_example(),
+            topics: (0u8..=5)
+                .map(|c| {
+                    let spec = TopicSpec::category(c, TopicId(c as u32));
+                    ManifestTopic {
+                        id: c as u32,
+                        period_ms: Some(spec.period.as_millis()),
+                        deadline_ms: spec.deadline.as_millis(),
+                        loss_tolerance: match spec.loss_tolerance {
+                            LossTolerance::Consecutive(l) => LossToleranceField::Finite(l),
+                            LossTolerance::BestEffort => {
+                                LossToleranceField::Infinite(InfString::Inf)
+                            }
+                        },
+                        retention: spec.retention,
+                        destination: match spec.destination {
+                            Destination::Edge => DestinationField::Edge,
+                            Destination::Cloud => DestinationField::Cloud,
+                        },
+                        subscribers: vec![c as u32],
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_manifest() {
+        let json = r#"{
+            "topics": [
+                { "id": 1, "period_ms": 50, "deadline_ms": 50,
+                  "loss_tolerance": 0, "retention": 2,
+                  "destination": "edge", "subscribers": [1] },
+                { "id": 2, "deadline_ms": 500, "loss_tolerance": "inf",
+                  "destination": "cloud", "subscribers": [2, 3] }
+            ]
+        }"#;
+        let m = Manifest::from_json(json).unwrap();
+        assert_eq!(m.network, NetworkParams::paper_example());
+        assert_eq!(m.topics.len(), 2);
+
+        let (s1, subs1) = m.topics[0].to_spec();
+        assert_eq!(s1.period, Duration::from_millis(50));
+        assert_eq!(s1.loss_tolerance, LossTolerance::ZERO);
+        assert_eq!(subs1, vec![SubscriberId(1)]);
+
+        let (s2, subs2) = m.topics[1].to_spec();
+        assert_eq!(s2.period, Duration::MAX, "aperiodic when period omitted");
+        assert_eq!(s2.loss_tolerance, LossTolerance::BestEffort);
+        assert_eq!(s2.destination, Destination::Cloud);
+        assert_eq!(subs2.len(), 2);
+    }
+
+    #[test]
+    fn bad_json_is_reported() {
+        assert!(Manifest::from_json("{").is_err());
+        assert!(Manifest::from_json(r#"{"topics":[{"id":1}]}"#).is_err());
+    }
+
+    #[test]
+    fn table2_manifest_roundtrips() {
+        let m = Manifest::table2();
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back = Manifest::from_json(&json).unwrap();
+        assert_eq!(back.topics.len(), 6);
+        let (spec5, _) = back.topics[5].to_spec();
+        assert_eq!(spec5, TopicSpec::category(5, TopicId(5)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Clock abstractions for FRAME.
+//!
+//! The FRAME model assumes host clocks that are "sufficiently synchronized"
+//! (paper §III-B) — the authors' testbed used PTPd on the LAN (sync error
+//! within 0.05 ms) and chrony/NTP for the cloud subscriber (sync error in
+//! milliseconds). End-to-end latency is measured across hosts, so sync error
+//! directly perturbs measurements.
+//!
+//! This crate provides:
+//!
+//! * [`Clock`] — the minimal time source trait used by every component;
+//! * [`SimClock`] — a shared virtual clock advanced by the discrete-event
+//!   engine in `frame-sim`;
+//! * [`MonotonicClock`] — wall-clock time for the threaded runtime
+//!   (`frame-rt`), anchored at construction;
+//! * [`HostClock`] — a per-host *view* of a reference clock with a constant
+//!   offset and a drift rate, modeling imperfect PTP/NTP synchronization;
+//! * [`SyncErrorModel`] — convenience constructors matching the paper's
+//!   testbed (PTP-grade and NTP-grade errors).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use frame_types::{Duration, Time};
+
+/// A source of the current time.
+///
+/// Implementations must be cheap to call and monotonic (never go backwards)
+/// within one clock instance.
+pub trait Clock: Send + Sync {
+    /// Returns the current time according to this clock.
+    fn now(&self) -> Time;
+}
+
+/// A shared virtual clock for discrete-event simulation.
+///
+/// The simulation engine owns a `SimClock` and advances it as it processes
+/// events; components hold clones and read it through [`Clock::now`].
+/// Cloning is cheap (an [`Arc`] bump) and all clones observe the same time.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Creates a clock at the given start time.
+    pub fn starting_at(t: Time) -> Self {
+        let c = SimClock::new();
+        c.nanos.store(t.as_nanos(), Ordering::Release);
+        c
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time — the engine must
+    /// never move time backwards.
+    pub fn advance_to(&self, t: Time) {
+        let prev = self.nanos.swap(t.as_nanos(), Ordering::AcqRel);
+        assert!(
+            t.as_nanos() >= prev,
+            "SimClock moved backwards: {} -> {}",
+            Time::from_nanos(prev),
+            t
+        );
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance_by(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos(), Ordering::AcqRel);
+    }
+}
+
+impl Clock for SimClock {
+    #[inline]
+    fn now(&self) -> Time {
+        Time::from_nanos(self.nanos.load(Ordering::Acquire))
+    }
+}
+
+/// Wall-clock time for the threaded runtime, anchored at construction.
+///
+/// `now()` returns the elapsed time since the clock was created, so values
+/// are comparable across clones of the same instance (they share the same
+/// anchor), mirroring how simulated time is measured from simulation start.
+#[derive(Clone, Debug)]
+pub struct MonotonicClock {
+    start: std::time::Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock anchored at the current instant.
+    pub fn new() -> Self {
+        MonotonicClock {
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    #[inline]
+    fn now(&self) -> Time {
+        Time::from_nanos(
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        )
+    }
+}
+
+/// Parameters of a host's clock-synchronization error relative to the
+/// reference clock: a constant offset plus a linear drift.
+///
+/// Offsets may be negative (a host's clock may run behind the reference).
+/// Drift is expressed in parts-per-million of elapsed reference time and is
+/// the residual drift *after* synchronization, so values are tiny for
+/// PTP-grade sync.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SyncErrorModel {
+    /// Constant offset in nanoseconds (may be negative).
+    pub offset_nanos: i64,
+    /// Residual drift in parts-per-million of elapsed reference time.
+    pub drift_ppm: f64,
+}
+
+impl SyncErrorModel {
+    /// A perfectly synchronized clock.
+    pub const PERFECT: SyncErrorModel = SyncErrorModel {
+        offset_nanos: 0,
+        drift_ppm: 0.0,
+    };
+
+    /// PTP-grade synchronization as in the paper's LAN testbed: offset
+    /// within ±0.05 ms. `sign` picks which side of the reference the host
+    /// sits on.
+    pub fn ptp_grade(sign: i64) -> Self {
+        SyncErrorModel {
+            offset_nanos: sign.signum() * 50_000, // 0.05 ms
+            drift_ppm: 0.1,
+        }
+    }
+
+    /// NTP-grade synchronization as for the paper's cloud subscriber:
+    /// offset on the order of milliseconds.
+    pub fn ntp_grade(offset_millis: i64) -> Self {
+        SyncErrorModel {
+            offset_nanos: offset_millis * 1_000_000,
+            drift_ppm: 5.0,
+        }
+    }
+}
+
+impl Default for SyncErrorModel {
+    fn default() -> Self {
+        SyncErrorModel::PERFECT
+    }
+}
+
+/// A per-host view of a reference clock, perturbed by a [`SyncErrorModel`].
+///
+/// `now()` reads the reference clock and applies
+/// `offset + drift_ppm · elapsed / 10⁶`, saturating at the epoch so the
+/// result is never negative.
+pub struct HostClock {
+    reference: Arc<dyn Clock>,
+    error: SyncErrorModel,
+}
+
+impl HostClock {
+    /// Creates a host view of `reference` with the given error model.
+    pub fn new(reference: Arc<dyn Clock>, error: SyncErrorModel) -> Self {
+        HostClock { reference, error }
+    }
+
+    /// Creates a perfectly synchronized view of `reference`.
+    pub fn perfect(reference: Arc<dyn Clock>) -> Self {
+        HostClock::new(reference, SyncErrorModel::PERFECT)
+    }
+
+    /// The configured error model.
+    pub fn error_model(&self) -> SyncErrorModel {
+        self.error
+    }
+}
+
+impl Clock for HostClock {
+    fn now(&self) -> Time {
+        let t = self.reference.now();
+        let drift = (t.as_nanos() as f64 * self.error.drift_ppm / 1e6) as i64;
+        let skew = self.error.offset_nanos + drift;
+        if skew >= 0 {
+            t.saturating_add(Duration::from_nanos(skew as u64))
+        } else {
+            t.saturating_sub(Duration::from_nanos(skew.unsigned_abs()))
+        }
+    }
+}
+
+impl std::fmt::Debug for HostClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostClock")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Time::ZERO);
+        c.advance_to(Time::from_millis(5));
+        assert_eq!(c.now(), Time::from_millis(5));
+        c.advance_by(Duration::from_millis(3));
+        assert_eq!(c.now(), Time::from_millis(8));
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_to(Time::from_secs(2));
+        assert_eq!(b.now(), Time::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn sim_clock_rejects_backwards() {
+        let c = SimClock::starting_at(Time::from_secs(1));
+        c.advance_to(Time::from_millis(1));
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn host_clock_applies_positive_offset() {
+        let sim = Arc::new(SimClock::starting_at(Time::from_secs(10)));
+        let host = HostClock::new(
+            sim.clone(),
+            SyncErrorModel {
+                offset_nanos: 50_000,
+                drift_ppm: 0.0,
+            },
+        );
+        assert_eq!(
+            host.now(),
+            Time::from_secs(10) + Duration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn host_clock_applies_negative_offset_and_saturates() {
+        let sim = Arc::new(SimClock::new());
+        let host = HostClock::new(sim.clone(), SyncErrorModel::ntp_grade(-2));
+        // Reference at 0: result saturates at the epoch.
+        assert_eq!(host.now(), Time::ZERO);
+        sim.advance_to(Time::from_secs(1));
+        let expected = Time::from_secs(1).saturating_sub(Duration::from_millis(2));
+        // drift_ppm=5 adds 5 us per second.
+        let drifted = expected.saturating_add(Duration::from_micros(5));
+        assert_eq!(host.now(), drifted);
+    }
+
+    #[test]
+    fn host_clock_drift_accumulates() {
+        let sim = Arc::new(SimClock::new());
+        let host = HostClock::new(
+            sim.clone(),
+            SyncErrorModel {
+                offset_nanos: 0,
+                drift_ppm: 1.0,
+            },
+        );
+        sim.advance_to(Time::from_secs(100));
+        // 1 ppm over 100 s = 100 us ahead.
+        assert_eq!(
+            host.now(),
+            Time::from_secs(100) + Duration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn ptp_grade_is_sub_100us() {
+        let e = SyncErrorModel::ptp_grade(1);
+        assert_eq!(e.offset_nanos, 50_000);
+        let e = SyncErrorModel::ptp_grade(-3);
+        assert_eq!(e.offset_nanos, -50_000);
+    }
+
+    #[test]
+    fn perfect_view_matches_reference() {
+        let sim = Arc::new(SimClock::starting_at(Time::from_millis(123)));
+        let host = HostClock::perfect(sim.clone());
+        assert_eq!(host.now(), sim.now());
+        assert_eq!(host.error_model(), SyncErrorModel::PERFECT);
+    }
+}

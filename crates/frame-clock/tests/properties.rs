@@ -1,0 +1,69 @@
+//! Property-based tests of the clock layer: host views are monotone and
+//! their skew stays within the model's bounds.
+
+use std::sync::Arc;
+
+use frame_clock::{Clock, HostClock, SimClock, SyncErrorModel};
+use frame_types::{Duration, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// A host clock view is monotone whenever the reference is (positive
+    /// drift can only stretch time, negative residual drift at realistic
+    /// ppm cannot reverse it over these steps).
+    #[test]
+    fn host_clock_is_monotone(
+        offset in -5_000_000i64..5_000_000,
+        drift in 0.0f64..50.0,
+        steps in proptest::collection::vec(1u64..1_000_000_000, 1..50),
+    ) {
+        let sim = Arc::new(SimClock::new());
+        let host = HostClock::new(
+            sim.clone(),
+            SyncErrorModel { offset_nanos: offset, drift_ppm: drift },
+        );
+        let mut prev = host.now();
+        for step in steps {
+            sim.advance_by(Duration::from_nanos(step));
+            let now = host.now();
+            prop_assert!(now >= prev, "host clock went backwards");
+            prev = now;
+        }
+    }
+
+    /// The observed skew equals offset + drift·t within rounding, once the
+    /// reference is far enough from the epoch that no clamping occurs.
+    #[test]
+    fn skew_matches_model(
+        offset in -1_000_000i64..1_000_000,
+        drift in -10.0f64..10.0,
+        t_s in 1u64..10_000,
+    ) {
+        let sim = Arc::new(SimClock::starting_at(Time::from_secs(t_s)));
+        let host = HostClock::new(
+            sim.clone(),
+            SyncErrorModel { offset_nanos: offset, drift_ppm: drift },
+        );
+        let expected_skew = offset as f64 + (t_s as f64 * 1e9) * drift / 1e6;
+        let actual = host.now().as_nanos() as i128 - sim.now().as_nanos() as i128;
+        prop_assert!(
+            (actual as f64 - expected_skew).abs() <= 2.0,
+            "skew {actual} vs expected {expected_skew}"
+        );
+    }
+
+    /// Advancing the sim clock by the sum of steps equals advancing by each
+    /// step (no drift in the reference itself).
+    #[test]
+    fn sim_clock_advance_is_additive(steps in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let a = SimClock::new();
+        let b = SimClock::new();
+        let mut total = 0u64;
+        for &s in &steps {
+            a.advance_by(Duration::from_nanos(s));
+            total += s;
+        }
+        b.advance_by(Duration::from_nanos(total));
+        prop_assert_eq!(a.now(), b.now());
+    }
+}

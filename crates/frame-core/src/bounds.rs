@@ -1,0 +1,530 @@
+//! The timing analysis of the paper: Lemmas 1 and 2, Proposition 1, the
+//! admission test, and the derived configuration helpers of §III-D.
+//!
+//! All bounds are *sufficient* conditions: scheduling replication jobs
+//! within [`replication_deadline`] guarantees at most `L_i` consecutive
+//! losses across a Primary crash (Lemma 1), and scheduling dispatch jobs
+//! within [`dispatch_deadline`] guarantees the end-to-end deadline `D_i`
+//! (Lemma 2). [`replication_needed`] is Proposition 1's *selective
+//! replication* test: when the dispatch deadline is at least as tight as
+//! the replication deadline, dispatching on time already provides the
+//! required loss tolerance, and replication can be suppressed entirely.
+
+use frame_types::{
+    AdmissionFailure, Duration, FrameError, LossTolerance, NetworkParams,
+    TopicSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// A relative deadline, which may be unbounded.
+///
+/// `Unbounded` arises for best-effort topics (`L_i = ∞` makes Lemma 1's
+/// window infinite) and for aperiodic topics with retention
+/// (`T_i = ∞, N_i > 0`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Deadline {
+    /// A finite relative deadline.
+    Finite(Duration),
+    /// No deadline: the action can be arbitrarily late (or skipped).
+    Unbounded,
+}
+
+impl Deadline {
+    /// The finite value, if any.
+    #[inline]
+    pub fn finite(self) -> Option<Duration> {
+        match self {
+            Deadline::Finite(d) => Some(d),
+            Deadline::Unbounded => None,
+        }
+    }
+
+    /// Whether this deadline is no later than `other` (tighter or equal).
+    #[inline]
+    pub fn le(self, other: Deadline) -> bool {
+        match (self, other) {
+            (Deadline::Finite(a), Deadline::Finite(b)) => a <= b,
+            (Deadline::Finite(_), Deadline::Unbounded) => true,
+            (Deadline::Unbounded, Deadline::Finite(_)) => false,
+            (Deadline::Unbounded, Deadline::Unbounded) => true,
+        }
+    }
+}
+
+impl std::fmt::Display for Deadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Deadline::Finite(d) => write!(f, "{d}"),
+            Deadline::Unbounded => write!(f, "∞"),
+        }
+    }
+}
+
+/// Lemma 2 — the relative deadline for a *dispatching* job of topic `i`:
+///
+/// ```text
+/// D^d_i = D_i − ΔPB − ΔBS
+/// ```
+///
+/// Returns an error if the value would be negative, i.e. the network
+/// latencies alone exceed the end-to-end deadline (admission failure).
+pub fn dispatch_deadline(
+    spec: &TopicSpec,
+    net: &NetworkParams,
+) -> Result<Duration, AdmissionFailure> {
+    let overhead = net.delta_pb.saturating_add(net.delta_bs(spec.destination));
+    spec.deadline
+        .checked_sub(overhead)
+        .ok_or(AdmissionFailure::DispatchDeadlineNegative)
+}
+
+/// Lemma 1 — the relative deadline for a *replicating* job of topic `i`:
+///
+/// ```text
+/// D^r_i = (N_i + L_i)·T_i − ΔPB − ΔBB − x
+/// ```
+///
+/// Returns [`Deadline::Unbounded`] for best-effort topics (no replication
+/// obligation at all), and an error if the value would be negative — which
+/// per §III-D.1 means the configuration is inadmissible unless `N_i` (or
+/// `L_i`) is increased.
+pub fn replication_deadline(
+    spec: &TopicSpec,
+    net: &NetworkParams,
+) -> Result<Deadline, AdmissionFailure> {
+    let window = spec.tolerance_window();
+    if window == Duration::MAX {
+        return Ok(Deadline::Unbounded);
+    }
+    let overhead = net
+        .delta_pb
+        .saturating_add(net.delta_bb)
+        .saturating_add(net.failover);
+    window
+        .checked_sub(overhead)
+        .map(Deadline::Finite)
+        .ok_or(AdmissionFailure::ReplicationDeadlineNegative)
+}
+
+/// Proposition 1 — *selective replication*.
+///
+/// Replication of topic `i` may be suppressed when the system can meet the
+/// dispatch deadline and `D^d_i ≤ D^r_i`; equivalently, replication is
+/// needed iff
+///
+/// ```text
+/// x + ΔBB − ΔBS > (N_i + L_i)·T_i − D_i
+/// ```
+///
+/// Returns `Ok(true)` when replication is required, `Ok(false)` when it can
+/// be suppressed. Best-effort topics never need replication. Propagates the
+/// admission failures of the underlying bounds.
+pub fn replication_needed(
+    spec: &TopicSpec,
+    net: &NetworkParams,
+) -> Result<bool, AdmissionFailure> {
+    let d = dispatch_deadline(spec, net)?;
+    let r = replication_deadline(spec, net)?;
+    Ok(!Deadline::Finite(d).le(r))
+}
+
+/// The paper's §IV-A *pseudo* relative deadlines, computed at configuration
+/// time before the per-message `ΔPB` is known:
+///
+/// ```text
+/// D^r_i' = (N_i + L_i)·T_i − ΔBB − x        D^d_i' = D_i − ΔBS
+/// ```
+///
+/// At run time the Job Generator subtracts the per-message `ΔPB`
+/// (`t_p − t_c`) to obtain the true relative deadlines of Lemmas 1 and 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PseudoDeadlines {
+    /// `D^d_i'`: dispatch pseudo-deadline.
+    pub dispatch: Duration,
+    /// `D^r_i'`: replication pseudo-deadline ([`Deadline::Unbounded`] when
+    /// no replication obligation exists).
+    pub replicate: Deadline,
+    /// Proposition 1 verdict: whether replication jobs must be generated.
+    pub replication_needed: bool,
+}
+
+/// A topic that has passed the admission test, with its pre-computed pseudo
+/// deadlines. This is the Message Proxy's per-topic configuration record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmittedTopic {
+    /// The topic's QoS specification.
+    pub spec: TopicSpec,
+    /// Pre-computed pseudo deadlines (§IV-A).
+    pub deadlines: PseudoDeadlines,
+}
+
+/// The admission test of §III-D.1: both `D^d_i ≥ 0` and `D^r_i ≥ 0` must
+/// hold. On success, returns the topic bundled with its pseudo deadlines.
+pub fn admit(spec: &TopicSpec, net: &NetworkParams) -> Result<AdmittedTopic, FrameError> {
+    let to_err = |reason| FrameError::NotAdmissible {
+        topic: spec.id,
+        reason,
+    };
+    // Validate the true bounds (they include ΔPB)…
+    dispatch_deadline(spec, net).map_err(to_err)?;
+    replication_deadline(spec, net).map_err(to_err)?;
+    let needed = replication_needed(spec, net).map_err(to_err)?;
+
+    // …and store the pseudo variants for run-time use.
+    let dispatch = spec
+        .deadline
+        .checked_sub(net.delta_bs(spec.destination))
+        .ok_or_else(|| to_err(AdmissionFailure::DispatchDeadlineNegative))?;
+    let replicate = match spec.tolerance_window() {
+        Duration::MAX => Deadline::Unbounded,
+        window => Deadline::Finite(
+            window
+                .checked_sub(net.delta_bb.saturating_add(net.failover))
+                .ok_or_else(|| to_err(AdmissionFailure::ReplicationDeadlineNegative))?,
+        ),
+    };
+    Ok(AdmittedTopic {
+        spec: *spec,
+        deadlines: PseudoDeadlines {
+            dispatch,
+            replicate,
+            replication_needed: needed,
+        },
+    })
+}
+
+/// The smallest retention depth `N_i` that makes topic `spec` admissible
+/// (renders `D^r_i ≥ 0`), ignoring the spec's current `retention` value.
+///
+/// This regenerates the `N_i` column of the paper's Table 2. Returns `None`
+/// if no finite retention helps (only possible for `T_i = 0`, a degenerate
+/// spec with infinite message rate).
+pub fn min_admissible_retention(spec: &TopicSpec, net: &NetworkParams) -> Option<u32> {
+    if spec.loss_tolerance.is_best_effort() {
+        return Some(0);
+    }
+    let l = match spec.loss_tolerance {
+        LossTolerance::Consecutive(l) => l as u64,
+        LossTolerance::BestEffort => unreachable!(),
+    };
+    let overhead = net
+        .delta_pb
+        .saturating_add(net.delta_bb)
+        .saturating_add(net.failover)
+        .as_nanos();
+    if spec.period == Duration::MAX {
+        // Aperiodic: any N with N + L > 0 gives an unbounded window.
+        return Some(if l > 0 { 0 } else { 1 });
+    }
+    let t = spec.period.as_nanos();
+    if t == 0 {
+        return None;
+    }
+    // Smallest N with (N + L)·T ≥ overhead.
+    let needed = overhead.div_ceil(t);
+    Some(u32::try_from(needed.saturating_sub(l)).unwrap_or(u32::MAX))
+}
+
+/// A labelled relative deadline, used to report the ordering of §III-D.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelledDeadline {
+    /// Which topic (index into the input slice).
+    pub topic_index: usize,
+    /// Dispatch or replication.
+    pub kind: DeadlineKind,
+    /// The relative deadline value.
+    pub deadline: Deadline,
+}
+
+/// Whether a deadline belongs to a dispatching or replicating job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlineKind {
+    /// Deadline of the dispatch job, `D^d`.
+    Dispatch,
+    /// Deadline of the replication job, `D^r`.
+    Replicate,
+}
+
+/// Computes every topic's dispatch and replication deadline and returns
+/// them sorted ascending (tightest first), reproducing the ordering the
+/// paper derives in §III-D.2. Inadmissible bounds are skipped; best-effort
+/// replication deadlines appear as [`Deadline::Unbounded`] at the end.
+pub fn deadline_ordering(specs: &[TopicSpec], net: &NetworkParams) -> Vec<LabelledDeadline> {
+    let mut out = Vec::with_capacity(specs.len() * 2);
+    for (i, spec) in specs.iter().enumerate() {
+        if let Ok(d) = dispatch_deadline(spec, net) {
+            out.push(LabelledDeadline {
+                topic_index: i,
+                kind: DeadlineKind::Dispatch,
+                deadline: Deadline::Finite(d),
+            });
+        }
+        if let Ok(r) = replication_deadline(spec, net) {
+            out.push(LabelledDeadline {
+                topic_index: i,
+                kind: DeadlineKind::Replicate,
+                deadline: r,
+            });
+        }
+    }
+    out.sort_by(|a, b| match (a.deadline, b.deadline) {
+        (Deadline::Finite(x), Deadline::Finite(y)) => x.cmp(&y),
+        (Deadline::Finite(_), Deadline::Unbounded) => std::cmp::Ordering::Less,
+        (Deadline::Unbounded, Deadline::Finite(_)) => std::cmp::Ordering::Greater,
+        (Deadline::Unbounded, Deadline::Unbounded) => std::cmp::Ordering::Equal,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_types::{Destination, TopicId};
+
+    fn paper_net() -> NetworkParams {
+        // §III-D.2 worked example: ΔBS=1 edge / 20 cloud, ΔBB=0.05, x=50.
+        // The example folds ΔPB into the constants; use 0 here to match the
+        // printed arithmetic exactly.
+        NetworkParams {
+            delta_pb: Duration::ZERO,
+            delta_bs_edge: Duration::from_millis(1),
+            delta_bs_cloud: Duration::from_millis(20),
+            delta_bb: Duration::from_millis_f64(0.05),
+            failover: Duration::from_millis(50),
+        }
+    }
+
+    fn cat(c: u8) -> TopicSpec {
+        TopicSpec::category(c, TopicId(c as u32))
+    }
+
+    #[test]
+    fn lemma2_dispatch_deadlines_match_worked_example() {
+        let net = paper_net();
+        // Dd = D − ΔPB − ΔBS: cat0 = 50−1 = 49, cat2 = 100−1 = 99,
+        // cat5 = 500−20 = 480.
+        assert_eq!(
+            dispatch_deadline(&cat(0), &net).unwrap(),
+            Duration::from_millis(49)
+        );
+        assert_eq!(
+            dispatch_deadline(&cat(2), &net).unwrap(),
+            Duration::from_millis(99)
+        );
+        assert_eq!(
+            dispatch_deadline(&cat(5), &net).unwrap(),
+            Duration::from_millis(480)
+        );
+    }
+
+    #[test]
+    fn lemma1_replication_deadlines_match_worked_example() {
+        let net = paper_net();
+        // Dr = (N+L)T − ΔPB − ΔBB − x.
+        // cat0: (2+0)·50 − 0.05 − 50 = 49.95
+        assert_eq!(
+            replication_deadline(&cat(0), &net).unwrap(),
+            Deadline::Finite(Duration::from_millis_f64(49.95))
+        );
+        // cat1: (0+3)·50 − 50.05 = 99.95
+        assert_eq!(
+            replication_deadline(&cat(1), &net).unwrap(),
+            Deadline::Finite(Duration::from_millis_f64(99.95))
+        );
+        // cat2: (1+0)·100 − 50.05 = 49.95
+        assert_eq!(
+            replication_deadline(&cat(2), &net).unwrap(),
+            Deadline::Finite(Duration::from_millis_f64(49.95))
+        );
+        // cat3: (0+3)·100 − 50.05 = 249.95
+        assert_eq!(
+            replication_deadline(&cat(3), &net).unwrap(),
+            Deadline::Finite(Duration::from_millis_f64(249.95))
+        );
+        // cat4: best-effort ⇒ unbounded.
+        assert_eq!(
+            replication_deadline(&cat(4), &net).unwrap(),
+            Deadline::Unbounded
+        );
+        // cat5: (1+0)·500 − 50.05 = 449.95
+        assert_eq!(
+            replication_deadline(&cat(5), &net).unwrap(),
+            Deadline::Finite(Duration::from_millis_f64(449.95))
+        );
+    }
+
+    #[test]
+    fn section3d2_deadline_ordering_is_reproduced() {
+        // Paper: {Dd0 = Dd1 < Dr0 = Dr2 < Dd2 = Dd3 = Dd4 < Dr1 < Dr3 < Dr5 < Dd5}.
+        let net = paper_net();
+        let specs: Vec<TopicSpec> = (0..=5).map(cat).collect();
+        let order = deadline_ordering(&specs, &net);
+        use DeadlineKind::*;
+        let key: Vec<(usize, DeadlineKind)> = order
+            .iter()
+            .filter(|l| l.deadline != Deadline::Unbounded)
+            .map(|l| (l.topic_index, l.kind))
+            .collect();
+        assert_eq!(
+            key,
+            vec![
+                (0, Dispatch),
+                (1, Dispatch),
+                (0, Replicate),
+                (2, Replicate),
+                (2, Dispatch),
+                (3, Dispatch),
+                (4, Dispatch),
+                (1, Replicate),
+                (3, Replicate),
+                (5, Replicate),
+                (5, Dispatch),
+            ]
+        );
+        // Ties asserted explicitly.
+        assert_eq!(order[0].deadline, order[1].deadline);
+        assert_eq!(order[2].deadline, order[3].deadline);
+        // Category 4's replication deadline is unbounded and sorts last.
+        assert_eq!(order.last().unwrap().deadline, Deadline::Unbounded);
+        assert_eq!(order.last().unwrap().topic_index, 4);
+    }
+
+    #[test]
+    fn proposition1_selective_replication_matches_paper() {
+        // §III-D.2: replication needed only for categories 2 and 5
+        // (category 4 is best-effort).
+        let net = paper_net();
+        let needed: Vec<bool> = (0..=5)
+            .map(|c| replication_needed(&cat(c), &net).unwrap())
+            .collect();
+        assert_eq!(needed, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn frame_plus_retention_bump_removes_replication() {
+        // §III-D.3: N+1 for categories 2 and 5 flips Proposition 1.
+        let net = paper_net();
+        for c in [2u8, 5] {
+            let bumped = cat(c).with_extra_retention(1);
+            assert!(!replication_needed(&bumped, &net).unwrap(), "category {c}");
+        }
+    }
+
+    #[test]
+    fn admission_test_rejects_tight_deadline() {
+        let net = paper_net();
+        // Deadline smaller than ΔBS to the cloud: inadmissible.
+        let mut spec = cat(5);
+        spec.deadline = Duration::from_millis(10);
+        let err = admit(&spec, &net).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::NotAdmissible {
+                reason: AdmissionFailure::DispatchDeadlineNegative,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn admission_test_rejects_zero_retention_zero_tolerance() {
+        // §III-D.1: L=0 requires publisher retention; with N=0 the
+        // replication window (0+0)·T = 0 < x ⇒ inadmissible.
+        let net = paper_net();
+        let mut spec = cat(0);
+        spec.retention = 0;
+        let err = admit(&spec, &net).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::NotAdmissible {
+                reason: AdmissionFailure::ReplicationDeadlineNegative,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn admitted_topic_carries_pseudo_deadlines() {
+        let net = paper_net();
+        let adm = admit(&cat(2), &net).unwrap();
+        // Dd' = D − ΔBS = 99; Dr' = (N+L)T − ΔBB − x = 49.95.
+        assert_eq!(adm.deadlines.dispatch, Duration::from_millis(99));
+        assert_eq!(
+            adm.deadlines.replicate,
+            Deadline::Finite(Duration::from_millis_f64(49.95))
+        );
+        assert!(adm.deadlines.replication_needed);
+    }
+
+    #[test]
+    fn table2_min_retention_column_is_reproduced() {
+        let net = paper_net();
+        let expected = [2u32, 0, 1, 0, 0, 1];
+        for (c, &want) in (0u8..=5).zip(expected.iter()) {
+            let got = min_admissible_retention(&cat(c), &net).unwrap();
+            assert_eq!(got, want, "category {c}");
+        }
+    }
+
+    #[test]
+    fn min_retention_for_aperiodic_topics() {
+        // §III-D.4: rare time-critical messages, T=∞, L=0 ⇒ N must be > 0.
+        let net = paper_net();
+        let spec = TopicSpec::new(
+            TopicId(9),
+            Duration::MAX,
+            Duration::from_millis(10),
+            LossTolerance::ZERO,
+            0,
+            Destination::Edge,
+        );
+        assert_eq!(min_admissible_retention(&spec, &net), Some(1));
+        // With L>0 the window is already unbounded at N=0.
+        let tolerant = TopicSpec::new(
+            TopicId(10),
+            Duration::MAX,
+            Duration::from_millis(10),
+            LossTolerance::Consecutive(1),
+            0,
+            Destination::Edge,
+        );
+        assert_eq!(min_admissible_retention(&tolerant, &net), Some(0));
+    }
+
+    #[test]
+    fn min_retention_degenerate_zero_period() {
+        let net = paper_net();
+        let mut spec = cat(0);
+        spec.period = Duration::ZERO;
+        assert_eq!(min_admissible_retention(&spec, &net), None);
+    }
+
+    #[test]
+    fn section3d4_long_deadline_topics_likely_need_replication() {
+        // Case D > T (e.g. multimedia streaming): Eq. (3) suggests a likely
+        // need for replication unless ΔBS is small.
+        let net = paper_net();
+        let streaming = TopicSpec::new(
+            TopicId(11),
+            Duration::from_millis(10),
+            Duration::from_millis(200),
+            LossTolerance::ZERO,
+            6,
+            Destination::Cloud,
+        );
+        assert!(replication_needed(&streaming, &net).unwrap());
+    }
+
+    #[test]
+    fn deadline_le_total_order() {
+        let f1 = Deadline::Finite(Duration::from_millis(1));
+        let f2 = Deadline::Finite(Duration::from_millis(2));
+        let u = Deadline::Unbounded;
+        assert!(f1.le(f2) && !f2.le(f1));
+        assert!(f1.le(u) && !u.le(f1));
+        assert!(u.le(u) && f1.le(f1));
+        assert_eq!(f1.finite(), Some(Duration::from_millis(1)));
+        assert_eq!(u.finite(), None);
+        assert_eq!(u.to_string(), "∞");
+    }
+}

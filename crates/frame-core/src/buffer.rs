@@ -1,0 +1,322 @@
+//! The ring buffers of the FRAME architecture.
+//!
+//! The paper implements the Message Buffer (Primary), the Backup Buffer
+//! (Backup) and the Retention Buffer (publisher) as ring buffers (§V). This
+//! module provides a generic overwrite-oldest [`RingBuffer`] with
+//! generation-checked handles, plus the three specialized buffers with the
+//! per-entry coordination flags of the paper's Table 3.
+
+use frame_types::{Message, MessageKey};
+use serde::{Deserialize, Serialize};
+
+/// A stable handle to a ring-buffer entry.
+///
+/// Handles are invalidated when the slot is overwritten (the generation
+/// check fails), so a stale job referring to an overwritten message resolves
+/// to `None` rather than to an unrelated message — exactly what the paper's
+/// "reference to the message's position in the Message Buffer" needs to be
+/// safe under overwrite.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SlotRef {
+    slot: usize,
+    generation: u64,
+}
+
+/// A fixed-capacity ring buffer that overwrites the oldest entry when full.
+#[derive(Clone, Debug)]
+pub struct RingBuffer<T> {
+    entries: Vec<Option<(u64, T)>>,
+    head: usize,
+    next_generation: u64,
+    len: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring buffer with room for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            entries: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            next_generation: 0,
+            len: 0,
+        }
+    }
+
+    /// Inserts `value`, overwriting the oldest entry if full. Returns a
+    /// handle to the new entry and, if an entry was evicted, its value.
+    pub fn push(&mut self, value: T) -> (SlotRef, Option<T>) {
+        let slot = self.head;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let evicted = self.entries[slot].take().map(|(_, v)| v);
+        self.entries[slot] = Some((generation, value));
+        self.head = (self.head + 1) % self.entries.len();
+        if evicted.is_none() {
+            self.len += 1;
+        }
+        (SlotRef { slot, generation }, evicted)
+    }
+
+    /// Resolves a handle; `None` if the entry has been overwritten or
+    /// removed.
+    pub fn get(&self, r: SlotRef) -> Option<&T> {
+        match &self.entries[r.slot] {
+            Some((generation, v)) if *generation == r.generation => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`RingBuffer::get`].
+    pub fn get_mut(&mut self, r: SlotRef) -> Option<&mut T> {
+        match &mut self.entries[r.slot] {
+            Some((generation, v)) if *generation == r.generation => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Removes the entry behind `r`, if still valid.
+    pub fn remove(&mut self, r: SlotRef) -> Option<T> {
+        match &self.entries[r.slot] {
+            Some((generation, _)) if *generation == r.generation => {
+                self.len -= 1;
+                self.entries[r.slot].take().map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over live entries (oldest-to-newest order is *not*
+    /// guaranteed; callers needing order should track it themselves).
+    pub fn iter(&self) -> impl Iterator<Item = (SlotRef, &T)> {
+        self.entries.iter().enumerate().filter_map(|(slot, e)| {
+            e.as_ref().map(|(generation, v)| {
+                (
+                    SlotRef {
+                        slot,
+                        generation: *generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Mutable iteration over live entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (SlotRef, &mut T)> {
+        self.entries.iter_mut().enumerate().filter_map(|(slot, e)| {
+            e.as_mut().map(|(generation, v)| {
+                (
+                    SlotRef {
+                        slot,
+                        generation: *generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+        self.len = 0;
+    }
+}
+
+/// Per-entry coordination flags (paper Table 3).
+///
+/// `dispatched` and `replicated` live on Message Buffer entries at the
+/// Primary; `discard` lives on Backup Buffer entries at the Backup. All
+/// initialize to `false` for each new message copy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyFlags {
+    /// The message has been dispatched to *all* of its subscribers.
+    pub dispatched: bool,
+    /// A replica of the message has been sent to the Backup.
+    pub replicated: bool,
+    /// (Backup side) the copy is outdated and must be skipped at recovery.
+    pub discard: bool,
+}
+
+/// An entry in the Primary's Message Buffer: the message plus its flags and
+/// a countdown of outstanding subscriber dispatches (the paper sets
+/// `Dispatched` only after the message reached *all* subscribers).
+#[derive(Clone, Debug)]
+pub struct BufferedMessage {
+    /// The message.
+    pub message: Message,
+    /// Coordination flags.
+    pub flags: CopyFlags,
+    /// Subscribers still awaiting dispatch of this message.
+    pub pending_dispatches: u32,
+}
+
+impl BufferedMessage {
+    /// Wraps a freshly arrived message expecting `subscriber_count`
+    /// dispatches.
+    pub fn new(message: Message, subscriber_count: u32) -> Self {
+        BufferedMessage {
+            message,
+            flags: CopyFlags::default(),
+            pending_dispatches: subscriber_count,
+        }
+    }
+
+    /// Records one completed subscriber dispatch; returns `true` when this
+    /// completed the last one (the `Dispatched` flag transition of Table 3).
+    pub fn complete_one_dispatch(&mut self) -> bool {
+        self.pending_dispatches = self.pending_dispatches.saturating_sub(1);
+        if self.pending_dispatches == 0 && !self.flags.dispatched {
+            self.flags.dispatched = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The message's key.
+    pub fn key(&self) -> MessageKey {
+        self.message.key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_types::{PublisherId, SeqNo, Time, TopicId};
+
+    fn msg(seq: u64) -> Message {
+        Message::new(
+            TopicId(1),
+            PublisherId(1),
+            SeqNo(seq),
+            Time::ZERO,
+            &b"0123456789abcdef"[..],
+        )
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut rb = RingBuffer::new(3);
+        let (r0, ev) = rb.push(10);
+        assert!(ev.is_none());
+        assert_eq!(rb.get(r0), Some(&10));
+        assert_eq!(rb.len(), 1);
+        assert_eq!(rb.capacity(), 3);
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_handle() {
+        let mut rb = RingBuffer::new(2);
+        let (r0, _) = rb.push(0);
+        let (_r1, _) = rb.push(1);
+        let (r2, evicted) = rb.push(2); // overwrites slot of r0
+        assert_eq!(evicted, Some(0));
+        assert_eq!(rb.get(r0), None, "stale handle must not resolve");
+        assert_eq!(rb.get(r2), Some(&2));
+        assert_eq!(rb.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_slot_and_invalidates() {
+        let mut rb = RingBuffer::new(2);
+        let (r0, _) = rb.push(7);
+        assert_eq!(rb.remove(r0), Some(7));
+        assert_eq!(rb.remove(r0), None);
+        assert_eq!(rb.get(r0), None);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut rb = RingBuffer::new(2);
+        let (r0, _) = rb.push(1);
+        *rb.get_mut(r0).unwrap() += 10;
+        assert_eq!(rb.get(r0), Some(&11));
+    }
+
+    #[test]
+    fn iter_visits_live_entries() {
+        let mut rb = RingBuffer::new(4);
+        let (r0, _) = rb.push(0);
+        rb.push(1);
+        rb.push(2);
+        rb.remove(r0);
+        let mut vals: Vec<i32> = rb.iter().map(|(_, v)| *v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2]);
+    }
+
+    #[test]
+    fn iter_mut_and_clear() {
+        let mut rb = RingBuffer::new(3);
+        rb.push(1);
+        rb.push(2);
+        for (_, v) in rb.iter_mut() {
+            *v *= 10;
+        }
+        let mut vals: Vec<i32> = rb.iter().map(|(_, v)| *v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![10, 20]);
+        rb.clear();
+        assert!(rb.is_empty());
+        assert_eq!(rb.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: RingBuffer<i32> = RingBuffer::new(0);
+    }
+
+    #[test]
+    fn wraparound_many_times_keeps_len_capped() {
+        let mut rb = RingBuffer::new(4);
+        for i in 0..100 {
+            rb.push(i);
+        }
+        assert_eq!(rb.len(), 4);
+        let mut vals: Vec<i32> = rb.iter().map(|(_, v)| *v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn buffered_message_dispatch_countdown() {
+        let mut bm = BufferedMessage::new(msg(0), 3);
+        assert!(!bm.complete_one_dispatch());
+        assert!(!bm.complete_one_dispatch());
+        assert!(bm.complete_one_dispatch(), "last dispatch sets the flag");
+        assert!(bm.flags.dispatched);
+        // Further completions are idempotent.
+        assert!(!bm.complete_one_dispatch());
+    }
+
+    #[test]
+    fn flags_default_false() {
+        let f = CopyFlags::default();
+        assert!(!f.dispatched && !f.replicated && !f.discard);
+    }
+}

@@ -1,0 +1,198 @@
+//! Failure detection: the Backup tracks its Primary via periodic polling
+//! (paper §IV-A) and promotes itself once the Primary stops answering.
+//!
+//! [`PollingDetector`] is a sans-IO state machine: the embedding runtime
+//! decides how polls travel (simulated link or real socket) and feeds
+//! events back in. The detector only does the bookkeeping: when to send the
+//! next poll, and when the Primary must be declared crashed.
+
+use frame_types::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Detector verdict about the monitored Primary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PrimaryStatus {
+    /// The Primary answered a poll recently enough.
+    Alive,
+    /// No answer within the suspicion timeout: declare crashed.
+    Crashed,
+}
+
+/// Periodic-polling failure detector.
+///
+/// The detector sends a poll every `interval` and declares the Primary
+/// crashed when no acknowledgement has been observed for `timeout`
+/// (`timeout` must be at least `interval`, otherwise a healthy Primary
+/// would be declared dead between polls).
+///
+/// The publisher fail-over time `x` of the timing model is the sum of this
+/// detector's worst-case detection delay and the traffic-redirection
+/// delay, so configurations should choose `interval`/`timeout` such that
+/// detection fits within the `x` they advertise to the admission test.
+#[derive(Clone, Debug)]
+pub struct PollingDetector {
+    interval: Duration,
+    timeout: Duration,
+    last_ack: Time,
+    next_poll: Time,
+    crashed: bool,
+}
+
+impl PollingDetector {
+    /// Creates a detector starting at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `timeout < interval`.
+    pub fn new(interval: Duration, timeout: Duration, now: Time) -> Self {
+        assert!(!interval.is_zero(), "poll interval must be positive");
+        assert!(
+            timeout >= interval,
+            "timeout must be at least the poll interval"
+        );
+        PollingDetector {
+            interval,
+            timeout,
+            last_ack: now,
+            next_poll: now,
+            crashed: false,
+        }
+    }
+
+    /// A detector matching the paper's testbed scale: with `x = 50 ms`
+    /// fail-over budget, poll every 10 ms and suspect after 30 ms, leaving
+    /// headroom for redirection.
+    pub fn paper_defaults(now: Time) -> Self {
+        PollingDetector::new(Duration::from_millis(10), Duration::from_millis(30), now)
+    }
+
+    /// When the next poll should be sent.
+    pub fn next_poll_at(&self) -> Time {
+        self.next_poll
+    }
+
+    /// Records that a poll was sent at `now` and schedules the next one.
+    pub fn on_poll_sent(&mut self, now: Time) {
+        self.next_poll = now + self.interval;
+    }
+
+    /// Records a poll acknowledgement observed at `now`.
+    pub fn on_ack(&mut self, now: Time) {
+        if now > self.last_ack {
+            self.last_ack = now;
+        }
+    }
+
+    /// Evaluates the Primary's status at `now`. Once `Crashed` is returned
+    /// the verdict is sticky (fail-stop model: a crashed Primary never
+    /// comes back as Primary).
+    pub fn status(&mut self, now: Time) -> PrimaryStatus {
+        if self.crashed {
+            return PrimaryStatus::Crashed;
+        }
+        if now.saturating_since(self.last_ack) > self.timeout {
+            self.crashed = true;
+            return PrimaryStatus::Crashed;
+        }
+        PrimaryStatus::Alive
+    }
+
+    /// The configured poll interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// The configured suspicion timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Worst-case detection delay: the Primary may crash right after an
+    /// acknowledgement, which is noticed `timeout` later (plus one status
+    /// evaluation granularity, owned by the caller).
+    pub fn worst_case_detection(&self) -> Duration {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> PollingDetector {
+        PollingDetector::new(
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn alive_while_acks_flow() {
+        let mut d = det();
+        for t in (0..100).step_by(10) {
+            d.on_ack(Time::from_millis(t));
+            assert_eq!(d.status(Time::from_millis(t + 5)), PrimaryStatus::Alive);
+        }
+    }
+
+    #[test]
+    fn crash_declared_after_timeout() {
+        let mut d = det();
+        d.on_ack(Time::from_millis(20));
+        assert_eq!(d.status(Time::from_millis(50)), PrimaryStatus::Alive);
+        assert_eq!(d.status(Time::from_millis(51)), PrimaryStatus::Crashed);
+    }
+
+    #[test]
+    fn crash_verdict_is_sticky() {
+        let mut d = det();
+        assert_eq!(d.status(Time::from_millis(31)), PrimaryStatus::Crashed);
+        // A late ack must not resurrect the Primary.
+        d.on_ack(Time::from_millis(32));
+        assert_eq!(d.status(Time::from_millis(33)), PrimaryStatus::Crashed);
+    }
+
+    #[test]
+    fn poll_scheduling() {
+        let mut d = det();
+        assert_eq!(d.next_poll_at(), Time::ZERO);
+        d.on_poll_sent(Time::ZERO);
+        assert_eq!(d.next_poll_at(), Time::from_millis(10));
+        d.on_poll_sent(Time::from_millis(10));
+        assert_eq!(d.next_poll_at(), Time::from_millis(20));
+    }
+
+    #[test]
+    fn stale_acks_do_not_move_watermark_back() {
+        let mut d = det();
+        d.on_ack(Time::from_millis(40));
+        d.on_ack(Time::from_millis(20)); // reordered ack
+        assert_eq!(d.status(Time::from_millis(69)), PrimaryStatus::Alive);
+        assert_eq!(d.status(Time::from_millis(71)), PrimaryStatus::Crashed);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be at least")]
+    fn timeout_smaller_than_interval_rejected() {
+        let _ = PollingDetector::new(
+            Duration::from_millis(10),
+            Duration::from_millis(5),
+            Time::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = PollingDetector::new(Duration::ZERO, Duration::from_millis(5), Time::ZERO);
+    }
+
+    #[test]
+    fn paper_defaults_fit_failover_budget() {
+        let d = PollingDetector::paper_defaults(Time::ZERO);
+        assert!(d.worst_case_detection() <= Duration::from_millis(50));
+        assert_eq!(d.interval(), Duration::from_millis(10));
+        assert_eq!(d.timeout(), Duration::from_millis(30));
+    }
+}

@@ -1,0 +1,276 @@
+//! The publisher: message creation, retention, and fail-over re-send.
+//!
+//! Publishers are proxies for collections of IIoT devices (paper §III-B).
+//! Each publisher assigns per-topic sequence numbers, retains the `N_i`
+//! latest messages it has sent ([`RetentionBuffer`]), always sends to the
+//! current Primary, and — once it learns the Primary crashed — re-sends all
+//! retained messages to the Backup before resuming normal publishing there.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use frame_types::{FrameError, Message, PublisherId, SeqNo, Time, TopicId};
+
+use crate::buffer::RingBuffer;
+
+/// Retains the `N_i` latest messages of one topic for fail-over re-send.
+///
+/// A retention depth of zero is valid (the topic relies on broker
+/// replication alone); such a buffer retains nothing.
+#[derive(Clone, Debug)]
+pub struct RetentionBuffer {
+    ring: Option<RingBuffer<Message>>,
+}
+
+impl RetentionBuffer {
+    /// Creates a buffer retaining up to `depth` messages.
+    pub fn new(depth: u32) -> Self {
+        RetentionBuffer {
+            ring: (depth > 0).then(|| RingBuffer::new(depth as usize)),
+        }
+    }
+
+    /// Retains `message`, evicting the oldest if at capacity. This models
+    /// the publisher deleting its copy (`t_e` in the paper's timeline): once
+    /// evicted, the message can only survive a Primary crash if a replica
+    /// reached the Backup.
+    pub fn retain(&mut self, message: Message) {
+        if let Some(ring) = &mut self.ring {
+            ring.push(message);
+        }
+    }
+
+    /// The retained messages, oldest first.
+    pub fn snapshot(&self) -> Vec<Message> {
+        match &self.ring {
+            Some(ring) => {
+                let mut v: Vec<Message> = ring.iter().map(|(_, m)| m.clone()).collect();
+                v.sort_by_key(|m| m.seq);
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of retained messages.
+    pub fn len(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured retention depth.
+    pub fn depth(&self) -> u32 {
+        self.ring.as_ref().map_or(0, |r| r.capacity() as u32)
+    }
+}
+
+/// Which broker the publisher currently targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PublishTarget {
+    /// Normal operation: send to the Primary.
+    Primary,
+    /// After fail-over: send to the Backup (the new Primary).
+    Backup,
+}
+
+/// A publisher: creates messages for its registered topics, retains copies,
+/// and re-sends them on fail-over.
+#[derive(Debug)]
+pub struct Publisher {
+    id: PublisherId,
+    topics: HashMap<TopicId, TopicState>,
+    target: PublishTarget,
+}
+
+#[derive(Debug)]
+struct TopicState {
+    next_seq: SeqNo,
+    retention: RetentionBuffer,
+}
+
+impl Publisher {
+    /// Creates a publisher with no topics registered.
+    pub fn new(id: PublisherId) -> Self {
+        Publisher {
+            id,
+            topics: HashMap::new(),
+            target: PublishTarget::Primary,
+        }
+    }
+
+    /// Registers a topic with retention depth `retention` (`N_i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::DuplicateTopic`] if already registered.
+    pub fn register_topic(&mut self, topic: TopicId, retention: u32) -> Result<(), FrameError> {
+        if self.topics.contains_key(&topic) {
+            return Err(FrameError::DuplicateTopic(topic));
+        }
+        self.topics.insert(
+            topic,
+            TopicState {
+                next_seq: SeqNo::ZERO,
+                retention: RetentionBuffer::new(retention),
+            },
+        );
+        Ok(())
+    }
+
+    /// The publisher's id.
+    pub fn id(&self) -> PublisherId {
+        self.id
+    }
+
+    /// The current publish target.
+    pub fn target(&self) -> PublishTarget {
+        self.target
+    }
+
+    /// Creates the next message of `topic` at time `now` (the publisher's
+    /// clock) and retains a copy. Returns the message to send to the
+    /// current target broker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownTopic`] if the topic is not registered.
+    pub fn publish(
+        &mut self,
+        topic: TopicId,
+        now: Time,
+        payload: impl Into<Bytes>,
+    ) -> Result<Message, FrameError> {
+        let state = self
+            .topics
+            .get_mut(&topic)
+            .ok_or(FrameError::UnknownTopic(topic))?;
+        let message = Message::new(topic, self.id, state.next_seq, now, payload);
+        state.next_seq = state.next_seq.next();
+        state.retention.retain(message.clone());
+        Ok(message)
+    }
+
+    /// Handles detection of a Primary crash: redirects future traffic to
+    /// the Backup and returns every retained message (across all topics,
+    /// oldest first per topic) for re-sending to the Backup (paper §III-B:
+    /// "During fault recovery, a publisher will send all `N_i` retained
+    /// messages to its Backup").
+    ///
+    /// Idempotent: a second call returns an empty list (the fail-over
+    /// already happened).
+    pub fn fail_over(&mut self) -> Vec<Message> {
+        if self.target == PublishTarget::Backup {
+            return Vec::new();
+        }
+        self.target = PublishTarget::Backup;
+        let mut topics: Vec<_> = self.topics.iter().collect();
+        topics.sort_by_key(|(id, _)| **id);
+        topics
+            .into_iter()
+            .flat_map(|(_, s)| s.retention.snapshot())
+            .collect()
+    }
+
+    /// Retained messages of one topic, oldest first (for inspection).
+    pub fn retained(&self, topic: TopicId) -> Vec<Message> {
+        self.topics
+            .get(&topic)
+            .map_or_else(Vec::new, |s| s.retention.snapshot())
+    }
+
+    /// Number of topics registered.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TopicId = TopicId(1);
+
+    fn publisher(retention: u32) -> Publisher {
+        let mut p = Publisher::new(PublisherId(1));
+        p.register_topic(T, retention).unwrap();
+        p
+    }
+
+    #[test]
+    fn publish_assigns_increasing_seq() {
+        let mut p = publisher(2);
+        let a = p.publish(T, Time::ZERO, &b"a"[..]).unwrap();
+        let b = p.publish(T, Time::from_millis(50), &b"b"[..]).unwrap();
+        assert_eq!(a.seq, SeqNo(0));
+        assert_eq!(b.seq, SeqNo(1));
+        assert_eq!(a.publisher, PublisherId(1));
+    }
+
+    #[test]
+    fn retention_keeps_latest_n() {
+        let mut p = publisher(2);
+        for i in 0..5 {
+            p.publish(T, Time::from_millis(i * 50), &b"x"[..]).unwrap();
+        }
+        let kept: Vec<u64> = p.retained(T).iter().map(|m| m.seq.raw()).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_retention_keeps_nothing() {
+        let mut p = publisher(0);
+        p.publish(T, Time::ZERO, &b"x"[..]).unwrap();
+        assert!(p.retained(T).is_empty());
+        assert_eq!(p.fail_over(), Vec::new());
+        assert_eq!(p.target(), PublishTarget::Backup);
+    }
+
+    #[test]
+    fn fail_over_returns_retained_and_redirects() {
+        let mut p = Publisher::new(PublisherId(9));
+        p.register_topic(TopicId(1), 2).unwrap();
+        p.register_topic(TopicId(2), 1).unwrap();
+        for i in 0..3 {
+            p.publish(TopicId(1), Time::from_millis(i * 50), &b"x"[..])
+                .unwrap();
+        }
+        p.publish(TopicId(2), Time::ZERO, &b"y"[..]).unwrap();
+
+        assert_eq!(p.target(), PublishTarget::Primary);
+        let resend = p.fail_over();
+        assert_eq!(p.target(), PublishTarget::Backup);
+        let keys: Vec<(u32, u64)> = resend.iter().map(|m| (m.topic.raw(), m.seq.raw())).collect();
+        assert_eq!(keys, vec![(1, 1), (1, 2), (2, 0)]);
+
+        // Idempotent.
+        assert!(p.fail_over().is_empty());
+    }
+
+    #[test]
+    fn unknown_and_duplicate_topics_error() {
+        let mut p = publisher(1);
+        assert_eq!(
+            p.publish(TopicId(99), Time::ZERO, &b""[..]).unwrap_err(),
+            FrameError::UnknownTopic(TopicId(99))
+        );
+        assert_eq!(
+            p.register_topic(T, 1).unwrap_err(),
+            FrameError::DuplicateTopic(T)
+        );
+        assert_eq!(p.topic_count(), 1);
+    }
+
+    #[test]
+    fn retention_buffer_depth_and_len() {
+        let mut rb = RetentionBuffer::new(3);
+        assert_eq!(rb.depth(), 3);
+        assert!(rb.is_empty());
+        rb.retain(Message::new(T, PublisherId(1), SeqNo(0), Time::ZERO, &b""[..]));
+        assert_eq!(rb.len(), 1);
+        assert_eq!(RetentionBuffer::new(0).depth(), 0);
+    }
+}

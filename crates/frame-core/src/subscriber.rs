@@ -1,0 +1,220 @@
+//! Subscriber-side delivery accounting: duplicate suppression and
+//! consecutive-loss tracking.
+//!
+//! The paper's loss-tolerance requirement is about **consecutive** losses:
+//! a subscriber of topic `i` must never miss more than `L_i` messages in a
+//! row (§III-B). During fail-over the same message can reach a subscriber
+//! twice (replicated copy plus publisher re-send); the evaluation discards
+//! duplicates by sequence number (§VI-C). [`DeliveryTracker`] implements
+//! both behaviours and records the longest loss run observed.
+
+use std::collections::HashMap;
+
+use frame_types::{LossTolerance, SeqNo, Time, TopicId};
+
+/// Outcome of offering a received message to the tracker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcceptOutcome {
+    /// A new message; `gap` messages were skipped since the previous
+    /// accepted one (0 = perfectly consecutive).
+    Fresh {
+        /// Number of sequence numbers missing between this message and the
+        /// previously accepted one.
+        gap: u64,
+    },
+    /// Already seen (or older than an already-seen message): discard.
+    Duplicate,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TopicTracking {
+    /// Highest sequence number accepted so far (None until the first).
+    high: Option<SeqNo>,
+    /// Longest run of consecutive losses observed.
+    max_consecutive_losses: u64,
+    /// Total messages accepted.
+    accepted: u64,
+    /// Total duplicates discarded.
+    duplicates: u64,
+}
+
+/// Tracks per-topic delivery state for one subscriber.
+///
+/// Losses are inferred from sequence gaps. This under-counts nothing at the
+/// *end* of a run only if the caller knows how many messages were published;
+/// use [`DeliveryTracker::close_topic`] with the publisher's final sequence
+/// number to account for trailing losses.
+#[derive(Debug, Default)]
+pub struct DeliveryTracker {
+    topics: HashMap<TopicId, TopicTracking>,
+    /// Delivery timestamps are not stored; latency statistics belong to the
+    /// metrics layer. The tracker only owns correctness accounting.
+    _private: (),
+}
+
+impl DeliveryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        DeliveryTracker::default()
+    }
+
+    /// Offers a received message; returns whether it is fresh (with its
+    /// loss gap) or a duplicate. `_received_at` is accepted for symmetry
+    /// with delivery callbacks and future latency accounting.
+    pub fn accept(&mut self, topic: TopicId, seq: SeqNo, _received_at: Time) -> AcceptOutcome {
+        let t = self.topics.entry(topic).or_default();
+        match t.high {
+            Some(high) if seq <= high => {
+                t.duplicates += 1;
+                AcceptOutcome::Duplicate
+            }
+            prev => {
+                let gap = match prev {
+                    Some(high) => seq.gap_since(high),
+                    // First delivery: everything before `seq` was lost.
+                    None => seq.raw(),
+                };
+                t.high = Some(seq);
+                t.accepted += 1;
+                t.max_consecutive_losses = t.max_consecutive_losses.max(gap);
+                AcceptOutcome::Fresh { gap }
+            }
+        }
+    }
+
+    /// Declares that the publisher's last message for `topic` had sequence
+    /// number `last_published`; any messages after the highest accepted one
+    /// count as a trailing loss run.
+    pub fn close_topic(&mut self, topic: TopicId, last_published: SeqNo) {
+        let t = self.topics.entry(topic).or_default();
+        let trailing = match t.high {
+            Some(high) if last_published > high => last_published.raw() - high.raw(),
+            Some(_) => 0,
+            None => last_published.raw() + 1, // nothing ever arrived
+        };
+        t.max_consecutive_losses = t.max_consecutive_losses.max(trailing);
+    }
+
+    /// Longest observed run of consecutive losses for `topic` (0 if the
+    /// topic is unknown).
+    pub fn max_consecutive_losses(&self, topic: TopicId) -> u64 {
+        self.topics
+            .get(&topic)
+            .map_or(0, |t| t.max_consecutive_losses)
+    }
+
+    /// Whether the topic's observed loss runs satisfy `tolerance`.
+    pub fn meets(&self, topic: TopicId, tolerance: LossTolerance) -> bool {
+        !tolerance.violated_by(self.max_consecutive_losses(topic))
+    }
+
+    /// Total accepted (fresh) messages for `topic`.
+    pub fn accepted(&self, topic: TopicId) -> u64 {
+        self.topics.get(&topic).map_or(0, |t| t.accepted)
+    }
+
+    /// Total duplicates discarded for `topic`.
+    pub fn duplicates(&self, topic: TopicId) -> u64 {
+        self.topics.get(&topic).map_or(0, |t| t.duplicates)
+    }
+
+    /// Highest sequence number accepted for `topic`.
+    pub fn high_watermark(&self, topic: TopicId) -> Option<SeqNo> {
+        self.topics.get(&topic).and_then(|t| t.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TopicId = TopicId(1);
+
+    #[test]
+    fn consecutive_deliveries_have_zero_gap() {
+        let mut d = DeliveryTracker::new();
+        for i in 0..5 {
+            assert_eq!(
+                d.accept(T, SeqNo(i), Time::ZERO),
+                AcceptOutcome::Fresh { gap: 0 }
+            );
+        }
+        assert_eq!(d.max_consecutive_losses(T), 0);
+        assert_eq!(d.accepted(T), 5);
+    }
+
+    #[test]
+    fn gap_counts_consecutive_losses() {
+        let mut d = DeliveryTracker::new();
+        d.accept(T, SeqNo(0), Time::ZERO);
+        // 1,2,3 lost.
+        assert_eq!(
+            d.accept(T, SeqNo(4), Time::ZERO),
+            AcceptOutcome::Fresh { gap: 3 }
+        );
+        assert_eq!(d.max_consecutive_losses(T), 3);
+        // A later, smaller gap does not lower the maximum.
+        assert_eq!(
+            d.accept(T, SeqNo(6), Time::ZERO),
+            AcceptOutcome::Fresh { gap: 1 }
+        );
+        assert_eq!(d.max_consecutive_losses(T), 3);
+    }
+
+    #[test]
+    fn first_delivery_counts_leading_losses() {
+        let mut d = DeliveryTracker::new();
+        assert_eq!(
+            d.accept(T, SeqNo(2), Time::ZERO),
+            AcceptOutcome::Fresh { gap: 2 }
+        );
+        assert_eq!(d.max_consecutive_losses(T), 2);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let mut d = DeliveryTracker::new();
+        d.accept(T, SeqNo(3), Time::ZERO);
+        assert_eq!(d.accept(T, SeqNo(3), Time::ZERO), AcceptOutcome::Duplicate);
+        assert_eq!(d.accept(T, SeqNo(1), Time::ZERO), AcceptOutcome::Duplicate);
+        assert_eq!(d.duplicates(T), 2);
+        assert_eq!(d.accepted(T), 1);
+        assert_eq!(d.high_watermark(T), Some(SeqNo(3)));
+    }
+
+    #[test]
+    fn close_topic_counts_trailing_losses() {
+        let mut d = DeliveryTracker::new();
+        d.accept(T, SeqNo(0), Time::ZERO);
+        d.accept(T, SeqNo(1), Time::ZERO);
+        d.close_topic(T, SeqNo(4)); // 2,3,4 never arrived
+        assert_eq!(d.max_consecutive_losses(T), 3);
+    }
+
+    #[test]
+    fn close_topic_with_nothing_delivered() {
+        let mut d = DeliveryTracker::new();
+        d.close_topic(T, SeqNo(9)); // all 10 messages lost
+        assert_eq!(d.max_consecutive_losses(T), 10);
+    }
+
+    #[test]
+    fn close_topic_no_trailing_loss() {
+        let mut d = DeliveryTracker::new();
+        d.accept(T, SeqNo(4), Time::ZERO);
+        d.close_topic(T, SeqNo(4));
+        assert_eq!(d.max_consecutive_losses(T), 4); // only the leading gap
+    }
+
+    #[test]
+    fn meets_tolerance() {
+        let mut d = DeliveryTracker::new();
+        d.accept(T, SeqNo(0), Time::ZERO);
+        d.accept(T, SeqNo(4), Time::ZERO); // 3 consecutive losses
+        assert!(d.meets(T, LossTolerance::Consecutive(3)));
+        assert!(!d.meets(T, LossTolerance::Consecutive(2)));
+        assert!(d.meets(T, LossTolerance::BestEffort));
+        // Unknown topics have no observed losses.
+        assert!(d.meets(TopicId(42), LossTolerance::ZERO));
+    }
+}

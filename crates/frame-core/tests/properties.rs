@@ -1,0 +1,202 @@
+//! Property-based tests of the core invariants: EDF ordering,
+//! cancellation, ring-buffer handle safety, loss-tracker correctness, and
+//! the algebra of the timing bounds.
+
+use frame_core::{
+    dispatch_deadline, replication_deadline, replication_needed, Deadline, DeliveryTracker,
+    EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, RingBuffer,
+};
+use frame_types::{
+    Destination, Duration, LossTolerance, MessageKey, NetworkParams, SeqNo, Time, TopicId,
+    TopicSpec,
+};
+use proptest::prelude::*;
+
+fn mk_job(id: u64, deadline: u64) -> Job {
+    let mut rb = RingBuffer::new(1);
+    let (slot, _) = rb.push(());
+    Job {
+        id: JobId(id),
+        kind: JobKind::Dispatch,
+        topic: TopicId(0),
+        key: MessageKey {
+            topic: TopicId(0),
+            seq: SeqNo(id),
+        },
+        slot,
+        source: frame_core::BufferSource::Message,
+        release: Time::ZERO,
+        deadline: Time::from_nanos(deadline),
+    }
+}
+
+proptest! {
+    /// EDF pops every job exactly once, in non-decreasing deadline order.
+    #[test]
+    fn edf_pops_sorted(deadlines in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EdfQueue::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            q.push(mk_job(i as u64, d));
+        }
+        let mut popped = Vec::new();
+        while let Some(j) = q.pop() {
+            popped.push(j.deadline);
+        }
+        prop_assert_eq!(popped.len(), deadlines.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0] <= w[1], "EDF order violated");
+        }
+    }
+
+    /// Cancelled jobs are never popped; everything else is.
+    #[test]
+    fn cancellation_is_exact(
+        deadlines in proptest::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let n = deadlines.len().min(cancel_mask.len());
+        let mut q = EdfQueue::new();
+        for (i, &d) in deadlines.iter().take(n).enumerate() {
+            q.push(mk_job(i as u64, d));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, &c) in cancel_mask.iter().take(n).enumerate() {
+            if c {
+                q.cancel(JobId(i as u64));
+                cancelled.insert(i as u64);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(j) = q.pop() {
+            prop_assert!(!cancelled.contains(&j.id.0), "cancelled job popped");
+            prop_assert!(seen.insert(j.id.0), "job popped twice");
+        }
+        prop_assert_eq!(seen.len() + cancelled.len(), n);
+    }
+
+    /// FCFS preserves insertion order exactly (among non-cancelled jobs).
+    #[test]
+    fn fcfs_preserves_order(deadlines in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = FcfsQueue::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            q.push(mk_job(i as u64, d));
+        }
+        let mut prev = None;
+        while let Some(j) = q.pop() {
+            if let Some(p) = prev {
+                prop_assert!(j.id.0 > p);
+            }
+            prev = Some(j.id.0);
+        }
+    }
+
+    /// Ring buffer: live count never exceeds capacity and stale handles
+    /// never resolve.
+    #[test]
+    fn ring_buffer_handles_are_safe(
+        cap in 1usize..32,
+        ops in proptest::collection::vec(0u32..100, 1..300),
+    ) {
+        let mut rb = RingBuffer::new(cap);
+        let mut handles = Vec::new();
+        let mut live = std::collections::HashSet::new();
+        for (i, _op) in ops.iter().enumerate() {
+            let (h, evicted) = rb.push(i);
+            if let Some(old) = evicted {
+                live.remove(&old);
+            }
+            live.insert(i);
+            handles.push((h, i));
+            prop_assert!(rb.len() <= cap);
+            prop_assert_eq!(rb.len(), live.len());
+        }
+        for (h, v) in handles {
+            match rb.get(h) {
+                Some(&got) => {
+                    prop_assert!(live.contains(&v));
+                    prop_assert_eq!(got, v);
+                }
+                None => prop_assert!(!live.contains(&v)),
+            }
+        }
+    }
+
+    /// DeliveryTracker's max-consecutive-losses equals a brute-force scan
+    /// over the delivered set (in-order delivery).
+    #[test]
+    fn tracker_matches_bruteforce(delivered_mask in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let topic = TopicId(1);
+        let mut tracker = DeliveryTracker::new();
+        for (seq, &d) in delivered_mask.iter().enumerate() {
+            if d {
+                tracker.accept(topic, SeqNo(seq as u64), Time::ZERO);
+            }
+        }
+        tracker.close_topic(topic, SeqNo(delivered_mask.len() as u64 - 1));
+
+        // Brute force.
+        let mut max_run = 0usize;
+        let mut run = 0usize;
+        for &d in &delivered_mask {
+            if d {
+                run = 0;
+            } else {
+                run += 1;
+                max_run = max_run.max(run);
+            }
+        }
+        // If nothing was delivered, the tracker counts all as trailing.
+        prop_assert_eq!(tracker.max_consecutive_losses(topic), max_run as u64);
+    }
+
+    /// Bounds algebra: increasing retention never tightens the replication
+    /// deadline, and never flips Proposition 1 from "suppressible" to
+    /// "needed".
+    #[test]
+    fn retention_monotone_in_bounds(
+        period_ms in 1u64..1000,
+        deadline_ms in 1u64..2000,
+        loss in 0u32..5,
+        retention in 0u32..5,
+        cloud in any::<bool>(),
+    ) {
+        let net = NetworkParams::paper_example();
+        let spec = TopicSpec::new(
+            TopicId(0),
+            Duration::from_millis(period_ms),
+            Duration::from_millis(deadline_ms),
+            LossTolerance::Consecutive(loss),
+            retention,
+            if cloud { Destination::Cloud } else { Destination::Edge },
+        );
+        let bumped = spec.with_extra_retention(1);
+
+        match (replication_deadline(&spec, &net), replication_deadline(&bumped, &net)) {
+            (Ok(Deadline::Finite(a)), Ok(Deadline::Finite(b))) => prop_assert!(b >= a),
+            (Ok(_), Err(_)) => prop_assert!(false, "bump made topic inadmissible"),
+            _ => {}
+        }
+        if let (Ok(false), Ok(after)) =
+            (replication_needed(&spec, &net), replication_needed(&bumped, &net))
+        {
+            prop_assert!(!after, "bump re-introduced replication need");
+        }
+    }
+
+    /// Dispatch deadline is monotone in the end-to-end deadline.
+    #[test]
+    fn dispatch_deadline_monotone(d1 in 1u64..5000, extra in 0u64..5000) {
+        let net = NetworkParams::paper_example();
+        let mk = |d| TopicSpec::new(
+            TopicId(0),
+            Duration::from_millis(100),
+            Duration::from_millis(d),
+            LossTolerance::Consecutive(1),
+            1,
+            Destination::Edge,
+        );
+        if let (Ok(a), Ok(b)) = (dispatch_deadline(&mk(d1), &net), dispatch_deadline(&mk(d1 + extra), &net)) {
+            prop_assert!(b >= a);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The event channel: supplier proxies in, consumer proxies out.
+//!
+//! Reproduces the module layout of the original TAO real-time event channel
+//! (paper Fig 5a): Supplier Proxies → Subscription & Filtering → Event
+//! Correlation → Dispatching → Consumer Proxies. Dispatching orders
+//! deliveries by a per-subscription preemption priority, as TAO's
+//! RT-scheduler-driven dispatching module does.
+//!
+//! The channel is synchronous and sans-IO: [`EventChannel::push`] returns
+//! the deliveries the runtime should perform. FRAME replaces the middle
+//! modules via [`crate::frame_hook::FrameChannel`], preserving the supplier
+//! and consumer proxy interfaces (Fig 5b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::correlation::{Correlation, Correlator};
+use crate::event::{ConsumerId, Event, SupplierId};
+use crate::filter::Filter;
+
+/// Preemption priority of a subscription's dispatches; 0 is highest.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct DispatchPriority(pub u8);
+
+/// Handle to an active subscription.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SubscriptionId(pub u64);
+
+/// One delivery produced by a push: a batch of events for one consumer
+/// (singleton unless a conjunction fired).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery {
+    /// Destination consumer.
+    pub consumer: ConsumerId,
+    /// The correlated batch (singleton for uncorrelated subscriptions).
+    pub events: Vec<Event>,
+}
+
+struct Subscription {
+    id: SubscriptionId,
+    consumer: ConsumerId,
+    filter: Filter,
+    correlator: Correlator,
+    priority: DispatchPriority,
+}
+
+/// A TAO-style real-time event channel.
+#[derive(Default)]
+pub struct EventChannel {
+    suppliers: Vec<SupplierId>,
+    subscriptions: Vec<Subscription>,
+    next_subscription: u64,
+    stats: ChannelStats,
+}
+
+/// Channel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Events pushed by suppliers.
+    pub pushed: u64,
+    /// Deliveries handed to consumer proxies.
+    pub delivered: u64,
+    /// Events that matched no subscription.
+    pub unmatched: u64,
+}
+
+impl EventChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        EventChannel::default()
+    }
+
+    /// Registers a supplier proxy. Registration is advisory (mirrors TAO's
+    /// `connect_push_supplier`); unknown suppliers may still push.
+    pub fn connect_supplier(&mut self, supplier: SupplierId) {
+        if !self.suppliers.contains(&supplier) {
+            self.suppliers.push(supplier);
+        }
+    }
+
+    /// Subscribes `consumer` with `filter`, `correlation` and dispatch
+    /// `priority`; returns a handle for [`EventChannel::unsubscribe`].
+    pub fn subscribe(
+        &mut self,
+        consumer: ConsumerId,
+        filter: Filter,
+        correlation: Correlation,
+        priority: DispatchPriority,
+    ) -> SubscriptionId {
+        let id = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        self.subscriptions.push(Subscription {
+            id,
+            consumer,
+            filter,
+            correlator: Correlator::new(correlation),
+            priority,
+        });
+        id
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let before = self.subscriptions.len();
+        self.subscriptions.retain(|s| s.id != id);
+        self.subscriptions.len() != before
+    }
+
+    /// Supplier proxy `push`: runs filtering, correlation and dispatching,
+    /// returning deliveries ordered by dispatch priority (then subscription
+    /// age for determinism).
+    pub fn push(&mut self, event: &Event) -> Vec<Delivery> {
+        self.stats.pushed += 1;
+        let mut out: Vec<(DispatchPriority, SubscriptionId, Delivery)> = Vec::new();
+        for sub in &mut self.subscriptions {
+            if !sub.filter.matches(&event.header) {
+                continue;
+            }
+            if let Some(batch) = sub.correlator.offer(event.clone()) {
+                out.push((
+                    sub.priority,
+                    sub.id,
+                    Delivery {
+                        consumer: sub.consumer,
+                        events: batch,
+                    },
+                ));
+            }
+        }
+        if out.is_empty() {
+            self.stats.unmatched += 1;
+        }
+        out.sort_by_key(|(p, id, _)| (*p, *id));
+        self.stats.delivered += out.len() as u64;
+        out.into_iter().map(|(_, _, d)| d).collect()
+    }
+
+    /// Channel counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Registered suppliers.
+    pub fn suppliers(&self) -> &[SupplierId] {
+        &self.suppliers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventType;
+    use frame_types::Time;
+
+    fn ev(ty: u32, seq: u64) -> Event {
+        Event::new(SupplierId(1), EventType(ty), seq, Time::ZERO, &b"x"[..])
+    }
+
+    #[test]
+    fn push_filters_and_delivers() {
+        let mut ch = EventChannel::new();
+        ch.connect_supplier(SupplierId(1));
+        ch.subscribe(
+            ConsumerId(1),
+            Filter::Type(EventType(1)),
+            Correlation::None,
+            DispatchPriority(0),
+        );
+        ch.subscribe(
+            ConsumerId(2),
+            Filter::Type(EventType(2)),
+            Correlation::None,
+            DispatchPriority(0),
+        );
+        let d = ch.push(&ev(1, 0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].consumer, ConsumerId(1));
+        let d = ch.push(&ev(3, 1));
+        assert!(d.is_empty());
+        assert_eq!(ch.stats().unmatched, 1);
+        assert_eq!(ch.stats().pushed, 2);
+    }
+
+    #[test]
+    fn priority_orders_deliveries() {
+        let mut ch = EventChannel::new();
+        ch.subscribe(
+            ConsumerId(1),
+            Filter::Any,
+            Correlation::None,
+            DispatchPriority(5),
+        );
+        ch.subscribe(
+            ConsumerId(2),
+            Filter::Any,
+            Correlation::None,
+            DispatchPriority(0),
+        );
+        let d = ch.push(&ev(1, 0));
+        assert_eq!(d[0].consumer, ConsumerId(2), "priority 0 dispatches first");
+        assert_eq!(d[1].consumer, ConsumerId(1));
+    }
+
+    #[test]
+    fn conjunction_delivers_batch() {
+        let mut ch = EventChannel::new();
+        ch.subscribe(
+            ConsumerId(1),
+            Filter::Any,
+            Correlation::Conjunction(vec![EventType(1), EventType(2)]),
+            DispatchPriority(0),
+        );
+        assert!(ch.push(&ev(1, 0)).is_empty());
+        let d = ch.push(&ev(2, 1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].events.len(), 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut ch = EventChannel::new();
+        let id = ch.subscribe(
+            ConsumerId(1),
+            Filter::Any,
+            Correlation::None,
+            DispatchPriority(0),
+        );
+        assert!(ch.unsubscribe(id));
+        assert!(!ch.unsubscribe(id));
+        assert!(ch.push(&ev(1, 0)).is_empty());
+        assert_eq!(ch.subscription_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_supplier_registration_is_idempotent() {
+        let mut ch = EventChannel::new();
+        ch.connect_supplier(SupplierId(1));
+        ch.connect_supplier(SupplierId(1));
+        assert_eq!(ch.suppliers(), &[SupplierId(1)]);
+    }
+}

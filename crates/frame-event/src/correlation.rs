@@ -1,0 +1,151 @@
+//! Event Correlation: conjunction and disjunction over event types.
+//!
+//! The original TAO real-time event service supports "simple event
+//! correlations (logical conjunction and disjunction)" (paper §V). A
+//! conjunction fires once an instance of *every* listed type has been
+//! observed, emitting the collected set and resetting; a disjunction fires
+//! on *any* listed type, emitting that event alone.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventType};
+
+/// A correlation specification.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Correlation {
+    /// No correlation: every matching event is delivered individually.
+    None,
+    /// Fire when one instance of every listed type has been observed.
+    Conjunction(Vec<EventType>),
+    /// Fire on any event whose type is listed.
+    Disjunction(Vec<EventType>),
+}
+
+/// Stateful evaluator for one consumer's [`Correlation`].
+#[derive(Clone, Debug)]
+pub struct Correlator {
+    spec: Correlation,
+    pending: HashMap<EventType, Event>,
+}
+
+impl Correlator {
+    /// Creates an evaluator for `spec`.
+    pub fn new(spec: Correlation) -> Self {
+        Correlator {
+            spec,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The specification being evaluated.
+    pub fn spec(&self) -> &Correlation {
+        &self.spec
+    }
+
+    /// Offers an event; returns the batch to deliver, if the correlation
+    /// fired. For `Correlation::None` every event fires singly.
+    ///
+    /// Conjunction semantics: the newest instance of each type is kept
+    /// while waiting (later instances replace earlier pending ones); when
+    /// the last missing type arrives, the batch is emitted in the order of
+    /// the specification and the state resets.
+    pub fn offer(&mut self, event: Event) -> Option<Vec<Event>> {
+        match &self.spec {
+            Correlation::None => Some(vec![event]),
+            Correlation::Disjunction(types) => {
+                types.contains(&event.header.event_type).then(|| vec![event])
+            }
+            Correlation::Conjunction(types) => {
+                if !types.contains(&event.header.event_type) {
+                    return None;
+                }
+                self.pending.insert(event.header.event_type, event);
+                if types.iter().all(|t| self.pending.contains_key(t)) {
+                    let batch = types
+                        .iter()
+                        .map(|t| self.pending.remove(t).expect("present"))
+                        .collect();
+                    Some(batch)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Number of event types currently held waiting for a conjunction.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SupplierId;
+    use frame_types::Time;
+
+    fn ev(ty: u32, seq: u64) -> Event {
+        Event::new(SupplierId(1), EventType(ty), seq, Time::ZERO, &b"x"[..])
+    }
+
+    #[test]
+    fn none_passes_everything_through() {
+        let mut c = Correlator::new(Correlation::None);
+        let out = c.offer(ev(1, 0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].header.seq, 0);
+    }
+
+    #[test]
+    fn disjunction_fires_on_listed_types_only() {
+        let mut c = Correlator::new(Correlation::Disjunction(vec![
+            EventType(1),
+            EventType(2),
+        ]));
+        assert!(c.offer(ev(1, 0)).is_some());
+        assert!(c.offer(ev(2, 1)).is_some());
+        assert!(c.offer(ev(3, 2)).is_none());
+    }
+
+    #[test]
+    fn conjunction_waits_for_all_types() {
+        let mut c = Correlator::new(Correlation::Conjunction(vec![
+            EventType(1),
+            EventType(2),
+            EventType(3),
+        ]));
+        assert!(c.offer(ev(1, 0)).is_none());
+        assert!(c.offer(ev(3, 1)).is_none());
+        assert_eq!(c.pending_len(), 2);
+        let batch = c.offer(ev(2, 2)).unwrap();
+        // Emitted in spec order.
+        let types: Vec<u32> = batch.iter().map(|e| e.header.event_type.0).collect();
+        assert_eq!(types, vec![1, 2, 3]);
+        // State resets after firing.
+        assert_eq!(c.pending_len(), 0);
+        assert!(c.offer(ev(1, 3)).is_none());
+    }
+
+    #[test]
+    fn conjunction_keeps_newest_instance() {
+        let mut c = Correlator::new(Correlation::Conjunction(vec![
+            EventType(1),
+            EventType(2),
+        ]));
+        assert!(c.offer(ev(1, 0)).is_none());
+        assert!(c.offer(ev(1, 5)).is_none()); // replaces seq 0
+        let batch = c.offer(ev(2, 6)).unwrap();
+        assert_eq!(batch[0].header.seq, 5);
+    }
+
+    #[test]
+    fn conjunction_ignores_unlisted_types() {
+        let mut c = Correlator::new(Correlation::Conjunction(vec![EventType(1)]));
+        assert!(c.offer(ev(9, 0)).is_none());
+        assert_eq!(c.pending_len(), 0);
+        assert!(c.offer(ev(1, 1)).is_some());
+    }
+}

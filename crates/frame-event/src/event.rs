@@ -1,0 +1,116 @@
+//! Events: the unit of communication in the event-service substrate.
+//!
+//! The TAO real-time event service encapsulates application data in events
+//! with a header carrying the supplier id and event type; the paper's FRAME
+//! implementation encapsulates messages in events the same way (§V). The
+//! types here mirror that shape.
+
+use bytes::Bytes;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use frame_types::Time;
+
+/// Identifies an event supplier (publisher-side proxy object).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SupplierId(pub u32);
+
+/// Identifies an event consumer (subscriber-side proxy object).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ConsumerId(pub u32);
+
+/// Application-defined event type tag (maps to a FRAME topic).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct EventType(pub u32);
+
+/// Fixed header preceding every event payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EventHeader {
+    /// The supplier that generated the event.
+    pub source: SupplierId,
+    /// Application-defined type tag.
+    pub event_type: EventType,
+    /// Creation timestamp at the supplier.
+    pub created_at: Time,
+    /// Per-(supplier, type) sequence number.
+    pub seq: u64,
+}
+
+/// An event: header plus opaque payload.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// The event header.
+    pub header: EventHeader,
+    /// Opaque application payload.
+    #[serde(with = "payload_serde")]
+    pub payload: Bytes,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(
+        source: SupplierId,
+        event_type: EventType,
+        seq: u64,
+        created_at: Time,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Event {
+            header: EventHeader {
+                source,
+                event_type,
+                created_at,
+                seq,
+            },
+            payload: payload.into(),
+        }
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event")
+            .field("source", &self.header.source)
+            .field("type", &self.header.event_type)
+            .field("seq", &self.header.seq)
+            .field("payload_len", &self.payload.len())
+            .finish()
+    }
+}
+
+mod payload_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_construction() {
+        let e = Event::new(SupplierId(1), EventType(2), 3, Time::from_millis(4), &b"hi"[..]);
+        assert_eq!(e.header.source, SupplierId(1));
+        assert_eq!(e.header.event_type, EventType(2));
+        assert_eq!(e.header.seq, 3);
+        assert_eq!(e.payload.as_ref(), b"hi");
+        assert!(format!("{e:?}").contains("payload_len: 2"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Subscription & Filtering: which events a consumer wants.
+//!
+//! Mirrors TAO's subscription model: consumers subscribe by supplier id,
+//! event type, or boolean combinations thereof.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventHeader, EventType, SupplierId};
+
+/// A subscription filter over event headers.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Filter {
+    /// Matches every event.
+    Any,
+    /// Matches events of one type.
+    Type(EventType),
+    /// Matches events from one supplier.
+    Source(SupplierId),
+    /// Matches when every sub-filter matches.
+    All(Vec<Filter>),
+    /// Matches when at least one sub-filter matches.
+    AnyOf(Vec<Filter>),
+    /// Matches when the sub-filter does not.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Whether `header` satisfies this filter.
+    pub fn matches(&self, header: &EventHeader) -> bool {
+        match self {
+            Filter::Any => true,
+            Filter::Type(t) => header.event_type == *t,
+            Filter::Source(s) => header.source == *s,
+            Filter::All(fs) => fs.iter().all(|f| f.matches(header)),
+            Filter::AnyOf(fs) => fs.iter().any(|f| f.matches(header)),
+            Filter::Not(f) => !f.matches(header),
+        }
+    }
+
+    /// Convenience: events of `t` from `s`.
+    pub fn typed_from(s: SupplierId, t: EventType) -> Filter {
+        Filter::All(vec![Filter::Source(s), Filter::Type(t)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(source: u32, ty: u32) -> EventHeader {
+        EventHeader {
+            source: SupplierId(source),
+            event_type: EventType(ty),
+            created_at: frame_types::Time::ZERO,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn primitive_filters() {
+        assert!(Filter::Any.matches(&header(1, 2)));
+        assert!(Filter::Type(EventType(2)).matches(&header(1, 2)));
+        assert!(!Filter::Type(EventType(3)).matches(&header(1, 2)));
+        assert!(Filter::Source(SupplierId(1)).matches(&header(1, 2)));
+        assert!(!Filter::Source(SupplierId(9)).matches(&header(1, 2)));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let f = Filter::typed_from(SupplierId(1), EventType(2));
+        assert!(f.matches(&header(1, 2)));
+        assert!(!f.matches(&header(1, 3)));
+        assert!(!f.matches(&header(9, 2)));
+
+        let any_of = Filter::AnyOf(vec![
+            Filter::Type(EventType(5)),
+            Filter::Type(EventType(6)),
+        ]);
+        assert!(any_of.matches(&header(0, 5)));
+        assert!(any_of.matches(&header(0, 6)));
+        assert!(!any_of.matches(&header(0, 7)));
+
+        let not = Filter::Not(Box::new(Filter::Type(EventType(5))));
+        assert!(!not.matches(&header(0, 5)));
+        assert!(not.matches(&header(0, 4)));
+    }
+
+    #[test]
+    fn empty_all_matches_everything_empty_anyof_nothing() {
+        assert!(Filter::All(vec![]).matches(&header(1, 1)));
+        assert!(!Filter::AnyOf(vec![]).matches(&header(1, 1)));
+    }
+}

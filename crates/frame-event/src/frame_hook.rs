@@ -1,0 +1,263 @@
+//! FRAME inside the event channel (paper Fig 5b).
+//!
+//! The paper implements FRAME within the TAO real-time event service by
+//! keeping the Supplier Proxies and Consumer Proxies and replacing the
+//! Subscription & Filtering, Event Correlation and Dispatching modules with
+//! FRAME's Message Proxy and Message Delivery. [`FrameChannel`] is that
+//! integration for this crate's [`EventChannel`](crate::channel)
+//! counterpart: events pushed by suppliers are hooked into a
+//! [`frame_core::Broker`], and deliveries come back out through the
+//! consumer-proxy interface, now scheduled by EDF with per-topic QoS
+//! instead of TAO's static dispatch priorities.
+
+use std::collections::HashMap;
+
+use frame_core::{admit, Broker, BrokerConfig, BrokerRole, Effect};
+use frame_types::{
+    BrokerId, FrameError, Message, MessageKey, NetworkParams, PublisherId, SubscriberId,
+    Time, TopicId, TopicSpec,
+};
+
+use crate::channel::Delivery;
+use crate::event::{ConsumerId, Event, EventType, SupplierId};
+
+/// An event channel whose middle modules are FRAME.
+///
+/// Event types map to FRAME topics; consumers map to subscribers. The
+/// channel plays the Primary role; replication and prune traffic destined
+/// for a Backup peer is surfaced through [`FrameChannel::take_backup_out`]
+/// so an embedder can forward it to a second channel running as Backup.
+pub struct FrameChannel {
+    broker: Broker,
+    net: NetworkParams,
+    topics: HashMap<EventType, TopicId>,
+    consumers_of_topic: HashMap<TopicId, Vec<ConsumerId>>,
+    backup_out: Vec<BackupTraffic>,
+}
+
+/// Primary → Backup traffic produced while running the channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BackupTraffic {
+    /// A message replica.
+    Replica(Message),
+    /// A prune request for an outdated copy.
+    Prune(MessageKey),
+}
+
+impl FrameChannel {
+    /// Creates a FRAME-integrated channel acting as Primary.
+    pub fn new(config: BrokerConfig, net: NetworkParams) -> Self {
+        FrameChannel {
+            broker: Broker::new(BrokerId(0), BrokerRole::Primary, config),
+            net,
+            topics: HashMap::new(),
+            consumers_of_topic: HashMap::new(),
+            backup_out: Vec::new(),
+        }
+    }
+
+    /// Registers an event type as a FRAME topic with QoS `spec` and the
+    /// given consumers. The spec's `id` field is overwritten with the
+    /// channel's mapping for `event_type`.
+    ///
+    /// # Errors
+    ///
+    /// Fails the paper's admission test via [`frame_core::admit`], or
+    /// returns [`FrameError::DuplicateTopic`] if the type is registered.
+    pub fn add_topic(
+        &mut self,
+        event_type: EventType,
+        mut spec: TopicSpec,
+        consumers: Vec<ConsumerId>,
+    ) -> Result<TopicId, FrameError> {
+        if self.topics.contains_key(&event_type) {
+            return Err(FrameError::DuplicateTopic(TopicId(event_type.0)));
+        }
+        let topic = TopicId(event_type.0);
+        spec.id = topic;
+        let admitted = admit(&spec, &self.net)?;
+        let subscribers: Vec<SubscriberId> =
+            consumers.iter().map(|c| SubscriberId(c.0)).collect();
+        self.broker.register_topic(admitted, subscribers)?;
+        self.topics.insert(event_type, topic);
+        self.consumers_of_topic.insert(topic, consumers);
+        Ok(topic)
+    }
+
+    /// Supplier-proxy hook (the paper's hook inside `push`): converts the
+    /// event to a FRAME message and hands it to the Message Proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownTopic`] for unregistered event types.
+    pub fn push(&mut self, event: &Event, now: Time) -> Result<(), FrameError> {
+        let topic = *self
+            .topics
+            .get(&event.header.event_type)
+            .ok_or(FrameError::UnknownTopic(TopicId(event.header.event_type.0)))?;
+        let message = Message::new(
+            topic,
+            PublisherId(event.header.source.0),
+            frame_types::SeqNo(event.header.seq),
+            event.header.created_at,
+            event.payload.clone(),
+        );
+        self.broker.on_message(message, now)
+    }
+
+    /// Runs Message Delivery until the job queue drains, returning consumer
+    /// deliveries. Backup-bound traffic is buffered for
+    /// [`FrameChannel::take_backup_out`].
+    pub fn run_pending(&mut self, now: Time) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(active) = self.broker.take_job(now) {
+            for effect in self.broker.finish_job(&active, now) {
+                match effect {
+                    Effect::Deliver {
+                        subscriber,
+                        message,
+                    } => {
+                        let event = Event::new(
+                            SupplierId(message.publisher.0),
+                            EventType(message.topic.0),
+                            message.seq.raw(),
+                            message.created_at,
+                            message.payload.clone(),
+                        );
+                        out.push(Delivery {
+                            consumer: ConsumerId(subscriber.0),
+                            events: vec![event],
+                        });
+                    }
+                    Effect::Replicate { message } => {
+                        self.backup_out.push(BackupTraffic::Replica(message));
+                    }
+                    Effect::Prune { key } => {
+                        self.backup_out.push(BackupTraffic::Prune(key));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Drains buffered Primary→Backup traffic.
+    pub fn take_backup_out(&mut self) -> Vec<BackupTraffic> {
+        std::mem::take(&mut self.backup_out)
+    }
+
+    /// The underlying broker (for stats and advanced drive patterns).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Mutable access to the underlying broker.
+    pub fn broker_mut(&mut self) -> &mut Broker {
+        &mut self.broker
+    }
+}
+
+impl std::fmt::Debug for FrameChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameChannel")
+            .field("topics", &self.topics.len())
+            .field("broker", &self.broker)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_types::Duration;
+
+    fn channel() -> FrameChannel {
+        let mut ch = FrameChannel::new(BrokerConfig::frame(), NetworkParams::paper_example());
+        // Category 0 (no replication), category 2 (replication needed).
+        ch.add_topic(
+            EventType(0),
+            TopicSpec::category(0, TopicId(0)),
+            vec![ConsumerId(1)],
+        )
+        .unwrap();
+        ch.add_topic(
+            EventType(2),
+            TopicSpec::category(2, TopicId(0)),
+            vec![ConsumerId(1), ConsumerId(2)],
+        )
+        .unwrap();
+        ch
+    }
+
+    fn ev(ty: u32, seq: u64, at: Time) -> Event {
+        Event::new(SupplierId(7), EventType(ty), seq, at, &b"payload_16_bytes"[..])
+    }
+
+    #[test]
+    fn push_and_deliver_roundtrip() {
+        let mut ch = channel();
+        ch.push(&ev(0, 0, Time::ZERO), Time::from_micros(50)).unwrap();
+        let deliveries = ch.run_pending(Time::from_micros(100));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].consumer, ConsumerId(1));
+        assert_eq!(deliveries[0].events[0].header.seq, 0);
+        // Category 0 suppresses replication (Proposition 1): no backup out.
+        assert!(ch.take_backup_out().is_empty());
+    }
+
+    #[test]
+    fn replicated_topic_produces_backup_traffic_and_prune() {
+        let mut ch = channel();
+        ch.push(&ev(2, 0, Time::ZERO), Time::from_micros(50)).unwrap();
+        let deliveries = ch.run_pending(Time::from_micros(100));
+        // Two consumers.
+        assert_eq!(deliveries.len(), 2);
+        let backup = ch.take_backup_out();
+        // Replicate then (after dispatch) prune of the same key.
+        assert!(matches!(backup[0], BackupTraffic::Replica(_)));
+        assert!(matches!(backup[1], BackupTraffic::Prune(_)));
+        // Drained.
+        assert!(ch.take_backup_out().is_empty());
+    }
+
+    #[test]
+    fn unknown_event_type_rejected() {
+        let mut ch = channel();
+        assert!(matches!(
+            ch.push(&ev(9, 0, Time::ZERO), Time::ZERO),
+            Err(FrameError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_event_type_rejected() {
+        let mut ch = channel();
+        let err = ch
+            .add_topic(
+                EventType(0),
+                TopicSpec::category(0, TopicId(0)),
+                vec![ConsumerId(1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, FrameError::DuplicateTopic(_)));
+    }
+
+    #[test]
+    fn inadmissible_spec_rejected_at_add_topic() {
+        let mut ch = channel();
+        let mut spec = TopicSpec::category(5, TopicId(0));
+        spec.deadline = Duration::from_millis(1); // < ΔBS to the cloud
+        assert!(ch
+            .add_topic(EventType(5), spec, vec![ConsumerId(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn broker_stats_visible_through_channel() {
+        let mut ch = channel();
+        ch.push(&ev(0, 0, Time::ZERO), Time::ZERO).unwrap();
+        let _ = ch.run_pending(Time::ZERO);
+        assert_eq!(ch.broker().stats().dispatches, 1);
+        assert_eq!(ch.broker().stats().replications_suppressed, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Edge→cloud gateway: the bridge of the paper's Fig 1.
+//!
+//! In the motivating architecture, each edge runs a local event channel for
+//! latency-sensitive consumers, while selected topics also flow to a
+//! private cloud (training, storage). [`CloudGateway`] implements that
+//! forwarding element: it subscribes to chosen event types on the edge side
+//! and re-publishes matching events — optionally sampled down, since cloud
+//! consumers rarely need full sensor rates — preserving ordering per type
+//! and tagging nothing (the cloud sees the original supplier and sequence
+//! numbers, so end-to-end accounting still works).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventType};
+
+/// Per-type forwarding policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwardPolicy {
+    /// Forward every event of the type.
+    All,
+    /// Forward one event of every `n` (per type); `Sample(1)` = `All`.
+    Sample(u32),
+}
+
+/// Statistics of a gateway.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayStats {
+    /// Events offered by the edge side.
+    pub offered: u64,
+    /// Events forwarded to the cloud side.
+    pub forwarded: u64,
+    /// Events dropped by sampling.
+    pub sampled_out: u64,
+    /// Events of unregistered types (ignored).
+    pub unmatched: u64,
+}
+
+/// A stateful edge→cloud forwarding element.
+#[derive(Debug, Default)]
+pub struct CloudGateway {
+    policies: HashMap<EventType, ForwardPolicy>,
+    counters: HashMap<EventType, u32>,
+    stats: GatewayStats,
+}
+
+impl CloudGateway {
+    /// Creates an empty gateway (forwards nothing until types are added).
+    pub fn new() -> Self {
+        CloudGateway::default()
+    }
+
+    /// Registers `event_type` for forwarding under `policy`, replacing any
+    /// previous policy for the type.
+    pub fn forward(&mut self, event_type: EventType, policy: ForwardPolicy) {
+        let policy = match policy {
+            ForwardPolicy::Sample(0) => ForwardPolicy::Sample(1),
+            p => p,
+        };
+        self.policies.insert(event_type, policy);
+        self.counters.entry(event_type).or_insert(0);
+    }
+
+    /// Offers an edge-side event; returns it if it should go to the cloud.
+    pub fn offer(&mut self, event: &Event) -> Option<Event> {
+        self.stats.offered += 1;
+        let Some(&policy) = self.policies.get(&event.header.event_type) else {
+            self.stats.unmatched += 1;
+            return None;
+        };
+        match policy {
+            ForwardPolicy::All => {
+                self.stats.forwarded += 1;
+                Some(event.clone())
+            }
+            ForwardPolicy::Sample(n) => {
+                let c = self
+                    .counters
+                    .get_mut(&event.header.event_type)
+                    .expect("registered");
+                let take = *c == 0;
+                *c = (*c + 1) % n.max(1);
+                if take {
+                    self.stats.forwarded += 1;
+                    Some(event.clone())
+                } else {
+                    self.stats.sampled_out += 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// Gateway counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Registered types.
+    pub fn registered(&self) -> Vec<EventType> {
+        let mut v: Vec<EventType> = self.policies.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SupplierId;
+    use frame_types::Time;
+
+    fn ev(ty: u32, seq: u64) -> Event {
+        Event::new(SupplierId(1), EventType(ty), seq, Time::ZERO, &b"x"[..])
+    }
+
+    #[test]
+    fn forwards_registered_types_only() {
+        let mut g = CloudGateway::new();
+        g.forward(EventType(5), ForwardPolicy::All);
+        assert!(g.offer(&ev(5, 0)).is_some());
+        assert!(g.offer(&ev(6, 0)).is_none());
+        let s = g.stats();
+        assert_eq!(s.offered, 2);
+        assert_eq!(s.forwarded, 1);
+        assert_eq!(s.unmatched, 1);
+        assert_eq!(g.registered(), vec![EventType(5)]);
+    }
+
+    #[test]
+    fn sampling_takes_one_in_n_preserving_order() {
+        let mut g = CloudGateway::new();
+        g.forward(EventType(1), ForwardPolicy::Sample(3));
+        let taken: Vec<u64> = (0..9)
+            .filter_map(|seq| g.offer(&ev(1, seq)).map(|e| e.header.seq))
+            .collect();
+        assert_eq!(taken, vec![0, 3, 6]);
+        let s = g.stats();
+        assert_eq!(s.forwarded, 3);
+        assert_eq!(s.sampled_out, 6);
+    }
+
+    #[test]
+    fn sampling_is_per_type() {
+        let mut g = CloudGateway::new();
+        g.forward(EventType(1), ForwardPolicy::Sample(2));
+        g.forward(EventType(2), ForwardPolicy::All);
+        assert!(g.offer(&ev(1, 0)).is_some());
+        assert!(g.offer(&ev(2, 0)).is_some());
+        assert!(g.offer(&ev(1, 1)).is_none());
+        assert!(g.offer(&ev(2, 1)).is_some());
+    }
+
+    #[test]
+    fn sample_zero_behaves_as_all() {
+        let mut g = CloudGateway::new();
+        g.forward(EventType(1), ForwardPolicy::Sample(0));
+        assert!(g.offer(&ev(1, 0)).is_some());
+        assert!(g.offer(&ev(1, 1)).is_some());
+    }
+
+    #[test]
+    fn policy_replacement() {
+        let mut g = CloudGateway::new();
+        g.forward(EventType(1), ForwardPolicy::Sample(10));
+        g.forward(EventType(1), ForwardPolicy::All);
+        for seq in 0..5 {
+            assert!(g.offer(&ev(1, seq)).is_some());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! A real-time event-service substrate in the style of the TAO real-time
+//! event service.
+//!
+//! The paper implements FRAME *inside* TAO's event channel (§V, Fig 5):
+//! supplier and consumer proxies are preserved, while the Subscription &
+//! Filtering, Event Correlation and Dispatching modules are replaced by
+//! FRAME's Message Proxy and Message Delivery. This crate rebuilds that
+//! substrate from scratch so the integration is real:
+//!
+//! * [`event`] — events, headers, supplier/consumer identities;
+//! * [`filter`] — Subscription & Filtering;
+//! * [`correlation`] — conjunction/disjunction Event Correlation;
+//! * [`channel`] — the original-style channel with priority Dispatching
+//!   (Fig 5a);
+//! * [`frame_hook`] — the FRAME-integrated channel (Fig 5b), where pushes
+//!   route through a [`frame_core::Broker`];
+//! * [`gateway`] — the Fig 1 edge→cloud forwarding element with per-type
+//!   sampling policies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;
+pub mod correlation;
+pub mod gateway;
+pub mod event;
+pub mod filter;
+pub mod frame_hook;
+
+pub use channel::{ChannelStats, Delivery, DispatchPriority, EventChannel, SubscriptionId};
+pub use correlation::{Correlation, Correlator};
+pub use event::{ConsumerId, Event, EventHeader, EventType, SupplierId};
+pub use filter::Filter;
+pub use gateway::{CloudGateway, ForwardPolicy, GatewayStats};
+pub use frame_hook::{BackupTraffic, FrameChannel};

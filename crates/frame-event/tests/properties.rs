@@ -1,0 +1,77 @@
+//! Property-based tests of the event-service substrate: filters form a
+//! boolean algebra over headers, and correlation conserves events.
+
+use frame_event::{Correlation, Correlator, Event, EventType, Filter, SupplierId};
+use frame_types::Time;
+use proptest::prelude::*;
+
+fn ev(source: u32, ty: u32, seq: u64) -> Event {
+    Event::new(SupplierId(source), EventType(ty), seq, Time::ZERO, &b"x"[..])
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        Just(Filter::Any),
+        (0u32..4).prop_map(|t| Filter::Type(EventType(t))),
+        (0u32..4).prop_map(|s| Filter::Source(SupplierId(s))),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Filter::All),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Filter::AnyOf),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// Double negation is identity, and All/AnyOf obey De Morgan over any
+    /// header.
+    #[test]
+    fn filter_boolean_laws(f in arb_filter(), source in 0u32..4, ty in 0u32..4) {
+        let h = ev(source, ty, 0).header;
+        let not_not = Filter::Not(Box::new(Filter::Not(Box::new(f.clone()))));
+        prop_assert_eq!(f.matches(&h), not_not.matches(&h));
+
+        let g = Filter::Type(EventType(ty.wrapping_add(1) % 4));
+        let demorgan_l = Filter::Not(Box::new(Filter::All(vec![f.clone(), g.clone()])));
+        let demorgan_r = Filter::AnyOf(vec![
+            Filter::Not(Box::new(f.clone())),
+            Filter::Not(Box::new(g.clone())),
+        ]);
+        prop_assert_eq!(demorgan_l.matches(&h), demorgan_r.matches(&h));
+    }
+
+    /// A conjunction over K types fires exactly floor(n_min) times when fed
+    /// round-robin, and each batch contains exactly one event per type.
+    #[test]
+    fn conjunction_conserves_events(k in 1usize..5, rounds in 1usize..20) {
+        let types: Vec<EventType> = (0..k as u32).map(EventType).collect();
+        let mut c = Correlator::new(Correlation::Conjunction(types.clone()));
+        let mut fired = 0usize;
+        for r in 0..rounds {
+            for (i, &t) in types.iter().enumerate() {
+                if let Some(batch) = c.offer(ev(0, t.0, (r * k + i) as u64)) {
+                    fired += 1;
+                    prop_assert_eq!(batch.len(), k);
+                    let mut seen: Vec<u32> =
+                        batch.iter().map(|e| e.header.event_type.0).collect();
+                    seen.sort_unstable();
+                    prop_assert_eq!(seen, (0..k as u32).collect::<Vec<_>>());
+                }
+            }
+        }
+        prop_assert_eq!(fired, rounds);
+    }
+
+    /// Disjunction passes exactly the events whose type is listed.
+    #[test]
+    fn disjunction_is_a_filter(listed in proptest::collection::btree_set(0u32..6, 0..6), stream in proptest::collection::vec(0u32..6, 0..100)) {
+        let spec: Vec<EventType> = listed.iter().copied().map(EventType).collect();
+        let mut c = Correlator::new(Correlation::Disjunction(spec));
+        for (i, &ty) in stream.iter().enumerate() {
+            let out = c.offer(ev(0, ty, i as u64));
+            prop_assert_eq!(out.is_some(), listed.contains(&ty));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Latency models for simulated links.
+//!
+//! The paper's testbed has three qualitatively different latency regimes:
+//! sub-millisecond switched LAN (publisher↔broker, broker↔broker,
+//! broker↔edge-subscriber), and tens of milliseconds with diurnal variation
+//! to the cloud subscriber (AWS EC2; the paper's Fig 8 shows a 24-hour ΔBS
+//! trace with a +104 ms spike around 8 am). Each regime is a
+//! [`LatencyModel`].
+//!
+//! All stochastic models are seeded and deterministic: the same seed yields
+//! the same latency sequence, which keeps simulation runs reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use frame_types::{Duration, Time};
+
+/// A source of one-way latency samples for a link.
+pub trait LatencyModel: Send {
+    /// Samples the one-way latency of a transmission departing at `at`.
+    fn sample(&mut self, at: Time) -> Duration;
+
+    /// A lower bound of this model's latency, if one is known.
+    ///
+    /// FRAME's configuration uses a measured *lower bound* of `ΔBS` for
+    /// cloud subscribers (paper §III-D.5); models expose theirs so
+    /// experiment harnesses can configure FRAME the same way.
+    fn lower_bound(&self) -> Duration;
+}
+
+/// A constant latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constant(pub Duration);
+
+impl Constant {
+    /// Constant latency of `millis` milliseconds.
+    pub fn from_millis(millis: u64) -> Self {
+        Constant(Duration::from_millis(millis))
+    }
+}
+
+impl LatencyModel for Constant {
+    #[inline]
+    fn sample(&mut self, _at: Time) -> Duration {
+        self.0
+    }
+
+    #[inline]
+    fn lower_bound(&self) -> Duration {
+        self.0
+    }
+}
+
+/// Base latency plus uniformly-distributed jitter in `[0, jitter]`.
+#[derive(Debug)]
+pub struct Jittered {
+    base: Duration,
+    jitter: Duration,
+    rng: StdRng,
+}
+
+impl Jittered {
+    /// Creates a jittered model with a deterministic seed.
+    pub fn new(base: Duration, jitter: Duration, seed: u64) -> Self {
+        Jittered {
+            base,
+            jitter,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LatencyModel for Jittered {
+    fn sample(&mut self, _at: Time) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let j = self.rng.gen_range(0..=self.jitter.as_nanos());
+        self.base.saturating_add(Duration::from_nanos(j))
+    }
+
+    #[inline]
+    fn lower_bound(&self) -> Duration {
+        self.base
+    }
+}
+
+/// A synthetic 24-hour cloud latency model reproducing the envelope of the
+/// paper's Fig 8: a floor latency, a smooth diurnal swell, small random
+/// jitter, and rare large spikes (the paper observed one +104 ms spike in
+/// 24 hours).
+///
+/// The diurnal term follows `swell · (1 - cos(2π·(t+phase)/day))/2`, peaking
+/// mid-cycle. Spikes occur with a configurable per-sample probability and
+/// add a uniformly-distributed surge up to `spike_max`.
+#[derive(Debug)]
+pub struct DiurnalCloud {
+    /// Floor (minimum) one-way latency; FRAME configures ΔBS with this.
+    pub floor: Duration,
+    /// Peak-to-floor amplitude of the diurnal swell.
+    pub swell: Duration,
+    /// Uniform jitter added to every sample.
+    pub jitter: Duration,
+    /// Per-sample probability of a latency spike.
+    pub spike_probability: f64,
+    /// Maximum additional latency of a spike.
+    pub spike_max: Duration,
+    /// Length of one diurnal cycle (24 h in real deployments; experiments
+    /// compress it).
+    pub day: Duration,
+    /// Phase offset into the diurnal cycle at time zero.
+    pub phase: Duration,
+    rng: StdRng,
+}
+
+impl DiurnalCloud {
+    /// A model matching the paper's measured AWS EC2 behaviour: 20.7 ms
+    /// floor (the minimum of the authors' one-hour calibration run), a few
+    /// milliseconds of swell and jitter, and rare spikes up to ~104 ms above
+    /// the floor.
+    pub fn paper_fig8(seed: u64) -> Self {
+        DiurnalCloud {
+            floor: Duration::from_millis_f64(20.7),
+            swell: Duration::from_millis_f64(4.0),
+            jitter: Duration::from_millis_f64(1.5),
+            spike_probability: 2e-5,
+            spike_max: Duration::from_millis(104),
+            day: Duration::from_secs(24 * 3600),
+            phase: Duration::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Rescales the diurnal cycle to `day`, for time-compressed experiments.
+    #[must_use]
+    pub fn with_day(mut self, day: Duration) -> Self {
+        self.day = day;
+        self
+    }
+
+    /// Sets the per-sample spike probability.
+    #[must_use]
+    pub fn with_spike_probability(mut self, p: f64) -> Self {
+        self.spike_probability = p;
+        self
+    }
+}
+
+impl LatencyModel for DiurnalCloud {
+    fn sample(&mut self, at: Time) -> Duration {
+        let day = self.day.as_nanos().max(1);
+        let t = (at.as_nanos() + self.phase.as_nanos()) % day;
+        let angle = 2.0 * std::f64::consts::PI * (t as f64 / day as f64);
+        let swell_frac = (1.0 - angle.cos()) / 2.0;
+        let swell = Duration::from_nanos((self.swell.as_nanos() as f64 * swell_frac) as u64);
+
+        let jitter = if self.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.rng.gen_range(0..=self.jitter.as_nanos()))
+        };
+
+        let spike = if self.spike_probability > 0.0
+            && self.rng.gen_bool(self.spike_probability.min(1.0))
+        {
+            Duration::from_nanos(self.rng.gen_range(0..=self.spike_max.as_nanos()))
+        } else {
+            Duration::ZERO
+        };
+
+        self.floor
+            .saturating_add(swell)
+            .saturating_add(jitter)
+            .saturating_add(spike)
+    }
+
+    #[inline]
+    fn lower_bound(&self) -> Duration {
+        self.floor
+    }
+}
+
+/// Replays a recorded latency trace: each sample `(since, latency)` applies
+/// from its timestamp until the next one. Before the first timestamp the
+/// first latency applies; after the last, the last applies.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReplay {
+    /// `(effective-from, latency)` pairs, sorted by time.
+    samples: Vec<(Time, Duration)>,
+}
+
+impl TraceReplay {
+    /// Creates a trace from `(effective-from, latency)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or not sorted by time.
+    pub fn new(samples: Vec<(Time, Duration)>) -> Self {
+        assert!(!samples.is_empty(), "trace must contain at least one sample");
+        assert!(
+            samples.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace samples must be sorted by time"
+        );
+        TraceReplay { samples }
+    }
+
+    /// The latency in effect at `at`.
+    pub fn at(&self, at: Time) -> Duration {
+        match self.samples.binary_search_by_key(&at, |&(t, _)| t) {
+            Ok(i) => self.samples[i].1,
+            Err(0) => self.samples[0].1,
+            Err(i) => self.samples[i - 1].1,
+        }
+    }
+}
+
+impl LatencyModel for TraceReplay {
+    fn sample(&mut self, at: Time) -> Duration {
+        self.at(at)
+    }
+
+    fn lower_bound(&self) -> Duration {
+        self.samples
+            .iter()
+            .map(|&(_, d)| d)
+            .min()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = Constant::from_millis(3);
+        assert_eq!(m.sample(Time::ZERO), Duration::from_millis(3));
+        assert_eq!(m.sample(Time::from_secs(9)), Duration::from_millis(3));
+        assert_eq!(m.lower_bound(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn jittered_stays_in_range_and_is_deterministic() {
+        let base = Duration::from_millis(1);
+        let jit = Duration::from_micros(200);
+        let mut a = Jittered::new(base, jit, 42);
+        let mut b = Jittered::new(base, jit, 42);
+        for i in 0..1000 {
+            let t = Time::from_millis(i);
+            let s = a.sample(t);
+            assert!(s >= base && s <= base + jit, "sample {s} out of range");
+            assert_eq!(s, b.sample(t), "same seed must give same sequence");
+        }
+        assert_eq!(a.lower_bound(), base);
+    }
+
+    #[test]
+    fn jittered_zero_jitter_is_constant() {
+        let mut m = Jittered::new(Duration::from_millis(2), Duration::ZERO, 7);
+        assert_eq!(m.sample(Time::ZERO), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn diurnal_never_below_floor() {
+        let mut m = DiurnalCloud::paper_fig8(1).with_day(Duration::from_secs(60));
+        let floor = m.lower_bound();
+        for i in 0..5_000 {
+            let s = m.sample(Time::from_millis(i * 13));
+            assert!(s >= floor, "sample {s} below floor {floor}");
+        }
+    }
+
+    #[test]
+    fn diurnal_swells_mid_cycle() {
+        let mut m = DiurnalCloud::paper_fig8(1).with_day(Duration::from_secs(100));
+        m.jitter = Duration::ZERO;
+        m.spike_probability = 0.0;
+        let at_floor = m.sample(Time::ZERO);
+        let at_peak = m.sample(Time::from_secs(50));
+        assert_eq!(at_floor, m.floor);
+        assert_eq!(at_peak, m.floor + m.swell);
+    }
+
+    #[test]
+    fn diurnal_spikes_occur_with_high_probability_setting() {
+        let mut m = DiurnalCloud::paper_fig8(3)
+            .with_day(Duration::from_secs(60))
+            .with_spike_probability(0.5);
+        let big = (0..200)
+            .filter(|i| {
+                m.sample(Time::from_millis(i * 10))
+                    > m.floor + m.swell + m.jitter
+            })
+            .count();
+        assert!(big > 10, "expected frequent spikes, saw {big}");
+    }
+
+    #[test]
+    fn trace_replay_steps() {
+        let tr = TraceReplay::new(vec![
+            (Time::ZERO, Duration::from_millis(10)),
+            (Time::from_secs(1), Duration::from_millis(20)),
+            (Time::from_secs(2), Duration::from_millis(15)),
+        ]);
+        assert_eq!(tr.at(Time::ZERO), Duration::from_millis(10));
+        assert_eq!(tr.at(Time::from_millis(999)), Duration::from_millis(10));
+        assert_eq!(tr.at(Time::from_secs(1)), Duration::from_millis(20));
+        assert_eq!(tr.at(Time::from_millis(1500)), Duration::from_millis(20));
+        assert_eq!(tr.at(Time::from_secs(5)), Duration::from_millis(15));
+        assert_eq!(tr.lower_bound(), Duration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn trace_rejects_unsorted() {
+        let _ = TraceReplay::new(vec![
+            (Time::from_secs(2), Duration::ZERO),
+            (Time::from_secs(1), Duration::ZERO),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn trace_rejects_empty() {
+        let _ = TraceReplay::new(vec![]);
+    }
+}

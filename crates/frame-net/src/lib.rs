@@ -1,0 +1,23 @@
+//! Simulated network substrate for FRAME.
+//!
+//! The paper's evaluation ran on a seven-host testbed (switched Gigabit LAN
+//! plus an AWS EC2 cloud subscriber). This crate replaces that hardware with
+//! a deterministic model: [`latency`] provides per-regime latency models
+//! (constant LAN, jittered, and a diurnal cloud model reproducing the
+//! envelope of the paper's Fig 8), [`link`] provides reliable in-order links
+//! with optional bandwidth limits, and [`topology`] composes links into a
+//! network with fail-stop crash injection.
+//!
+//! Determinism: every stochastic model is seeded explicitly, so a simulation
+//! run is a pure function of its configuration and seeds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod latency;
+pub mod link;
+pub mod topology;
+
+pub use latency::{Constant, DiurnalCloud, Jittered, LatencyModel, TraceReplay};
+pub use link::Link;
+pub use topology::Network;

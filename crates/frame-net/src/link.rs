@@ -1,0 +1,169 @@
+//! Point-to-point simulated links with in-order delivery and optional
+//! bandwidth limits.
+
+use frame_types::{Duration, Time};
+
+use crate::latency::LatencyModel;
+
+/// A unidirectional, reliable, in-order link between two endpoints.
+///
+/// The FRAME model assumes reliable interconnects with bounded latency
+/// between brokers (paper §III-B); we extend the same reliability to all
+/// links (TCP provides it in the authors' testbed). Reliability here means
+/// a transmission is delivered exactly once, unless the link is
+/// [severed](Link::sever) (used to emulate a crashed endpoint).
+///
+/// In-order delivery is enforced by clamping: if a later transmission draws
+/// a smaller latency sample than an earlier one, its arrival time is pushed
+/// to at least the previous arrival (as a FIFO queue would).
+pub struct Link {
+    latency: Box<dyn LatencyModel>,
+    /// Serialization rate in bytes/second; `None` models infinite bandwidth.
+    bytes_per_sec: Option<u64>,
+    last_arrival: Time,
+    severed: bool,
+}
+
+impl Link {
+    /// Creates a link with the given latency model and unlimited bandwidth.
+    pub fn new(latency: impl LatencyModel + 'static) -> Self {
+        Link {
+            latency: Box::new(latency),
+            bytes_per_sec: None,
+            last_arrival: Time::ZERO,
+            severed: false,
+        }
+    }
+
+    /// Limits the link to `bytes_per_sec` of serialization bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        self.bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// Computes the arrival time of a `size`-byte transmission departing at
+    /// `at`, or `None` if the link is severed.
+    ///
+    /// Successive calls must pass non-decreasing departure times.
+    pub fn transmit(&mut self, at: Time, size: usize) -> Option<Time> {
+        if self.severed {
+            return None;
+        }
+        let latency = self.latency.sample(at);
+        let serialization = match self.bytes_per_sec {
+            Some(rate) => {
+                Duration::from_nanos((size as u128 * 1_000_000_000 / rate as u128) as u64)
+            }
+            None => Duration::ZERO,
+        };
+        let mut arrival = at.saturating_add(latency).saturating_add(serialization);
+        if arrival < self.last_arrival {
+            arrival = self.last_arrival; // FIFO: no overtaking
+        }
+        self.last_arrival = arrival;
+        Some(arrival)
+    }
+
+    /// Severs the link: all subsequent transmissions are dropped. Models the
+    /// destination (or source) host having crashed.
+    pub fn sever(&mut self) {
+        self.severed = true;
+    }
+
+    /// Restores a severed link (e.g. a recovered host re-joining).
+    pub fn restore(&mut self) {
+        self.severed = false;
+    }
+
+    /// Whether the link is currently severed.
+    pub fn is_severed(&self) -> bool {
+        self.severed
+    }
+
+    /// The latency model's known lower bound (see
+    /// [`LatencyModel::lower_bound`]).
+    pub fn latency_lower_bound(&self) -> Duration {
+        self.latency.lower_bound()
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("bytes_per_sec", &self.bytes_per_sec)
+            .field("last_arrival", &self.last_arrival)
+            .field("severed", &self.severed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{Constant, Jittered};
+
+    #[test]
+    fn constant_link_adds_latency() {
+        let mut l = Link::new(Constant::from_millis(5));
+        assert_eq!(
+            l.transmit(Time::from_millis(10), 16),
+            Some(Time::from_millis(15))
+        );
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        // 1000 bytes/s => 16 bytes takes 16 ms.
+        let mut l = Link::new(Constant::from_millis(0)).with_bandwidth(1000);
+        assert_eq!(
+            l.transmit(Time::ZERO, 16),
+            Some(Time::from_millis(16))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(Constant::from_millis(0)).with_bandwidth(0);
+    }
+
+    #[test]
+    fn in_order_delivery_is_enforced() {
+        let mut l = Link::new(Jittered::new(
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            7,
+        ));
+        let mut prev = Time::ZERO;
+        for i in 0..500 {
+            let arr = l.transmit(Time::from_micros(i * 100), 16).unwrap();
+            assert!(arr >= prev, "arrival went backwards: {arr} < {prev}");
+            prev = arr;
+        }
+    }
+
+    #[test]
+    fn severed_link_drops_and_restores() {
+        let mut l = Link::new(Constant::from_millis(1));
+        l.sever();
+        assert!(l.is_severed());
+        assert_eq!(l.transmit(Time::ZERO, 16), None);
+        l.restore();
+        assert_eq!(
+            l.transmit(Time::from_millis(1), 16),
+            Some(Time::from_millis(2))
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_exposed() {
+        let l = Link::new(Constant::from_millis(20));
+        assert_eq!(l.latency_lower_bound(), Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,177 @@
+//! Network topology: hosts, directed links, and crash fault injection.
+
+use std::collections::HashMap;
+
+use frame_types::{HostId, Time};
+
+use crate::latency::LatencyModel;
+use crate::link::Link;
+
+/// A collection of hosts and the directed links between them, with
+/// fail-stop crash injection.
+///
+/// A crashed host neither sends nor receives: transmissions involving it
+/// return `None`. Crash times are recorded so components that poll liveness
+/// (FRAME's Backup polls its Primary) can ask [`Network::is_up`].
+#[derive(Default)]
+pub struct Network {
+    links: HashMap<(HostId, HostId), Link>,
+    crashed_at: HashMap<HostId, Time>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Installs a unidirectional link from `from` to `to`, replacing any
+    /// existing one.
+    pub fn add_link(&mut self, from: HostId, to: HostId, latency: impl LatencyModel + 'static) {
+        self.links.insert((from, to), Link::new(latency));
+    }
+
+    /// Installs a pre-built link (e.g. with a bandwidth limit).
+    pub fn add_built_link(&mut self, from: HostId, to: HostId, link: Link) {
+        self.links.insert((from, to), link);
+    }
+
+    /// Installs symmetric links in both directions with independent clones
+    /// of the same latency model.
+    pub fn add_symmetric<M>(&mut self, a: HostId, b: HostId, latency: M)
+    where
+        M: LatencyModel + Clone + 'static,
+    {
+        self.add_link(a, b, latency.clone());
+        self.add_link(b, a, latency);
+    }
+
+    /// Computes the arrival time of a `size`-byte transmission from `from`
+    /// to `to`, departing at `at`.
+    ///
+    /// Returns `None` if either endpoint has crashed by `at`, if the link is
+    /// severed, or if no link exists (a configuration error surfaced as a
+    /// drop, matching how a misconfigured route behaves).
+    pub fn transmit(&mut self, from: HostId, to: HostId, at: Time, size: usize) -> Option<Time> {
+        if !self.is_up(from, at) || !self.is_up(to, at) {
+            return None;
+        }
+        self.links.get_mut(&(from, to))?.transmit(at, size)
+    }
+
+    /// Marks `host` as crashed (fail-stop) at time `t`.
+    pub fn crash(&mut self, host: HostId, t: Time) {
+        self.crashed_at.entry(host).or_insert(t);
+    }
+
+    /// Whether `host` is up at time `t`.
+    pub fn is_up(&self, host: HostId, t: Time) -> bool {
+        match self.crashed_at.get(&host) {
+            Some(&crash) => t < crash,
+            None => true,
+        }
+    }
+
+    /// The time at which `host` crashed, if it has.
+    pub fn crash_time(&self, host: HostId) -> Option<Time> {
+        self.crashed_at.get(&host).copied()
+    }
+
+    /// Access to a link for inspection or reconfiguration.
+    pub fn link_mut(&mut self, from: HostId, to: HostId) -> Option<&mut Link> {
+        self.links.get_mut(&(from, to))
+    }
+
+    /// Number of installed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("links", &self.links.len())
+            .field("crashed", &self.crashed_at)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Constant;
+    use frame_types::Duration;
+
+    const A: HostId = HostId(1);
+    const B: HostId = HostId(2);
+
+    #[test]
+    fn transmit_over_installed_link() {
+        let mut n = Network::new();
+        n.add_link(A, B, Constant::from_millis(2));
+        assert_eq!(
+            n.transmit(A, B, Time::from_millis(1), 16),
+            Some(Time::from_millis(3))
+        );
+        // Reverse direction has no link.
+        assert_eq!(n.transmit(B, A, Time::ZERO, 16), None);
+        assert_eq!(n.link_count(), 1);
+    }
+
+    #[test]
+    fn symmetric_links_work_both_ways() {
+        let mut n = Network::new();
+        n.add_symmetric(A, B, Constant::from_millis(1));
+        assert!(n.transmit(A, B, Time::ZERO, 1).is_some());
+        assert!(n.transmit(B, A, Time::ZERO, 1).is_some());
+        assert_eq!(n.link_count(), 2);
+    }
+
+    #[test]
+    fn crashed_host_drops_traffic() {
+        let mut n = Network::new();
+        n.add_symmetric(A, B, Constant::from_millis(1));
+        n.crash(B, Time::from_secs(30));
+        assert!(n.is_up(B, Time::from_millis(29_999)));
+        assert!(!n.is_up(B, Time::from_secs(30)));
+        // Before the crash: delivered.
+        assert!(n.transmit(A, B, Time::from_secs(29), 16).is_some());
+        // At/after the crash: dropped, both directions.
+        assert_eq!(n.transmit(A, B, Time::from_secs(30), 16), None);
+        assert_eq!(n.transmit(B, A, Time::from_secs(31), 16), None);
+        assert_eq!(n.crash_time(B), Some(Time::from_secs(30)));
+        assert_eq!(n.crash_time(A), None);
+    }
+
+    #[test]
+    fn first_crash_time_wins() {
+        let mut n = Network::new();
+        n.crash(A, Time::from_secs(10));
+        n.crash(A, Time::from_secs(5));
+        assert_eq!(n.crash_time(A), Some(Time::from_secs(10)));
+    }
+
+    #[test]
+    fn link_mut_allows_severing() {
+        let mut n = Network::new();
+        n.add_link(A, B, Constant::from_millis(1));
+        n.link_mut(A, B).unwrap().sever();
+        assert_eq!(n.transmit(A, B, Time::ZERO, 16), None);
+    }
+
+    #[test]
+    fn bandwidth_link_via_add_built_link() {
+        let mut n = Network::new();
+        n.add_built_link(
+            A,
+            B,
+            Link::new(Constant(Duration::ZERO)).with_bandwidth(1_000_000),
+        );
+        // 1 MB/s, 1000 bytes => 1 ms.
+        assert_eq!(
+            n.transmit(A, B, Time::ZERO, 1000),
+            Some(Time::from_millis(1))
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the network substrate: FIFO links, latency
+//! model bounds, and crash semantics.
+
+use frame_net::{Constant, DiurnalCloud, Jittered, LatencyModel, Link, Network, TraceReplay};
+use frame_types::{Duration, HostId, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// In-order delivery holds for any jitter and any non-decreasing send
+    /// schedule.
+    #[test]
+    fn links_never_reorder(
+        base_us in 0u64..5_000,
+        jitter_us in 0u64..5_000,
+        seed: u64,
+        gaps_us in proptest::collection::vec(0u64..2_000, 1..200),
+    ) {
+        let mut link = Link::new(Jittered::new(
+            Duration::from_micros(base_us),
+            Duration::from_micros(jitter_us),
+            seed,
+        ));
+        let mut t = Time::ZERO;
+        let mut prev_arrival = Time::ZERO;
+        for gap in gaps_us {
+            t = t + Duration::from_micros(gap);
+            let arrival = link.transmit(t, 16).expect("live link");
+            prop_assert!(arrival >= prev_arrival, "reordered");
+            prop_assert!(arrival >= t + Duration::from_micros(base_us), "faster than base latency");
+            prev_arrival = arrival;
+        }
+    }
+
+    /// Jittered samples always lie in [base, base + jitter].
+    #[test]
+    fn jitter_bounds(base_us in 0u64..10_000, jitter_us in 0u64..10_000, seed: u64) {
+        let base = Duration::from_micros(base_us);
+        let jitter = Duration::from_micros(jitter_us);
+        let mut m = Jittered::new(base, jitter, seed);
+        for i in 0..200u64 {
+            let s = m.sample(Time::from_millis(i));
+            prop_assert!(s >= base && s <= base + jitter);
+        }
+        prop_assert_eq!(m.lower_bound(), base);
+    }
+
+    /// The diurnal cloud model never dips below its advertised lower bound
+    /// — the property FRAME's ΔBS configuration relies on (§III-D.5).
+    #[test]
+    fn diurnal_respects_lower_bound(seed: u64, day_s in 1u64..500) {
+        let mut m = DiurnalCloud::paper_fig8(seed).with_day(Duration::from_secs(day_s));
+        let lb = m.lower_bound();
+        for i in 0..300u64 {
+            prop_assert!(m.sample(Time::from_millis(i * 97)) >= lb);
+        }
+    }
+
+    /// Trace replay is piecewise-constant: between two sample timestamps
+    /// the earlier sample's value applies.
+    #[test]
+    fn trace_replay_is_step_function(
+        values_ms in proptest::collection::vec(1u64..1_000, 2..20),
+        probe_ms in 0u64..100_000,
+    ) {
+        let samples: Vec<(Time, Duration)> = values_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Time::from_secs(i as u64), Duration::from_millis(v)))
+            .collect();
+        let tr = TraceReplay::new(samples.clone());
+        let probe = Time::from_millis(probe_ms);
+        let expected = samples
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= probe)
+            .map(|&(_, d)| d)
+            .unwrap_or(samples[0].1);
+        prop_assert_eq!(tr.at(probe), expected);
+    }
+
+    /// A crashed host drops everything from its crash time on, in both
+    /// directions, and never retroactively.
+    #[test]
+    fn crash_semantics(crash_ms in 1u64..10_000, probe_ms in 0u64..20_000) {
+        let (a, b) = (HostId(1), HostId(2));
+        let mut n = Network::new();
+        n.add_symmetric(a, b, Constant(Duration::from_micros(10)));
+        n.crash(b, Time::from_millis(crash_ms));
+        let at = Time::from_millis(probe_ms);
+        let delivered = n.transmit(a, b, at, 16).is_some();
+        prop_assert_eq!(delivered, probe_ms < crash_ms);
+        let delivered_rev = n.transmit(b, a, at, 16).is_some();
+        prop_assert_eq!(delivered_rev, probe_ms < crash_ms);
+    }
+}

@@ -1,0 +1,42 @@
+//! Threaded runtime for FRAME.
+//!
+//! The discrete-event simulator (`frame-sim`) reproduces the paper's
+//! evaluation with modeled CPU time; this crate runs the *same* sans-IO
+//! broker core on real threads, mirroring the paper's implementation
+//! structure (§V): a Message Proxy thread per broker plus a pool of
+//! delivery worker threads blocking on the EDF Job Queue, with in-process
+//! channel transport, a polling failure detector, and live Primary→Backup
+//! fail-over.
+//!
+//! # Quick start
+//!
+//! ```
+//! use frame_core::BrokerConfig;
+//! use frame_rt::RtSystem;
+//! use frame_types::{PublisherId, SubscriberId, TopicId, TopicSpec};
+//!
+//! let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+//! let spec = TopicSpec::category(0, TopicId(1));
+//! sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
+//! let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
+//! let deliveries = sys.subscribe(SubscriberId(1));
+//!
+//! publisher.publish(TopicId(1), &b"0123456789abcdef"[..]).unwrap();
+//! let d = deliveries.recv().unwrap();
+//! assert_eq!(d.message.topic, TopicId(1));
+//! sys.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod broker_rt;
+pub mod system;
+pub mod tcp;
+
+pub use broker_rt::{BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
+pub use system::{RtPublisher, RtSystem};
+pub use tcp::{
+    connect_backup_over_tcp, read_frame, write_frame, TcpBackupBridge, TcpBrokerServer,
+    TcpPublisher, TcpSubscriber, WireMsg,
+};

@@ -1,0 +1,299 @@
+//! System wiring: a Primary/Backup broker pair, publishers with retention,
+//! subscribers, and a failure-detection/fail-over coordinator — the
+//! threaded equivalent of the paper's testbed topology (Fig 6).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use frame_clock::{Clock, MonotonicClock};
+use frame_core::{admit, BrokerConfig, BrokerRole, PollingDetector, PrimaryStatus, Publisher};
+use frame_types::{
+    BrokerId, Duration, FrameError, Message, NetworkParams, PublisherId, SubscriberId, TopicId,
+    TopicSpec,
+};
+use parking_lot::Mutex;
+
+use crate::broker_rt::{BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
+
+/// A publisher with retention and fail-over re-send, bound to the broker
+/// pair.
+pub struct RtPublisher {
+    core: Mutex<Publisher>,
+    primary: Sender<BrokerMsg>,
+    backup: Sender<BrokerMsg>,
+    clock: Arc<dyn Clock>,
+}
+
+impl RtPublisher {
+    /// Publishes the next message of `topic`.
+    ///
+    /// Sending to a crashed broker behaves like a dropped network packet:
+    /// the call still succeeds (the message is retained for fail-over
+    /// re-send), and the publisher learns about the crash through the
+    /// failure detector, exactly as in the paper's model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownTopic`] if the topic was not registered
+    /// with this publisher.
+    pub fn publish(&self, topic: TopicId, payload: impl Into<Bytes>) -> Result<(), FrameError> {
+        let now = self.clock.now();
+        let mut core = self.core.lock();
+        let message = core.publish(topic, now, payload)?;
+        let target = match core.target() {
+            frame_core::PublishTarget::Primary => &self.primary,
+            frame_core::PublishTarget::Backup => &self.backup,
+        };
+        // A send to a dead broker is a network drop, not an error.
+        let _ = target.send(BrokerMsg::Publish(message));
+        Ok(())
+    }
+
+    /// Redirects to the Backup and re-sends every retained message
+    /// (idempotent).
+    pub fn fail_over(&self) {
+        let retained: Vec<Message> = self.core.lock().fail_over();
+        for m in retained {
+            let _ = self.backup.send(BrokerMsg::Resend(m));
+        }
+    }
+
+    /// Messages currently retained for `topic` (oldest first).
+    pub fn retained(&self, topic: TopicId) -> Vec<Message> {
+        self.core.lock().retained(topic)
+    }
+}
+
+/// A running FRAME deployment: Primary + Backup brokers, publishers,
+/// subscriber channels, and (optionally) a fail-over coordinator.
+pub struct RtSystem {
+    /// The Primary broker handle.
+    pub primary: RtBroker,
+    /// The Backup broker handle.
+    pub backup: RtBroker,
+    clock: Arc<dyn Clock>,
+    net: NetworkParams,
+    publishers: Vec<Arc<RtPublisher>>,
+    threads: Vec<RtBrokerThreads>,
+    detector: Option<JoinHandle<()>>,
+}
+
+impl RtSystem {
+    /// Starts a broker pair with `config` and `workers` delivery threads
+    /// each, using the paper's example network bounds for admission.
+    pub fn start(config: BrokerConfig, workers: usize) -> RtSystem {
+        RtSystem::start_with(config, workers, NetworkParams::paper_example())
+    }
+
+    /// Starts a broker pair with explicit network bounds.
+    pub fn start_with(config: BrokerConfig, workers: usize, net: NetworkParams) -> RtSystem {
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let (primary, pt) = RtBroker::spawn(
+            BrokerId(0),
+            BrokerRole::Primary,
+            config,
+            workers,
+            clock.clone(),
+        );
+        let (backup, bt) = RtBroker::spawn(
+            BrokerId(1),
+            BrokerRole::Backup,
+            config,
+            workers,
+            clock.clone(),
+        );
+        primary.connect_backup(backup.sender());
+        RtSystem {
+            primary,
+            backup,
+            clock,
+            net,
+            publishers: Vec::new(),
+            threads: vec![pt, bt],
+            detector: None,
+        }
+    }
+
+    /// The runtime clock shared by every component.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
+    /// Admits `spec` on both brokers and registers its subscribers.
+    ///
+    /// # Errors
+    ///
+    /// Fails the paper's admission test, or duplicates.
+    pub fn add_topic(
+        &self,
+        spec: TopicSpec,
+        subscribers: Vec<SubscriberId>,
+    ) -> Result<(), FrameError> {
+        let admitted = admit(&spec, &self.net)?;
+        self.primary.register_topic(admitted, subscribers.clone())?;
+        self.backup.register_topic(admitted, subscribers)?;
+        Ok(())
+    }
+
+    /// Creates a publisher proxy for the given topics (with their retention
+    /// depths taken from the specs registered via [`RtSystem::add_topic`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate topics within the publisher.
+    pub fn add_publisher(
+        &mut self,
+        id: PublisherId,
+        topics: &[TopicSpec],
+    ) -> Result<Arc<RtPublisher>, FrameError> {
+        let mut core = Publisher::new(id);
+        for spec in topics {
+            core.register_topic(spec.id, spec.retention)?;
+        }
+        let p = Arc::new(RtPublisher {
+            core: Mutex::new(core),
+            primary: self.primary.sender(),
+            backup: self.backup.sender(),
+            clock: self.clock.clone(),
+        });
+        self.publishers.push(p.clone());
+        Ok(p)
+    }
+
+    /// Connects a subscriber to both brokers and returns its delivery
+    /// channel.
+    pub fn subscribe(&self, id: SubscriberId) -> Receiver<Delivered> {
+        let (tx, rx) = unbounded();
+        self.primary.connect_subscriber(id, tx.clone());
+        self.backup.connect_subscriber(id, tx);
+        rx
+    }
+
+    /// Starts the fail-over coordinator: a detector thread that polls the
+    /// Primary every `interval`, declares it crashed after `timeout`
+    /// without an acknowledgement, then promotes the Backup and triggers
+    /// every publisher's retention re-send.
+    pub fn start_failover_coordinator(&mut self, interval: Duration, timeout: Duration) {
+        let primary_tx = self.primary.sender();
+        let backup = self.backup.clone();
+        let publishers = self.publishers.clone();
+        let clock = self.clock.clone();
+        let handle = std::thread::Builder::new()
+            .name("frame-detector".into())
+            .spawn(move || {
+                let mut detector = PollingDetector::new(interval, timeout, clock.now());
+                loop {
+                    let (ack_tx, ack_rx) = unbounded();
+                    detector.on_poll_sent(clock.now());
+                    if primary_tx.send(BrokerMsg::Poll(ack_tx)).is_ok()
+                        && ack_rx.recv_timeout(timeout.to_std()).is_ok()
+                    {
+                        detector.on_ack(clock.now());
+                    }
+                    if detector.status(clock.now()) == PrimaryStatus::Crashed {
+                        // Fail-over: promote, then publishers re-send.
+                        let _ = backup.promote();
+                        for p in &publishers {
+                            p.fail_over();
+                        }
+                        return;
+                    }
+                    std::thread::sleep(interval.to_std());
+                }
+            })
+            .expect("spawn detector");
+        self.detector = Some(handle);
+    }
+
+    /// Injects a Primary crash (the paper's SIGKILL).
+    pub fn crash_primary(&self) {
+        self.primary.kill();
+    }
+
+    /// Stops every component and joins all threads.
+    pub fn shutdown(mut self) {
+        self.primary.kill();
+        self.backup.kill();
+        if let Some(d) = self.detector.take() {
+            let _ = d.join();
+        }
+        for t in self.threads.drain(..) {
+            t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_types::SeqNo;
+    use std::time::Duration as StdDuration;
+
+    #[test]
+    fn end_to_end_publish_subscribe() {
+        let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+        let spec = TopicSpec::category(0, TopicId(1));
+        sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
+        let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
+        let rx = sys.subscribe(SubscriberId(1));
+
+        for _ in 0..20 {
+            publisher.publish(TopicId(1), &b"0123456789abcdef"[..]).unwrap();
+        }
+        for seq in 0..20 {
+            let d = rx.recv_timeout(StdDuration::from_secs(2)).expect("delivery");
+            assert_eq!(d.message.seq, SeqNo(seq));
+        }
+        sys.shutdown();
+    }
+
+    #[test]
+    fn failover_recovers_retained_messages() {
+        let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+        // Category 0: zero-loss via retention (N=2), no replication.
+        let spec = TopicSpec::category(0, TopicId(1));
+        sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
+        let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
+        let rx = sys.subscribe(SubscriberId(1));
+        sys.start_failover_coordinator(Duration::from_millis(5), Duration::from_millis(20));
+
+        publisher.publish(TopicId(1), &b"a"[..]).unwrap();
+        let d = rx.recv_timeout(StdDuration::from_secs(2)).unwrap();
+        assert_eq!(d.message.seq, SeqNo(0));
+
+        // Crash the primary, then keep publishing; messages published
+        // before fail-over completes are retained and re-sent.
+        sys.crash_primary();
+        publisher.publish(TopicId(1), &b"b"[..]).unwrap(); // to dead primary
+        std::thread::sleep(StdDuration::from_millis(120)); // detector fires
+        publisher.publish(TopicId(1), &b"c"[..]).unwrap(); // to new primary
+
+        // Collect distinct deliveries; dedupe (retention re-send can
+        // duplicate seq 0).
+        let mut seen = std::collections::BTreeSet::new();
+        let deadline = std::time::Instant::now() + StdDuration::from_secs(3);
+        while seen.len() < 3 && std::time::Instant::now() < deadline {
+            if let Ok(d) = rx.recv_timeout(StdDuration::from_millis(200)) {
+                seen.insert(d.message.seq.raw());
+            }
+        }
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "zero message loss across fail-over"
+        );
+        assert_eq!(sys.backup.role(), BrokerRole::Primary);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn admission_rejects_bad_specs_at_add_topic() {
+        let sys = RtSystem::start(BrokerConfig::frame(), 1);
+        let mut spec = TopicSpec::category(0, TopicId(1));
+        spec.retention = 0; // L=0 with no retention is inadmissible
+        assert!(sys.add_topic(spec, vec![SubscriberId(1)]).is_err());
+        sys.shutdown();
+    }
+}

@@ -1,0 +1,565 @@
+//! Loopback/LAN TCP transport for the threaded runtime.
+//!
+//! The in-process transport of [`crate::broker_rt`] uses channels; this
+//! module carries the same protocol over TCP so publishers, subscribers
+//! and the Backup peer can live in other processes or hosts — the shape of
+//! the paper's seven-host testbed. Frames are length-prefixed JSON
+//! ([`WireMsg`]); reliability and ordering come from TCP, matching the
+//! model's reliable in-order interconnect assumption (§III-B).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use frame_types::{FrameError, Message, MessageKey, SubscriberId};
+use serde::{Deserialize, Serialize};
+
+use crate::broker_rt::{BrokerMsg, Delivered, RtBroker};
+
+/// Messages on the wire (a serializable mirror of [`BrokerMsg`] plus
+/// subscriber-side frames).
+#[derive(Debug, Serialize, Deserialize)]
+pub enum WireMsg {
+    /// Publisher → broker: a published message.
+    Publish(Message),
+    /// Publisher → broker: a retention re-send during fail-over.
+    Resend(Message),
+    /// Primary → Backup: a replica.
+    Replica(Message),
+    /// Primary → Backup: a prune request.
+    Prune(MessageKey),
+    /// Liveness poll with a correlation token.
+    Poll(u64),
+    /// Poll acknowledgement.
+    PollAck(u64),
+    /// Client → broker: subscribe this connection for a subscriber id
+    /// (deliveries flow back as [`WireMsg::Deliver`]).
+    Subscribe(SubscriberId),
+    /// Broker → subscriber connection: a delivery.
+    Deliver(Message),
+    /// Control plane: promote this (Backup) broker to Primary. Sent by a
+    /// fail-over coordinator once the Primary is declared crashed.
+    Promote,
+    /// Control plane: acknowledgement of a promotion (number of recovery
+    /// dispatches created).
+    Promoted(u64),
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates serialization and socket errors.
+pub fn write_frame(stream: &mut TcpStream, msg: &WireMsg) -> std::io::Result<()> {
+    let body = serde_json::to_vec(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let len = u32::try_from(body.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&body)
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates deserialization and socket errors (including clean EOF as
+/// `UnexpectedEof`).
+pub fn read_frame(stream: &mut TcpStream) -> std::io::Result<WireMsg> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 16 << 20 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds sanity limit",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// A TCP front end for a broker: accepts publisher, subscriber, peer and
+/// detector connections and bridges them to the broker's channel protocol.
+pub struct TcpBrokerServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpBrokerServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `broker`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, broker: RtBroker) -> std::io::Result<TcpBrokerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("frame-tcp-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            let broker = broker.clone();
+                            let stop = stop2.clone();
+                            conns.push(
+                                std::thread::Builder::new()
+                                    .name("frame-tcp-conn".into())
+                                    .spawn(move || serve_connection(stream, broker, stop))
+                                    .expect("spawn connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for c in conns {
+                    let _ = c.join();
+                }
+            })?;
+        Ok(TcpBrokerServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Open connections close
+    /// as their peers disconnect or the broker dies.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    reader
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .ok();
+    let mut writer = stream;
+    // If this connection subscribes, deliveries arrive on this channel and
+    // are pumped back over the socket.
+    let mut delivery_rx: Option<Receiver<Delivered>> = None;
+
+    loop {
+        if stop.load(Ordering::Acquire) || !broker.is_alive() {
+            return;
+        }
+        // Pump any pending deliveries for subscriber connections.
+        if let Some(rx) = &delivery_rx {
+            while let Ok(d) = rx.try_recv() {
+                if write_frame(&mut writer, &WireMsg::Deliver(d.message)).is_err() {
+                    return;
+                }
+            }
+        }
+        let msg = match read_frame(&mut reader) {
+            Ok(m) => m,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return, // EOF or protocol error: drop the connection
+        };
+        match msg {
+            WireMsg::Publish(m) => {
+                let _ = broker.sender().send(BrokerMsg::Publish(m));
+            }
+            WireMsg::Resend(m) => {
+                let _ = broker.sender().send(BrokerMsg::Resend(m));
+            }
+            WireMsg::Replica(m) => {
+                let _ = broker.sender().send(BrokerMsg::Replica(m));
+            }
+            WireMsg::Prune(k) => {
+                let _ = broker.sender().send(BrokerMsg::Prune(k));
+            }
+            WireMsg::Poll(token) => {
+                // Bridge to the in-process poll protocol so a dead broker
+                // (proxy thread exited) stays silent, exactly like the
+                // channel transport.
+                let (ack_tx, ack_rx) = unbounded();
+                let _ = broker.sender().send(BrokerMsg::Poll(ack_tx));
+                if ack_rx
+                    .recv_timeout(std::time::Duration::from_millis(50))
+                    .is_ok()
+                    && write_frame(&mut writer, &WireMsg::PollAck(token)).is_err()
+                {
+                    return;
+                }
+            }
+            WireMsg::Subscribe(id) => {
+                let (tx, rx) = unbounded();
+                broker.connect_subscriber(id, tx);
+                delivery_rx = Some(rx);
+            }
+            WireMsg::Promote => {
+                let created = broker.promote().map(|n| n as u64).unwrap_or(0);
+                if write_frame(&mut writer, &WireMsg::Promoted(created)).is_err() {
+                    return;
+                }
+            }
+            WireMsg::PollAck(_) | WireMsg::Deliver(_) | WireMsg::Promoted(_) => {
+                // Server-to-client frames arriving at the server: protocol
+                // violation; drop the connection.
+                return;
+            }
+        }
+    }
+}
+
+/// Bridges a Primary's Backup-bound traffic (replicas and prunes) over TCP
+/// to a Backup broker served by a [`TcpBrokerServer`] at `addr`.
+///
+/// Spawns a forwarder thread and wires it as the Primary's backup peer;
+/// the returned handle joins the forwarder on drop. If the TCP connection
+/// fails, backup traffic is dropped (the network-partition behaviour of
+/// the model — the Primary does not block on its Backup).
+///
+/// # Errors
+///
+/// Propagates the initial connection error.
+pub fn connect_backup_over_tcp(
+    primary: &RtBroker,
+    addr: SocketAddr,
+) -> std::io::Result<TcpBackupBridge> {
+    let mut stream = TcpStream::connect(addr)?;
+    let (tx, rx) = unbounded::<BrokerMsg>();
+    primary.connect_backup(tx);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("frame-tcp-backup-bridge".into())
+        .spawn(move || loop {
+            let msg = match rx.recv_timeout(std::time::Duration::from_millis(100)) {
+                Ok(m) => m,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            };
+            let frame = match msg {
+                BrokerMsg::Replica(m) => WireMsg::Replica(m),
+                BrokerMsg::Prune(k) => WireMsg::Prune(k),
+                // The in-process protocol never routes other variants to
+                // the backup peer.
+                _ => continue,
+            };
+            if write_frame(&mut stream, &frame).is_err() {
+                return; // partition: stop forwarding
+            }
+        })?;
+    Ok(TcpBackupBridge {
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// Handle to a running Primary→Backup TCP bridge.
+pub struct TcpBackupBridge {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpBackupBridge {
+    /// Stops and joins the forwarder (it also exits on its own when the
+    /// channel disconnects or the connection breaks).
+    pub fn join(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A TCP publisher connection.
+pub struct TcpPublisher {
+    stream: TcpStream,
+}
+
+impl TcpPublisher {
+    /// Connects to a broker server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpPublisher> {
+        Ok(TcpPublisher {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends a published message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Transport`] on socket failure.
+    pub fn publish(&mut self, message: Message) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, &WireMsg::Publish(message))
+            .map_err(|e| FrameError::Transport(e.to_string()))
+    }
+
+    /// Sends a retention re-send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Transport`] on socket failure.
+    pub fn resend(&mut self, message: Message) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, &WireMsg::Resend(message))
+            .map_err(|e| FrameError::Transport(e.to_string()))
+    }
+}
+
+/// A TCP subscriber connection: deliveries stream into a channel.
+pub struct TcpSubscriber {
+    rx: Receiver<Message>,
+    _thread: JoinHandle<()>,
+}
+
+impl TcpSubscriber {
+    /// Connects and subscribes `id`; returns a handle whose
+    /// [`TcpSubscriber::deliveries`] channel yields messages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr, id: SubscriberId) -> std::io::Result<TcpSubscriber> {
+        let mut stream = TcpStream::connect(addr)?;
+        write_frame(&mut stream, &WireMsg::Subscribe(id))?;
+        let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        let thread = std::thread::Builder::new()
+            .name("frame-tcp-subscriber".into())
+            .spawn(move || loop {
+                match read_frame(&mut stream) {
+                    Ok(WireMsg::Deliver(m)) => {
+                        if tx.send(m).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(_) => continue,
+                    Err(_) => return,
+                }
+            })?;
+        Ok(TcpSubscriber {
+            rx,
+            _thread: thread,
+        })
+    }
+
+    /// The delivery channel.
+    pub fn deliveries(&self) -> &Receiver<Message> {
+        &self.rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_clock::MonotonicClock;
+    use frame_core::{admit, BrokerConfig, BrokerRole};
+    use frame_types::{
+        BrokerId, NetworkParams, PublisherId, SeqNo, Time, TopicId, TopicSpec,
+    };
+
+    fn spawn_broker() -> (RtBroker, crate::broker_rt::RtBrokerThreads) {
+        let clock: Arc<dyn frame_clock::Clock> = Arc::new(MonotonicClock::new());
+        RtBroker::spawn(
+            BrokerId(0),
+            BrokerRole::Primary,
+            BrokerConfig::frame(),
+            2,
+            clock,
+        )
+    }
+
+    #[test]
+    fn tcp_publish_subscribe_roundtrip() {
+        let (broker, threads) = spawn_broker();
+        let spec = TopicSpec::category(0, TopicId(1));
+        broker
+            .register_topic(
+                admit(&spec, &NetworkParams::paper_example()).unwrap(),
+                vec![SubscriberId(1)],
+            )
+            .unwrap();
+        let server = TcpBrokerServer::bind("127.0.0.1:0", broker.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let sub = TcpSubscriber::connect(addr, SubscriberId(1)).unwrap();
+        // Give the Subscribe frame a moment to register.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        let mut publisher = TcpPublisher::connect(addr).unwrap();
+        for seq in 0..5 {
+            publisher
+                .publish(Message::new(
+                    TopicId(1),
+                    PublisherId(0),
+                    SeqNo(seq),
+                    Time::from_millis(seq),
+                    &b"0123456789abcdef"[..],
+                ))
+                .unwrap();
+        }
+        for seq in 0..5 {
+            let m = sub
+                .deliveries()
+                .recv_timeout(std::time::Duration::from_secs(3))
+                .expect("tcp delivery");
+            assert_eq!(m.seq, SeqNo(seq));
+            assert_eq!(m.payload.as_ref(), b"0123456789abcdef");
+        }
+        broker.shutdown();
+        server.shutdown();
+        threads.join();
+    }
+
+    #[test]
+    fn tcp_poll_answered_then_silent_after_kill() {
+        let (broker, threads) = spawn_broker();
+        let server = TcpBrokerServer::bind("127.0.0.1:0", broker.clone()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(300)))
+            .unwrap();
+
+        write_frame(&mut stream, &WireMsg::Poll(7)).unwrap();
+        match read_frame(&mut stream).unwrap() {
+            WireMsg::PollAck(7) => {}
+            other => panic!("expected PollAck(7), got {other:?}"),
+        }
+
+        broker.kill();
+        // Dead broker: either no answer (timeout) or connection closed.
+        let _ = write_frame(&mut stream, &WireMsg::Poll(8));
+        match read_frame(&mut stream) {
+            Err(_) => {}
+            Ok(other) => panic!("dead broker must not ack, got {other:?}"),
+        }
+        server.shutdown();
+        threads.join();
+    }
+
+    #[test]
+    fn distributed_pair_replicates_and_prunes_over_tcp() {
+        // Primary and Backup in "separate processes" (separate servers over
+        // loopback TCP), category-2 topic (replication required).
+        let clock: Arc<dyn frame_clock::Clock> = Arc::new(MonotonicClock::new());
+        let (primary, pt) = RtBroker::spawn(
+            BrokerId(0),
+            BrokerRole::Primary,
+            BrokerConfig::frame(),
+            2,
+            clock.clone(),
+        );
+        let (backup, bt) = RtBroker::spawn(
+            BrokerId(1),
+            BrokerRole::Backup,
+            BrokerConfig::frame(),
+            2,
+            clock.clone(),
+        );
+        let net = NetworkParams::paper_example();
+        let spec = TopicSpec::category(2, TopicId(1));
+        for b in [&primary, &backup] {
+            b.register_topic(admit(&spec, &net).unwrap(), vec![SubscriberId(1)])
+                .unwrap();
+        }
+        let backup_server = TcpBrokerServer::bind("127.0.0.1:0", backup.clone()).unwrap();
+        let bridge = connect_backup_over_tcp(&primary, backup_server.local_addr()).unwrap();
+
+        let primary_server = TcpBrokerServer::bind("127.0.0.1:0", primary.clone()).unwrap();
+        let sub = TcpSubscriber::connect(primary_server.local_addr(), SubscriberId(1)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut publisher = TcpPublisher::connect(primary_server.local_addr()).unwrap();
+
+        for seq in 0..5 {
+            publisher
+                .publish(Message::new(
+                    TopicId(1),
+                    PublisherId(0),
+                    SeqNo(seq),
+                    clock.now(),
+                    &b"0123456789abcdef"[..],
+                ))
+                .unwrap();
+        }
+        for seq in 0..5 {
+            let m = sub
+                .deliveries()
+                .recv_timeout(std::time::Duration::from_secs(3))
+                .expect("delivery over tcp");
+            assert_eq!(m.seq, SeqNo(seq));
+        }
+        // Replicas then prunes must have crossed the wire to the backup.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+        loop {
+            let s = backup.stats();
+            if s.replicas_received >= 5 && s.prunes_applied >= 5 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "backup did not coordinate over TCP: {s:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        primary.shutdown();
+        backup.shutdown();
+        primary_server.shutdown();
+        backup_server.shutdown();
+        bridge.join();
+        pt.join();
+        bt.join();
+    }
+
+    #[test]
+    fn frame_codec_rejects_oversized() {
+        let (a, _b) = (
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            (),
+        );
+        let addr = a.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Hand-craft an absurd length prefix.
+            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            s.write_all(&[0u8; 16]).unwrap();
+        });
+        let (mut conn, _) = a.accept().unwrap();
+        let err = read_frame(&mut conn).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        client.join().unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! Analytic capacity planning: predicted module utilizations from the
+//! workload, the service-time model and the configuration — the queueing
+//! arithmetic behind the paper's provisioning story (and behind this
+//! reproduction's calibration).
+//!
+//! The prediction is a simple utilization law: each module's demand is the
+//! sum over topics of `rate × service time of the work that topic induces
+//! there`. It ignores queueing transients, so it is exact in expectation
+//! for stable systems and a sharp overload indicator (`> 1.0`) otherwise.
+//! [`predict`] is validated against the simulator's measured utilizations
+//! in this crate's tests, and the `fig7_cpu` experiment can print both.
+
+use frame_core::replication_needed;
+use frame_types::NetworkParams;
+use serde::{Deserialize, Serialize};
+
+use crate::params::{ConfigName, CpuAllocation, ServiceParams};
+use crate::workload::Workload;
+
+/// Predicted utilization (fraction of capacity, may exceed 1.0 = overload)
+/// for the modules the paper reports in Fig 7.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPrediction {
+    /// Message Delivery at the Primary.
+    pub primary_delivery: f64,
+    /// Message Proxy at the Primary.
+    pub primary_proxy: f64,
+    /// Message Proxy at the Backup.
+    pub backup_proxy: f64,
+    /// Aggregate message rate (messages/second).
+    pub message_rate: f64,
+    /// Aggregate replication rate (replicas/second).
+    pub replication_rate: f64,
+}
+
+impl CapacityPrediction {
+    /// Whether any module is predicted to exceed its capacity.
+    pub fn overloaded(&self) -> bool {
+        self.primary_delivery > 1.0 || self.primary_proxy > 1.0 || self.backup_proxy > 1.0
+    }
+}
+
+/// Predicts steady-state fault-free utilizations for `config` running
+/// `workload` with the given service model and CPU allocation.
+pub fn predict(
+    workload: &Workload,
+    config: ConfigName,
+    service: &ServiceParams,
+    cpu: &CpuAllocation,
+    net: &NetworkParams,
+) -> CapacityPrediction {
+    let broker_cfg = config.broker_config();
+    let mut delivery_demand = 0.0f64; // core-seconds per second
+    let mut proxy_demand = 0.0f64;
+    let mut backup_proxy_demand = 0.0f64;
+    let mut message_rate = 0.0f64;
+    let mut replication_rate = 0.0f64;
+
+    for t in &workload.topics {
+        let rate = 1.0 / t.spec.period.as_secs_f64();
+        message_rate += rate;
+        let replicates = if broker_cfg.selective_replication {
+            replication_needed(&t.spec, net).unwrap_or(true)
+        } else {
+            true
+        };
+        let subs = 1u32; // the paper's workload has one subscriber per topic
+        delivery_demand +=
+            rate * service.delivery_demand(subs, replicates, broker_cfg.coordination);
+        let jobs = 1 + u64::from(replicates);
+        proxy_demand += rate
+            * (service.proxy_per_message.as_secs_f64()
+                + service.proxy_per_job.as_secs_f64() * jobs as f64);
+        if replicates {
+            replication_rate += rate;
+            backup_proxy_demand += rate * service.backup_replica_in.as_secs_f64();
+            if broker_cfg.coordination {
+                backup_proxy_demand += rate * service.backup_prune_in.as_secs_f64();
+            }
+        }
+    }
+
+    CapacityPrediction {
+        primary_delivery: delivery_demand / cpu.delivery_cores.max(1) as f64,
+        primary_proxy: proxy_demand / cpu.proxy_cores.max(1) as f64,
+        backup_proxy: backup_proxy_demand / cpu.proxy_cores.max(1) as f64,
+        message_rate,
+        replication_rate,
+    }
+}
+
+/// Finds the largest paper-style workload (total topic count, stepping by
+/// `step`) that `config` sustains without predicted overload — a capacity
+/// planner for "how many topics fit on this broker?".
+pub fn max_sustainable_topics(
+    config: ConfigName,
+    service: &ServiceParams,
+    cpu: &CpuAllocation,
+    net: &NetworkParams,
+    step: usize,
+    limit: usize,
+) -> usize {
+    let mut best = 0;
+    let mut total = 25;
+    while total <= limit {
+        let w = Workload::paper(total, config.extra_retention());
+        if predict(&w, config, service, cpu, net).overloaded() {
+            break;
+        }
+        best = total;
+        total += step;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{run, SimConfig};
+    use crate::params::SimSchedule;
+    use frame_types::Duration;
+
+    fn parts() -> (ServiceParams, CpuAllocation, NetworkParams) {
+        (
+            ServiceParams::default(),
+            CpuAllocation::default(),
+            NetworkParams::paper_example(),
+        )
+    }
+
+    #[test]
+    fn fcfs_overloads_at_7525_frame_does_not() {
+        let (s, c, n) = parts();
+        let w = Workload::paper(7525, 0);
+        let fcfs = predict(&w, ConfigName::Fcfs, &s, &c, &n);
+        let frame = predict(&w, ConfigName::Frame, &s, &c, &n);
+        assert!(fcfs.overloaded(), "FCFS at 7525: {fcfs:?}");
+        assert!(!frame.overloaded(), "FRAME at 7525: {frame:?}");
+        assert!(frame.primary_delivery < 0.65);
+        assert!(frame.replication_rate < fcfs.replication_rate);
+    }
+
+    #[test]
+    fn frame_plus_predicts_zero_backup_load() {
+        let (s, c, n) = parts();
+        let w = Workload::paper(4525, 1);
+        let p = predict(&w, ConfigName::FramePlus, &s, &c, &n);
+        assert_eq!(p.replication_rate, 0.0);
+        assert_eq!(p.backup_proxy, 0.0);
+    }
+
+    #[test]
+    fn prediction_matches_simulation_within_tolerance() {
+        // Fault-free run at a mid-size workload: measured utilization must
+        // track the analytic prediction closely (it is the same model the
+        // simulator charges).
+        let (s, c, n) = parts();
+        let size = 1525;
+        for config in [ConfigName::Frame, ConfigName::Fcfs] {
+            let w = Workload::paper(size, config.extra_retention());
+            let predicted = predict(&w, config, &s, &c, &n);
+            let mut cfg = SimConfig::new(config, size).with_seed(1);
+            cfg.schedule = SimSchedule {
+                warmup: Duration::from_secs(1),
+                measure: Duration::from_secs(5),
+                crash_offset: None,
+            };
+            let m = run(cfg);
+            let measured = m.primary_delivery_util();
+            let err = (measured - predicted.primary_delivery).abs();
+            assert!(
+                err < 0.03,
+                "{config}: predicted {:.3}, measured {measured:.3}",
+                predicted.primary_delivery
+            );
+        }
+    }
+
+    #[test]
+    fn sustainable_topics_ordering() {
+        let (s, c, n) = parts();
+        let frame =
+            max_sustainable_topics(ConfigName::Frame, &s, &c, &n, 1500, 40_000);
+        let fcfs = max_sustainable_topics(ConfigName::Fcfs, &s, &c, &n, 1500, 40_000);
+        let frame_plus =
+            max_sustainable_topics(ConfigName::FramePlus, &s, &c, &n, 1500, 40_000);
+        assert!(
+            fcfs < frame && frame < frame_plus,
+            "capacity ordering: fcfs {fcfs} < frame {frame} < frame+ {frame_plus}"
+        );
+        // The paper's crossover: FCFS fits 4525 but not 7525.
+        assert!(fcfs >= 4525 && fcfs < 7525, "fcfs capacity {fcfs}");
+    }
+}

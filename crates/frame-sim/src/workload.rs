@@ -1,0 +1,236 @@
+//! Workload generation: the paper's Table 2 topic mix.
+//!
+//! The evaluation (§VI) uses ten topics each in categories 0 and 1, five in
+//! category 5, and scales load by adding topics to categories 2–4. Workload
+//! sizes are the total topic counts {1525, 4525, 7525, 10525, 13525}.
+//! Publishers are proxies: categories 0 and 1 use one publisher per ten
+//! topics, categories 2–4 one per fifty topics, and category 5 one per
+//! topic. Each proxy sends its topics' messages in a batch, one message per
+//! topic per period.
+
+use frame_types::{Duration, SubscriberId, TopicId, TopicSpec};
+use serde::{Deserialize, Serialize};
+
+/// One topic of the workload with its placement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopicInfo {
+    /// The QoS specification (retention already includes any FRAME+ bump).
+    pub spec: TopicSpec,
+    /// Table 2 category (0–5).
+    pub category: u8,
+    /// Index of the publisher proxy that owns this topic.
+    pub publisher: usize,
+    /// The topic's subscriber.
+    pub subscriber: SubscriberId,
+}
+
+/// A publisher proxy: a batch of topics published together.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PublisherGroup {
+    /// Indices into [`Workload::topics`].
+    pub topics: Vec<usize>,
+    /// Batch period (all topics of a proxy share one period).
+    pub period: Duration,
+    /// Phase offset of the first batch, staggering proxies so batches do
+    /// not all arrive in the same instant.
+    pub phase: Duration,
+}
+
+/// A complete workload: topics plus publisher batching structure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// All topics, indexed by position.
+    pub topics: Vec<TopicInfo>,
+    /// Publisher proxies.
+    pub publishers: Vec<PublisherGroup>,
+}
+
+/// Payload size used throughout the evaluation (16 bytes, §VI).
+pub const PAYLOAD_SIZE: usize = 16;
+
+/// Topics per publisher proxy, by category (paper §VI).
+fn proxy_size(category: u8) -> usize {
+    match category {
+        0 | 1 => 10,
+        2..=4 => 50,
+        5 => 1,
+        _ => unreachable!("categories are 0..=5"),
+    }
+}
+
+impl Workload {
+    /// Builds the paper's workload with `total` topics:
+    /// 10 in category 0, 10 in category 1, five in category 5, and the
+    /// remaining `total - 25` split as evenly as possible across
+    /// categories 2–4. `extra_retention` is added to `N_i` of categories 2
+    /// and 5 (the FRAME+ knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < 25`.
+    pub fn paper(total: usize, extra_retention: u32) -> Workload {
+        assert!(total >= 25, "workload needs at least the 25 fixed topics");
+        let scalable = total - 25;
+        let per_cat = [
+            10,
+            10,
+            scalable / 3 + usize::from(scalable % 3 > 0),
+            scalable / 3 + usize::from(scalable % 3 > 1),
+            scalable / 3,
+            5,
+        ];
+
+        let mut topics = Vec::with_capacity(total);
+        let mut publishers = Vec::new();
+        let mut next_topic_id = 0u32;
+
+        for (category, &count) in per_cat.iter().enumerate() {
+            let category = category as u8;
+            let group = proxy_size(category);
+            let mut remaining = count;
+            while remaining > 0 {
+                let in_this_proxy = remaining.min(group);
+                let publisher = publishers.len();
+                let mut idxs = Vec::with_capacity(in_this_proxy);
+                for _ in 0..in_this_proxy {
+                    let mut spec = TopicSpec::category(category, TopicId(next_topic_id));
+                    if matches!(category, 2 | 5) {
+                        spec = spec.with_extra_retention(extra_retention);
+                    }
+                    idxs.push(topics.len());
+                    topics.push(TopicInfo {
+                        spec,
+                        category,
+                        publisher,
+                        subscriber: SubscriberId(next_topic_id),
+                    });
+                    next_topic_id += 1;
+                }
+                let period = topics[idxs[0]].spec.period;
+                // Deterministic stagger, coprime-ish step, bounded by the
+                // period.
+                let phase = Duration::from_nanos(
+                    (publisher as u64).wrapping_mul(997_331) % period.as_nanos().max(1),
+                );
+                publishers.push(PublisherGroup {
+                    topics: idxs,
+                    period,
+                    phase,
+                });
+                remaining -= in_this_proxy;
+            }
+        }
+        Workload { topics, publishers }
+    }
+
+    /// Total number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Indices of the topics in `category`.
+    pub fn category_topics(&self, category: u8) -> Vec<usize> {
+        self.topics
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.category == category)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Aggregate message rate (messages per second) of the workload.
+    pub fn message_rate(&self) -> f64 {
+        self.topics
+            .iter()
+            .map(|t| 1.0 / t.spec.period.as_secs_f64())
+            .sum()
+    }
+
+    /// The workload sizes evaluated in the paper.
+    pub const PAPER_SIZES: [usize; 5] = [1525, 4525, 7525, 10525, 13525];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_1525_shape() {
+        let w = Workload::paper(1525, 0);
+        assert_eq!(w.topic_count(), 1525);
+        assert_eq!(w.category_topics(0).len(), 10);
+        assert_eq!(w.category_topics(1).len(), 10);
+        assert_eq!(w.category_topics(2).len(), 500);
+        assert_eq!(w.category_topics(3).len(), 500);
+        assert_eq!(w.category_topics(4).len(), 500);
+        assert_eq!(w.category_topics(5).len(), 5);
+    }
+
+    #[test]
+    fn all_paper_sizes_add_up() {
+        for &size in &Workload::PAPER_SIZES {
+            let w = Workload::paper(size, 0);
+            assert_eq!(w.topic_count(), size, "size {size}");
+        }
+    }
+
+    #[test]
+    fn uneven_split_distributes_remainder() {
+        let w = Workload::paper(27, 0);
+        let sizes: Vec<usize> = (2..5).map(|c| w.category_topics(c).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert!(sizes.iter().all(|&s| s <= 1));
+    }
+
+    #[test]
+    fn publisher_grouping_matches_paper() {
+        let w = Workload::paper(1525, 0);
+        // Cat 0: 10 topics / proxy of 10 → 1 publisher; same cat 1.
+        // Cats 2-4: 500 each / 50 → 10 publishers each.
+        // Cat 5: 5 publishers of 1 topic.
+        assert_eq!(w.publishers.len(), 1 + 1 + 10 + 10 + 10 + 5);
+        for p in &w.publishers {
+            assert!(!p.topics.is_empty());
+            assert!(p.phase < p.period.max(Duration::from_nanos(1)));
+            // All topics of a proxy share the period.
+            for &t in &p.topics {
+                assert_eq!(w.topics[t].spec.period, p.period);
+                assert_eq!(w.topics[t].publisher, w.publishers.iter().position(|q| std::ptr::eq(p, q)).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn extra_retention_applies_to_cats_2_and_5_only() {
+        let w0 = Workload::paper(1525, 0);
+        let w1 = Workload::paper(1525, 1);
+        for (a, b) in w0.topics.iter().zip(&w1.topics) {
+            match a.category {
+                2 | 5 => assert_eq!(b.spec.retention, a.spec.retention + 1),
+                _ => assert_eq!(b.spec.retention, a.spec.retention),
+            }
+        }
+    }
+
+    #[test]
+    fn message_rate_at_7525() {
+        let w = Workload::paper(7525, 0);
+        // 400 (cats 0,1) + 75,000 (cats 2-4) + 10 (cat 5).
+        assert!((w.message_rate() - 75_410.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn subscriber_ids_are_unique() {
+        let w = Workload::paper(1525, 0);
+        let mut ids: Vec<u32> = w.topics.iter().map(|t| t.subscriber.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1525);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the 25")]
+    fn too_small_workload_panics() {
+        let _ = Workload::paper(10, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the simulation layer: workload construction,
+//! metrics accounting, and the capacity model's monotonicity.
+
+use frame_sim::{predict, ConfigName, CpuAllocation, ServiceParams, TopicMetrics, Workload};
+use frame_types::{Duration, NetworkParams};
+use proptest::prelude::*;
+
+proptest! {
+    /// Workload construction conserves topic counts for any admissible
+    /// total and assigns unique ids.
+    #[test]
+    fn workload_conserves_topics(total in 25usize..3_000, extra in 0u32..3) {
+        let w = Workload::paper(total, extra);
+        prop_assert_eq!(w.topic_count(), total);
+        let mut ids: Vec<u32> = w.topics.iter().map(|t| t.spec.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), total);
+        // Fixed categories keep their paper sizes.
+        prop_assert_eq!(w.category_topics(0).len(), 10);
+        prop_assert_eq!(w.category_topics(1).len(), 10);
+        prop_assert_eq!(w.category_topics(5).len(), 5);
+        // Every topic belongs to exactly one publisher group that lists it.
+        for (i, t) in w.topics.iter().enumerate() {
+            prop_assert!(w.publishers[t.publisher].topics.contains(&i));
+        }
+    }
+
+    /// Metrics bitset: max_consecutive_losses equals the brute-force scan
+    /// for any delivery pattern over any seq window.
+    #[test]
+    fn metrics_losses_match_bruteforce(
+        first in 0u64..1_000,
+        delivered in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut m = TopicMetrics::default();
+        for (i, _) in delivered.iter().enumerate() {
+            m.on_publish(first + i as u64);
+        }
+        for (i, &d) in delivered.iter().enumerate() {
+            if d {
+                m.on_delivery(first + i as u64, Duration::ZERO, Duration::MAX);
+            }
+        }
+        let mut max_run = 0u64;
+        let mut run = 0u64;
+        for &d in &delivered {
+            if d { run = 0 } else { run += 1; max_run = max_run.max(run); }
+        }
+        prop_assert_eq!(m.max_consecutive_losses(), max_run);
+        prop_assert_eq!(m.delivered as usize, delivered.iter().filter(|&&d| d).count());
+    }
+
+    /// Duplicates never change loss accounting or on-time counts.
+    #[test]
+    fn metrics_duplicates_are_inert(pattern in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut m = TopicMetrics::default();
+        for seq in 0..50u64 {
+            m.on_publish(seq);
+        }
+        let mut first_set = std::collections::HashSet::new();
+        for &seq in &pattern {
+            let fresh = m.on_delivery(seq, Duration::ZERO, Duration::MAX);
+            prop_assert_eq!(fresh, first_set.insert(seq));
+        }
+        prop_assert_eq!(m.delivered as usize, first_set.len());
+        prop_assert_eq!(m.duplicates as usize, pattern.len() - first_set.len());
+    }
+
+    /// Capacity prediction is monotone in workload size for every
+    /// configuration, and FRAME never demands more than FCFS.
+    #[test]
+    fn capacity_monotone(small in 25usize..2_000, grow in 1usize..2_000) {
+        let service = ServiceParams::default();
+        let cpu = CpuAllocation::default();
+        let net = NetworkParams::paper_example();
+        for config in ConfigName::ALL {
+            let a = predict(
+                &Workload::paper(small, config.extra_retention()),
+                config, &service, &cpu, &net,
+            );
+            let b = predict(
+                &Workload::paper(small + grow, config.extra_retention()),
+                config, &service, &cpu, &net,
+            );
+            prop_assert!(b.primary_delivery >= a.primary_delivery, "{config}");
+            prop_assert!(b.message_rate > a.message_rate);
+        }
+        let w = Workload::paper(small, 0);
+        let frame = predict(&w, ConfigName::Frame, &service, &cpu, &net);
+        let fcfs = predict(&w, ConfigName::Fcfs, &service, &cpu, &net);
+        prop_assert!(frame.primary_delivery <= fcfs.primary_delivery);
+        prop_assert!(frame.replication_rate <= fcfs.replication_rate);
+    }
+}

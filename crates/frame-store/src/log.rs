@@ -1,0 +1,484 @@
+//! The segmented message log: append, rotate, recover, prune.
+//!
+//! A [`MessageLog`] is a directory of numbered segment files
+//! (`000000000000000042.seg`). Appends go to the active (highest) segment;
+//! when it exceeds the size limit a new segment is started. Recovery scans
+//! segments in order, stops at the first torn/corrupt record, and truncates
+//! the damage. [`MessageLog::checkpoint`] deletes whole segments whose
+//! records have all been superseded (the disk analogue of FRAME's
+//! dispatch-replicate pruning).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use frame_types::Message;
+
+use crate::record::{decode, encode, DecodeError};
+
+/// When appended records are pushed to the OS / device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// `fsync` after every append — durable, slow (this latency is why the
+    /// paper's Table 1 discussion sets the local-disk strategy aside).
+    Always,
+    /// `fsync` every `n` appends (group commit).
+    EveryN(u32),
+    /// Never fsync explicitly; rely on the OS (fast, weakest durability).
+    Os,
+}
+
+/// Statistics of a recovery scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records recovered.
+    pub records: u64,
+    /// Segments scanned.
+    pub segments: u64,
+    /// Bytes of torn/corrupt tail discarded.
+    pub truncated_bytes: u64,
+}
+
+/// A segmented, append-only, CRC-checked message log.
+pub struct MessageLog {
+    dir: PathBuf,
+    segment_limit: u64,
+    sync: SyncPolicy,
+    active: File,
+    active_id: u64,
+    active_len: u64,
+    appends_since_sync: u32,
+    appended: u64,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:018}.seg"))
+}
+
+fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name.strip_suffix(".seg") {
+            if let Ok(id) = stem.parse::<u64>() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+impl MessageLog {
+    /// Opens (or creates) a log in `dir` with the given segment size limit
+    /// and sync policy. Existing segments are kept; appends continue in a
+    /// fresh segment after the highest existing id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        segment_limit: u64,
+        sync: SyncPolicy,
+    ) -> std::io::Result<MessageLog> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let next_id = list_segments(&dir)?.last().map_or(0, |last| last + 1);
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, next_id))?;
+        Ok(MessageLog {
+            dir,
+            segment_limit: segment_limit.max(1),
+            sync,
+            active,
+            active_id: next_id,
+            active_len: 0,
+            appends_since_sync: 0,
+            appended: 0,
+        })
+    }
+
+    /// Appends one message, rotating and syncing per policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, message: &Message) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(64 + message.payload.len());
+        encode(message, &mut buf);
+        self.active.write_all(&buf)?;
+        self.active_len += buf.len() as u64;
+        self.appended += 1;
+        self.appends_since_sync += 1;
+
+        let must_sync = match self.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            SyncPolicy::Os => false,
+        };
+        if must_sync {
+            self.active.sync_data()?;
+            self.appends_since_sync = 0;
+        }
+        if self.active_len >= self.segment_limit {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.active.sync_data()?;
+        self.active_id += 1;
+        self.active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, self.active_id))?;
+        self.active_len = 0;
+        Ok(())
+    }
+
+    /// Forces an fsync of the active segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.appends_since_sync = 0;
+        self.active.sync_data()
+    }
+
+    /// Total messages appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Id of the active segment.
+    pub fn active_segment(&self) -> u64 {
+        self.active_id
+    }
+
+    /// Number of segment files currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn segment_count(&self) -> std::io::Result<usize> {
+        Ok(list_segments(&self.dir)?.len())
+    }
+
+    /// Deletes every non-active segment whose highest record index is below
+    /// `keep_from` (a count over the *recovered order* of messages). This
+    /// is the coarse, segment-granular pruning real log systems use.
+    ///
+    /// Returns the number of segments removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn checkpoint(&mut self, keep_from: u64) -> std::io::Result<usize> {
+        let mut removed = 0;
+        let mut index = 0u64;
+        for id in list_segments(&self.dir)? {
+            if id == self.active_id {
+                break;
+            }
+            let records = count_records(&segment_path(&self.dir, id))?;
+            if index + records <= keep_from {
+                std::fs::remove_file(segment_path(&self.dir, id))?;
+                removed += 1;
+                index += records;
+            } else {
+                break;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Replays the whole log in order, invoking `f` per intact record, and
+    /// truncates any torn tail in the newest segment. Returns a report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        mut f: impl FnMut(Message),
+    ) -> std::io::Result<RecoveryReport> {
+        let dir = dir.as_ref();
+        let mut report = RecoveryReport::default();
+        let segments = match list_segments(dir) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        for id in segments {
+            let path = segment_path(dir, id);
+            let mut data = Vec::new();
+            File::open(&path)?.read_to_end(&mut data)?;
+            report.segments += 1;
+            let mut off = 0usize;
+            loop {
+                if off == data.len() {
+                    break;
+                }
+                match decode(&data[off..]) {
+                    Ok((m, used)) => {
+                        f(m);
+                        report.records += 1;
+                        off += used;
+                    }
+                    Err(
+                        DecodeError::ShortHeader
+                        | DecodeError::ShortBody
+                        | DecodeError::BadCrc
+                        | DecodeError::Malformed
+                        | DecodeError::TooLong,
+                    ) => {
+                        // Torn or corrupt tail: truncate the segment here.
+                        let keep = off as u64;
+                        report.truncated_bytes += data.len() as u64 - keep;
+                        let fh = OpenOptions::new().write(true).open(&path)?;
+                        fh.set_len(keep)?;
+                        fh.sync_data()?;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn count_records(path: &Path) -> std::io::Result<u64> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let mut off = 0usize;
+    let mut n = 0u64;
+    while off < data.len() {
+        match decode(&data[off..]) {
+            Ok((_, used)) => {
+                off += used;
+                n += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(n)
+}
+
+/// Truncates a file to `len` bytes — exposed for fault-injection tests.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_data()
+}
+
+/// Seeks out the newest segment of `dir` (for fault-injection tests).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn newest_segment(dir: &Path) -> std::io::Result<Option<PathBuf>> {
+    Ok(list_segments(dir)?
+        .last()
+        .map(|&id| segment_path(dir, id)))
+}
+
+/// Flips one byte at `offset` in `path` (for fault-injection tests).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn corrupt_byte(path: &Path, offset: u64) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(&mut b)?;
+    b[0] ^= 0xFF;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)?;
+    f.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_types::{PublisherId, SeqNo, Time, TopicId};
+
+    fn msg(seq: u64) -> Message {
+        Message::new(
+            TopicId(1),
+            PublisherId(1),
+            SeqNo(seq),
+            Time::from_millis(seq),
+            &b"0123456789abcdef"[..],
+        )
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "frame-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_and_recover_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut log = MessageLog::open(&dir, 1 << 20, SyncPolicy::Os).unwrap();
+        for seq in 0..100 {
+            log.append(&msg(seq)).unwrap();
+        }
+        log.sync().unwrap();
+        assert_eq!(log.appended(), 100);
+        drop(log);
+
+        let mut seqs = Vec::new();
+        let report = MessageLog::recover(&dir, |m| seqs.push(m.seq.raw())).unwrap();
+        assert_eq!(report.records, 100);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_produces_multiple_segments() {
+        let dir = tmpdir("rotate");
+        // Tiny segment limit: every append rotates.
+        let mut log = MessageLog::open(&dir, 32, SyncPolicy::Os).unwrap();
+        for seq in 0..10 {
+            log.append(&msg(seq)).unwrap();
+        }
+        assert!(log.segment_count().unwrap() >= 10);
+        assert!(log.active_segment() >= 9);
+        drop(log);
+        let mut n = 0;
+        MessageLog::recover(&dir, |_| n += 1).unwrap();
+        assert_eq!(n, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_rest_survives() {
+        let dir = tmpdir("torn");
+        let mut log = MessageLog::open(&dir, 1 << 20, SyncPolicy::Always).unwrap();
+        for seq in 0..20 {
+            log.append(&msg(seq)).unwrap();
+        }
+        drop(log);
+        // Tear the last record.
+        let seg = newest_segment(&dir).unwrap().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        truncate_file(&seg, len - 5).unwrap();
+
+        let mut seqs = Vec::new();
+        let report = MessageLog::recover(&dir, |m| seqs.push(m.seq.raw())).unwrap();
+        assert_eq!(report.records, 19);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(seqs.last(), Some(&18));
+
+        // A second recovery is clean (idempotent truncation).
+        let report2 = MessageLog::recover(&dir, |_| {}).unwrap();
+        assert_eq!(report2.records, 19);
+        assert_eq!(report2.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_stops_scan_at_damage() {
+        let dir = tmpdir("corrupt");
+        let mut log = MessageLog::open(&dir, 1 << 20, SyncPolicy::Always).unwrap();
+        for seq in 0..10 {
+            log.append(&msg(seq)).unwrap();
+        }
+        drop(log);
+        let seg = newest_segment(&dir).unwrap().unwrap();
+        // Flip a byte in the middle (inside record ~5).
+        let len = std::fs::metadata(&seg).unwrap().len();
+        corrupt_byte(&seg, len / 2).unwrap();
+
+        let mut n = 0u64;
+        let report = MessageLog::recover(&dir, |_| n += 1).unwrap();
+        assert!(report.records < 10, "scan must stop at the corruption");
+        assert_eq!(report.records, n);
+        assert!(report.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_removes_fully_superseded_segments() {
+        let dir = tmpdir("checkpoint");
+        let mut log = MessageLog::open(&dir, 200, SyncPolicy::Os).unwrap();
+        for seq in 0..30 {
+            log.append(&msg(seq)).unwrap();
+        }
+        let before = log.segment_count().unwrap();
+        assert!(before > 3);
+        // Everything up to record 15 is superseded.
+        let removed = log.checkpoint(15).unwrap();
+        assert!(removed > 0);
+        assert!(log.segment_count().unwrap() < before);
+        // Remaining records still recover in order, starting beyond the
+        // pruned prefix.
+        drop(log);
+        let mut seqs = Vec::new();
+        MessageLog::recover(&dir, |m| seqs.push(m.seq.raw())).unwrap();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert!(!seqs.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_to_new_segment() {
+        let dir = tmpdir("reopen");
+        {
+            let mut log = MessageLog::open(&dir, 1 << 20, SyncPolicy::Os).unwrap();
+            log.append(&msg(0)).unwrap();
+            log.sync().unwrap();
+        }
+        {
+            let mut log = MessageLog::open(&dir, 1 << 20, SyncPolicy::Os).unwrap();
+            log.append(&msg(1)).unwrap();
+            log.sync().unwrap();
+            assert!(log.active_segment() >= 1);
+        }
+        let mut seqs = Vec::new();
+        MessageLog::recover(&dir, |m| seqs.push(m.seq.raw())).unwrap();
+        assert_eq!(seqs, vec![0, 1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_policy_counts() {
+        let dir = tmpdir("groupcommit");
+        let mut log = MessageLog::open(&dir, 1 << 20, SyncPolicy::EveryN(5)).unwrap();
+        for seq in 0..12 {
+            log.append(&msg(seq)).unwrap();
+        }
+        drop(log);
+        let mut n = 0;
+        MessageLog::recover(&dir, |_| n += 1).unwrap();
+        assert_eq!(n, 12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_of_missing_dir_is_empty() {
+        let report = MessageLog::recover(tmpdir("missing-nonexistent"), |_| {
+            panic!("no records expected")
+        })
+        .unwrap();
+        assert_eq!(report, RecoveryReport::default());
+    }
+}

@@ -1,0 +1,169 @@
+//! Strongly-typed identifiers for the entities of the FRAME model.
+//!
+//! Every identifier is a transparent newtype over an integer, so that a
+//! `TopicId` can never be passed where a `SubscriberId` is expected. All ids
+//! are cheap to copy and hash, and are stable across serialization.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(raw: $repr) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a message topic. The paper uses "message" and "topic"
+    /// interchangeably; a topic is the unit that carries QoS parameters.
+    TopicId,
+    "topic-",
+    u32
+);
+
+define_id!(
+    /// Identifies a publisher (a proxy host aggregating IIoT devices).
+    PublisherId,
+    "pub-",
+    u32
+);
+
+define_id!(
+    /// Identifies a subscriber (edge application or cloud consumer).
+    SubscriberId,
+    "sub-",
+    u32
+);
+
+define_id!(
+    /// Identifies a broker (Primary or Backup role is dynamic, not part of
+    /// the identity).
+    BrokerId,
+    "broker-",
+    u32
+);
+
+define_id!(
+    /// Identifies a simulated host (machine) in the testbed topology.
+    HostId,
+    "host-",
+    u32
+);
+
+/// Per-topic message sequence number, assigned by the publisher at creation.
+///
+/// Sequence numbers start at zero and increase by one per published message;
+/// subscribers use gaps in the sequence to count *consecutive* losses, and
+/// duplicates (e.g., a retained copy re-sent during failover that was also
+/// replicated) are discarded by sequence number.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The first sequence number.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// Returns the raw counter value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number.
+    #[inline]
+    pub const fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+
+    /// Number of sequence numbers strictly between `earlier` and `self`,
+    /// i.e. how many messages were skipped if `self` follows `earlier`.
+    /// Returns zero when `self <= earlier` (duplicate or reordered).
+    #[inline]
+    pub const fn gap_since(self, earlier: SeqNo) -> u64 {
+        if self.0 > earlier.0 {
+            self.0 - earlier.0 - 1
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Debug for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_display() {
+        let t = TopicId(7);
+        let s = SubscriberId(7);
+        assert_eq!(t.to_string(), "topic-7");
+        assert_eq!(s.to_string(), "sub-7");
+        assert_eq!(format!("{t:?}"), "topic-7");
+        assert_eq!(TopicId::from(3).raw(), 3);
+    }
+
+    #[test]
+    fn seqno_next_and_gap() {
+        let a = SeqNo(5);
+        assert_eq!(a.next(), SeqNo(6));
+        assert_eq!(SeqNo(9).gap_since(SeqNo(5)), 3); // 6,7,8 missing
+        assert_eq!(SeqNo(6).gap_since(SeqNo(5)), 0); // consecutive
+        assert_eq!(SeqNo(5).gap_since(SeqNo(5)), 0); // duplicate
+        assert_eq!(SeqNo(3).gap_since(SeqNo(5)), 0); // reordered
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(TopicId(2) < TopicId(10));
+        assert!(SeqNo(2) < SeqNo(10));
+    }
+}

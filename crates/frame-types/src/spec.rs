@@ -1,0 +1,391 @@
+//! Topic specifications: the per-topic QoS contract of the FRAME model.
+//!
+//! Each topic `i` carries four parameters (paper §III):
+//!
+//! * `T_i` — the *period*: minimum inter-creation time of messages
+//!   (sporadic arrivals).
+//! * `D_i` — the *end-to-end soft deadline* from publisher to subscriber.
+//! * `L_i` — the *loss tolerance*: maximum acceptable number of
+//!   **consecutive** message losses ([`LossTolerance`]).
+//! * `N_i` — the *retention depth*: how many of its latest messages the
+//!   publisher retains for re-sending during failover.
+//!
+//! The paper's Table 2 defines six representative categories of topic used
+//! throughout the evaluation; they are reproduced by
+//! [`TopicSpec::category`].
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::TopicId;
+use crate::time::Duration;
+
+/// How many consecutive message losses a subscriber tolerates (`L_i`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossTolerance {
+    /// At most this many consecutive losses are acceptable. `Consecutive(0)`
+    /// means zero message loss.
+    Consecutive(u32),
+    /// Best-effort delivery (`L_i = ∞`): the subscriber never counts a
+    /// violation, and replication is never required.
+    BestEffort,
+}
+
+impl LossTolerance {
+    /// Zero message loss (`L_i = 0`).
+    pub const ZERO: LossTolerance = LossTolerance::Consecutive(0);
+
+    /// Returns the finite bound, or `None` for best-effort topics.
+    #[inline]
+    pub const fn bound(self) -> Option<u32> {
+        match self {
+            LossTolerance::Consecutive(l) => Some(l),
+            LossTolerance::BestEffort => None,
+        }
+    }
+
+    /// Returns `true` for best-effort (`∞`) tolerance.
+    #[inline]
+    pub const fn is_best_effort(self) -> bool {
+        matches!(self, LossTolerance::BestEffort)
+    }
+
+    /// Whether observing `consecutive_losses` consecutive losses violates
+    /// this tolerance.
+    #[inline]
+    pub const fn violated_by(self, consecutive_losses: u64) -> bool {
+        match self {
+            LossTolerance::Consecutive(l) => consecutive_losses > l as u64,
+            LossTolerance::BestEffort => false,
+        }
+    }
+}
+
+impl fmt::Debug for LossTolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossTolerance::Consecutive(l) => write!(f, "L={l}"),
+            LossTolerance::BestEffort => write!(f, "L=∞"),
+        }
+    }
+}
+
+impl fmt::Display for LossTolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossTolerance::Consecutive(l) => write!(f, "{l}"),
+            LossTolerance::BestEffort => write!(f, "∞"),
+        }
+    }
+}
+
+/// Where the subscribers of a topic live, which determines the
+/// broker→subscriber latency bound `ΔBS` used in the timing analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Destination {
+    /// Subscriber is within the edge (close proximity; sub-millisecond
+    /// network latency in the paper's testbed).
+    Edge,
+    /// Subscriber is in a remote cloud (tens of milliseconds; the paper
+    /// measured ≥ 20 ms to AWS EC2).
+    Cloud,
+}
+
+impl fmt::Display for Destination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Destination::Edge => write!(f, "Edge"),
+            Destination::Cloud => write!(f, "Cloud"),
+        }
+    }
+}
+
+/// One subscriber's requirements for a topic, used when multiple
+/// subscribers share it (see [`TopicSpec::with_merged_requirements`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SubscriberRequirement {
+    /// The subscriber's end-to-end deadline.
+    pub deadline: Duration,
+    /// The subscriber's tolerated consecutive losses.
+    pub loss_tolerance: LossTolerance,
+    /// Where the subscriber lives.
+    pub destination: Destination,
+}
+
+/// The complete per-topic QoS specification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TopicSpec {
+    /// Topic identity.
+    pub id: TopicId,
+    /// `T_i`: minimum inter-creation time (period) of the sporadic message
+    /// stream. Use [`Duration::MAX`] for rare, aperiodic topics
+    /// (paper §III-D.4 models emergency notifications as `T_i = ∞`).
+    pub period: Duration,
+    /// `D_i`: soft end-to-end deadline, publisher → subscriber.
+    pub deadline: Duration,
+    /// `L_i`: tolerated consecutive losses.
+    pub loss_tolerance: LossTolerance,
+    /// `N_i`: number of latest messages the publisher retains for re-send.
+    pub retention: u32,
+    /// Destination domain of the topic's subscribers.
+    pub destination: Destination,
+}
+
+impl TopicSpec {
+    /// Creates a specification with explicit parameters.
+    pub fn new(
+        id: TopicId,
+        period: Duration,
+        deadline: Duration,
+        loss_tolerance: LossTolerance,
+        retention: u32,
+        destination: Destination,
+    ) -> Self {
+        TopicSpec {
+            id,
+            period,
+            deadline,
+            loss_tolerance,
+            retention,
+            destination,
+        }
+    }
+
+    /// Builds the paper's Table 2 category specification for `category`
+    /// (0–5), assigning it topic id `id`. Timing values are in
+    /// milliseconds, exactly as printed in the paper:
+    ///
+    /// | Category | `T_i` | `D_i` | `L_i` | `N_i` | Destination |
+    /// |----------|-------|-------|-------|-------|-------------|
+    /// | 0        |  50   |  50   | 0     | 2     | Edge        |
+    /// | 1        |  50   |  50   | 3     | 0     | Edge        |
+    /// | 2        | 100   | 100   | 0     | 1     | Edge        |
+    /// | 3        | 100   | 100   | 3     | 0     | Edge        |
+    /// | 4        | 100   | 100   | ∞     | 0     | Edge        |
+    /// | 5        | 500   | 500   | 0     | 1     | Cloud       |
+    ///
+    /// The `N_i` column is the minimum value that keeps the replication
+    /// deadline of Lemma 1 non-negative under the paper's testbed
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category > 5`.
+    pub fn category(category: u8, id: TopicId) -> Self {
+        let (t, d, l, n, dest) = match category {
+            0 => (50, 50, LossTolerance::Consecutive(0), 2, Destination::Edge),
+            1 => (50, 50, LossTolerance::Consecutive(3), 0, Destination::Edge),
+            2 => (
+                100,
+                100,
+                LossTolerance::Consecutive(0),
+                1,
+                Destination::Edge,
+            ),
+            3 => (
+                100,
+                100,
+                LossTolerance::Consecutive(3),
+                0,
+                Destination::Edge,
+            ),
+            4 => (100, 100, LossTolerance::BestEffort, 0, Destination::Edge),
+            5 => (
+                500,
+                500,
+                LossTolerance::Consecutive(0),
+                1,
+                Destination::Cloud,
+            ),
+            other => panic!("Table 2 defines categories 0..=5, got {other}"),
+        };
+        TopicSpec {
+            id,
+            period: Duration::from_millis(t),
+            deadline: Duration::from_millis(d),
+            loss_tolerance: l,
+            retention: n,
+            destination: dest,
+        }
+    }
+
+    /// Returns a copy with retention `N_i` increased by `extra`.
+    ///
+    /// This is the paper's FRAME+ configuration knob (§III-D.3): bumping
+    /// `N_i` by one for categories 2 and 5 flips their selective-replication
+    /// condition and removes all replication traffic.
+    #[must_use]
+    pub fn with_extra_retention(mut self, extra: u32) -> Self {
+        self.retention = self.retention.saturating_add(extra);
+        self
+    }
+
+    /// Merges per-subscriber requirements into this topic's specification,
+    /// choosing "the highest requirements among the subscribers"
+    /// (paper §III-B): the smallest deadline, the smallest loss tolerance,
+    /// and the most remote destination (a cloud subscriber tightens the
+    /// dispatch deadline through its larger `ΔBS`).
+    #[must_use]
+    pub fn with_merged_requirements(mut self, requirements: &[SubscriberRequirement]) -> Self {
+        for r in requirements {
+            self.deadline = self.deadline.min(r.deadline);
+            self.loss_tolerance = match (self.loss_tolerance, r.loss_tolerance) {
+                (LossTolerance::BestEffort, l) | (l, LossTolerance::BestEffort) => l,
+                (LossTolerance::Consecutive(a), LossTolerance::Consecutive(b)) => {
+                    LossTolerance::Consecutive(a.min(b))
+                }
+            };
+            if r.destination == Destination::Cloud {
+                self.destination = Destination::Cloud;
+            }
+        }
+        self
+    }
+
+    /// `(N_i + L_i) · T_i` — the "tolerance window" term of Lemma 1,
+    /// saturating at [`Duration::MAX`] for best-effort topics or `T_i = ∞`.
+    pub fn tolerance_window(&self) -> Duration {
+        let l = match self.loss_tolerance {
+            LossTolerance::Consecutive(l) => l as u64,
+            LossTolerance::BestEffort => return Duration::MAX,
+        };
+        let factor = self.retention as u64 + l;
+        if self.period == Duration::MAX && factor > 0 {
+            return Duration::MAX;
+        }
+        self.period.saturating_mul(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_categories_match_paper() {
+        let c0 = TopicSpec::category(0, TopicId(0));
+        assert_eq!(c0.period, Duration::from_millis(50));
+        assert_eq!(c0.deadline, Duration::from_millis(50));
+        assert_eq!(c0.loss_tolerance, LossTolerance::Consecutive(0));
+        assert_eq!(c0.retention, 2);
+        assert_eq!(c0.destination, Destination::Edge);
+
+        let c4 = TopicSpec::category(4, TopicId(4));
+        assert!(c4.loss_tolerance.is_best_effort());
+        assert_eq!(c4.retention, 0);
+
+        let c5 = TopicSpec::category(5, TopicId(5));
+        assert_eq!(c5.period, Duration::from_millis(500));
+        assert_eq!(c5.destination, Destination::Cloud);
+        assert_eq!(c5.retention, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "categories 0..=5")]
+    fn category_out_of_range_panics() {
+        let _ = TopicSpec::category(6, TopicId(0));
+    }
+
+    #[test]
+    fn loss_tolerance_violation() {
+        let l0 = LossTolerance::Consecutive(0);
+        assert!(!l0.violated_by(0));
+        assert!(l0.violated_by(1));
+
+        let l3 = LossTolerance::Consecutive(3);
+        assert!(!l3.violated_by(3));
+        assert!(l3.violated_by(4));
+
+        assert!(!LossTolerance::BestEffort.violated_by(u64::MAX));
+        assert_eq!(LossTolerance::BestEffort.bound(), None);
+        assert_eq!(l3.bound(), Some(3));
+    }
+
+    #[test]
+    fn tolerance_window_arithmetic() {
+        // Category 0: (N + L)·T = (2 + 0)·50ms = 100ms.
+        let c0 = TopicSpec::category(0, TopicId(0));
+        assert_eq!(c0.tolerance_window(), Duration::from_millis(100));
+        // Category 3: (0 + 3)·100ms = 300ms.
+        let c3 = TopicSpec::category(3, TopicId(3));
+        assert_eq!(c3.tolerance_window(), Duration::from_millis(300));
+        // Best-effort: ∞.
+        let c4 = TopicSpec::category(4, TopicId(4));
+        assert_eq!(c4.tolerance_window(), Duration::MAX);
+        // Aperiodic emergency topic: T = ∞, L = 0, N > 0 ⇒ window ∞.
+        let emergency = TopicSpec::new(
+            TopicId(9),
+            Duration::MAX,
+            Duration::from_millis(10),
+            LossTolerance::ZERO,
+            1,
+            Destination::Edge,
+        );
+        assert_eq!(emergency.tolerance_window(), Duration::MAX);
+        // T = ∞ but factor 0 ⇒ zero window (degenerate, inadmissible).
+        let degenerate = TopicSpec::new(
+            TopicId(10),
+            Duration::MAX,
+            Duration::from_millis(10),
+            LossTolerance::ZERO,
+            0,
+            Destination::Edge,
+        );
+        assert_eq!(degenerate.tolerance_window(), Duration::ZERO);
+    }
+
+    #[test]
+    fn extra_retention() {
+        let c2 = TopicSpec::category(2, TopicId(2)).with_extra_retention(1);
+        assert_eq!(c2.retention, 2);
+        let max = TopicSpec::category(2, TopicId(2));
+        let mut spec = max;
+        spec.retention = u32::MAX;
+        assert_eq!(spec.with_extra_retention(1).retention, u32::MAX);
+    }
+
+    #[test]
+    fn merged_requirements_pick_the_strictest() {
+        let base = TopicSpec::category(3, TopicId(1)); // D=100, L=3, Edge
+        let merged = base.with_merged_requirements(&[
+            SubscriberRequirement {
+                deadline: Duration::from_millis(400),
+                loss_tolerance: LossTolerance::BestEffort,
+                destination: Destination::Edge,
+            },
+            SubscriberRequirement {
+                deadline: Duration::from_millis(80),
+                loss_tolerance: LossTolerance::Consecutive(1),
+                destination: Destination::Cloud,
+            },
+        ]);
+        assert_eq!(merged.deadline, Duration::from_millis(80));
+        assert_eq!(merged.loss_tolerance, LossTolerance::Consecutive(1));
+        assert_eq!(merged.destination, Destination::Cloud);
+        // Publisher-side parameters are untouched.
+        assert_eq!(merged.period, base.period);
+        assert_eq!(merged.retention, base.retention);
+    }
+
+    #[test]
+    fn merged_requirements_best_effort_yields_to_finite() {
+        let mut base = TopicSpec::category(4, TopicId(1)); // L=∞
+        base = base.with_merged_requirements(&[SubscriberRequirement {
+            deadline: Duration::from_millis(500),
+            loss_tolerance: LossTolerance::Consecutive(2),
+            destination: Destination::Edge,
+        }]);
+        assert_eq!(base.loss_tolerance, LossTolerance::Consecutive(2));
+        // Merging with nothing changes nothing.
+        let same = base.with_merged_requirements(&[]);
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(LossTolerance::Consecutive(3).to_string(), "3");
+        assert_eq!(LossTolerance::BestEffort.to_string(), "∞");
+        assert_eq!(Destination::Cloud.to_string(), "Cloud");
+    }
+}

@@ -1,0 +1,537 @@
+//! Time points and durations used throughout FRAME.
+//!
+//! FRAME reasons about time at sub-millisecond resolution (the paper uses
+//! values such as `ΔBB = 0.05 ms`), and the discrete-event simulator needs
+//! exact, platform-independent arithmetic. Both needs are served by
+//! fixed-point nanosecond counters: [`Time`] is an instant measured from an
+//! arbitrary epoch, and [`Duration`] is a span between instants.
+//!
+//! The types deliberately do *not* interoperate implicitly with
+//! [`std::time`]: conversions are explicit ([`Duration::from_std`],
+//! [`Duration::to_std`]) so that simulated time and wall-clock time cannot be
+//! mixed by accident.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of time with nanosecond resolution.
+///
+/// Unlike [`std::time::Duration`], arithmetic on this type is *saturating*:
+/// the timing bounds of the paper (Lemma 1 and 2) routinely subtract
+/// latencies from deadlines, and a negative intermediate simply means "not
+/// admissible", which callers detect via [`Duration::is_zero`] after using
+/// [`Duration::saturating_sub`] — or by using the checked signed arithmetic
+/// in [`crate::spec`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration {
+    nanos: u64,
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration { nanos: 0 };
+    /// The maximum representable duration (used to model `T_i = ∞`).
+    pub const MAX: Duration = Duration { nanos: u64::MAX };
+
+    /// Creates a duration from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration { nanos }
+    }
+
+    /// Creates a duration from whole microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Creates a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Creates a duration from fractional milliseconds.
+    ///
+    /// Values are rounded to the nearest nanosecond; negative and NaN inputs
+    /// are clamped to zero.
+    #[inline]
+    pub fn from_millis_f64(millis: f64) -> Self {
+        if !(millis > 0.0) {
+            return Duration::ZERO;
+        }
+        Duration {
+            nanos: (millis * 1_000_000.0).round() as u64,
+        }
+    }
+
+    /// Creates a duration from fractional seconds, clamping negatives to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !(secs > 0.0) {
+            return Duration::ZERO;
+        }
+        Duration {
+            nanos: (secs * 1_000_000_000.0).round() as u64,
+        }
+    }
+
+    /// Returns the duration in whole nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Returns the duration in whole microseconds (truncated).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Returns the duration in whole milliseconds (truncated).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Returns the duration in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1_000_000_000.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.nanos == 0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self.nanos.saturating_add(rhs.nanos),
+        }
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.nanos.checked_sub(rhs.nanos) {
+            Some(nanos) => Some(Duration { nanos }),
+            None => None,
+        }
+    }
+
+    /// Saturating multiplication by an integer factor.
+    #[inline]
+    pub const fn saturating_mul(self, factor: u64) -> Duration {
+        Duration {
+            nanos: self.nanos.saturating_mul(factor),
+        }
+    }
+
+    /// Converts to a [`std::time::Duration`].
+    #[inline]
+    pub const fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.nanos)
+    }
+
+    /// Converts from a [`std::time::Duration`], saturating at `u64::MAX` ns
+    /// (≈ 584 years).
+    #[inline]
+    pub fn from_std(d: std::time::Duration) -> Self {
+        Duration {
+            nanos: u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.nanos <= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self
+                .nanos
+                .checked_add(rhs.nanos)
+                .expect("duration addition overflowed"),
+        }
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("duration subtraction underflowed"),
+        }
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration {
+            nanos: self
+                .nanos
+                .checked_mul(rhs)
+                .expect("duration multiplication overflowed"),
+        }
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration {
+            nanos: self.nanos / rhs,
+        }
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos == u64::MAX {
+            return write!(f, "∞");
+        }
+        if self.nanos >= 1_000_000_000 && self.nanos % 1_000_000 == 0 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.nanos >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.nanos >= 1_000 {
+            write!(f, "{:.3}us", self.nanos as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ns", self.nanos)
+        }
+    }
+}
+
+/// An instant in time, measured in nanoseconds from an arbitrary epoch.
+///
+/// Within a simulation the epoch is simulation start; within the threaded
+/// runtime it is the runtime's start instant. Instants from different time
+/// domains must never be compared — the type system cannot prevent this, so
+/// constructors of both domains are kept on separate types
+/// (`frame_clock::SimClock` vs `frame_clock::MonotonicClock`).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time {
+    nanos: u64,
+}
+
+impl Time {
+    /// The epoch (time zero).
+    pub const ZERO: Time = Time { nanos: 0 };
+    /// The far future; useful as an "unset deadline" sentinel.
+    pub const MAX: Time = Time { nanos: u64::MAX };
+
+    /// Creates a time point from nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time { nanos }
+    }
+
+    /// Creates a time point from microseconds since the epoch.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Time {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Creates a time point from milliseconds since the epoch.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        Time {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Creates a time point from seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Time {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Returns nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Returns fractional milliseconds since the epoch.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 / 1_000_000.0
+    }
+
+    /// Returns fractional seconds since the epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1_000_000_000.0
+    }
+
+    /// Elapsed duration since `earlier`, saturating to zero if `earlier` is
+    /// in the future (which can happen across imperfectly-synchronized
+    /// simulated host clocks, exactly as with real PTP/NTP-synced hosts).
+    #[inline]
+    pub const fn saturating_since(self, earlier: Time) -> Duration {
+        Duration {
+            nanos: self.nanos.saturating_sub(earlier.nanos),
+        }
+    }
+
+    /// Checked duration since `earlier`; `None` if `earlier` is later.
+    #[inline]
+    pub const fn checked_since(self, earlier: Time) -> Option<Duration> {
+        match self.nanos.checked_sub(earlier.nanos) {
+            Some(nanos) => Some(Duration { nanos }),
+            None => None,
+        }
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Time {
+        Time {
+            nanos: self.nanos.saturating_add(d.nanos),
+        }
+    }
+
+    /// Saturating subtraction of a duration (clamps at the epoch).
+    #[inline]
+    pub const fn saturating_sub(self, d: Duration) -> Time {
+        Time {
+            nanos: self.nanos.saturating_sub(d.nanos),
+        }
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time {
+            nanos: self
+                .nanos
+                .checked_add(rhs.nanos)
+                .expect("time addition overflowed"),
+        }
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("time subtraction underflowed"),
+        }
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("time difference underflowed"),
+        }
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos == u64::MAX {
+            write!(f, "t=∞")
+        } else {
+            write!(f, "t={:.6}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Duration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Duration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Duration::from_millis_f64(0.05).as_micros(), 50);
+        assert_eq!(Duration::from_secs_f64(0.5), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn duration_fractional_roundtrip() {
+        let d = Duration::from_millis_f64(20.7);
+        assert!((d.as_millis_f64() - 20.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_floats_clamp_to_zero() {
+        assert_eq!(Duration::from_millis_f64(-3.0), Duration::ZERO);
+        assert_eq!(Duration::from_millis_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(-0.1), Duration::ZERO);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let a = Duration::from_millis(10);
+        let b = Duration::from_millis(30);
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+        assert_eq!(b.saturating_sub(a), Duration::from_millis(20));
+        assert_eq!(Duration::MAX.saturating_add(a), Duration::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn strict_sub_panics_on_underflow() {
+        let _ = Duration::from_millis(1) - Duration::from_millis(2);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = Time::from_millis(100);
+        let t1 = t0 + Duration::from_millis(50);
+        assert_eq!(t1 - t0, Duration::from_millis(50));
+        assert_eq!(t1.saturating_since(t0), Duration::from_millis(50));
+        assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+        assert_eq!(t0.checked_since(t1), None);
+        assert_eq!(t0.saturating_sub(Duration::from_secs(1)), Time::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::from_millis(1) < Time::from_millis(2));
+        assert!(Duration::from_micros(999) < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Duration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(Duration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(Duration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(Duration::from_secs(5).to_string(), "5.000s");
+        assert_eq!(Duration::MAX.to_string(), "∞");
+    }
+
+    #[test]
+    fn std_conversions() {
+        let d = Duration::from_millis(250);
+        assert_eq!(Duration::from_std(d.to_std()), d);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Duration::from_millis(1);
+        let b = Duration::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the foundational time and sequence types.
+
+use frame_types::{Duration, SeqNo, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Saturating subtraction never underflows and round-trips addition
+    /// when no clamping occurred.
+    #[test]
+    fn duration_saturating_sub_roundtrip(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let da = Duration::from_nanos(a);
+        let db = Duration::from_nanos(b);
+        let diff = da.saturating_sub(db);
+        if a >= b {
+            prop_assert_eq!(diff + db, da);
+        } else {
+            prop_assert_eq!(diff, Duration::ZERO);
+        }
+    }
+
+    /// checked_sub agrees with saturating_sub whenever it succeeds.
+    #[test]
+    fn duration_checked_matches_saturating(a: u64, b: u64) {
+        let da = Duration::from_nanos(a);
+        let db = Duration::from_nanos(b);
+        match da.checked_sub(db) {
+            Some(d) => prop_assert_eq!(d, da.saturating_sub(db)),
+            None => prop_assert_eq!(da.saturating_sub(db), Duration::ZERO),
+        }
+    }
+
+    /// Time ± Duration is monotone: adding a larger duration gives a later
+    /// time.
+    #[test]
+    fn time_add_is_monotone(t in 0u64..u64::MAX / 4, a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t0 = Time::from_nanos(t);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t0 + Duration::from_nanos(lo) <= t0 + Duration::from_nanos(hi));
+    }
+
+    /// saturating_since is antisymmetric: at most one direction is
+    /// non-zero, and their sum equals the absolute difference.
+    #[test]
+    fn time_since_antisymmetric(a: u64, b: u64) {
+        let ta = Time::from_nanos(a);
+        let tb = Time::from_nanos(b);
+        let ab = ta.saturating_since(tb);
+        let ba = tb.saturating_since(ta);
+        prop_assert!(ab == Duration::ZERO || ba == Duration::ZERO);
+        prop_assert_eq!(ab.as_nanos() + ba.as_nanos(), a.abs_diff(b));
+    }
+
+    /// Fractional-millisecond round trip stays within 1 ns of the input.
+    #[test]
+    fn duration_millis_f64_roundtrip(ms in 0.0f64..1e9) {
+        let d = Duration::from_millis_f64(ms);
+        let back = d.as_millis_f64();
+        prop_assert!((back - ms).abs() < 1e-6 + ms * 1e-12, "{} vs {}", back, ms);
+    }
+
+    /// SeqNo::gap_since counts exactly the skipped numbers.
+    #[test]
+    fn seqno_gap_counts_skips(prev in 0u64..u64::MAX / 2, step in 1u64..10_000) {
+        let a = SeqNo(prev);
+        let b = SeqNo(prev + step);
+        prop_assert_eq!(b.gap_since(a), step - 1);
+        prop_assert_eq!(a.gap_since(b), 0);
+    }
+
+    /// Display never panics across the whole range.
+    #[test]
+    fn display_total(d: u64, t: u64) {
+        let _ = Duration::from_nanos(d).to_string();
+        let _ = Time::from_nanos(t).to_string();
+    }
+}

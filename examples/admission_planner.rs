@@ -1,0 +1,135 @@
+//! Admission planner: a small configuration tool built on the paper's
+//! timing analysis. Give it topic parameters and deployment latencies and
+//! it tells you whether the topic is admissible, what its dispatch and
+//! replication deadlines are, whether Proposition 1 lets you skip
+//! replication, and — if inadmissible — the minimum publisher retention
+//! that fixes it (the paper's §III-D.1 remedy).
+//!
+//! ```sh
+//! cargo run --example admission_planner -- \
+//!     --period-ms 100 --deadline-ms 100 --loss 0 --retention 1 --cloud
+//! ```
+//! With no arguments it analyzes all six Table 2 categories.
+
+use frame::core::{
+    admit, dispatch_deadline, min_admissible_retention, replication_deadline,
+    replication_needed, Deadline,
+};
+use frame::types::{
+    Destination, Duration, LossTolerance, NetworkParams, TopicId, TopicSpec,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let net = NetworkParams::paper_example();
+
+    let specs: Vec<TopicSpec> = if args.is_empty() {
+        println!("(no arguments — analyzing the paper's six Table 2 categories)\n");
+        (0u8..=5).map(|c| TopicSpec::category(c, TopicId(c as u32))).collect()
+    } else {
+        vec![parse_spec(&args)]
+    };
+
+    for spec in specs {
+        analyze(&spec, &net);
+        println!();
+    }
+}
+
+fn parse_spec(args: &[String]) -> TopicSpec {
+    let mut period = 100u64;
+    let mut deadline = 100u64;
+    let mut loss: Option<u32> = Some(0);
+    let mut retention = 0u32;
+    let mut destination = Destination::Edge;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--period-ms" => period = val().parse().unwrap_or_else(|_| die("bad period")),
+            "--deadline-ms" => deadline = val().parse().unwrap_or_else(|_| die("bad deadline")),
+            "--loss" => {
+                let v = val();
+                loss = if v == "inf" {
+                    None
+                } else {
+                    Some(v.parse().unwrap_or_else(|_| die("bad loss")))
+                };
+            }
+            "--retention" => retention = val().parse().unwrap_or_else(|_| die("bad retention")),
+            "--cloud" => destination = Destination::Cloud,
+            "--edge" => destination = Destination::Edge,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    TopicSpec::new(
+        TopicId(0),
+        Duration::from_millis(period),
+        Duration::from_millis(deadline),
+        loss.map_or(LossTolerance::BestEffort, LossTolerance::Consecutive),
+        retention,
+        destination,
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: admission_planner [--period-ms N] [--deadline-ms N] \
+         [--loss N|inf] [--retention N] [--edge|--cloud]"
+    );
+    std::process::exit(2)
+}
+
+fn analyze(spec: &TopicSpec, net: &NetworkParams) {
+    println!(
+        "topic: T = {}, D = {}, L = {}, N = {}, destination = {}",
+        spec.period, spec.deadline, spec.loss_tolerance, spec.retention, spec.destination
+    );
+    match dispatch_deadline(spec, net) {
+        Ok(d) => println!("  Lemma 2 dispatch deadline   D^d = {d}"),
+        Err(e) => println!("  Lemma 2 dispatch deadline   FAILS: {e}"),
+    }
+    match replication_deadline(spec, net) {
+        Ok(Deadline::Finite(d)) => println!("  Lemma 1 replication deadline D^r = {d}"),
+        Ok(Deadline::Unbounded) => println!("  Lemma 1 replication deadline D^r = ∞ (best-effort)"),
+        Err(e) => println!("  Lemma 1 replication deadline FAILS: {e}"),
+    }
+    match admit(spec, net) {
+        Ok(_) => {
+            println!("  admission test: PASS");
+            match replication_needed(spec, net) {
+                Ok(true) => {
+                    println!("  Proposition 1: replication REQUIRED");
+                    // Would one more retained message remove it?
+                    let bumped = spec.with_extra_retention(1);
+                    if let Ok(false) = replication_needed(&bumped, net) {
+                        println!(
+                            "    hint: raising retention to N = {} removes the need \
+                             for replication (the FRAME+ trick, §III-D.3)",
+                            bumped.retention
+                        );
+                    }
+                }
+                Ok(false) => println!(
+                    "  Proposition 1: replication can be SUPPRESSED \
+                     (dispatching on time already covers L = {})",
+                    spec.loss_tolerance
+                ),
+                Err(_) => {}
+            }
+        }
+        Err(e) => {
+            println!("  admission test: FAIL — {e}");
+            if let Some(n) = min_admissible_retention(spec, net) {
+                if n > spec.retention {
+                    println!("    remedy: raise publisher retention to N >= {n}");
+                }
+            }
+        }
+    }
+}

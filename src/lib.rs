@@ -1,0 +1,51 @@
+//! # FRAME — Fault Tolerant and Real-Time Messaging for Edge Computing
+//!
+//! A from-scratch Rust reproduction of *FRAME: Fault Tolerant and Real-Time
+//! Messaging for Edge Computing* (Wang, Gill, Lu — ICDCS 2019): a
+//! publish/subscribe messaging architecture that differentiates topics by
+//! end-to-end deadline (`D_i`) and consecutive-loss tolerance (`L_i`),
+//! schedules dispatch and replication by EDF using the paper's proven
+//! timing bounds, suppresses unnecessary replication (Proposition 1), and
+//! prunes backup state so fault recovery is fast.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`types`] (`frame-types`) — identifiers, time, topic specs, messages;
+//! * [`clock`] (`frame-clock`) — simulated/monotonic clocks, sync error;
+//! * [`net`] (`frame-net`) — simulated links and latency models;
+//! * [`event`] (`frame-event`) — the TAO-style event-service substrate;
+//! * [`core`] (`frame-core`) — the FRAME architecture itself;
+//! * [`sim`] (`frame-sim`) — the discrete-event evaluation testbed;
+//! * [`rt`] (`frame-rt`) — the threaded runtime;
+//! * [`store`] (`frame-store`) — the local-disk loss-tolerance strategy
+//!   (Table 1) as a segmented write-ahead message log.
+//!
+//! ## Which entry point do I want?
+//!
+//! * Reason about QoS configurations → [`core::bounds`]
+//!   (admission test, Lemmas 1–2, Proposition 1).
+//! * Run a real broker in-process → [`rt::RtSystem`].
+//! * Reproduce the paper's evaluation → [`sim::run`] and the
+//!   `frame-bench` binaries.
+//!
+//! ```
+//! use frame::core::{admit, replication_needed};
+//! use frame::types::{NetworkParams, TopicId, TopicSpec};
+//!
+//! let net = NetworkParams::paper_example();
+//! let spec = TopicSpec::category(0, TopicId(1));
+//! let admitted = admit(&spec, &net).unwrap();
+//! assert!(!replication_needed(&spec, &net).unwrap()); // Proposition 1
+//! # let _ = admitted;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use frame_clock as clock;
+pub use frame_core as core;
+pub use frame_event as event;
+pub use frame_net as net;
+pub use frame_rt as rt;
+pub use frame_sim as sim;
+pub use frame_store as store;
+pub use frame_types as types;
