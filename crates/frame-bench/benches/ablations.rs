@@ -25,7 +25,10 @@ fn bench_selective_replication(c: &mut Criterion) {
     // (replicate-everything) — both with coordination.
     let mut group = c.benchmark_group("ablation_selective_replication");
     group.sample_size(10);
-    for (label, name) in [("prop1_on_frame", ConfigName::Frame), ("prop1_off_fcfs", ConfigName::Fcfs)] {
+    for (label, name) in [
+        ("prop1_on_frame", ConfigName::Frame),
+        ("prop1_off_fcfs", ConfigName::Fcfs),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &name, |b, &name| {
             let mut seed = 0;
             b.iter(|| {
@@ -103,8 +106,7 @@ fn bench_disk_strategy(c: &mut Criterion) {
         ("disk_append_os_cached", SyncPolicy::Os),
     ] {
         group.bench_function(label, |b| {
-            let mut log =
-                MessageLog::open(dir.join(label), 64 << 20, policy).expect("open log");
+            let mut log = MessageLog::open(dir.join(label), 64 << 20, policy).expect("open log");
             let mut seq = 0u64;
             b.iter(|| {
                 let mut m = msg.clone();

@@ -88,8 +88,11 @@ fn bench_recovery(c: &mut Criterion) {
             |bch, &topics| {
                 bch.iter_with_setup(
                     || {
-                        let mut b =
-                            Broker::new(BrokerId(1), BrokerRole::Backup, BrokerConfig::fcfs_minus());
+                        let mut b = Broker::new(
+                            BrokerId(1),
+                            BrokerRole::Backup,
+                            BrokerConfig::fcfs_minus(),
+                        );
                         for t in 0..topics {
                             let spec = TopicSpec::category(2, TopicId(t));
                             b.register_topic(admit(&spec, &net).unwrap(), vec![SubscriberId(t)])

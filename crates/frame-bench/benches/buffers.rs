@@ -19,24 +19,22 @@ fn msg(seq: u64) -> Message {
 fn bench_ring(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_buffer");
     for &cap in &[64usize, 4096, 65_536] {
-        group.bench_with_input(
-            BenchmarkId::new("push_wraparound", cap),
-            &cap,
-            |b, &cap| {
-                let mut rb = RingBuffer::new(cap);
-                let mut i = 0u64;
-                b.iter(|| {
-                    let (slot, evicted) = rb.push(BufferedMessage::new(msg(i), 1));
-                    black_box(evicted);
-                    black_box(slot);
-                    i += 1;
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("push_wraparound", cap), &cap, |b, &cap| {
+            let mut rb = RingBuffer::new(cap);
+            let mut i = 0u64;
+            b.iter(|| {
+                let (slot, evicted) = rb.push(BufferedMessage::new(msg(i), 1));
+                black_box(evicted);
+                black_box(slot);
+                i += 1;
+            });
+        });
     }
     group.bench_function("get_hit", |b| {
         let mut rb = RingBuffer::new(4096);
-        let slots: Vec<_> = (0..4096).map(|i| rb.push(BufferedMessage::new(msg(i), 1)).0).collect();
+        let slots: Vec<_> = (0..4096)
+            .map(|i| rb.push(BufferedMessage::new(msg(i), 1)).0)
+            .collect();
         let mut i = 0usize;
         b.iter(|| {
             let s = slots[i % slots.len()];

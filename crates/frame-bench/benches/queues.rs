@@ -3,15 +3,13 @@
 //! behind the paper's scheduling differentiation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use frame_core::{
-    BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, RingBuffer,
-};
+use frame_core::{BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, RingBuffer};
 use frame_types::{MessageKey, SeqNo, Time, TopicId};
 
 fn mk_job(id: u64, deadline_ns: u64, slot: frame_core::SlotRef) -> Job {
     Job {
         id: JobId(id),
-        kind: if id % 2 == 0 {
+        kind: if id.is_multiple_of(2) {
             JobKind::Dispatch
         } else {
             JobKind::Replicate

@@ -1,0 +1,76 @@
+//! Hot-path cost of observability: the same publish → take_job →
+//! finish_job pipeline with telemetry disabled (the `Telemetry::disabled()`
+//! no-op handle), enabled, and enabled with per-decision tracing pressure
+//! (small ring so the trace wraps constantly). The enabled/disabled ratio
+//! is the overhead budget the telemetry crate must stay within (<5%).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frame_core::{admit, Broker, BrokerConfig, BrokerRole};
+use frame_telemetry::Telemetry;
+use frame_types::{
+    BrokerId, Message, NetworkParams, PublisherId, SeqNo, SubscriberId, Time, TopicId, TopicSpec,
+};
+
+fn broker(telemetry: Telemetry, topics: u32) -> Broker {
+    let net = NetworkParams::paper_example();
+    let mut b = Broker::new(BrokerId(0), BrokerRole::Primary, BrokerConfig::frame());
+    b.set_telemetry(telemetry);
+    for t in 0..topics {
+        let spec = TopicSpec::category((t % 6) as u8, TopicId(t));
+        let adm = admit(&spec, &net).unwrap();
+        b.register_topic(adm, vec![SubscriberId(t)]).unwrap();
+    }
+    b
+}
+
+fn msg(topic: u32, seq: u64) -> Message {
+    Message::new(
+        TopicId(topic),
+        PublisherId(0),
+        SeqNo(seq),
+        Time::from_nanos(seq * 1000),
+        Bytes::from_static(b"0123456789abcdef"),
+    )
+}
+
+fn run_pipeline(b: &mut Broker, batch: u64, seq0: u64) -> usize {
+    let now = Time::from_nanos(seq0 * 1000);
+    for i in 0..batch {
+        let topic = (i % 600) as u32;
+        b.on_message(msg(topic, seq0 + i), now).unwrap();
+    }
+    let mut effects = 0;
+    while let Some(active) = b.take_job(now) {
+        effects += b.finish_job(&active, now).len();
+    }
+    effects
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    const BATCH: u64 = 1_000;
+    type MakeTelemetry = fn() -> Telemetry;
+    let variants: [(&str, MakeTelemetry); 3] = [
+        ("disabled", Telemetry::disabled),
+        ("enabled", Telemetry::new),
+        ("enabled_tiny_trace", || Telemetry::with_trace_capacity(64)),
+    ];
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH));
+    for (name, make) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &make, |bch, make| {
+            let mut b = broker(make(), 600);
+            let mut seq = 0u64;
+            bch.iter(|| {
+                let effects = run_pipeline(&mut b, BATCH, seq);
+                seq += BATCH;
+                black_box(effects);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -5,7 +5,9 @@
 //! topics").
 
 use frame_bench::TextTable;
-use frame_sim::{max_sustainable_topics, predict, ConfigName, CpuAllocation, ServiceParams, Workload};
+use frame_sim::{
+    max_sustainable_topics, predict, ConfigName, CpuAllocation, ServiceParams, Workload,
+};
 use frame_types::NetworkParams;
 
 fn main() {

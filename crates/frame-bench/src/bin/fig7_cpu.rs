@@ -113,7 +113,11 @@ fn main() {
         println!(
             "  [{}] delivery module at {size}: FCFS {fcfs:.1}% saturated vs FRAME {frame:.1}% \
              (paper: >50% saving)",
-            if fcfs > 95.0 && frame < 0.66 * fcfs { "ok" } else { "MISS" }
+            if fcfs > 95.0 && frame < 0.66 * fcfs {
+                "ok"
+            } else {
+                "MISS"
+            }
         );
         let bp_plus = util(MODULES[2], "FRAME+", size);
         let bp_frame = util(MODULES[2], "FRAME", size);
@@ -128,7 +132,8 @@ fn main() {
         let d_frame = util(MODULES[0], "FRAME", size);
         let d_minus = util(MODULES[0], "FCFS-", size);
         let d_fcfs = util(MODULES[0], "FCFS", size);
-        let ordered = d_plus <= d_frame + 1.0 && d_frame <= d_minus + 2.0 && d_minus <= d_fcfs + 1.0;
+        let ordered =
+            d_plus <= d_frame + 1.0 && d_frame <= d_minus + 2.0 && d_minus <= d_fcfs + 1.0;
         println!(
             "  [{}] delivery ordering FRAME+ <= FRAME <= FCFS- <= FCFS at {size}: \
              {d_plus:.1} / {d_frame:.1} / {d_minus:.1} / {d_fcfs:.1}",

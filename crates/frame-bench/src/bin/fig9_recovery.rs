@@ -54,8 +54,12 @@ fn render_series(s: &Series) {
         // Log scale: one column per factor of ~1.47 above 0.1 ms.
         let bar_len = ((ms.max(0.1) / 0.1).ln() / 0.385).ceil() as usize;
         let marker = if ms >= s.deadline_ms as f64 { '*' } else { '#' };
-        let bar: String = std::iter::repeat(marker).take(bar_len.min(48)).collect();
-        let crash_tag = if seq == s.crash_seq_estimate { " <-- crash" } else { "" };
+        let bar: String = std::iter::repeat_n(marker, bar_len.min(48)).collect();
+        let crash_tag = if seq == s.crash_seq_estimate {
+            " <-- crash"
+        } else {
+            ""
+        };
         println!("    {seq:>5}  {ms:>8.2} ms  {bar}{crash_tag}");
     }
     println!();
@@ -83,8 +87,10 @@ fn main() {
         for &(cat, ti) in &picks {
             let spec = w.topics[ti].spec;
             let series = m.topics[ti].series.clone().unwrap_or_default();
-            let crash_seq = (crash_at.saturating_since(frame_types::Time::ZERO).as_nanos()
-                / spec.period.as_nanos().max(1)) as u64;
+            let crash_seq = crash_at
+                .saturating_since(frame_types::Time::ZERO)
+                .as_nanos()
+                / spec.period.as_nanos().max(1);
             // Steady latency: median of pre-crash points.
             let mut pre: Vec<Duration> = series
                 .iter()
@@ -92,16 +98,15 @@ fn main() {
                 .map(|&(_, l)| l)
                 .collect();
             pre.sort_unstable();
-            let steady = pre
-                .get(pre.len() / 2)
-                .copied()
-                .unwrap_or(Duration::ZERO);
+            let steady = pre.get(pre.len() / 2).copied().unwrap_or(Duration::ZERO);
             let peak = series
                 .iter()
                 .map(|&(_, l)| l)
                 .max()
                 .unwrap_or(Duration::ZERO);
-            let losses = m.topics[ti].published.saturating_sub(m.topics[ti].delivered);
+            let losses = m.topics[ti]
+                .published
+                .saturating_sub(m.topics[ti].delivered);
             all.push(Series {
                 config: config.label().to_owned(),
                 category: cat,
@@ -169,7 +174,11 @@ fn main() {
     if let (Some(frame), Some(plus)) = (find("FRAME", 2), find("FRAME+", 2)) {
         println!(
             "  [{}] zero losses for FRAME ({}) and FRAME+ ({}) across the crash",
-            if frame.losses == 0 && plus.losses == 0 { "ok" } else { "MISS" },
+            if frame.losses == 0 && plus.losses == 0 {
+                "ok"
+            } else {
+                "MISS"
+            },
             frame.losses,
             plus.losses
         );
@@ -180,7 +189,11 @@ fn main() {
         println!(
             "  [{}] FCFS loses category-0 messages under overload ({}; paper: 206 over 60 s — \
              use --paper for comparable magnitude)",
-            if size >= 7525 && fcfs.losses > 0 { "ok" } else { "n/a at this size" },
+            if size >= 7525 && fcfs.losses > 0 {
+                "ok"
+            } else {
+                "n/a at this size"
+            },
             fcfs.losses
         );
     }

@@ -16,15 +16,24 @@ fn main() {
         ..NetworkParams::paper_example()
     };
 
-    let specs: Vec<TopicSpec> = (0u8..=5).map(|c| TopicSpec::category(c, TopicId(c as u32))).collect();
+    let specs: Vec<TopicSpec> = (0u8..=5)
+        .map(|c| TopicSpec::category(c, TopicId(c as u32)))
+        .collect();
 
     println!("Table 2 — topic categories (timing values in ms)\n");
     let mut t = TextTable::new(vec![
-        "Category", "T_i", "D_i", "L_i", "N_i(min)", "Dest", "D^d_i", "D^r_i", "Replicate?",
+        "Category",
+        "T_i",
+        "D_i",
+        "L_i",
+        "N_i(min)",
+        "Dest",
+        "D^d_i",
+        "D^r_i",
+        "Replicate?",
     ]);
     for (c, spec) in specs.iter().enumerate() {
-        let min_n = min_admissible_retention(spec, &net)
-            .map_or("-".to_owned(), |n| n.to_string());
+        let min_n = min_admissible_retention(spec, &net).map_or("-".to_owned(), |n| n.to_string());
         let dd = dispatch_deadline(spec, &net)
             .map_or("<0".to_owned(), |d| format!("{:.2}", d.as_millis_f64()));
         let dr = match replication_deadline(spec, &net) {

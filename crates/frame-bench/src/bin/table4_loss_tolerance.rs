@@ -107,9 +107,7 @@ fn print_shape_check(cells: &[Cell]) {
             "  [{}] FRAME+ meets every requirement at {size}",
             if all_fp_100 { "ok" } else { "MISS" }
         );
-        let best_effort_always_ok = CONFIGS
-            .iter()
-            .all(|c| get(size, c.label(), 4) >= 99.9);
+        let best_effort_always_ok = CONFIGS.iter().all(|c| get(size, c.label(), 4) >= 99.9);
         println!(
             "  [{}] best-effort (L=inf) rows are always 100% at {size}",
             if best_effort_always_ok { "ok" } else { "MISS" }

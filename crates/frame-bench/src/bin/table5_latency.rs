@@ -106,12 +106,20 @@ fn main() {
         if size >= 7525 {
             println!(
                 "  [{}] FCFS overloaded at {size}: mean {fcfs:.1}% (FRAME {frame:.1}%)",
-                if fcfs < 50.0 && frame > 80.0 { "ok" } else { "MISS" }
+                if fcfs < 50.0 && frame > 80.0 {
+                    "ok"
+                } else {
+                    "MISS"
+                }
             );
         } else {
             println!(
                 "  [{}] all configurations healthy at {size}: FCFS {fcfs:.1}%, FRAME {frame:.1}%",
-                if fcfs > 99.0 && frame > 99.0 { "ok" } else { "MISS" }
+                if fcfs > 99.0 && frame > 99.0 {
+                    "ok"
+                } else {
+                    "MISS"
+                }
             );
         }
     }

@@ -7,12 +7,10 @@ use std::sync::Arc;
 
 use frame_clock::{Clock, MonotonicClock};
 use frame_core::{
-    admit, dispatch_deadline, min_admissible_retention, replication_deadline,
-    replication_needed, BrokerConfig, BrokerRole, Deadline, Publisher,
+    admit, dispatch_deadline, min_admissible_retention, replication_deadline, replication_needed,
+    BrokerConfig, BrokerRole, Deadline, Publisher,
 };
-use frame_rt::{
-    connect_backup_over_tcp, RtBroker, TcpBrokerServer, TcpPublisher, TcpSubscriber,
-};
+use frame_rt::{connect_backup_over_tcp, RtBroker, TcpBrokerServer, TcpPublisher, TcpSubscriber};
 use frame_types::{BrokerId, PublisherId, SubscriberId};
 
 use crate::manifest::Manifest;
@@ -54,7 +52,11 @@ pub fn cmd_admit(manifest: &Manifest, out: &mut impl std::io::Write) -> std::io:
                 writeln!(
                     out,
                     "ADMIT  D^d={dd}  D^r={dr}  replication={}",
-                    if rep { "required" } else { "suppressed (Prop 1)" }
+                    if rep {
+                        "required"
+                    } else {
+                        "suppressed (Prop 1)"
+                    }
                 )?;
             }
             Err(e) => {
@@ -202,8 +204,8 @@ pub fn cmd_subscribe(
     stop: &StopFlag,
     out: &mut impl std::io::Write,
 ) -> Result<u64, String> {
-    let sub = TcpSubscriber::connect(addr, SubscriberId(subscriber_id))
-        .map_err(|e| e.to_string())?;
+    let sub =
+        TcpSubscriber::connect(addr, SubscriberId(subscriber_id)).map_err(|e| e.to_string())?;
     let clock = MonotonicClock::new();
     let mut received = 0u64;
     while received < max_messages && !stop.load(Ordering::Acquire) {
@@ -285,6 +287,48 @@ pub fn cmd_detector(
         }
         std::thread::sleep(interval);
     }
+}
+
+/// `frame-cli stats`: fetch a broker's live telemetry snapshot over TCP and
+/// render it. `format` is `pretty` (per-stage/per-topic p50/p99/max table),
+/// `json` (the wire snapshot as-is), or `prometheus` (text exposition
+/// format for scraping).
+///
+/// # Errors
+///
+/// Connection/protocol errors, or an unknown format name.
+pub fn cmd_stats(
+    addr: SocketAddr,
+    format: &str,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    use frame_rt::{read_frame, write_frame, WireMsg};
+    let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write_frame(&mut s, &WireMsg::Stats).map_err(|e| e.to_string())?;
+    let json = match read_frame(&mut s).map_err(|e| e.to_string())? {
+        WireMsg::StatsJson(json) => json,
+        other => return Err(format!("unexpected stats reply: {other:?}")),
+    };
+    let rendered = match format {
+        "json" => json,
+        "pretty" | "prometheus" => {
+            let snapshot = frame_telemetry::from_json(&json)
+                .map_err(|e| format!("malformed snapshot: {e}"))?;
+            if format == "pretty" {
+                frame_telemetry::render_pretty(&snapshot)
+            } else {
+                frame_telemetry::render_prometheus(&snapshot)
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown format `{other}` (expected pretty | json | prometheus)"
+            ))
+        }
+    };
+    writeln!(out, "{rendered}").map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -387,6 +431,26 @@ mod tests {
         assert_eq!(received, 3);
         let text = String::from_utf8(sink).unwrap();
         assert!(text.contains("topic-0 #0"));
+
+        // The stats subcommand sees the traffic we just pushed, in every
+        // output format.
+        let mut pretty = Vec::new();
+        cmd_stats(addr, "pretty", &mut pretty).unwrap();
+        let pretty = String::from_utf8(pretty).unwrap();
+        assert!(pretty.contains("dispatch_exec"));
+        assert!(pretty.contains("p99"));
+        let mut json = Vec::new();
+        cmd_stats(addr, "json", &mut json).unwrap();
+        let snapshot =
+            frame_telemetry::from_json(std::str::from_utf8(&json).unwrap().trim()).unwrap();
+        assert!(snapshot.decision_count(frame_telemetry::DecisionKind::Dispatch) >= 3);
+        let mut prom = Vec::new();
+        cmd_stats(addr, "prometheus", &mut prom).unwrap();
+        assert!(String::from_utf8(prom)
+            .unwrap()
+            .contains("frame_decisions_total{kind=\"dispatch\"}"));
+        assert!(cmd_stats(addr, "xml", &mut Vec::new()).is_err());
+
         stop.store(true, Ordering::Release);
         broker.shutdown();
     }

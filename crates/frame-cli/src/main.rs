@@ -8,6 +8,7 @@
 //! frame-cli publish   --manifest topics.json --addr host:port
 //!                     [--publisher-id N] [--rounds N]
 //! frame-cli subscribe --addr host:port --subscriber-id N [--count N]
+//! frame-cli stats     --addr host:port [--format pretty|json|prometheus]
 //! frame-cli example-manifest            # print the paper's Table 2
 //! ```
 
@@ -18,7 +19,7 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use commands::{cmd_admit, cmd_broker, cmd_publish, cmd_subscribe, parse_config};
+use commands::{cmd_admit, cmd_broker, cmd_publish, cmd_stats, cmd_subscribe, parse_config};
 use frame_core::BrokerRole;
 use manifest::Manifest;
 
@@ -57,8 +58,7 @@ fn run(args: &[String]) -> Result<i32, String> {
     match cmd.as_str() {
         "admit" => {
             let m = Manifest::load(flags.require("--manifest")?)?;
-            let rejected =
-                cmd_admit(&m, &mut std::io::stdout()).map_err(|e| e.to_string())?;
+            let rejected = cmd_admit(&m, &mut std::io::stdout()).map_err(|e| e.to_string())?;
             Ok(if rejected == 0 { 0 } else { 1 })
         }
         "broker" => {
@@ -138,6 +138,15 @@ fn run(args: &[String]) -> Result<i32, String> {
             let _ = stop.load(Ordering::Acquire);
             Ok(0)
         }
+        "stats" => {
+            let addr: SocketAddr = flags
+                .require("--addr")?
+                .parse()
+                .map_err(|_| "bad --addr".to_owned())?;
+            let format = flags.get("--format").unwrap_or("pretty");
+            cmd_stats(addr, format, &mut std::io::stdout())?;
+            Ok(0)
+        }
         "detector" => {
             let primary: SocketAddr = flags
                 .require("--primary")?
@@ -193,6 +202,7 @@ fn usage() -> String {
      \u{20}         [--config frame|fcfs|fcfs-] [--workers N] [--backup-addr ADDR]\n  \
      frame-cli publish   --manifest topics.json --addr ADDR [--publisher-id N] [--rounds N]\n  \
      frame-cli subscribe --addr ADDR --subscriber-id N [--count N]\n  \
+     frame-cli stats     --addr ADDR [--format pretty|json|prometheus]\n  \
      frame-cli detector  --primary ADDR --backup ADDR [--interval-ms N] [--timeout-ms N]\n  \
      frame-cli example-manifest"
         .to_owned()

@@ -86,9 +86,7 @@ pub struct Manifest {
 impl ManifestTopic {
     /// Converts to a [`TopicSpec`] plus its subscriber list.
     pub fn to_spec(&self) -> (TopicSpec, Vec<SubscriberId>) {
-        let period = self
-            .period_ms
-            .map_or(Duration::MAX, Duration::from_millis);
+        let period = self.period_ms.map_or(Duration::MAX, Duration::from_millis);
         let loss = match self.loss_tolerance {
             LossToleranceField::Finite(l) => LossTolerance::Consecutive(l),
             LossToleranceField::Infinite(_) => LossTolerance::BestEffort,

@@ -89,20 +89,31 @@ impl Clock for SimClock {
     }
 }
 
-/// Wall-clock time for the threaded runtime, anchored at construction.
+/// Wall-clock time for the threaded runtime, anchored to the Unix epoch.
 ///
-/// `now()` returns the elapsed time since the clock was created, so values
-/// are comparable across clones of the same instance (they share the same
-/// anchor), mirroring how simulated time is measured from simulation start.
+/// Advancement comes from a monotonic [`std::time::Instant`] (never goes
+/// backwards within one instance even if the system clock steps), but the
+/// anchor is the Unix time at construction, so timestamps are comparable
+/// *across processes* on one machine and across NTP/PTP-synced hosts —
+/// the paper's testbed assumption. This matters over TCP: message
+/// `created_at` stamps from a publisher process anchor the broker's EDF
+/// deadlines and the end-to-end transit telemetry, which would both be
+/// meaningless under per-process epochs.
 #[derive(Clone, Debug)]
 pub struct MonotonicClock {
+    unix_anchor_nanos: u64,
     start: std::time::Instant,
 }
 
 impl MonotonicClock {
     /// Creates a clock anchored at the current instant.
     pub fn new() -> Self {
+        let unix_anchor_nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
         MonotonicClock {
+            unix_anchor_nanos,
             start: std::time::Instant::now(),
         }
     }
@@ -117,9 +128,8 @@ impl Default for MonotonicClock {
 impl Clock for MonotonicClock {
     #[inline]
     fn now(&self) -> Time {
-        Time::from_nanos(
-            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        )
+        let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Time::from_nanos(self.unix_anchor_nanos.saturating_add(elapsed))
     }
 }
 
@@ -266,10 +276,7 @@ mod tests {
                 drift_ppm: 0.0,
             },
         );
-        assert_eq!(
-            host.now(),
-            Time::from_secs(10) + Duration::from_micros(50)
-        );
+        assert_eq!(host.now(), Time::from_secs(10) + Duration::from_micros(50));
     }
 
     #[test]

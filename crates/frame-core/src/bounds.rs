@@ -11,8 +11,7 @@
 //! required loss tolerance, and replication can be suppressed entirely.
 
 use frame_types::{
-    AdmissionFailure, Duration, FrameError, LossTolerance, NetworkParams,
-    TopicSpec,
+    AdmissionFailure, Duration, FrameError, LossTolerance, NetworkParams, TopicSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -119,10 +118,7 @@ pub fn replication_deadline(
 /// Returns `Ok(true)` when replication is required, `Ok(false)` when it can
 /// be suppressed. Best-effort topics never need replication. Propagates the
 /// admission failures of the underlying bounds.
-pub fn replication_needed(
-    spec: &TopicSpec,
-    net: &NetworkParams,
-) -> Result<bool, AdmissionFailure> {
+pub fn replication_needed(spec: &TopicSpec, net: &NetworkParams) -> Result<bool, AdmissionFailure> {
     let d = dispatch_deadline(spec, net)?;
     let r = replication_deadline(spec, net)?;
     Ok(!Deadline::Finite(d).le(r))

@@ -33,9 +33,8 @@
 
 use std::collections::HashMap;
 
-use frame_types::{
-    BrokerId, FrameError, Message, MessageKey, SeqNo, SubscriberId, Time, TopicId,
-};
+use frame_telemetry::{DecisionKind, Stage, Telemetry};
+use frame_types::{BrokerId, FrameError, Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::{AdmittedTopic, Deadline};
@@ -231,6 +230,7 @@ pub struct Broker {
     /// the system is engineered to tolerate one broker failure (§III-B).
     has_backup_peer: bool,
     stats: BrokerStats,
+    telemetry: Telemetry,
 }
 
 impl Broker {
@@ -248,7 +248,21 @@ impl Broker {
             backup_buffers: HashMap::new(),
             has_backup_peer: role == BrokerRole::Primary,
             stats: BrokerStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry registry. Every Table-3 decision point and the
+    /// queue-wait stage record through it; the default is a disabled
+    /// handle, so un-instrumented embeddings pay one branch per hook.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`Broker::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The broker's id.
@@ -306,6 +320,7 @@ impl Broker {
                 index: HashMap::new(),
             },
         );
+        self.telemetry.ensure_topic(id);
         Ok(())
     }
 
@@ -429,6 +444,8 @@ impl Broker {
             self.pending_replications.insert(key, id);
         } else if self.config.selective_replication && self.has_backup_peer {
             self.stats.replications_suppressed += 1;
+            self.telemetry
+                .decision(DecisionKind::Suppress, topic_id, key.seq, now);
         }
 
         let id = self.alloc_job_id();
@@ -452,16 +469,16 @@ impl Broker {
     /// Applies the skip rules: stale jobs (message overwritten) and —
     /// with coordination enabled — replication jobs whose message has
     /// already been dispatched (Table 3, Replicate step 1).
-    pub fn take_job(&mut self, _now: Time) -> Option<ActiveJob> {
+    pub fn take_job(&mut self, now: Time) -> Option<ActiveJob> {
         loop {
             let job = self.queue.pop()?;
+            self.telemetry
+                .record_stage(Stage::QueueWait, now.saturating_since(job.release));
             let resolved = match job.source {
-                BufferSource::Message | BufferSource::Resend => {
-                    match self.message_buffer.get(job.slot) {
-                        Some(bm) => Some((bm.message.clone(), bm.flags)),
-                        None => None,
-                    }
-                }
+                BufferSource::Message | BufferSource::Resend => self
+                    .message_buffer
+                    .get(job.slot)
+                    .map(|bm| (bm.message.clone(), bm.flags)),
                 BufferSource::Backup => self
                     .backup_buffers
                     .get(&job.topic)
@@ -471,11 +488,15 @@ impl Broker {
             };
             let Some((message, flags)) = resolved else {
                 self.stats.stale_jobs_skipped += 1;
+                self.telemetry
+                    .decision(DecisionKind::StaleSkip, job.topic, job.key.seq, now);
                 self.pending_replications.remove(&job.key);
                 continue;
             };
             if job.kind == JobKind::Replicate && self.config.coordination && flags.dispatched {
                 self.stats.replications_aborted += 1;
+                self.telemetry
+                    .decision(DecisionKind::Abort, job.topic, job.key.seq, now);
                 self.pending_replications.remove(&job.key);
                 continue;
             }
@@ -512,6 +533,12 @@ impl Broker {
         match active.job.kind {
             JobKind::Dispatch => {
                 self.stats.dispatches += 1;
+                self.telemetry.decision(
+                    DecisionKind::Dispatch,
+                    active.job.topic,
+                    active.job.key.seq,
+                    now,
+                );
                 for &subscriber in &active.subscribers {
                     effects.push(Effect::Deliver {
                         subscriber,
@@ -528,9 +555,21 @@ impl Broker {
                     if let Some(job_id) = self.pending_replications.remove(&active.job.key) {
                         self.queue.cancel(job_id);
                         self.stats.replications_cancelled += 1;
+                        self.telemetry.decision(
+                            DecisionKind::Cancel,
+                            active.job.topic,
+                            active.job.key.seq,
+                            now,
+                        );
                     }
                     if was_replicated {
                         self.stats.prunes_sent += 1;
+                        self.telemetry.decision(
+                            DecisionKind::Prune,
+                            active.job.topic,
+                            active.job.key.seq,
+                            now,
+                        );
                         effects.push(Effect::Prune {
                             key: active.job.key,
                         });
@@ -540,6 +579,12 @@ impl Broker {
             JobKind::Replicate => {
                 // Table 3, Replicate steps 2–3.
                 self.stats.replications += 1;
+                self.telemetry.decision(
+                    DecisionKind::Replicate,
+                    active.job.topic,
+                    active.job.key.seq,
+                    now,
+                );
                 self.pending_replications.remove(&active.job.key);
                 if let Some(bm) = self.message_buffer.get_mut(active.job.slot) {
                     bm.flags.replicated = true;
@@ -635,6 +680,12 @@ impl Broker {
         }
         self.role = BrokerRole::Primary;
         self.has_backup_peer = false;
+        self.telemetry.decision(
+            DecisionKind::Promote,
+            TopicId(0),
+            SeqNo(self.backup_buffer_live() as u64),
+            now,
+        );
 
         // Deterministic order: by topic id, then sequence number.
         let mut topic_ids: Vec<TopicId> = self.backup_buffers.keys().copied().collect();
@@ -658,8 +709,7 @@ impl Broker {
                     )
                 })
                 .collect();
-            self.stats.recovery_skipped +=
-                (tb.ring.len() - copies.len()) as u64;
+            self.stats.recovery_skipped += (tb.ring.len() - copies.len()) as u64;
             copies.sort_by_key(|&(_, seq, _)| seq);
             for (slot, seq, deadline) in copies {
                 let id = self.alloc_job_id();
@@ -676,6 +726,8 @@ impl Broker {
                     release: now,
                     deadline,
                 });
+                self.telemetry
+                    .decision(DecisionKind::RecoveryDispatch, topic_id, seq, now);
                 created += 1;
             }
         }
@@ -840,7 +892,8 @@ mod tests {
         let _ = b2.finish_job(&rep, Time::ZERO);
         // Next message: dispatch finishes before replicate is *taken* ⇒
         // the replicate job must abort at take time.
-        b2.on_message(msg(T1, 1, 100), Time::from_millis(100)).unwrap();
+        b2.on_message(msg(T1, 1, 100), Time::from_millis(100))
+            .unwrap();
         let rep2 = b2.take_job(Time::from_millis(100)).unwrap();
         assert_eq!(rep2.job.kind, JobKind::Replicate);
         let dis2 = b2.take_job(Time::from_millis(100)).unwrap();
@@ -849,7 +902,8 @@ mod tests {
         let _ = b2.finish_job(&rep2, Time::from_millis(100));
 
         // Third message: let dispatch complete before touching replicate.
-        b2.on_message(msg(T1, 2, 200), Time::from_millis(200)).unwrap();
+        b2.on_message(msg(T1, 2, 200), Time::from_millis(200))
+            .unwrap();
         // Queue: [replicate#2, dispatch#2]. Cancel path: finishing the
         // dispatch cancels the queued replication.
         // Pop replicate first (FCFS) — to exercise the *abort* path we need
@@ -880,7 +934,6 @@ mod tests {
             Destination::Edge,
         );
         let adm = admit(&spec, &net()).unwrap();
-        assert!(adm.deadlines.replication_needed || !adm.deadlines.replication_needed);
         // Force replication regardless of Prop 1 by using fcfs-style
         // selective_replication=false but EDF policy + coordination:
         let cfg = BrokerConfig {
@@ -1092,7 +1145,8 @@ mod tests {
         let _ = b.finish_job(&dis, Time::from_millis(90));
         assert_eq!(b.stats().dispatch_deadline_misses, 0);
         // Next message: dispatch finishes late.
-        b.on_message(msg(T1, 1, 100), Time::from_millis(100)).unwrap();
+        b.on_message(msg(T1, 1, 100), Time::from_millis(100))
+            .unwrap();
         while let Some(j) = b.take_job(Time::from_millis(100)) {
             let _ = b.finish_job(&j, Time::from_millis(300));
         }

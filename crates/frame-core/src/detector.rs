@@ -113,6 +113,14 @@ impl PollingDetector {
     pub fn worst_case_detection(&self) -> Duration {
         self.timeout
     }
+
+    /// Time elapsed since the last acknowledgement was observed. At the
+    /// moment `status()` flips to `Crashed` this is the realized detection
+    /// latency (last sign of life → crash declared), which telemetry
+    /// records under the fail-over detection stage.
+    pub fn since_last_ack(&self, now: Time) -> Duration {
+        now.saturating_since(self.last_ack)
+    }
 }
 
 #[cfg(test)]

@@ -20,9 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::buffer::SlotRef;
 
 /// Unique id of a job within one broker, in creation order.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// What a job does when executed.

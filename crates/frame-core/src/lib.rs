@@ -54,15 +54,12 @@ pub mod publisher;
 pub mod subscriber;
 
 pub use bounds::{
-    admit, deadline_ordering, dispatch_deadline, min_admissible_retention,
-    replication_deadline, replication_needed, AdmittedTopic, Deadline, DeadlineKind,
-    LabelledDeadline, PseudoDeadlines,
+    admit, deadline_ordering, dispatch_deadline, min_admissible_retention, replication_deadline,
+    replication_needed, AdmittedTopic, Deadline, DeadlineKind, LabelledDeadline, PseudoDeadlines,
 };
 pub use broker::{ActiveJob, Broker, BrokerConfig, BrokerRole, BrokerStats, Effect};
 pub use buffer::{BufferedMessage, CopyFlags, RingBuffer, SlotRef};
 pub use detector::{PollingDetector, PrimaryStatus};
-pub use job::{
-    BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, SchedulingPolicy,
-};
+pub use job::{BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, SchedulingPolicy};
 pub use publisher::{PublishTarget, Publisher, RetentionBuffer};
 pub use subscriber::{AcceptOutcome, DeliveryTracker};

@@ -243,7 +243,10 @@ mod tests {
         assert_eq!(p.target(), PublishTarget::Primary);
         let resend = p.fail_over();
         assert_eq!(p.target(), PublishTarget::Backup);
-        let keys: Vec<(u32, u64)> = resend.iter().map(|m| (m.topic.raw(), m.seq.raw())).collect();
+        let keys: Vec<(u32, u64)> = resend
+            .iter()
+            .map(|m| (m.topic.raw(), m.seq.raw()))
+            .collect();
         assert_eq!(keys, vec![(1, 1), (1, 2), (2, 0)]);
 
         // Idempotent.
@@ -269,7 +272,13 @@ mod tests {
         let mut rb = RetentionBuffer::new(3);
         assert_eq!(rb.depth(), 3);
         assert!(rb.is_empty());
-        rb.retain(Message::new(T, PublisherId(1), SeqNo(0), Time::ZERO, &b""[..]));
+        rb.retain(Message::new(
+            T,
+            PublisherId(1),
+            SeqNo(0),
+            Time::ZERO,
+            &b""[..],
+        ));
         assert_eq!(rb.len(), 1);
         assert_eq!(RetentionBuffer::new(0).depth(), 0);
     }

@@ -54,9 +54,9 @@ impl Correlator {
     pub fn offer(&mut self, event: Event) -> Option<Vec<Event>> {
         match &self.spec {
             Correlation::None => Some(vec![event]),
-            Correlation::Disjunction(types) => {
-                types.contains(&event.header.event_type).then(|| vec![event])
-            }
+            Correlation::Disjunction(types) => types
+                .contains(&event.header.event_type)
+                .then(|| vec![event]),
             Correlation::Conjunction(types) => {
                 if !types.contains(&event.header.event_type) {
                     return None;
@@ -101,10 +101,7 @@ mod tests {
 
     #[test]
     fn disjunction_fires_on_listed_types_only() {
-        let mut c = Correlator::new(Correlation::Disjunction(vec![
-            EventType(1),
-            EventType(2),
-        ]));
+        let mut c = Correlator::new(Correlation::Disjunction(vec![EventType(1), EventType(2)]));
         assert!(c.offer(ev(1, 0)).is_some());
         assert!(c.offer(ev(2, 1)).is_some());
         assert!(c.offer(ev(3, 2)).is_none());
@@ -131,10 +128,7 @@ mod tests {
 
     #[test]
     fn conjunction_keeps_newest_instance() {
-        let mut c = Correlator::new(Correlation::Conjunction(vec![
-            EventType(1),
-            EventType(2),
-        ]));
+        let mut c = Correlator::new(Correlation::Conjunction(vec![EventType(1), EventType(2)]));
         assert!(c.offer(ev(1, 0)).is_none());
         assert!(c.offer(ev(1, 5)).is_none()); // replaces seq 0
         let batch = c.offer(ev(2, 6)).unwrap();

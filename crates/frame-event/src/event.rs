@@ -12,23 +12,17 @@ use serde::{Deserialize, Serialize};
 use frame_types::Time;
 
 /// Identifies an event supplier (publisher-side proxy object).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SupplierId(pub u32);
 
 /// Identifies an event consumer (subscriber-side proxy object).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ConsumerId(pub u32);
 
 /// Application-defined event type tag (maps to a FRAME topic).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct EventType(pub u32);
 
@@ -106,7 +100,13 @@ mod tests {
 
     #[test]
     fn event_construction() {
-        let e = Event::new(SupplierId(1), EventType(2), 3, Time::from_millis(4), &b"hi"[..]);
+        let e = Event::new(
+            SupplierId(1),
+            EventType(2),
+            3,
+            Time::from_millis(4),
+            &b"hi"[..],
+        );
         assert_eq!(e.header.source, SupplierId(1));
         assert_eq!(e.header.event_type, EventType(2));
         assert_eq!(e.header.seq, 3);

@@ -72,10 +72,7 @@ mod tests {
         assert!(!f.matches(&header(1, 3)));
         assert!(!f.matches(&header(9, 2)));
 
-        let any_of = Filter::AnyOf(vec![
-            Filter::Type(EventType(5)),
-            Filter::Type(EventType(6)),
-        ]);
+        let any_of = Filter::AnyOf(vec![Filter::Type(EventType(5)), Filter::Type(EventType(6))]);
         assert!(any_of.matches(&header(0, 5)));
         assert!(any_of.matches(&header(0, 6)));
         assert!(!any_of.matches(&header(0, 7)));

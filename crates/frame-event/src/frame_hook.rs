@@ -14,8 +14,8 @@ use std::collections::HashMap;
 
 use frame_core::{admit, Broker, BrokerConfig, BrokerRole, Effect};
 use frame_types::{
-    BrokerId, FrameError, Message, MessageKey, NetworkParams, PublisherId, SubscriberId,
-    Time, TopicId, TopicSpec,
+    BrokerId, FrameError, Message, MessageKey, NetworkParams, PublisherId, SubscriberId, Time,
+    TopicId, TopicSpec,
 };
 
 use crate::channel::Delivery;
@@ -76,8 +76,7 @@ impl FrameChannel {
         let topic = TopicId(event_type.0);
         spec.id = topic;
         let admitted = admit(&spec, &self.net)?;
-        let subscribers: Vec<SubscriberId> =
-            consumers.iter().map(|c| SubscriberId(c.0)).collect();
+        let subscribers: Vec<SubscriberId> = consumers.iter().map(|c| SubscriberId(c.0)).collect();
         self.broker.register_topic(admitted, subscribers)?;
         self.topics.insert(event_type, topic);
         self.consumers_of_topic.insert(topic, consumers);
@@ -190,13 +189,20 @@ mod tests {
     }
 
     fn ev(ty: u32, seq: u64, at: Time) -> Event {
-        Event::new(SupplierId(7), EventType(ty), seq, at, &b"payload_16_bytes"[..])
+        Event::new(
+            SupplierId(7),
+            EventType(ty),
+            seq,
+            at,
+            &b"payload_16_bytes"[..],
+        )
     }
 
     #[test]
     fn push_and_deliver_roundtrip() {
         let mut ch = channel();
-        ch.push(&ev(0, 0, Time::ZERO), Time::from_micros(50)).unwrap();
+        ch.push(&ev(0, 0, Time::ZERO), Time::from_micros(50))
+            .unwrap();
         let deliveries = ch.run_pending(Time::from_micros(100));
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].consumer, ConsumerId(1));
@@ -208,7 +214,8 @@ mod tests {
     #[test]
     fn replicated_topic_produces_backup_traffic_and_prune() {
         let mut ch = channel();
-        ch.push(&ev(2, 0, Time::ZERO), Time::from_micros(50)).unwrap();
+        ch.push(&ev(2, 0, Time::ZERO), Time::from_micros(50))
+            .unwrap();
         let deliveries = ch.run_pending(Time::from_micros(100));
         // Two consumers.
         assert_eq!(deliveries.len(), 2);

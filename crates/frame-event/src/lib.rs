@@ -22,14 +22,14 @@
 
 pub mod channel;
 pub mod correlation;
-pub mod gateway;
 pub mod event;
 pub mod filter;
 pub mod frame_hook;
+pub mod gateway;
 
 pub use channel::{ChannelStats, Delivery, DispatchPriority, EventChannel, SubscriptionId};
 pub use correlation::{Correlation, Correlator};
 pub use event::{ConsumerId, Event, EventHeader, EventType, SupplierId};
 pub use filter::Filter;
-pub use gateway::{CloudGateway, ForwardPolicy, GatewayStats};
 pub use frame_hook::{BackupTraffic, FrameChannel};
+pub use gateway::{CloudGateway, ForwardPolicy, GatewayStats};

@@ -6,7 +6,13 @@ use frame_types::Time;
 use proptest::prelude::*;
 
 fn ev(source: u32, ty: u32, seq: u64) -> Event {
-    Event::new(SupplierId(source), EventType(ty), seq, Time::ZERO, &b"x"[..])
+    Event::new(
+        SupplierId(source),
+        EventType(ty),
+        seq,
+        Time::ZERO,
+        &b"x"[..],
+    )
 }
 
 fn arb_filter() -> impl Strategy<Value = Filter> {

@@ -161,13 +161,12 @@ impl LatencyModel for DiurnalCloud {
             Duration::from_nanos(self.rng.gen_range(0..=self.jitter.as_nanos()))
         };
 
-        let spike = if self.spike_probability > 0.0
-            && self.rng.gen_bool(self.spike_probability.min(1.0))
-        {
-            Duration::from_nanos(self.rng.gen_range(0..=self.spike_max.as_nanos()))
-        } else {
-            Duration::ZERO
-        };
+        let spike =
+            if self.spike_probability > 0.0 && self.rng.gen_bool(self.spike_probability.min(1.0)) {
+                Duration::from_nanos(self.rng.gen_range(0..=self.spike_max.as_nanos()))
+            } else {
+                Duration::ZERO
+            };
 
         self.floor
             .saturating_add(swell)
@@ -197,7 +196,10 @@ impl TraceReplay {
     ///
     /// Panics if `samples` is empty or not sorted by time.
     pub fn new(samples: Vec<(Time, Duration)>) -> Self {
-        assert!(!samples.is_empty(), "trace must contain at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "trace must contain at least one sample"
+        );
         assert!(
             samples.windows(2).all(|w| w[0].0 <= w[1].0),
             "trace samples must be sorted by time"
@@ -289,10 +291,7 @@ mod tests {
             .with_day(Duration::from_secs(60))
             .with_spike_probability(0.5);
         let big = (0..200)
-            .filter(|i| {
-                m.sample(Time::from_millis(i * 10))
-                    > m.floor + m.swell + m.jitter
-            })
+            .filter(|i| m.sample(Time::from_millis(i * 10)) > m.floor + m.swell + m.jitter)
             .count();
         assert!(big > 10, "expected frequent spikes, saw {big}");
     }

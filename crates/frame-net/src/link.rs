@@ -121,10 +121,7 @@ mod tests {
     fn bandwidth_adds_serialization_delay() {
         // 1000 bytes/s => 16 bytes takes 16 ms.
         let mut l = Link::new(Constant::from_millis(0)).with_bandwidth(1000);
-        assert_eq!(
-            l.transmit(Time::ZERO, 16),
-            Some(Time::from_millis(16))
-        );
+        assert_eq!(l.transmit(Time::ZERO, 16), Some(Time::from_millis(16)));
     }
 
     #[test]

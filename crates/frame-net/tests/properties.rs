@@ -23,7 +23,7 @@ proptest! {
         let mut t = Time::ZERO;
         let mut prev_arrival = Time::ZERO;
         for gap in gaps_us {
-            t = t + Duration::from_micros(gap);
+            t += Duration::from_micros(gap);
             let arrival = link.transmit(t, 16).expect("live link");
             prop_assert!(arrival >= prev_arrival, "reordered");
             prop_assert!(arrival >= t + Duration::from_micros(base_us), "faster than base latency");

@@ -15,7 +15,8 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::Clock;
-use frame_core::{ActiveJob, AdmittedTopic, Broker, BrokerConfig, BrokerRole, Effect};
+use frame_core::{ActiveJob, AdmittedTopic, Broker, BrokerConfig, BrokerRole, Effect, JobKind};
+use frame_telemetry::{Stage, Telemetry};
 use frame_types::{BrokerId, FrameError, Message, MessageKey, SubscriberId, Time};
 use parking_lot::{Condvar, Mutex};
 
@@ -50,6 +51,7 @@ struct Inner {
     clock: Arc<dyn Clock>,
     subscribers: Mutex<std::collections::HashMap<SubscriberId, Sender<Delivered>>>,
     backup_tx: Mutex<Option<Sender<BrokerMsg>>>,
+    telemetry: Telemetry,
 }
 
 /// Handle to a running threaded broker.
@@ -80,7 +82,9 @@ impl RtBrokerThreads {
 
 impl RtBroker {
     /// Spawns a broker with `workers` delivery threads (the paper uses
-    /// 3 × CPU cores).
+    /// 3 × CPU cores). Telemetry is enabled with default settings; use
+    /// [`RtBroker::spawn_with_telemetry`] to share a registry across
+    /// brokers or to disable recording entirely.
     pub fn spawn(
         id: BrokerId,
         role: BrokerRole,
@@ -88,14 +92,30 @@ impl RtBroker {
         workers: usize,
         clock: Arc<dyn Clock>,
     ) -> (RtBroker, RtBrokerThreads) {
+        RtBroker::spawn_with_telemetry(id, role, config, workers, clock, Telemetry::new())
+    }
+
+    /// Spawns a broker recording into the given [`Telemetry`] handle
+    /// (pass [`Telemetry::disabled`] for zero-overhead no-op recording).
+    pub fn spawn_with_telemetry(
+        id: BrokerId,
+        role: BrokerRole,
+        config: BrokerConfig,
+        workers: usize,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+    ) -> (RtBroker, RtBrokerThreads) {
         let (tx, rx) = unbounded::<BrokerMsg>();
+        let mut broker = Broker::new(id, role, config);
+        broker.set_telemetry(telemetry.clone());
         let inner = Arc::new(Inner {
-            broker: Mutex::new(Broker::new(id, role, config)),
+            broker: Mutex::new(broker),
             job_ready: Condvar::new(),
             alive: AtomicBool::new(true),
             clock,
             subscribers: Mutex::new(std::collections::HashMap::new()),
             backup_tx: Mutex::new(None),
+            telemetry,
         });
 
         let mut handles = Vec::with_capacity(workers + 1);
@@ -103,10 +123,7 @@ impl RtBroker {
         for w in 0..workers.max(1) {
             handles.push(spawn_worker(inner.clone(), w));
         }
-        (
-            RtBroker { inner, tx },
-            RtBrokerThreads { handles },
-        )
+        (RtBroker { inner, tx }, RtBrokerThreads { handles })
     }
 
     /// The channel on which this broker accepts [`BrokerMsg`]s.
@@ -177,6 +194,11 @@ impl RtBroker {
         self.inner.broker.lock().stats()
     }
 
+    /// The telemetry handle this broker records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
     /// Current role.
     pub fn role(&self) -> BrokerRole {
         self.inner.broker.lock().role()
@@ -211,27 +233,38 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
                 let now = inner.clock.now();
                 let mut broker = inner.broker.lock();
                 let had_jobs = broker.queue_len();
-                match msg {
+                let ingress = match msg {
                     BrokerMsg::Publish(m) => {
                         let _ = broker.on_message(m, now);
+                        true
                     }
                     BrokerMsg::Resend(m) => {
                         let _ = broker.on_resend(m, now);
+                        true
                     }
                     BrokerMsg::Replica(m) => {
                         let _ = broker.on_replica(m, now);
+                        false
                     }
                     BrokerMsg::Prune(k) => {
                         let _ = broker.on_prune(k, now);
+                        false
                     }
                     BrokerMsg::Poll(reply) => {
                         drop(broker);
                         let _ = reply.send(());
                         continue;
                     }
-                }
+                };
                 let has_jobs = broker.queue_len();
                 drop(broker);
+                if ingress {
+                    // Time spent admitting the message and generating its
+                    // jobs (Message Proxy + Job Generator work).
+                    inner
+                        .telemetry
+                        .record_stage(Stage::ProxyIngress, inner.clock.now().saturating_since(now));
+                }
                 if has_jobs > had_jobs {
                     inner.job_ready.notify_all();
                 }
@@ -263,37 +296,67 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
                 }
             };
             let Some(active) = active else { continue };
-            let now = inner.clock.now();
-            let effects = inner.broker.lock().finish_job(&active, now);
-            execute_effects(&inner, effects, now);
+            let started = inner.clock.now();
+            let effects = {
+                let mut broker = inner.broker.lock();
+                let effects = broker.finish_job(&active, started);
+                // Backup-bound effects (replicas, prunes) are enqueued while
+                // still holding the broker lock: finish_job order is the
+                // Table-3 coordination order, and sending under the same
+                // serialization keeps a prune from overtaking its replica
+                // on the peer channel. Subscriber deliveries stay outside
+                // the lock so slow subscribers never serialize workers.
+                send_backup_effects(&inner, &effects);
+                effects
+            };
+            execute_effects(&inner, effects, started);
+            let stage = match active.job.kind {
+                JobKind::Dispatch => Stage::DispatchExec,
+                JobKind::Replicate => Stage::ReplicateExec,
+            };
+            inner
+                .telemetry
+                .record_stage(stage, inner.clock.now().saturating_since(started));
         })
         .expect("spawn delivery worker")
 }
 
-fn execute_effects(inner: &Arc<Inner>, effects: Vec<Effect>, now: Time) {
+fn send_backup_effects(inner: &Arc<Inner>, effects: &[Effect]) {
     for effect in effects {
         match effect {
-            Effect::Deliver {
-                subscriber,
-                message,
-            } => {
-                let subs = inner.subscribers.lock();
-                if let Some(tx) = subs.get(&subscriber) {
-                    let _ = tx.send(Delivered {
-                        message,
-                        dispatched_at: now,
-                    });
-                }
-            }
             Effect::Replicate { message } => {
                 if let Some(tx) = inner.backup_tx.lock().as_ref() {
-                    let _ = tx.send(BrokerMsg::Replica(message));
+                    let _ = tx.send(BrokerMsg::Replica(message.clone()));
                 }
             }
             Effect::Prune { key } => {
                 if let Some(tx) = inner.backup_tx.lock().as_ref() {
-                    let _ = tx.send(BrokerMsg::Prune(key));
+                    let _ = tx.send(BrokerMsg::Prune(*key));
                 }
+            }
+            Effect::Deliver { .. } => {}
+        }
+    }
+}
+
+fn execute_effects(inner: &Arc<Inner>, effects: Vec<Effect>, now: Time) {
+    for effect in effects {
+        if let Effect::Deliver {
+            subscriber,
+            message,
+        } = effect
+        {
+            // End-to-end transit: publisher creation → broker hand-off
+            // to the subscriber channel (paper Table 5 latency).
+            let transit = now.saturating_since(message.created_at);
+            inner.telemetry.record_stage(Stage::Transit, transit);
+            inner.telemetry.record_topic(message.topic, transit);
+            let subs = inner.subscribers.lock();
+            if let Some(tx) = subs.get(&subscriber) {
+                let _ = tx.send(Delivered {
+                    message,
+                    dispatched_at: now,
+                });
             }
         }
     }
@@ -465,7 +528,10 @@ mod tests {
             clock,
         );
         let (ack_tx, ack_rx) = unbounded();
-        broker.sender().send(BrokerMsg::Poll(ack_tx.clone())).unwrap();
+        broker
+            .sender()
+            .send(BrokerMsg::Poll(ack_tx.clone()))
+            .unwrap();
         ack_rx
             .recv_timeout(std::time::Duration::from_secs(1))
             .expect("live broker answers polls");

@@ -9,6 +9,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::{Clock, MonotonicClock};
 use frame_core::{admit, BrokerConfig, BrokerRole, PollingDetector, PrimaryStatus, Publisher};
+use frame_telemetry::{Stage, Telemetry, TelemetrySnapshot};
 use frame_types::{
     BrokerId, Duration, FrameError, Message, NetworkParams, PublisherId, SubscriberId, TopicId,
     TopicSpec,
@@ -78,6 +79,7 @@ pub struct RtSystem {
     publishers: Vec<Arc<RtPublisher>>,
     threads: Vec<RtBrokerThreads>,
     detector: Option<JoinHandle<()>>,
+    telemetry: Telemetry,
 }
 
 impl RtSystem {
@@ -87,22 +89,37 @@ impl RtSystem {
         RtSystem::start_with(config, workers, NetworkParams::paper_example())
     }
 
-    /// Starts a broker pair with explicit network bounds.
+    /// Starts a broker pair with explicit network bounds. Both brokers
+    /// record into one shared [`Telemetry`] registry, readable live via
+    /// [`RtSystem::snapshot`].
     pub fn start_with(config: BrokerConfig, workers: usize, net: NetworkParams) -> RtSystem {
+        RtSystem::start_with_telemetry(config, workers, net, Telemetry::new())
+    }
+
+    /// Starts a broker pair recording into the given telemetry handle
+    /// (pass [`Telemetry::disabled`] to turn observability off entirely).
+    pub fn start_with_telemetry(
+        config: BrokerConfig,
+        workers: usize,
+        net: NetworkParams,
+        telemetry: Telemetry,
+    ) -> RtSystem {
         let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
-        let (primary, pt) = RtBroker::spawn(
+        let (primary, pt) = RtBroker::spawn_with_telemetry(
             BrokerId(0),
             BrokerRole::Primary,
             config,
             workers,
             clock.clone(),
+            telemetry.clone(),
         );
-        let (backup, bt) = RtBroker::spawn(
+        let (backup, bt) = RtBroker::spawn_with_telemetry(
             BrokerId(1),
             BrokerRole::Backup,
             config,
             workers,
             clock.clone(),
+            telemetry.clone(),
         );
         primary.connect_backup(backup.sender());
         RtSystem {
@@ -113,7 +130,31 @@ impl RtSystem {
             publishers: Vec::new(),
             threads: vec![pt, bt],
             detector: None,
+            telemetry,
         }
+    }
+
+    /// The telemetry registry shared by both brokers and the fail-over
+    /// coordinator.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A consistent point-in-time view of every stage histogram, per-topic
+    /// latency, Table-3 decision counter, and the retained decision trace —
+    /// taken without stopping the brokers.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Renders the current snapshot in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        frame_telemetry::render_prometheus(&self.snapshot())
+    }
+
+    /// Renders the current snapshot as pretty-printed JSON.
+    pub fn render_json(&self) -> String {
+        frame_telemetry::to_json(&self.snapshot())
     }
 
     /// The runtime clock shared by every component.
@@ -180,6 +221,7 @@ impl RtSystem {
         let backup = self.backup.clone();
         let publishers = self.publishers.clone();
         let clock = self.clock.clone();
+        let telemetry = self.telemetry.clone();
         let handle = std::thread::Builder::new()
             .name("frame-detector".into())
             .spawn(move || {
@@ -192,9 +234,19 @@ impl RtSystem {
                     {
                         detector.on_ack(clock.now());
                     }
-                    if detector.status(clock.now()) == PrimaryStatus::Crashed {
+                    let now = clock.now();
+                    if detector.status(now) == PrimaryStatus::Crashed {
+                        // Realized detection latency: last sign of life →
+                        // crash declared (paper §IV-A, part of fail-over x).
+                        telemetry
+                            .record_stage(Stage::FailoverDetection, detector.since_last_ack(now));
                         // Fail-over: promote, then publishers re-send.
+                        let promote_started = clock.now();
                         let _ = backup.promote();
+                        telemetry.record_stage(
+                            Stage::Promotion,
+                            clock.now().saturating_since(promote_started),
+                        );
                         for p in &publishers {
                             p.fail_over();
                         }
@@ -240,10 +292,14 @@ mod tests {
         let rx = sys.subscribe(SubscriberId(1));
 
         for _ in 0..20 {
-            publisher.publish(TopicId(1), &b"0123456789abcdef"[..]).unwrap();
+            publisher
+                .publish(TopicId(1), &b"0123456789abcdef"[..])
+                .unwrap();
         }
         for seq in 0..20 {
-            let d = rx.recv_timeout(StdDuration::from_secs(2)).expect("delivery");
+            let d = rx
+                .recv_timeout(StdDuration::from_secs(2))
+                .expect("delivery");
             assert_eq!(d.message.seq, SeqNo(seq));
         }
         sys.shutdown();

@@ -46,6 +46,12 @@ pub enum WireMsg {
     /// Control plane: acknowledgement of a promotion (number of recovery
     /// dispatches created).
     Promoted(u64),
+    /// Control plane: request the broker's live telemetry snapshot.
+    Stats,
+    /// Control plane: the telemetry snapshot, as the JSON export
+    /// ([`frame_telemetry::to_json`]) — parse with
+    /// [`frame_telemetry::from_json`] and render in any format client-side.
+    StatsJson(String),
 }
 
 /// Writes one length-prefixed frame.
@@ -227,7 +233,16 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
                     return;
                 }
             }
-            WireMsg::PollAck(_) | WireMsg::Deliver(_) | WireMsg::Promoted(_) => {
+            WireMsg::Stats => {
+                let json = frame_telemetry::to_json(&broker.telemetry().snapshot());
+                if write_frame(&mut writer, &WireMsg::StatsJson(json)).is_err() {
+                    return;
+                }
+            }
+            WireMsg::PollAck(_)
+            | WireMsg::Deliver(_)
+            | WireMsg::Promoted(_)
+            | WireMsg::StatsJson(_) => {
                 // Server-to-client frames arriving at the server: protocol
                 // violation; drop the connection.
                 return;
@@ -388,9 +403,7 @@ mod tests {
     use super::*;
     use frame_clock::MonotonicClock;
     use frame_core::{admit, BrokerConfig, BrokerRole};
-    use frame_types::{
-        BrokerId, NetworkParams, PublisherId, SeqNo, Time, TopicId, TopicSpec,
-    };
+    use frame_types::{BrokerId, NetworkParams, PublisherId, SeqNo, Time, TopicId, TopicSpec};
 
     fn spawn_broker() -> (RtBroker, crate::broker_rt::RtBrokerThreads) {
         let clock: Arc<dyn frame_clock::Clock> = Arc::new(MonotonicClock::new());
@@ -545,11 +558,58 @@ mod tests {
     }
 
     #[test]
+    fn tcp_stats_returns_parseable_snapshot() {
+        let (broker, threads) = spawn_broker();
+        let spec = TopicSpec::category(0, TopicId(1));
+        broker
+            .register_topic(
+                admit(&spec, &NetworkParams::paper_example()).unwrap(),
+                vec![SubscriberId(1)],
+            )
+            .unwrap();
+        let server = TcpBrokerServer::bind("127.0.0.1:0", broker.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let sub = TcpSubscriber::connect(addr, SubscriberId(1)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut publisher = TcpPublisher::connect(addr).unwrap();
+        for seq in 0..3 {
+            publisher
+                .publish(Message::new(
+                    TopicId(1),
+                    PublisherId(0),
+                    SeqNo(seq),
+                    Time::from_millis(seq),
+                    &b"0123456789abcdef"[..],
+                ))
+                .unwrap();
+        }
+        for _ in 0..3 {
+            sub.deliveries()
+                .recv_timeout(std::time::Duration::from_secs(3))
+                .expect("delivery before stats");
+        }
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &WireMsg::Stats).unwrap();
+        let snapshot = match read_frame(&mut stream).unwrap() {
+            WireMsg::StatsJson(json) => frame_telemetry::from_json(&json).unwrap(),
+            other => panic!("expected StatsJson, got {other:?}"),
+        };
+        let dispatched = snapshot.decision_count(frame_telemetry::DecisionKind::Dispatch);
+        assert!(dispatched >= 3, "stats saw {dispatched} dispatches");
+        assert!(snapshot
+            .stage(frame_telemetry::Stage::DispatchExec)
+            .is_some_and(|h| h.len() >= 3));
+
+        broker.shutdown();
+        server.shutdown();
+        threads.join();
+    }
+
+    #[test]
     fn frame_codec_rejects_oversized() {
-        let (a, _b) = (
-            TcpListener::bind("127.0.0.1:0").unwrap(),
-            (),
-        );
+        let (a, _b) = (TcpListener::bind("127.0.0.1:0").unwrap(), ());
         let addr = a.local_addr().unwrap();
         let client = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();

@@ -116,8 +116,8 @@ pub fn max_sustainable_topics(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::{run, SimConfig};
     use crate::params::SimSchedule;
+    use crate::system::{run, SimConfig};
     use frame_types::Duration;
 
     fn parts() -> (ServiceParams, CpuAllocation, NetworkParams) {
@@ -179,16 +179,14 @@ mod tests {
     #[test]
     fn sustainable_topics_ordering() {
         let (s, c, n) = parts();
-        let frame =
-            max_sustainable_topics(ConfigName::Frame, &s, &c, &n, 1500, 40_000);
+        let frame = max_sustainable_topics(ConfigName::Frame, &s, &c, &n, 1500, 40_000);
         let fcfs = max_sustainable_topics(ConfigName::Fcfs, &s, &c, &n, 1500, 40_000);
-        let frame_plus =
-            max_sustainable_topics(ConfigName::FramePlus, &s, &c, &n, 1500, 40_000);
+        let frame_plus = max_sustainable_topics(ConfigName::FramePlus, &s, &c, &n, 1500, 40_000);
         assert!(
             fcfs < frame && frame < frame_plus,
             "capacity ordering: fcfs {fcfs} < frame {frame} < frame+ {frame_plus}"
         );
         // The paper's crossover: FCFS fits 4525 but not 7525.
-        assert!(fcfs >= 4525 && fcfs < 7525, "fcfs capacity {fcfs}");
+        assert!((4525..7525).contains(&fcfs), "fcfs capacity {fcfs}");
     }
 }

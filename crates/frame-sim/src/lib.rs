@@ -28,10 +28,10 @@ pub mod params;
 pub mod system;
 pub mod workload;
 
+pub use capacity::{max_sustainable_topics, predict, CapacityPrediction};
 pub use histogram::LatencyHistogram;
 pub use metrics::{mean_ci95, CpuUsage, ModuleUsage, RunMetrics, TopicMetrics};
 pub use multi_edge::{cloud_ingest_scaling, max_edges_within_budget, CloudIngestReport};
 pub use params::{ConfigName, CpuAllocation, ServiceParams, SimSchedule};
-pub use capacity::{max_sustainable_topics, predict, CapacityPrediction};
 pub use system::{run, CloudLatency, CrashTarget, SimConfig};
 pub use workload::{PublisherGroup, TopicInfo, Workload, PAYLOAD_SIZE};

@@ -251,12 +251,16 @@ impl RunMetrics {
 
     /// Utilization of the Primary's Message Proxy module.
     pub fn primary_proxy_util(&self) -> f64 {
-        self.cpu.primary_proxy.utilization(self.window, self.proxy_cores)
+        self.cpu
+            .primary_proxy
+            .utilization(self.window, self.proxy_cores)
     }
 
     /// Utilization of the Backup's Message Proxy module.
     pub fn backup_proxy_util(&self) -> f64 {
-        self.cpu.backup_proxy.utilization(self.window, self.proxy_cores)
+        self.cpu
+            .backup_proxy
+            .utilization(self.window, self.proxy_cores)
     }
 
     /// Utilization of the Backup's Message Delivery module.
@@ -371,12 +375,7 @@ mod tests {
         u.add(Time::ZERO, Duration::from_millis(100), w0, w1);
         assert_eq!(u.busy_ns(), 0);
         // Straddles the start.
-        u.add(
-            Time::from_millis(900),
-            Duration::from_millis(200),
-            w0,
-            w1,
-        );
+        u.add(Time::from_millis(900), Duration::from_millis(200), w0, w1);
         assert_eq!(u.busy_ns(), Duration::from_millis(100).as_nanos());
         // Fully inside.
         u.add(Time::from_millis(1500), Duration::from_millis(10), w0, w1);

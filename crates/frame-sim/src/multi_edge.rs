@@ -91,7 +91,7 @@ pub fn cloud_ingest_scaling(
         // Spread edges across the smallest cloud period for a fair merge.
         let phase = (e as u64).wrapping_mul(41_000_007) % 500_000_000;
         for &t in &template {
-            let jitter = rng.gen_range(0..1_000_000); // ≤1 ms arrival jitter
+            let jitter: u64 = rng.gen_range(0..1_000_000); // ≤1 ms arrival jitter
             arrivals.push(t + phase + jitter);
         }
     }
@@ -192,22 +192,8 @@ mod tests {
 
     #[test]
     fn max_edges_is_monotone_in_budget() {
-        let tight = max_edges_within_budget(
-            55,
-            INGEST,
-            1,
-            Duration::from_millis(60),
-            30,
-            7,
-        );
-        let loose = max_edges_within_budget(
-            55,
-            INGEST,
-            1,
-            Duration::from_millis(400),
-            30,
-            7,
-        );
+        let tight = max_edges_within_budget(55, INGEST, 1, Duration::from_millis(60), 30, 7);
+        let loose = max_edges_within_budget(55, INGEST, 1, Duration::from_millis(400), 30, 7);
         assert!(tight >= 1);
         assert!(loose >= tight);
     }

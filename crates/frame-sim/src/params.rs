@@ -245,10 +245,7 @@ mod tests {
     fn schedule_arithmetic() {
         let s = SimSchedule::paper(true);
         assert_eq!(s.total(), Duration::from_secs(95));
-        assert_eq!(
-            s.crash_at().unwrap(),
-            frame_types::Time::from_secs(65)
-        );
+        assert_eq!(s.crash_at().unwrap(), frame_types::Time::from_secs(65));
         let s = SimSchedule::compressed(false);
         assert_eq!(s.crash_at(), None);
     }

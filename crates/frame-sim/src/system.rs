@@ -15,12 +15,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use bytes::Bytes;
+use frame_clock::SyncErrorModel;
+use frame_core::PublishTarget as Target;
 use frame_core::{
     admit, ActiveJob, Broker, BrokerRole, JobKind, PollingDetector, PrimaryStatus, Publisher,
 };
 use frame_net::{Jittered, LatencyModel};
-use frame_clock::SyncErrorModel;
-use frame_core::PublishTarget as Target;
 use frame_types::{
     BrokerId, Duration, Message, MessageKey, NetworkParams, PublisherId, Time, TopicId,
 };
@@ -135,17 +135,37 @@ const PAYLOAD: &[u8] = b"0123456789abcdef"; // 16 bytes, as in the paper.
 
 /// Simulation events.
 enum Ev {
-    PublishBatch { publisher: usize },
-    BatchArrive { broker: usize, msgs: Vec<Message>, resend: bool },
-    ProxyDone { broker: usize },
-    JobDone { broker: usize, active: Box<ActiveJob> },
-    SubscriberDeliver { message: Message, sent_at: Time },
-    ReplicaArrive { message: Message },
-    PruneArrive { key: MessageKey },
+    PublishBatch {
+        publisher: usize,
+    },
+    BatchArrive {
+        broker: usize,
+        msgs: Vec<Message>,
+        resend: bool,
+    },
+    ProxyDone {
+        broker: usize,
+    },
+    JobDone {
+        broker: usize,
+        active: Box<ActiveJob>,
+    },
+    SubscriberDeliver {
+        message: Message,
+        sent_at: Time,
+    },
+    ReplicaArrive {
+        message: Message,
+    },
+    PruneArrive {
+        key: MessageKey,
+    },
     Poll,
     DetectorAck,
     Crash,
-    PublisherFailover { publisher: usize },
+    PublisherFailover {
+        publisher: usize,
+    },
 }
 
 struct Entry {
@@ -465,11 +485,14 @@ impl Sim {
         if broker == PRIMARY && !self.primary_up(at) {
             return; // died while in flight
         }
-        self.push_ev(at, Ev::BatchArrive {
-            broker,
-            msgs,
-            resend,
-        });
+        self.push_ev(
+            at,
+            Ev::BatchArrive {
+                broker,
+                msgs,
+                resend,
+            },
+        );
     }
 
     fn enqueue_proxy(&mut self, broker: usize, task: ProxyTask) {
@@ -592,21 +615,18 @@ impl Sim {
 
             let s = &self.cfg.service;
             let mut service = Duration::from_nanos(s.skip.as_nanos() * skips);
-            service = service
-                + match active.job.kind {
-                    JobKind::Dispatch => {
-                        let extra = active.subscribers.len().saturating_sub(1) as u64;
-                        let mut d = s.dispatch
-                            + Duration::from_nanos(
-                                s.dispatch_extra_subscriber.as_nanos() * extra,
-                            );
-                        if active.will_coordinate {
-                            d = d + s.coordination;
-                        }
-                        d
+            service += match active.job.kind {
+                JobKind::Dispatch => {
+                    let extra = active.subscribers.len().saturating_sub(1) as u64;
+                    let mut d = s.dispatch
+                        + Duration::from_nanos(s.dispatch_extra_subscriber.as_nanos() * extra);
+                    if active.will_coordinate {
+                        d += s.coordination;
                     }
-                    JobKind::Replicate => s.replicate,
-                };
+                    d
+                }
+                JobKind::Replicate => s.replicate,
+            };
 
             let usage = if broker == PRIMARY {
                 &mut self.cpu.primary_delivery
@@ -615,10 +635,13 @@ impl Sim {
             };
             usage.add(self.now, service, self.w0, self.w1);
             self.delivery_busy[broker] += 1;
-            self.push_ev(self.now + service, Ev::JobDone {
-                broker,
-                active: Box::new(active),
-            });
+            self.push_ev(
+                self.now + service,
+                Ev::JobDone {
+                    broker,
+                    active: Box::new(active),
+                },
+            );
         }
     }
 
@@ -636,10 +659,13 @@ impl Sim {
                         frame_types::Destination::Edge => self.lat_edge.sample(self.now),
                         frame_types::Destination::Cloud => self.lat_cloud.sample(self.now),
                     };
-                    self.push_ev(self.now + transit, Ev::SubscriberDeliver {
-                        message,
-                        sent_at: self.now,
-                    });
+                    self.push_ev(
+                        self.now + transit,
+                        Ev::SubscriberDeliver {
+                            message,
+                            sent_at: self.now,
+                        },
+                    );
                 }
                 frame_core::Effect::Replicate { message } => {
                     if self.primary_up(self.now) || broker == BACKUP {
@@ -668,9 +694,11 @@ impl Sim {
         };
         let skew_ns = sync.offset_nanos as f64 + self.now.as_nanos() as f64 * sync.drift_ppm / 1e6;
         let observed_now = if skew_ns >= 0.0 {
-            self.now.saturating_add(Duration::from_nanos(skew_ns as u64))
+            self.now
+                .saturating_add(Duration::from_nanos(skew_ns as u64))
         } else {
-            self.now.saturating_sub(Duration::from_nanos((-skew_ns) as u64))
+            self.now
+                .saturating_sub(Duration::from_nanos((-skew_ns) as u64))
         };
         let latency = observed_now.saturating_since(message.created_at);
         let transit = self.now.saturating_since(sent_at);

@@ -74,7 +74,7 @@ impl Workload {
         let per_cat = [
             10,
             10,
-            scalable / 3 + usize::from(scalable % 3 > 0),
+            scalable / 3 + usize::from(!scalable.is_multiple_of(3)),
             scalable / 3 + usize::from(scalable % 3 > 1),
             scalable / 3,
             5,
@@ -195,7 +195,13 @@ mod tests {
             // All topics of a proxy share the period.
             for &t in &p.topics {
                 assert_eq!(w.topics[t].spec.period, p.period);
-                assert_eq!(w.topics[t].publisher, w.publishers.iter().position(|q| std::ptr::eq(p, q)).unwrap());
+                assert_eq!(
+                    w.topics[t].publisher,
+                    w.publishers
+                        .iter()
+                        .position(|q| std::ptr::eq(p, q))
+                        .unwrap()
+                );
             }
         }
     }

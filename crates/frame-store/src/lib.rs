@@ -24,5 +24,5 @@ pub mod record;
 pub mod retention;
 
 pub use log::{MessageLog, RecoveryReport, SyncPolicy};
-pub use retention::PersistentRetention;
 pub use record::{crc32, decode, encode, DecodeError, MAX_RECORD};
+pub use retention::PersistentRetention;

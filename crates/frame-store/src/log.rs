@@ -288,9 +288,7 @@ pub fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
 ///
 /// Propagates filesystem errors.
 pub fn newest_segment(dir: &Path) -> std::io::Result<Option<PathBuf>> {
-    Ok(list_segments(dir)?
-        .last()
-        .map(|&id| segment_path(dir, id)))
+    Ok(list_segments(dir)?.last().map(|&id| segment_path(dir, id)))
 }
 
 /// Flips one byte at `offset` in `path` (for fault-injection tests).
@@ -325,10 +323,7 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "frame-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("frame-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

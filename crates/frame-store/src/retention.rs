@@ -162,10 +162,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "frame-retention-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("frame-retention-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -202,8 +200,7 @@ mod tests {
         } // "crash" of the publisher process
 
         let (r, report) =
-            PersistentRetention::open(&dir, depths(&[(1, 2), (2, 1)]), SyncPolicy::Always)
-                .unwrap();
+            PersistentRetention::open(&dir, depths(&[(1, 2), (2, 1)]), SyncPolicy::Always).unwrap();
         assert_eq!(report.records, 5);
         let seqs: Vec<u64> = r.snapshot(TopicId(1)).iter().map(|m| m.seq.raw()).collect();
         assert_eq!(seqs, vec![2, 3], "latest N survive the restart");

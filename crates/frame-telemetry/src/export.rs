@@ -1,0 +1,239 @@
+//! Rendering a [`TelemetrySnapshot`] for humans and scrapers: Prometheus
+//! text format, JSON, and the aligned table behind `frame-cli stats`.
+
+use std::fmt::Write as _;
+
+use crate::telemetry::TelemetrySnapshot;
+
+/// Serializes a snapshot to pretty-printed JSON.
+pub fn to_json(snapshot: &TelemetrySnapshot) -> String {
+    serde_json::to_string_pretty(snapshot).expect("snapshot serializes")
+}
+
+/// Parses a snapshot back from JSON (the inverse of [`to_json`]).
+///
+/// # Errors
+///
+/// Returns the underlying parse error on malformed input.
+pub fn from_json(json: &str) -> Result<TelemetrySnapshot, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Renders a snapshot in the Prometheus text exposition format:
+/// per-stage and per-topic quantile gauges plus decision counters, all in
+/// nanoseconds.
+pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP frame_stage_latency_ns Per-stage latency quantiles.\n");
+    out.push_str("# TYPE frame_stage_latency_ns gauge\n");
+    for s in &snapshot.stages {
+        let h = &s.histogram;
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "frame_stage_latency_ns{{stage=\"{}\",quantile=\"{label}\"}} {}",
+                s.stage.name(),
+                h.quantile(q).as_nanos()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "frame_stage_latency_ns_max{{stage=\"{}\"}} {}",
+            s.stage.name(),
+            h.max().as_nanos()
+        );
+        let _ = writeln!(
+            out,
+            "frame_stage_latency_ns_count{{stage=\"{}\"}} {}",
+            s.stage.name(),
+            h.len()
+        );
+    }
+    out.push_str("# HELP frame_topic_latency_ns Per-topic creation-to-delivery latency.\n");
+    out.push_str("# TYPE frame_topic_latency_ns gauge\n");
+    for t in &snapshot.topics {
+        let h = &t.histogram;
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "frame_topic_latency_ns{{topic=\"{}\",quantile=\"{label}\"}} {}",
+                t.topic.0,
+                h.quantile(q).as_nanos()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "frame_topic_latency_ns_max{{topic=\"{}\"}} {}",
+            t.topic.0,
+            h.max().as_nanos()
+        );
+        let _ = writeln!(
+            out,
+            "frame_topic_latency_ns_count{{topic=\"{}\"}} {}",
+            t.topic.0,
+            h.len()
+        );
+    }
+    out.push_str("# HELP frame_decisions_total Broker decisions by kind (Table 3).\n");
+    out.push_str("# TYPE frame_decisions_total counter\n");
+    for d in &snapshot.decisions {
+        let _ = writeln!(
+            out,
+            "frame_decisions_total{{kind=\"{}\"}} {}",
+            d.kind.name(),
+            d.count
+        );
+    }
+    let _ = writeln!(out, "frame_trace_retained_events {}", snapshot.trace.len());
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the human-facing stats table: p50/p99/max per stage and per
+/// topic, then the decision totals and the tail of the trace.
+pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p99", "max"
+    );
+    for s in &snapshot.stages {
+        let h = &s.histogram;
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>10} {:>10} {:>10}",
+            s.stage.name(),
+            h.len(),
+            fmt_ns(h.p50().as_nanos()),
+            fmt_ns(h.p99().as_nanos()),
+            fmt_ns(h.max().as_nanos())
+        );
+    }
+    if !snapshot.topics.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<20} {:>10} {:>10} {:>10} {:>10}",
+            "topic", "count", "p50", "p99", "max"
+        );
+        for t in &snapshot.topics {
+            let h = &t.histogram;
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>10} {:>10} {:>10}",
+                format!("topic-{}", t.topic.0),
+                h.len(),
+                fmt_ns(h.p50().as_nanos()),
+                fmt_ns(h.p99().as_nanos()),
+                fmt_ns(h.max().as_nanos())
+            );
+        }
+    }
+    let _ = writeln!(out, "\n{:<20} {:>10}", "decision", "count");
+    for d in &snapshot.decisions {
+        let _ = writeln!(out, "{:<20} {:>10}", d.kind.name(), d.count);
+    }
+    if !snapshot.trace.is_empty() {
+        let _ = writeln!(out, "\ntrace (newest {} events):", snapshot.trace.len());
+        for e in &snapshot.trace {
+            let _ = writeln!(
+                out,
+                "  {} {} topic-{} #{}",
+                e.at,
+                e.kind.name(),
+                e.topic.0,
+                e.seq.0
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+    use crate::telemetry::Telemetry;
+    use crate::trace::DecisionKind;
+    use frame_types::{Duration, SeqNo, Time, TopicId};
+
+    fn sample() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        t.ensure_topic(TopicId(3));
+        for us in [10u64, 100, 1000] {
+            t.record_stage(Stage::DispatchExec, Duration::from_micros(us));
+            t.record_topic(TopicId(3), Duration::from_micros(us * 2));
+        }
+        t.decision(
+            DecisionKind::Dispatch,
+            TopicId(3),
+            SeqNo(0),
+            Time::from_nanos(1),
+        );
+        t.decision(
+            DecisionKind::Suppress,
+            TopicId(3),
+            SeqNo(1),
+            Time::from_nanos(2),
+        );
+        t.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = to_json(&snap);
+        let back = from_json(&json).expect("parse back");
+        assert_eq!(back.stages.len(), snap.stages.len());
+        assert_eq!(back.topics.len(), snap.topics.len());
+        assert_eq!(back.trace, snap.trace);
+        for (a, b) in snap.stages.iter().zip(&back.stages) {
+            assert_eq!(a.stage, b.stage);
+            assert_eq!(a.histogram.len(), b.histogram.len());
+            assert_eq!(a.histogram.p99(), b.histogram.p99());
+            assert_eq!(a.histogram.max(), b.histogram.max());
+        }
+        assert_eq!(
+            back.decision_count(DecisionKind::Dispatch),
+            snap.decision_count(DecisionKind::Dispatch)
+        );
+    }
+
+    #[test]
+    fn prometheus_has_expected_series() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("frame_stage_latency_ns{stage=\"dispatch_exec\",quantile=\"0.99\"}"));
+        assert!(text.contains("frame_stage_latency_ns_count{stage=\"dispatch_exec\"} 3"));
+        assert!(text.contains("frame_topic_latency_ns{topic=\"3\",quantile=\"0.5\"}"));
+        assert!(text.contains("frame_decisions_total{kind=\"dispatch\"} 1"));
+        assert!(text.contains("frame_decisions_total{kind=\"suppress\"} 1"));
+        assert!(text.contains("frame_trace_retained_events 2"));
+        // Exposition format sanity: every non-comment line is `name value`
+        // or `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (head, value) = line.rsplit_once(' ').expect("metric line");
+            assert!(!head.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+        }
+    }
+
+    #[test]
+    fn pretty_table_mentions_stages_topics_decisions() {
+        let text = render_pretty(&sample());
+        assert!(text.contains("dispatch_exec"));
+        assert!(text.contains("topic-3"));
+        assert!(text.contains("suppress"));
+        assert!(text.contains("p99"));
+    }
+}

@@ -1,0 +1,293 @@
+//! A log-bucketed latency histogram (HDR-style, fixed memory).
+//!
+//! Latency distributions in messaging systems span five orders of magnitude
+//! (microseconds steady-state, hundreds of milliseconds at recovery), so
+//! the histogram uses logarithmic buckets with bounded relative error:
+//! each power-of-two range is split into `2^precision` linear sub-buckets,
+//! giving a worst-case relative error of `2^-precision` (~1.6 % at the
+//! default precision of 6) while storing the whole nanosecond…minutes range
+//! in a few KiB.
+
+use frame_types::Duration;
+use serde::{Deserialize, Serialize};
+
+pub(crate) const PRECISION: u32 = 6; // sub-buckets per octave = 64
+pub(crate) const SUB: u64 = 1 << PRECISION;
+/// Buckets cover values up to 2^40 ns ≈ 18 minutes.
+pub(crate) const OCTAVES: u32 = 40;
+
+/// Total bucket count shared with [`crate::AtomicHistogram`].
+pub(crate) const BUCKETS: usize = (OCTAVES as usize) * SUB as usize;
+
+/// A fixed-memory latency histogram with ~1.6 % relative error.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_ns: u64,
+    min_ns: u64,
+    sum_ns: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; (OCTAVES as usize) * SUB as usize],
+            total: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+            sum_ns: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bucket_of(ns: u64) -> usize {
+        if ns < SUB {
+            // The first SUB values are exact.
+            return ns as usize;
+        }
+        let octave = 63 - ns.leading_zeros() as u64; // ≥ PRECISION
+        let shift = octave - PRECISION as u64;
+        let sub = (ns >> shift) - SUB; // 0..SUB within the octave
+        let index = (octave - PRECISION as u64 + 1) * SUB + sub;
+        (index as usize).min(OCTAVES as usize * SUB as usize - 1)
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn bucket_value(i: usize) -> u64 {
+        let i = i as u64;
+        if i < SUB {
+            return i;
+        }
+        let octave = i / SUB + PRECISION as u64 - 1;
+        let sub = i % SUB;
+        (SUB + sub) << (octave - PRECISION as u64)
+    }
+
+    /// Rebuilds a histogram from raw parts (the fold step of
+    /// [`crate::AtomicHistogram::snapshot`]).
+    pub(crate) fn from_parts(
+        counts: Vec<u64>,
+        total: u64,
+        max_ns: u64,
+        min_ns: u64,
+        sum_ns: u128,
+    ) -> Self {
+        debug_assert_eq!(counts.len(), BUCKETS);
+        LatencyHistogram {
+            counts,
+            total,
+            max_ns,
+            min_ns,
+            sum_ns,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos();
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.sum_ns += ns as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact maximum recorded value.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(if self.total == 0 { 0 } else { self.max_ns })
+    }
+
+    /// The exact minimum recorded value.
+    pub fn min(&self) -> Duration {
+        Duration::from_nanos(if self.total == 0 { 0 } else { self.min_ns })
+    }
+
+    /// The exact mean of recorded values.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// The value at quantile `q` (0.0..=1.0), within the histogram's
+    /// relative error. Returns zero for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let last = self.counts.len() - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The final bucket collects everything beyond the covered
+                // range; report the true maximum for it.
+                if i == last {
+                    return Duration::from_nanos(self.max_ns);
+                }
+                return Duration::from_nanos(Self::bucket_value(i).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Convenience: the median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.max_ns = self.max_ns.max(other.max_ns);
+            self.min_ns = self.min_ns.min(other.min_ns);
+        }
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Fraction of samples at or below `threshold` (± bucket error).
+    pub fn fraction_le(&self, threshold: Duration) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let cut = Self::bucket_of(threshold.as_nanos());
+        let below: u64 = self.counts[..=cut].iter().sum();
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.fraction_le(Duration::from_millis(1)), 1.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [0u64, 1, 2, 63] {
+            h.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::from_nanos(63));
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 microseconds, uniformly.
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        for (q, expect_us) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (1.0, 1000)] {
+            let got = h.quantile(q).as_nanos() as f64;
+            let expect = (expect_us * 1000) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.04, "q={q}: got {got} expect {expect} rel {rel}");
+        }
+        // Mean is exact.
+        assert_eq!(h.mean(), Duration::from_nanos(500_500));
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_secs(10));
+        assert_eq!(h.max(), Duration::from_secs(10));
+        assert_eq!(h.min(), Duration::from_nanos(100));
+        let p50 = h.quantile(0.5).as_nanos();
+        let expect = Duration::from_millis(1).as_nanos();
+        let rel = (p50 as f64 - expect as f64).abs() / expect as f64;
+        assert!(rel < 0.04, "rel {rel}");
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            a.record(Duration::from_micros(us));
+            b.record(Duration::from_micros(us + 100));
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.max(), Duration::from_micros(200));
+        let p50 = a.quantile(0.5).as_micros() as f64;
+        assert!((p50 - 100.0).abs() / 100.0 < 0.05, "p50 {p50}");
+    }
+
+    #[test]
+    fn fraction_le_tracks_deadline_hits() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let f = h.fraction_le(Duration::from_millis(50));
+        assert!((f - 0.5).abs() < 0.05, "fraction {f}");
+        assert_eq!(h.fraction_le(Duration::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_monotone() {
+        // bucket_value(bucket_of(x)) <= x and buckets are monotone in x.
+        let mut prev_bucket = 0usize;
+        for exp in 0..38u32 {
+            let x = 1u64 << exp;
+            for v in [x, x + x / 3, x + x / 2] {
+                let b = LatencyHistogram::bucket_of(v);
+                assert!(b >= prev_bucket || v < (1 << exp));
+                assert!(LatencyHistogram::bucket_value(b) <= v);
+                prev_bucket = prev_bucket.max(b);
+            }
+        }
+    }
+
+    #[test]
+    fn top_bucket_clamps() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(1_000_000)); // beyond the covered range
+        assert_eq!(h.quantile(1.0), Duration::from_secs(1_000_000));
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Observability for FRAME: per-stage latency histograms, decision
+//! counters, a Table-3 decision trace, and Prometheus/JSON exporters.
+//!
+//! The crate is deliberately small and dependency-light (only
+//! `frame-types` + serde) so every layer of the stack — the sans-IO broker
+//! in `frame-core`, the threaded runtime in `frame-rt`, the simulator in
+//! `frame-sim` and the CLI — can record into one shared [`Telemetry`]
+//! registry:
+//!
+//! * [`LatencyHistogram`] — the log-bucketed (HDR-style) histogram, also
+//!   re-exported by `frame-sim` for its offline metrics.
+//! * [`AtomicHistogram`] / [`ShardedCounter`] — wait-free hot-path
+//!   recording, folded into plain values at snapshot time.
+//! * [`Stage`] — the pipeline stage taxonomy (proxy ingress → queue wait →
+//!   dispatch/replicate execution → transit, plus fail-over detection and
+//!   promotion).
+//! * [`DecisionTrace`] — a lock-free ring of the paper-visible decisions
+//!   (Table 3 rows, Proposition-1 suppressions, promotion and recovery),
+//!   drainable while the broker keeps running.
+//! * [`export`] — Prometheus text format, JSON round-tripping, and the
+//!   aligned table rendered by `frame-cli stats`.
+//!
+//! A [`Telemetry::disabled`] handle turns every recording call into a
+//! single branch, so instrumentation can stay in release builds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod export;
+pub mod histogram;
+pub mod metrics;
+pub mod stage;
+pub mod telemetry;
+pub mod trace;
+
+pub use export::{from_json, render_pretty, render_prometheus, to_json};
+pub use histogram::LatencyHistogram;
+pub use metrics::{AtomicHistogram, ShardedCounter};
+pub use stage::Stage;
+pub use telemetry::{
+    DecisionCount, StageSnapshot, Telemetry, TelemetrySnapshot, TopicSnapshot,
+    DEFAULT_TRACE_CAPACITY,
+};
+pub use trace::{DecisionEvent, DecisionKind, DecisionTrace};

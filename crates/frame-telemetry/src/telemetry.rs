@@ -1,0 +1,323 @@
+//! The [`Telemetry`] handle: a cheap-to-clone registry of per-stage
+//! latency histograms, per-topic delivery histograms, decision counters
+//! and the decision trace, shared by every component of a running system.
+
+use std::sync::{Arc, RwLock};
+
+use frame_types::{Duration, SeqNo, Time, TopicId};
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::LatencyHistogram;
+use crate::metrics::{AtomicHistogram, ShardedCounter};
+use crate::stage::Stage;
+use crate::trace::{DecisionEvent, DecisionKind, DecisionTrace};
+
+/// Default decision-trace capacity (events retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+struct Inner {
+    stages: [AtomicHistogram; Stage::ALL.len()],
+    decisions: [ShardedCounter; DecisionKind::ALL.len()],
+    trace: DecisionTrace,
+    /// Per-topic end-to-end delivery histograms. Registration takes the
+    /// write lock (cold: once per topic); recording takes the read lock
+    /// and scans — topic counts are small and the slice is append-only.
+    topics: RwLock<Vec<(TopicId, Arc<AtomicHistogram>)>>,
+}
+
+/// Handle to a telemetry registry. Cloning shares the registry; a
+/// [`Telemetry::disabled`] handle makes every recording call a no-op
+/// branch, so instrumented code needs no `cfg` gates.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// Creates an enabled registry with the default trace capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates an enabled registry retaining the newest `trace_capacity`
+    /// decision events.
+    pub fn with_trace_capacity(trace_capacity: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                stages: std::array::from_fn(|_| AtomicHistogram::new()),
+                decisions: std::array::from_fn(|_| ShardedCounter::new()),
+                trace: DecisionTrace::new(trace_capacity),
+                topics: RwLock::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A no-op handle: every recording method returns after one branch.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a latency sample for `stage`.
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, latency: Duration) {
+        if let Some(inner) = &self.inner {
+            inner.stages[stage.index()].record(latency);
+        }
+    }
+
+    /// Records a latency sample for `stage`, given in nanoseconds.
+    #[inline]
+    pub fn record_stage_ns(&self, stage: Stage, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.stages[stage.index()].record_ns(ns);
+        }
+    }
+
+    /// Registers `topic` in the per-topic registry (idempotent; called at
+    /// topic-registration time so the delivery path never write-locks).
+    pub fn ensure_topic(&self, topic: TopicId) {
+        if let Some(inner) = &self.inner {
+            let mut topics = inner.topics.write().expect("topics lock");
+            if !topics.iter().any(|(t, _)| *t == topic) {
+                topics.push((topic, Arc::new(AtomicHistogram::new())));
+            }
+        }
+    }
+
+    /// Records an end-to-end delivery latency for `topic`. Unregistered
+    /// topics are ignored (register via [`Telemetry::ensure_topic`]).
+    #[inline]
+    pub fn record_topic(&self, topic: TopicId, latency: Duration) {
+        if let Some(inner) = &self.inner {
+            let topics = inner.topics.read().expect("topics lock");
+            if let Some((_, h)) = topics.iter().find(|(t, _)| *t == topic) {
+                h.record(latency);
+            }
+        }
+    }
+
+    /// Records a broker decision: bumps its counter and appends it to the
+    /// trace. Wait-free (atomic increments plus one ring slot).
+    #[inline]
+    pub fn decision(&self, kind: DecisionKind, topic: TopicId, seq: SeqNo, at: Time) {
+        if let Some(inner) = &self.inner {
+            let index = inner.trace.record(DecisionEvent {
+                at,
+                kind,
+                topic,
+                seq,
+            });
+            // The ring index round-robins across writers, so it doubles as
+            // the counter shard hint (no thread-local lookup needed).
+            inner.decisions[kind.index()].incr_spread(index);
+        }
+    }
+
+    /// Current count for one decision kind.
+    pub fn decision_count(&self, kind: DecisionKind) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.decisions[kind.index()].get(),
+            None => 0,
+        }
+    }
+
+    /// Consumes trace events recorded since the last drain (oldest first)
+    /// without pausing recording. Empty for a disabled handle.
+    pub fn drain_trace(&self) -> Vec<DecisionEvent> {
+        match &self.inner {
+            Some(inner) => inner.trace.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Folds every live metric into a serializable snapshot. The trace
+    /// portion is a non-consuming copy of the retained ring contents.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else {
+            return TelemetrySnapshot::default();
+        };
+        let stages = Stage::ALL
+            .iter()
+            .map(|&stage| StageSnapshot {
+                stage,
+                histogram: inner.stages[stage.index()].snapshot(),
+            })
+            .collect();
+        let mut topics: Vec<TopicSnapshot> = inner
+            .topics
+            .read()
+            .expect("topics lock")
+            .iter()
+            .map(|(topic, h)| TopicSnapshot {
+                topic: *topic,
+                histogram: h.snapshot(),
+            })
+            .collect();
+        topics.sort_by_key(|t| t.topic.0);
+        let decisions = DecisionKind::ALL
+            .iter()
+            .map(|&kind| DecisionCount {
+                kind,
+                count: inner.decisions[kind.index()].get(),
+            })
+            .collect();
+        TelemetrySnapshot {
+            stages,
+            topics,
+            decisions,
+            trace: inner.trace.snapshot(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// One stage's folded histogram.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Its latency distribution.
+    pub histogram: LatencyHistogram,
+}
+
+/// One topic's folded end-to-end delivery histogram.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopicSnapshot {
+    /// The topic.
+    pub topic: TopicId,
+    /// Its creation→delivery latency distribution.
+    pub histogram: LatencyHistogram,
+}
+
+/// One decision kind's total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionCount {
+    /// The decision kind.
+    pub kind: DecisionKind,
+    /// Times it was taken since start-up.
+    pub count: u64,
+}
+
+/// A point-in-time copy of every telemetry metric, ready for rendering
+/// ([`crate::export`]) or serialization.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Per-stage latency histograms (every stage present, possibly empty).
+    pub stages: Vec<StageSnapshot>,
+    /// Per-topic delivery histograms, sorted by topic id.
+    pub topics: Vec<TopicSnapshot>,
+    /// Per-kind decision totals (every kind present).
+    pub decisions: Vec<DecisionCount>,
+    /// The retained decision-trace events, oldest first.
+    pub trace: Vec<DecisionEvent>,
+}
+
+impl TelemetrySnapshot {
+    /// The histogram for `stage`, if the snapshot carries one.
+    pub fn stage(&self, stage: Stage) -> Option<&LatencyHistogram> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| &s.histogram)
+    }
+
+    /// The total for one decision kind (zero when absent).
+    pub fn decision_count(&self, kind: DecisionKind) -> u64 {
+        self.decisions
+            .iter()
+            .find(|d| d.kind == kind)
+            .map_or(0, |d| d.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.record_stage(Stage::DispatchExec, Duration::from_micros(5));
+        t.ensure_topic(TopicId(1));
+        t.record_topic(TopicId(1), Duration::from_micros(5));
+        t.decision(DecisionKind::Dispatch, TopicId(1), SeqNo(0), Time::ZERO);
+        assert_eq!(t.decision_count(DecisionKind::Dispatch), 0);
+        assert!(t.drain_trace().is_empty());
+        let s = t.snapshot();
+        assert!(s.stages.is_empty() && s.topics.is_empty() && s.trace.is_empty());
+    }
+
+    #[test]
+    fn stages_and_topics_record_independently() {
+        let t = Telemetry::new();
+        t.ensure_topic(TopicId(7));
+        t.record_stage(Stage::QueueWait, Duration::from_micros(10));
+        t.record_stage(Stage::QueueWait, Duration::from_micros(20));
+        t.record_stage(Stage::DispatchExec, Duration::from_micros(3));
+        t.record_topic(TopicId(7), Duration::from_millis(1));
+        t.record_topic(TopicId(99), Duration::from_millis(9)); // unregistered: dropped
+
+        let s = t.snapshot();
+        assert_eq!(s.stage(Stage::QueueWait).unwrap().len(), 2);
+        assert_eq!(s.stage(Stage::DispatchExec).unwrap().len(), 1);
+        assert_eq!(s.stage(Stage::Transit).unwrap().len(), 0);
+        assert_eq!(s.topics.len(), 1);
+        assert_eq!(s.topics[0].topic, TopicId(7));
+        assert_eq!(s.topics[0].histogram.len(), 1);
+    }
+
+    #[test]
+    fn decisions_count_and_trace() {
+        let t = Telemetry::new();
+        t.decision(DecisionKind::Replicate, TopicId(1), SeqNo(0), Time::ZERO);
+        t.decision(
+            DecisionKind::Dispatch,
+            TopicId(1),
+            SeqNo(0),
+            Time::from_nanos(5),
+        );
+        t.decision(
+            DecisionKind::Prune,
+            TopicId(1),
+            SeqNo(0),
+            Time::from_nanos(9),
+        );
+        assert_eq!(t.decision_count(DecisionKind::Dispatch), 1);
+        let s = t.snapshot();
+        assert_eq!(s.decision_count(DecisionKind::Replicate), 1);
+        assert_eq!(s.trace.len(), 3);
+        // snapshot() does not consume; drain does.
+        assert_eq!(t.drain_trace().len(), 3);
+        assert!(t.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn ensure_topic_is_idempotent() {
+        let t = Telemetry::new();
+        t.ensure_topic(TopicId(1));
+        t.ensure_topic(TopicId(1));
+        t.record_topic(TopicId(1), Duration::from_micros(1));
+        let s = t.snapshot();
+        assert_eq!(s.topics.len(), 1);
+        assert_eq!(s.topics[0].histogram.len(), 1);
+    }
+}

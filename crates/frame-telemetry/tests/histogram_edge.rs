@@ -1,0 +1,95 @@
+//! Edge cases of the log-bucketed histogram: zero-duration samples, values
+//! beyond the 2^40 ns covered range, merging disjoint distributions, and a
+//! property check that quantiles are monotone in `q` and bracketed by
+//! min/max over arbitrary sample sets.
+
+use frame_telemetry::LatencyHistogram;
+use frame_types::Duration;
+use proptest::prelude::*;
+
+#[test]
+fn zero_duration_samples() {
+    let mut h = LatencyHistogram::new();
+    for _ in 0..100 {
+        h.record(Duration::ZERO);
+    }
+    assert_eq!(h.len(), 100);
+    assert_eq!(h.min(), Duration::ZERO);
+    assert_eq!(h.max(), Duration::ZERO);
+    assert_eq!(h.mean(), Duration::ZERO);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Duration::ZERO, "q={q}");
+    }
+    assert_eq!(h.fraction_le(Duration::ZERO), 1.0);
+}
+
+#[test]
+fn values_above_range_cap_collect_in_top_bucket() {
+    // 2^40 ns ≈ 18.3 min is the last covered octave; anything beyond lands
+    // in the top bucket but max()/quantile(1.0) still report exact values.
+    let mut h = LatencyHistogram::new();
+    let over = [1u64 << 40, (1 << 40) + 1, 1 << 50, u64::MAX / 2];
+    for &ns in &over {
+        h.record(Duration::from_nanos(ns));
+    }
+    assert_eq!(h.len(), over.len() as u64);
+    assert_eq!(h.max(), Duration::from_nanos(u64::MAX / 2));
+    assert_eq!(h.min(), Duration::from_nanos(1 << 40));
+    // The top bucket reports the true maximum rather than its lower bound.
+    assert_eq!(h.quantile(1.0), Duration::from_nanos(u64::MAX / 2));
+    // All mass is ≤ the reported max and none is below the covered range.
+    assert_eq!(h.fraction_le(Duration::from_nanos(u64::MAX / 2)), 1.0);
+    assert_eq!(h.fraction_le(Duration::from_secs(60)), 0.0);
+}
+
+#[test]
+fn merge_of_disjoint_ranges() {
+    // a: nanoseconds, b: seconds — entirely disjoint octaves.
+    let mut a = LatencyHistogram::new();
+    let mut b = LatencyHistogram::new();
+    for i in 1..=50u64 {
+        a.record(Duration::from_nanos(i));
+        b.record(Duration::from_secs(i));
+    }
+    let (a_mean, b_mean) = (a.mean(), b.mean());
+    a.merge(&b);
+    assert_eq!(a.len(), 100);
+    assert_eq!(a.min(), Duration::from_nanos(1));
+    assert_eq!(a.max(), Duration::from_secs(50));
+    // Half the mass sits at nanoseconds: the median must still be in the
+    // low range, p99 firmly in the seconds range.
+    assert!(a.p50() <= Duration::from_micros(1), "p50 {:?}", a.p50());
+    assert!(a.p99() >= Duration::from_secs(40), "p99 {:?}", a.p99());
+    // The merged mean is the weighted mean (equal counts here).
+    let expect = (a_mean.as_nanos() + b_mean.as_nanos()) / 2;
+    assert_eq!(a.mean(), Duration::from_nanos(expect));
+    // Merging an empty histogram changes nothing.
+    let before = a.len();
+    a.merge(&LatencyHistogram::new());
+    assert_eq!(a.len(), before);
+    assert_eq!(a.min(), Duration::from_nanos(1));
+}
+
+proptest! {
+    #[test]
+    fn quantiles_monotone_and_bracketed(
+        samples in proptest::collection::vec(0u64..=1 << 42, 1..200),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &ns in &samples {
+            h.record(Duration::from_nanos(ns));
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let values: Vec<Duration> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {values:?}");
+        }
+        // Every quantile is bracketed by the true extremes.
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert!(values[0] >= Duration::from_nanos(lo.saturating_sub(lo / 16)));
+        prop_assert!(*values.last().unwrap() <= Duration::from_nanos(hi));
+        prop_assert_eq!(h.max(), Duration::from_nanos(hi));
+        prop_assert_eq!(h.min(), Duration::from_nanos(lo));
+    }
+}

@@ -88,7 +88,10 @@ impl fmt::Display for FrameError {
             }
             FrameError::ShuttingDown => write!(f, "component is shutting down"),
             FrameError::WrongRole { operation } => {
-                write!(f, "operation `{operation}` is not valid in this broker role")
+                write!(
+                    f,
+                    "operation `{operation}` is not valid in this broker role"
+                )
             }
             FrameError::Transport(msg) => write!(f, "transport error: {msg}"),
             FrameError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -118,9 +121,11 @@ mod tests {
         assert!(FrameError::BufferFull { capacity: 8 }
             .to_string()
             .contains("capacity 8"));
-        assert!(FrameError::WrongRole { operation: "dispatch" }
-            .to_string()
-            .contains("dispatch"));
+        assert!(FrameError::WrongRole {
+            operation: "dispatch"
+        }
+        .to_string()
+        .contains("dispatch"));
     }
 
     #[test]

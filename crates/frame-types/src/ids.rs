@@ -90,9 +90,7 @@ define_id!(
 /// subscribers use gaps in the sequence to count *consecutive* losses, and
 /// duplicates (e.g., a retained copy re-sent during failover that was also
 /// replicated) are discarded by sequence number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SeqNo(pub u64);
 

@@ -76,9 +76,7 @@ impl fmt::Debug for Message {
 }
 
 /// Identity of a message within the system: topic plus sequence number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct MessageKey {
     /// The topic.
     pub topic: TopicId,

@@ -24,9 +24,7 @@ use serde::{Deserialize, Serialize};
 /// admissible", which callers detect via [`Duration::is_zero`] after using
 /// [`Duration::saturating_sub`] — or by using the checked signed arithmetic
 /// in [`crate::spec`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Duration {
     nanos: u64,
@@ -74,7 +72,7 @@ impl Duration {
     /// are clamped to zero.
     #[inline]
     pub fn from_millis_f64(millis: f64) -> Self {
-        if !(millis > 0.0) {
+        if millis.is_nan() || millis <= 0.0 {
             return Duration::ZERO;
         }
         Duration {
@@ -85,7 +83,7 @@ impl Duration {
     /// Creates a duration from fractional seconds, clamping negatives to zero.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return Duration::ZERO;
         }
         Duration {
@@ -272,7 +270,7 @@ impl fmt::Display for Duration {
         if self.nanos == u64::MAX {
             return write!(f, "∞");
         }
-        if self.nanos >= 1_000_000_000 && self.nanos % 1_000_000 == 0 {
+        if self.nanos >= 1_000_000_000 && self.nanos.is_multiple_of(1_000_000) {
             write!(f, "{:.3}s", self.as_secs_f64())
         } else if self.nanos >= 1_000_000 {
             write!(f, "{:.3}ms", self.as_millis_f64())
@@ -291,9 +289,7 @@ impl fmt::Display for Duration {
 /// domains must never be compared — the type system cannot prevent this, so
 /// constructors of both domains are kept on separate types
 /// (`frame_clock::SimClock` vs `frame_clock::MonotonicClock`).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Time {
     nanos: u64,

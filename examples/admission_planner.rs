@@ -12,12 +12,10 @@
 //! With no arguments it analyzes all six Table 2 categories.
 
 use frame::core::{
-    admit, dispatch_deadline, min_admissible_retention, replication_deadline,
-    replication_needed, Deadline,
+    admit, dispatch_deadline, min_admissible_retention, replication_deadline, replication_needed,
+    Deadline,
 };
-use frame::types::{
-    Destination, Duration, LossTolerance, NetworkParams, TopicId, TopicSpec,
-};
+use frame::types::{Destination, Duration, LossTolerance, NetworkParams, TopicId, TopicSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +23,9 @@ fn main() {
 
     let specs: Vec<TopicSpec> = if args.is_empty() {
         println!("(no arguments — analyzing the paper's six Table 2 categories)\n");
-        (0u8..=5).map(|c| TopicSpec::category(c, TopicId(c as u32))).collect()
+        (0u8..=5)
+            .map(|c| TopicSpec::category(c, TopicId(c as u32)))
+            .collect()
     } else {
         vec![parse_spec(&args)]
     };

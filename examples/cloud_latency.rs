@@ -56,6 +56,9 @@ fn main() {
         "category-5 message loss across the whole trace: {losses} \
          (FRAME configured with ΔBS lower bound = 20 ms)"
     );
-    assert_eq!(losses, 0, "loss-tolerance must hold despite latency variation");
+    assert_eq!(
+        losses, 0,
+        "loss-tolerance must hold despite latency variation"
+    );
     println!("OK: loss tolerance maintained despite cloud latency variation.");
 }

@@ -55,7 +55,10 @@ fn main() {
                     "  consumer {:?} <- batch of {} (types {:?})",
                     d.consumer,
                     d.events.len(),
-                    d.events.iter().map(|e| e.header.event_type.0).collect::<Vec<_>>()
+                    d.events
+                        .iter()
+                        .map(|e| e.header.event_type.0)
+                        .collect::<Vec<_>>()
                 );
             }
         }
@@ -82,8 +85,12 @@ fn main() {
         .unwrap();
 
     for seq in 0..3 {
-        framed.push(&ev(0, seq, seq * 50), Time::from_millis(seq * 50)).unwrap();
-        framed.push(&ev(2, seq, seq * 100), Time::from_millis(seq * 100)).unwrap();
+        framed
+            .push(&ev(0, seq, seq * 50), Time::from_millis(seq * 50))
+            .unwrap();
+        framed
+            .push(&ev(2, seq, seq * 100), Time::from_millis(seq * 100))
+            .unwrap();
     }
     for d in framed.run_pending(Time::from_millis(300)) {
         println!(

@@ -22,8 +22,10 @@ fn main() {
     //  - cat 2 recovers via the replicated Backup Buffer.
     let retained_topic = TopicSpec::category(0, TopicId(1));
     let replicated_topic = TopicSpec::category(2, TopicId(2));
-    sys.add_topic(retained_topic, vec![SubscriberId(1)]).unwrap();
-    sys.add_topic(replicated_topic, vec![SubscriberId(2)]).unwrap();
+    sys.add_topic(retained_topic, vec![SubscriberId(1)])
+        .unwrap();
+    sys.add_topic(replicated_topic, vec![SubscriberId(2)])
+        .unwrap();
     let publisher = sys
         .add_publisher(PublisherId(0), &[retained_topic, replicated_topic])
         .unwrap();
@@ -78,7 +80,11 @@ fn main() {
     );
     report_gaps("topic 1", &s1);
     report_gaps("topic 2", &s2);
-    assert_eq!(sys.backup.role(), BrokerRole::Primary, "backup was promoted");
+    assert_eq!(
+        sys.backup.role(),
+        BrokerRole::Primary,
+        "backup was promoted"
+    );
     println!(
         "new Primary recovered {} backup copies, skipped {} pruned ones, \
          accepted {} retention re-sends",

@@ -16,9 +16,7 @@ use std::time::Duration as StdDuration;
 
 use frame::core::{replication_needed, BrokerConfig, DeliveryTracker};
 use frame::rt::RtSystem;
-use frame::types::{
-    Duration, NetworkParams, PublisherId, SubscriberId, TopicId, TopicSpec,
-};
+use frame::types::{Duration, NetworkParams, PublisherId, SubscriberId, TopicId, TopicSpec};
 
 struct App {
     name: &'static str,
@@ -28,12 +26,36 @@ struct App {
 
 fn main() {
     let apps = [
-        App { name: "emergency-response (cat 0)", category: 0, topics: 3 },
-        App { name: "emergency-lossy    (cat 1)", category: 1, topics: 3 },
-        App { name: "turbine-monitoring (cat 2)", category: 2, topics: 6 },
-        App { name: "vibration-monitor  (cat 3)", category: 3, topics: 6 },
-        App { name: "best-effort-stats  (cat 4)", category: 4, topics: 6 },
-        App { name: "cloud-logging      (cat 5)", category: 5, topics: 2 },
+        App {
+            name: "emergency-response (cat 0)",
+            category: 0,
+            topics: 3,
+        },
+        App {
+            name: "emergency-lossy    (cat 1)",
+            category: 1,
+            topics: 3,
+        },
+        App {
+            name: "turbine-monitoring (cat 2)",
+            category: 2,
+            topics: 6,
+        },
+        App {
+            name: "vibration-monitor  (cat 3)",
+            category: 3,
+            topics: 6,
+        },
+        App {
+            name: "best-effort-stats  (cat 4)",
+            category: 4,
+            topics: 6,
+        },
+        App {
+            name: "cloud-logging      (cat 5)",
+            category: 5,
+            topics: 2,
+        },
     ];
     let net = NetworkParams::paper_example();
 
@@ -52,7 +74,11 @@ fn main() {
         }
     }
 
-    println!("Admitted {} topics across {} applications.\n", next_id, apps.len());
+    println!(
+        "Admitted {} topics across {} applications.\n",
+        next_id,
+        apps.len()
+    );
     println!("Proposition 1 replication decisions:");
     for app in &apps {
         let spec = TopicSpec::category(app.category, TopicId(0));
@@ -62,7 +88,11 @@ fn main() {
             app.name,
             spec.loss_tolerance.to_string(),
             spec.deadline.to_string(),
-            if needed { "replicate to Backup" } else { "suppressed (publisher retention suffices)" }
+            if needed {
+                "replicate to Backup"
+            } else {
+                "suppressed (publisher retention suffices)"
+            }
         );
     }
 
@@ -76,7 +106,9 @@ fn main() {
             .collect();
         publishers.push(sys.add_publisher(PublisherId(ai as u32), &mine).unwrap());
     }
-    let receivers: Vec<_> = (0..next_id).map(|i| sys.subscribe(SubscriberId(i))).collect();
+    let receivers: Vec<_> = (0..next_id)
+        .map(|i| sys.subscribe(SubscriberId(i)))
+        .collect();
 
     // Publish a few periods of traffic per app (period-proportional).
     const ROUNDS: u64 = 10;
@@ -84,13 +116,18 @@ fn main() {
         for (ai, app) in apps.iter().enumerate() {
             // Emit only on multiples of the topic period relative to the
             // fastest (50 ms) class.
-            let ratio = TopicSpec::category(app.category, TopicId(0)).period.as_millis() / 50;
+            let ratio = TopicSpec::category(app.category, TopicId(0))
+                .period
+                .as_millis()
+                / 50;
             if round % ratio != 0 {
                 continue;
             }
             for (a, spec) in &specs {
                 if *a == ai {
-                    publishers[ai].publish(spec.id, &b"0123456789abcdef"[..]).unwrap();
+                    publishers[ai]
+                        .publish(spec.id, &b"0123456789abcdef"[..])
+                        .unwrap();
                 }
             }
         }

@@ -17,7 +17,10 @@ fn main() {
     let net = NetworkParams::paper_example();
 
     println!("topic {}:", spec.id);
-    println!("  period T = {}, deadline D = {}", spec.period, spec.deadline);
+    println!(
+        "  period T = {}, deadline D = {}",
+        spec.period, spec.deadline
+    );
     println!(
         "  dispatch deadline (Lemma 2): D^d = {}",
         dispatch_deadline(&spec, &net).unwrap()
@@ -30,7 +33,8 @@ fn main() {
     // Start the threaded runtime: Primary + Backup, 2 delivery workers
     // each, EDF + selective replication + coordination (the FRAME config).
     let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
-    sys.add_topic(spec, vec![SubscriberId(1)]).expect("admissible");
+    sys.add_topic(spec, vec![SubscriberId(1)])
+        .expect("admissible");
     let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
     let deliveries = sys.subscribe(SubscriberId(1));
 
@@ -44,7 +48,10 @@ fn main() {
             .recv_timeout(std::time::Duration::from_secs(2))
             .expect("delivery");
         let latency = d.dispatched_at.saturating_since(d.message.created_at);
-        println!("  delivered {} with broker latency {latency}", d.message.seq);
+        println!(
+            "  delivered {} with broker latency {latency}",
+            d.message.seq
+        );
     }
 
     let stats = sys.primary.stats();

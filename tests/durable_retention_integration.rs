@@ -12,10 +12,7 @@ use frame::store::{PersistentRetention, SyncPolicy};
 use frame::types::{Message, PublisherId, SeqNo, SubscriberId, Time, TopicId, TopicSpec};
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "frame-durable-int-{tag}-{}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("frame-durable-int-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     d
 }

@@ -3,11 +3,11 @@
 //! FRAME in the middle — behaves equivalently to the original channel for
 //! plain delivery, while adding QoS differentiation.
 
+use frame::core::BrokerConfig;
 use frame::event::{
-    Correlation, ConsumerId, DispatchPriority, Event, EventChannel, EventType, Filter,
+    ConsumerId, Correlation, DispatchPriority, Event, EventChannel, EventType, Filter,
     FrameChannel, SupplierId,
 };
-use frame::core::BrokerConfig;
 use frame::types::{NetworkParams, Time, TopicId, TopicSpec};
 
 fn ev(ty: u32, seq: u64, at_ms: u64) -> Event {
@@ -82,8 +82,12 @@ fn frame_channel_differentiates_backup_traffic() {
         .unwrap();
 
     for seq in 0..5 {
-        framed.push(&ev(0, seq, seq * 50), Time::from_millis(seq * 50)).unwrap();
-        framed.push(&ev(2, seq, seq * 100), Time::from_millis(seq * 100)).unwrap();
+        framed
+            .push(&ev(0, seq, seq * 50), Time::from_millis(seq * 50))
+            .unwrap();
+        framed
+            .push(&ev(2, seq, seq * 100), Time::from_millis(seq * 100))
+            .unwrap();
     }
     let _ = framed.run_pending(Time::from_secs(1));
     let backup = framed.take_backup_out();

@@ -15,7 +15,8 @@ fn multi_topic_multi_subscriber_delivery() {
     let b = TopicSpec::category(2, TopicId(2));
     // Topic b has two subscribers.
     sys.add_topic(a, vec![SubscriberId(1)]).unwrap();
-    sys.add_topic(b, vec![SubscriberId(2), SubscriberId(3)]).unwrap();
+    sys.add_topic(b, vec![SubscriberId(2), SubscriberId(3)])
+        .unwrap();
     let p = sys.add_publisher(PublisherId(0), &[a, b]).unwrap();
     let rx1 = sys.subscribe(SubscriberId(1));
     let rx2 = sys.subscribe(SubscriberId(2));
@@ -70,7 +71,9 @@ fn crash_failover_preserves_zero_loss_topics() {
     );
     sys.add_topic(retained, vec![SubscriberId(1)]).unwrap();
     sys.add_topic(replicated, vec![SubscriberId(2)]).unwrap();
-    let p = sys.add_publisher(PublisherId(0), &[retained, replicated]).unwrap();
+    let p = sys
+        .add_publisher(PublisherId(0), &[retained, replicated])
+        .unwrap();
     let rx1 = sys.subscribe(SubscriberId(1));
     let rx2 = sys.subscribe(SubscriberId(2));
     sys.start_failover_coordinator(Duration::from_millis(5), Duration::from_millis(20));

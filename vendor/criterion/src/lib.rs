@@ -1,0 +1,279 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides a real (if simple) wall-clock benchmarking loop behind the
+//! criterion API subset the FRAME benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros (the benches set
+//! `harness = false`). Each benchmark is calibrated to a target time and
+//! reports mean ns/iter to stdout. `--bench`/`--test` CLI flags from
+//! `cargo bench`/`cargo test` are accepted; under `cargo test` the
+//! benches run a single quick iteration batch so `cargo test -q` stays
+//! fast.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn quick_mode() -> bool {
+    // `cargo bench` invokes bench executables with `--bench`; anything else
+    // (notably `cargo test`, which passes no flag) gets a single quick
+    // iteration so test runs stay fast.
+    !std::env::args().any(|a| a == "--bench")
+}
+
+/// Runs one benchmark: calibrate iteration count, measure, report.
+fn run_bench<F: FnMut(&mut Bencher)>(full_name: &str, mut routine: F) {
+    let (target, max_iters) = if quick_mode() {
+        (Duration::from_millis(1), 1)
+    } else {
+        (Duration::from_millis(200), u64::MAX)
+    };
+
+    // Calibration: grow the iteration count until the batch takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        b.iters = iters.min(max_iters);
+        routine(&mut b);
+        if b.elapsed >= target || b.iters >= max_iters {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (target.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 100));
+    }
+
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    println!("bench: {full_name:<50} {per_iter:>14.1} ns/iter ({} iters)", b.iters);
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for compatibility; the stub's
+    /// calibration loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput (echoed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_bench(&full, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut routine: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_bench(&full, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+pub struct Criterion {}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {}
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_bench(name, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut routine: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let full = id.into_name();
+        run_bench(&full, |b| routine(b, input));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 1000);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("push", 64).into_name(), "push/64");
+        assert_eq!(BenchmarkId::from_parameter("frame").into_name(), "frame");
+    }
+}

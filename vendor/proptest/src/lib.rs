@@ -1,0 +1,588 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Property tests run as seeded random sampling without shrinking: each
+//! `proptest!` test draws `PROPTEST_CASES` (default 64) inputs from its
+//! strategies and runs the body. Failures report the case number and the
+//! deterministic per-test seed. The API mirrors the subset of real
+//! proptest used by the FRAME test suites: range/`any` strategies,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, `Just`, collection
+//! strategies, `sample::Index`, and the `prop_assert*` macros.
+
+use rand::prelude::*;
+
+/// Deterministic RNG handed to strategies while generating one case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a generator (used by the `proptest!` runner).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The underlying random generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// sampling function.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+
+    /// Builds recursive values: `expand` receives a strategy for the
+    /// recursive positions and returns the composite strategy. `depth`
+    /// bounds the recursion; the other two parameters (desired size and
+    /// expected branch factor in real proptest) are accepted for
+    /// signature compatibility but unused.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Each level mixes the leaf back in so generated trees have
+            // varying depth, not always the maximum.
+            let expanded = expand(strat).boxed();
+            strat = Union {
+                choices: vec![leaf.clone(), expanded],
+            }
+            .boxed();
+        }
+        strat
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.0.pick(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    /// The equally-weighted alternatives.
+    pub choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let idx = rng.rng().gen_range(0..self.choices.len());
+        self.choices[idx].pick(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// `any`/`Arbitrary`: default strategies per type.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use rand::prelude::*;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy producing uniformly random values of a primitive type.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Any<T> {
+        fn new() -> Any<T> {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+
+                fn arbitrary() -> Any<$t> {
+                    Any::new()
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn pick(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = Any<bool>;
+
+        fn arbitrary() -> Any<bool> {
+            Any::new()
+        }
+    }
+
+    impl Strategy for Any<super::sample::Index> {
+        type Value = super::sample::Index;
+
+        fn pick(&self, rng: &mut TestRng) -> super::sample::Index {
+            super::sample::Index::new(rng.rng().next_u64() as usize)
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        type Strategy = Any<super::sample::Index>;
+
+        fn arbitrary() -> Any<super::sample::Index> {
+            Any::new()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::prelude::*;
+
+    /// Strategy for `Vec<T>` with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.is_empty() {
+                0
+            } else {
+                rng.rng().gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates sets with *up to* `size.end - 1` elements (duplicates
+    /// collapse, as an unshrunk sampler cannot guarantee exact sizes).
+    pub fn btree_set<S>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.size.is_empty() {
+                0
+            } else {
+                rng.rng().gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helper types.
+pub mod sample {
+    /// An index into a not-yet-known collection; resolved with
+    /// [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Wraps a raw sampled value.
+        pub fn new(raw: usize) -> Index {
+            Index(raw)
+        }
+
+        /// Resolves against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion inside the case body failed.
+        Fail(String),
+        /// The case asked to be discarded (`prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Stable per-test seed: FNV-1a over the test path, so failures
+    /// reproduce across runs without a persistence file.
+    pub fn seed_for(test_path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Number of cases per property (override with `PROPTEST_CASES`).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Declares property tests. Each function parameter is either
+/// `name in strategy` or `name: Type` (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // Entry: munch one test at a time.
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::proptest!(@run $name ($($params)*) $body);
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    () => {};
+
+    // Runner: parse the parameter list into let-bindings, then loop.
+    (@run $name:ident ($($params:tt)*) $body:block) => {{
+        #[allow(unused_imports)]
+        use $crate::Strategy as _;
+        let __seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+        let __cases = $crate::test_runner::case_count();
+        for __case in 0..__cases {
+            let mut __rng =
+                $crate::TestRng::seed_from_u64(__seed ^ (u64::from(__case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                $crate::proptest!(@bind __rng ($($params)*) $body);
+            match __outcome {
+                Ok(()) => {}
+                Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                Err(e) => panic!(
+                    "proptest case {}/{} failed (seed {:#x}): {}",
+                    __case + 1, __cases, __seed, e
+                ),
+            }
+        }
+    }};
+
+    // Parameter munchers: build nested lets, end with the body closure.
+    (@bind $rng:ident () $body:block) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            #[allow(unreachable_code)]
+            Ok(())
+        })()
+    };
+    (@bind $rng:ident ($var:ident in $strat:expr $(, $($rest:tt)*)?) $body:block) => {{
+        let $var = $crate::Strategy::pick(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng ($($($rest)*)?) $body)
+    }};
+    (@bind $rng:ident ($var:ident : $ty:ty $(, $($rest:tt)*)?) $body:block) => {{
+        let $var = $crate::Strategy::pick(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng ($($($rest)*)?) $body)
+    }};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(*l == *r, $($fmt)*),
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ),
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union {
+            choices: vec![$($crate::Strategy::boxed($strat)),+],
+        }
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+
+    /// Qualified access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.5f64..2.5, b: bool, idx in any::<prop::sample::Index>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            prop_assert!(b || !b);
+            let i = idx.index(5);
+            prop_assert!(i < 5);
+        }
+
+        #[test]
+        fn collections_and_oneof(v in prop::collection::vec(0u32..10, 1..20),
+                                 s in prop::collection::btree_set(0u32..6, 0..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(s.len() < 6);
+            let mixed = prop_oneof![Just(1u32), (5u32..8), (9u32..12).prop_map(|x| x)];
+            let mut rng = crate::TestRng::seed_from_u64(7);
+            for _ in 0..100 {
+                let x = mixed.pick(&mut rng);
+                prop_assert!(x == 1 || (5..8).contains(&x) || (9..12).contains(&x));
+            }
+        }
+
+        #[test]
+        fn recursion_terminates(depth_probe in (0u32..3).prop_recursive(3, 16, 4, |inner| {
+            (inner, 0u32..3).prop_map(|(a, b)| a + b)
+        })) {
+            prop_assert!(depth_probe < 3 * 5);
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this crate routes everything
+//! through a self-describing [`Value`] tree: `Serialize` renders a value
+//! into a `Value`, `Deserialize` rebuilds one from it. The public trait
+//! names and signatures mirror real serde closely enough that the FRAME
+//! crates (including their `#[serde(with = "...")]` modules, which call
+//! `Serializer::serialize_bytes` and `Deserialize::deserialize`
+//! generically) compile unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized tree, the interchange format of this crate.
+///
+/// `U64` and `I64` are distinct from `F64` so that 64-bit integers (e.g.
+/// `Duration::MAX` nanoseconds) round-trip exactly instead of being
+/// squeezed through a double.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved, as JSON objects are).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization-side traits and types.
+pub mod ser {
+    use super::Value;
+    use std::fmt;
+
+    /// Errors produced by a [`Serializer`](super::Serializer).
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A concrete serialization error.
+    #[derive(Debug)]
+    pub struct SerError(pub String);
+
+    impl fmt::Display for SerError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl std::error::Error for SerError {}
+
+    impl Error for SerError {
+        fn custom<T: fmt::Display>(msg: T) -> SerError {
+            SerError(msg.to_string())
+        }
+    }
+
+    impl Error for std::convert::Infallible {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            panic!("infallible serializer reported: {msg}")
+        }
+    }
+
+    /// Internal: marker so `Value` creation keeps working if this module is
+    /// referenced qualified.
+    pub type Ok = Value;
+}
+
+/// Deserialization-side traits and types.
+pub mod de {
+    use std::fmt;
+
+    /// Errors produced by a [`Deserializer`](super::Deserializer).
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The concrete error type used by [`Deserialize::from_value`]
+    /// (and by value-based deserializers).
+    ///
+    /// [`Deserialize::from_value`]: super::Deserialize::from_value
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl DeError {
+        /// Shorthand constructor.
+        pub fn msg(m: impl Into<String>) -> DeError {
+            DeError(m.into())
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> DeError {
+            DeError(msg.to_string())
+        }
+    }
+}
+
+/// A data format that can consume a [`Value`].
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a byte slice (rendered as an array of integers, as
+    /// serde_json does).
+    fn serialize_bytes(self, bytes: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Array(
+            bytes.iter().map(|&b| Value::U64(u64::from(b))).collect(),
+        ))
+    }
+}
+
+/// A data format that can produce a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the value tree this deserializer wraps.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Renders this value into the interchange tree.
+    fn to_value(&self) -> Value;
+
+    /// Serde-compatible entry point; routes through [`Serialize::to_value`].
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value of this type from the interchange tree.
+    fn from_value(value: &Value) -> Result<Self, de::DeError>;
+
+    /// Serde-compatible entry point; routes through
+    /// [`Deserialize::from_value`].
+    fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        Self::from_value(&value).map_err(|e| <D::Error as de::Error>::custom(e))
+    }
+}
+
+/// Support types used by the derive macros; not part of the public API.
+pub mod __private {
+    use super::{de, Deserializer, Serializer, Value};
+
+    /// A serializer whose output *is* the value tree.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = std::convert::Infallible;
+
+        fn serialize_value(self, value: Value) -> Result<Value, Self::Error> {
+            Ok(value)
+        }
+    }
+
+    /// A deserializer reading back from a value tree.
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps a borrowed value (cloned; trees are small).
+        pub fn new(value: &Value) -> ValueDeserializer {
+            ValueDeserializer {
+                value: value.clone(),
+            }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = de::DeError;
+
+        fn into_value(self) -> Result<Value, Self::Error> {
+            Ok(self.value)
+        }
+    }
+
+    /// Field lookup preserving "missing vs null" distinction for derives.
+    pub fn get<'v>(object: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+        object.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Error for a field absent from the input object.
+    pub fn missing_field(name: &str) -> de::DeError {
+        de::DeError(format!("missing field `{name}`"))
+    }
+}
+
+fn unexpected(expected: &str, got: &Value) -> de::DeError {
+    de::DeError(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, de::DeError> {
+                let wide: u64 = match *value {
+                    Value::U64(u) => u,
+                    Value::I64(i) if i >= 0 => i as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => return Err(unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| de::DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, de::DeError> {
+                let wide: i64 = match *value {
+                    Value::I64(i) => i,
+                    Value::U64(u) => {
+                        i64::try_from(u).map_err(|_| de::DeError(format!("{u} too large")))?
+                    }
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && f >= i64::MIN as f64
+                            && f <= i64::MAX as f64 =>
+                    {
+                        f as i64
+                    }
+                    ref other => return Err(unexpected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| de::DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+// 128-bit integers don't fit the 64-bit `Value` numeric variants; values
+// beyond the u64/i64 range are carried as decimal strings instead (still
+// lossless across a serde_json round trip).
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::U64(v),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<u128, de::DeError> {
+        match *value {
+            Value::U64(u) => Ok(u as u128),
+            Value::I64(i) if i >= 0 => Ok(i as u128),
+            Value::Str(ref s) => s
+                .parse::<u128>()
+                .map_err(|_| de::DeError(format!("`{s}` is not a u128"))),
+            ref other => Err(unexpected("unsigned integer", other)),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        if let Ok(v) = u64::try_from(*self) {
+            Value::U64(v)
+        } else if let Ok(v) = i64::try_from(*self) {
+            Value::I64(v)
+        } else {
+            Value::Str(self.to_string())
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(value: &Value) -> Result<i128, de::DeError> {
+        match *value {
+            Value::U64(u) => Ok(u as i128),
+            Value::I64(i) => Ok(i as i128),
+            Value::Str(ref s) => s
+                .parse::<i128>()
+                .map_err(|_| de::DeError(format!("`{s}` is not an i128"))),
+            ref other => Err(unexpected("integer", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, de::DeError> {
+                match *value {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(u) => Ok(u as $t),
+                    Value::I64(i) => Ok(i as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    ref other => Err(unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, de::DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, de::DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<char, de::DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, de::DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, de::DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, de::DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<(A, B), de::DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(unexpected("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<(A, B, C), de::DeError> {
+        match value {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(unexpected("3-element array", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, de::DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrips_exactly() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(7)).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn serialize_bytes_default_method() {
+        struct Probe;
+        impl Serializer for Probe {
+            type Ok = Value;
+            type Error = ser::SerError;
+            fn serialize_value(self, value: Value) -> Result<Value, Self::Error> {
+                Ok(value)
+            }
+        }
+        let v = Probe.serialize_bytes(&[1, 2, 3]).unwrap();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-tree `Serialize`/`Deserialize` traits of the vendored
+//! `serde` crate by parsing the item's token stream directly (no `syn` /
+//! `quote`, which are unavailable offline) and emitting generated code as a
+//! string re-parsed into a `TokenStream`.
+//!
+//! Supported container shapes: structs with named fields, tuple structs,
+//! and enums whose variants are unit or newtype. Supported attributes
+//! (the set used by the FRAME workspace):
+//! `#[serde(transparent)]`, `#[serde(untagged)]`,
+//! `#[serde(rename = "...")]`, `#[serde(rename_all = "lowercase")]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    untagged: bool,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    with: Option<String>,
+    default: Option<DefaultAttr>,
+}
+
+#[derive(Clone)]
+enum DefaultAttr {
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+}
+
+struct Variant {
+    name: String,
+    attrs: FieldAttrs,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tok: &TokenTree, s: &str) -> bool {
+    matches!(tok, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn literal_str(tok: &TokenTree) -> String {
+    let raw = tok.to_string();
+    raw.trim_matches('"').to_string()
+}
+
+/// Parses one `#[...]` attribute starting at `toks[*i]`; folds recognised
+/// `serde(...)` entries into `container` / `field`. Advances `*i` past it.
+fn parse_attr(
+    toks: &[TokenTree],
+    i: &mut usize,
+    container: Option<&mut ContainerAttrs>,
+    field: Option<&mut FieldAttrs>,
+) {
+    debug_assert!(is_punct(&toks[*i], '#'));
+    *i += 1;
+    let group = match &toks[*i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => g.stream(),
+        other => panic!("expected [...] after #, found {other}"),
+    };
+    *i += 1;
+
+    let inner: Vec<TokenTree> = group.into_iter().collect();
+    if inner.is_empty() || !is_ident(&inner[0], "serde") {
+        return; // doc comment or foreign attribute
+    }
+    let entries = match &inner[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("expected (...) after serde, found {other}"),
+    };
+    let toks: Vec<TokenTree> = entries.into_iter().collect();
+    let mut j = 0;
+    let mut container = container;
+    let mut field = field;
+    while j < toks.len() {
+        let key = match &toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected serde attribute name, found {other}"),
+        };
+        j += 1;
+        let value = if j < toks.len() && is_punct(&toks[j], '=') {
+            j += 1;
+            let v = literal_str(&toks[j]);
+            j += 1;
+            Some(v)
+        } else {
+            None
+        };
+        if j < toks.len() && is_punct(&toks[j], ',') {
+            j += 1;
+        }
+        match (key.as_str(), value) {
+            ("transparent", None) => {
+                if let Some(c) = container.as_deref_mut() {
+                    c.transparent = true;
+                }
+            }
+            ("untagged", None) => {
+                if let Some(c) = container.as_deref_mut() {
+                    c.untagged = true;
+                }
+            }
+            ("rename_all", Some(v)) => {
+                if let Some(c) = container.as_deref_mut() {
+                    c.rename_all = Some(v);
+                }
+            }
+            ("rename", Some(v)) => {
+                if let Some(f) = field.as_deref_mut() {
+                    f.rename = Some(v);
+                }
+            }
+            ("with", Some(v)) => {
+                if let Some(f) = field.as_deref_mut() {
+                    f.with = Some(v);
+                }
+            }
+            ("default", v) => {
+                if let Some(f) = field.as_deref_mut() {
+                    f.default = Some(match v {
+                        None => DefaultAttr::Std,
+                        Some(path) => DefaultAttr::Path(path),
+                    });
+                }
+            }
+            (other, _) => panic!("unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(...)` at `toks[*i]`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type starting at `toks[*i]` up to a top-level `,` (consumed) or
+/// the end. Tracks `<`/`>` nesting so commas inside generics don't split.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            parse_attr(&toks, &mut i, None, Some(&mut attrs));
+        }
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field name");
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            let mut ignored = FieldAttrs::default();
+            parse_attr(&toks, &mut i, None, Some(&mut ignored));
+        }
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            parse_attr(&toks, &mut i, None, Some(&mut attrs));
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    VariantKind::Newtype
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    panic!("struct enum variants are not supported by the vendored serde_derive")
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, attrs, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        parse_attr(&toks, &mut i, Some(&mut attrs), None);
+    }
+    skip_visibility(&toks, &mut i);
+    let is_struct = if is_ident(&toks[i], "struct") {
+        true
+    } else if is_ident(&toks[i], "enum") {
+        false
+    } else {
+        panic!("derive target must be a struct or enum, found {}", toks[i]);
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("generic types are not supported by the vendored serde_derive");
+    }
+    let data = if is_struct {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    };
+    Item { name, attrs, data }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn wire_name(raw: &str, rename: &Option<String>, rename_all: &Option<String>) -> String {
+    if let Some(r) = rename {
+        return r.clone();
+    }
+    match rename_all.as_deref() {
+        Some("lowercase") => raw.to_lowercase(),
+        Some("UPPERCASE") => raw.to_uppercase(),
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+        None => raw.to_string(),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.attrs.transparent {
+                assert_eq!(fields.len(), 1, "transparent requires exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut pushes = String::new();
+                for f in fields {
+                    let key = wire_name(&f.name, &f.attrs.rename, &None);
+                    let value_expr = match &f.attrs.with {
+                        Some(module) => format!(
+                            "match {module}::serialize(&self.{field}, \
+                             ::serde::__private::ValueSerializer) {{ \
+                             Ok(__v) => __v, Err(__e) => match __e {{}} }}",
+                            field = f.name
+                        ),
+                        None => format!("::serde::Serialize::to_value(&self.{})", f.name),
+                    };
+                    pushes.push_str(&format!(
+                        "__fields.push(({key:?}.to_string(), {value_expr}));\n"
+                    ));
+                }
+                format!(
+                    "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(__fields)"
+                )
+            }
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = wire_name(&v.name, &v.attrs.rename, &item.attrs.rename_all);
+                match (&v.kind, item.attrs.untagged) {
+                    (VariantKind::Unit, false) => arms.push_str(&format!(
+                        "{name}::{var} => ::serde::Value::Str({key:?}.to_string()),\n",
+                        var = v.name
+                    )),
+                    (VariantKind::Unit, true) => arms.push_str(&format!(
+                        "{name}::{var} => ::serde::Value::Null,\n",
+                        var = v.name
+                    )),
+                    (VariantKind::Newtype, false) => arms.push_str(&format!(
+                        "{name}::{var}(__v) => ::serde::Value::Object(vec![({key:?}.to_string(), \
+                         ::serde::Serialize::to_value(__v))]),\n",
+                        var = v.name
+                    )),
+                    (VariantKind::Newtype, true) => arms.push_str(&format!(
+                        "{name}::{var}(__v) => ::serde::Serialize::to_value(__v),\n",
+                        var = v.name
+                    )),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.attrs.transparent {
+                assert_eq!(fields.len(), 1, "transparent requires exactly one field");
+                format!(
+                    "Ok({name} {{ {field}: ::serde::Deserialize::from_value(__value)? }})",
+                    field = fields[0].name
+                )
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    let key = wire_name(&f.name, &f.attrs.rename, &None);
+                    let from_present = match &f.attrs.with {
+                        Some(module) => format!(
+                            "{module}::deserialize(::serde::__private::ValueDeserializer::new(__v))?"
+                        ),
+                        None => "::serde::Deserialize::from_value(__v)?".to_string(),
+                    };
+                    let when_missing = match (&f.attrs.default, &f.attrs.with) {
+                        (Some(DefaultAttr::Std), _) => "Default::default()".to_string(),
+                        (Some(DefaultAttr::Path(path)), _) => format!("{path}()"),
+                        // A `with`-module field's type has no Deserialize
+                        // impl to probe; a missing key is always an error.
+                        (None, Some(_)) => format!(
+                            "return Err(::serde::__private::missing_field({key:?}))"
+                        ),
+                        // `Option` fields accept a missing key as `None`
+                        // (from_value of Null); everything else errors.
+                        (None, None) => format!(
+                            "::serde::Deserialize::from_value(&::serde::Value::Null)\
+                             .map_err(|_| ::serde::__private::missing_field({key:?}))?"
+                        ),
+                    };
+                    inits.push_str(&format!(
+                        "{field}: match ::serde::__private::get(__obj, {key:?}) {{\n\
+                         Some(__v) => {from_present},\n\
+                         None => {when_missing},\n\
+                         }},\n",
+                        field = f.name
+                    ));
+                }
+                format!(
+                    "let __obj = __value.as_object().ok_or_else(|| \
+                     ::serde::de::DeError::msg(concat!(\"expected object for \", \
+                     stringify!({name}))))?;\n\
+                     Ok({name} {{\n{inits}}})"
+                )
+            }
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 Ok({name}({fields})),\n\
+                 _ => Err(::serde::de::DeError::msg(concat!(\"expected {n}-element array for \", \
+                 stringify!({name})))),\n\
+                 }}",
+                fields = items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            if item.attrs.untagged {
+                let mut tries = String::new();
+                for v in variants {
+                    match v.kind {
+                        VariantKind::Newtype => tries.push_str(&format!(
+                            "if let Ok(__v) = ::serde::Deserialize::from_value(__value) \
+                             {{ return Ok({name}::{var}(__v)); }}\n",
+                            var = v.name
+                        )),
+                        VariantKind::Unit => tries.push_str(&format!(
+                            "if matches!(__value, ::serde::Value::Null) \
+                             {{ return Ok({name}::{var}); }}\n",
+                            var = v.name
+                        )),
+                    }
+                }
+                format!(
+                    "{tries}\
+                     Err(::serde::de::DeError::msg(concat!(\"no untagged variant of \", \
+                     stringify!({name}), \" matched\")))"
+                )
+            } else {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| {
+                        let key = wire_name(&v.name, &v.attrs.rename, &item.attrs.rename_all);
+                        format!("{key:?} => Ok({name}::{var}),\n", var = v.name)
+                    })
+                    .collect();
+                let newtype_arms: String = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Newtype))
+                    .map(|v| {
+                        let key = wire_name(&v.name, &v.attrs.rename, &item.attrs.rename_all);
+                        format!(
+                            "{key:?} => Ok({name}::{var}(::serde::Deserialize::from_value(__v)?)),\n",
+                            var = v.name
+                        )
+                    })
+                    .collect();
+                let mut arms = String::new();
+                if !unit_arms.is_empty() {
+                    arms.push_str(&format!(
+                        "::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                         __other => Err(::serde::de::DeError::msg(format!(\
+                         \"unknown variant `{{__other}}` of {name}\"))),\n}},\n"
+                    ));
+                }
+                if !newtype_arms.is_empty() {
+                    arms.push_str(&format!(
+                        "::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                         let (__k, __v) = &__o[0];\n\
+                         match __k.as_str() {{\n{newtype_arms}\
+                         __other => Err(::serde::de::DeError::msg(format!(\
+                         \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n"
+                    ));
+                }
+                format!(
+                    "match __value {{\n{arms}\
+                     __other => Err(::serde::de::DeError::msg(format!(\
+                     \"invalid representation of {name}: {{:?}}\", __other))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         Result<{name}, ::serde::de::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derives the value-tree `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the value-tree `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
