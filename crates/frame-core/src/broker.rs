@@ -8,12 +8,18 @@
 //! This keeps every line of the paper's architecture testable in isolation
 //! and identical across execution environments.
 //!
+//! Internally the broker is split into two planes (see [`crate::shard`]):
+//! a per-topic [`TopicShard`] map holding all topic-local state, and a
+//! [`Scheduler`] holding the job queue. This facade drives both
+//! single-threaded; the threaded runtime in `frame-rt` drives the same
+//! planes with one lock per shard plus a short scheduler lock.
+//!
 //! # Mapping to the paper (Fig 4, Table 3)
 //!
 //! * Message Proxy / Job Generator → [`Broker::on_message`]: copy into the
 //!   Message Buffer, compute absolute deadlines, create dispatch (and,
 //!   unless Proposition 1 suppresses it, replication) jobs.
-//! * EDF Job Queue → the [`JobQueue`] behind [`Broker::take_job`].
+//! * EDF Job Queue → the [`Scheduler`] behind [`Broker::take_job`].
 //! * Message Delivery (Dispatchers/Replicators) → [`Broker::take_job`] +
 //!   [`Broker::finish_job`]; the runtime executes the returned [`Effect`]s.
 //! * Dispatch–replicate coordination (Table 3) → flag handling inside
@@ -32,14 +38,15 @@
 //! Lemmas 1 and 2 bound.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use frame_telemetry::{DecisionKind, Stage, Telemetry};
 use frame_types::{BrokerId, FrameError, Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
 use serde::{Deserialize, Serialize};
 
-use crate::bounds::{AdmittedTopic, Deadline};
-use crate::buffer::{BufferedMessage, RingBuffer, SlotRef};
-use crate::job::{BufferSource, Job, JobId, JobKind, JobQueue, SchedulingPolicy};
+use crate::bounds::AdmittedTopic;
+use crate::job::{BufferSource, Job, Scheduler, SchedulingPolicy};
+use crate::shard::{AdmitCtx, Resolution, TopicShard};
 
 /// Which fault-tolerance role a broker currently plays.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -65,9 +72,10 @@ pub struct BrokerConfig {
     /// Proposition 1 selective replication enabled. When disabled, every
     /// topic is replicated (the undifferentiated baseline).
     pub selective_replication: bool,
-    /// Capacity of the Primary's Message Buffer (total entries). When the
-    /// buffer wraps, un-dispatched evicted messages are lost — the overload
-    /// failure mode of the FCFS baseline.
+    /// Capacity of a topic's Message Buffer ring (entries). When a topic's
+    /// ring wraps, un-dispatched evicted messages are lost — the overload
+    /// failure mode of the FCFS baseline. Rings allocate lazily, so a large
+    /// capacity costs nothing until messages actually queue up.
     pub message_buffer_capacity: usize,
     /// Capacity of the Backup Buffer, *per topic* (the paper uses 10).
     pub backup_buffer_capacity: usize,
@@ -145,8 +153,9 @@ pub struct ActiveJob {
     pub job: Job,
     /// The message it refers to (resolved from the buffer at take time).
     pub message: Message,
-    /// Dispatch targets (empty for replication jobs).
-    pub subscribers: Vec<SubscriberId>,
+    /// Dispatch targets (empty for replication jobs). Shared with the
+    /// topic's shard, so taking a job never copies the subscriber list.
+    pub subscribers: Arc<[SubscriberId]>,
     /// For dispatch jobs with coordination enabled: whether completing this
     /// dispatch will perform coordination work (cancel a pending
     /// replication or send a prune). Lets runtimes charge the coordination
@@ -199,19 +208,30 @@ pub struct BrokerStats {
     pub queue_high_watermark: u64,
 }
 
-struct TopicEntry {
-    admitted: AdmittedTopic,
-    subscribers: Vec<SubscriberId>,
-}
-
-struct BackupEntry {
-    message: Message,
-    discard: bool,
-}
-
-struct TopicBackup {
-    ring: RingBuffer<BackupEntry>,
-    index: HashMap<SeqNo, SlotRef>,
+impl BrokerStats {
+    /// Adds every counter of `other` into `self`. Used by sharded runtimes
+    /// that keep one `BrokerStats` per topic shard and fold them on demand
+    /// (`queue_high_watermark` folds as a max, since it is a watermark, not
+    /// a count).
+    pub fn merge(&mut self, other: &BrokerStats) {
+        self.messages_in += other.messages_in;
+        self.dispatches += other.dispatches;
+        self.replications += other.replications;
+        self.replications_suppressed += other.replications_suppressed;
+        self.replications_aborted += other.replications_aborted;
+        self.replications_cancelled += other.replications_cancelled;
+        self.stale_jobs_skipped += other.stale_jobs_skipped;
+        self.prunes_sent += other.prunes_sent;
+        self.prunes_applied += other.prunes_applied;
+        self.replicas_received += other.replicas_received;
+        self.recovery_dispatches += other.recovery_dispatches;
+        self.recovery_skipped += other.recovery_skipped;
+        self.resends_in += other.resends_in;
+        self.evicted_undispatched += other.evicted_undispatched;
+        self.dispatch_deadline_misses += other.dispatch_deadline_misses;
+        self.replication_deadline_misses += other.replication_deadline_misses;
+        self.queue_high_watermark = self.queue_high_watermark.max(other.queue_high_watermark);
+    }
 }
 
 /// The FRAME broker state machine. See the module docs for the driving
@@ -220,12 +240,8 @@ pub struct Broker {
     id: BrokerId,
     role: BrokerRole,
     config: BrokerConfig,
-    topics: HashMap<TopicId, TopicEntry>,
-    queue: Box<dyn JobQueue>,
-    next_job_id: u64,
-    message_buffer: RingBuffer<BufferedMessage>,
-    pending_replications: HashMap<MessageKey, JobId>,
-    backup_buffers: HashMap<TopicId, TopicBackup>,
+    shards: HashMap<TopicId, TopicShard>,
+    sched: Scheduler,
     /// Whether a Backup peer exists to replicate to. Cleared at promotion:
     /// the system is engineered to tolerate one broker failure (§III-B).
     has_backup_peer: bool,
@@ -240,12 +256,8 @@ impl Broker {
             id,
             role,
             config,
-            topics: HashMap::new(),
-            queue: config.policy.make_queue(),
-            next_job_id: 0,
-            message_buffer: RingBuffer::new(config.message_buffer_capacity),
-            pending_replications: HashMap::new(),
-            backup_buffers: HashMap::new(),
+            shards: HashMap::new(),
+            sched: Scheduler::new(config.policy),
             has_backup_peer: role == BrokerRole::Primary,
             stats: BrokerStats::default(),
             telemetry: Telemetry::disabled(),
@@ -256,6 +268,9 @@ impl Broker {
     /// queue-wait stage record through it; the default is a disabled
     /// handle, so un-instrumented embeddings pay one branch per hook.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for shard in self.shards.values_mut() {
+            shard.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -282,12 +297,14 @@ impl Broker {
 
     /// Counters.
     pub fn stats(&self) -> BrokerStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.queue_high_watermark = self.sched.high_watermark();
+        stats
     }
 
     /// Live jobs waiting in the delivery queue.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.sched.len()
     }
 
     /// Registers a topic (already admitted) and its subscribers. Both the
@@ -303,22 +320,12 @@ impl Broker {
         subscribers: Vec<SubscriberId>,
     ) -> Result<(), FrameError> {
         let id = admitted.spec.id;
-        if self.topics.contains_key(&id) {
+        if self.shards.contains_key(&id) {
             return Err(FrameError::DuplicateTopic(id));
         }
-        self.topics.insert(
+        self.shards.insert(
             id,
-            TopicEntry {
-                admitted,
-                subscribers,
-            },
-        );
-        self.backup_buffers.insert(
-            id,
-            TopicBackup {
-                ring: RingBuffer::new(self.config.backup_buffer_capacity),
-                index: HashMap::new(),
-            },
+            TopicShard::new(admitted, subscribers, &self.config, self.telemetry.clone()),
         );
         self.telemetry.ensure_topic(id);
         Ok(())
@@ -326,40 +333,7 @@ impl Broker {
 
     /// Number of registered topics.
     pub fn topic_count(&self) -> usize {
-        self.topics.len()
-    }
-
-    fn alloc_job_id(&mut self) -> JobId {
-        let id = JobId(self.next_job_id);
-        self.next_job_id += 1;
-        id
-    }
-
-    fn dispatch_abs_deadline(admitted: &AdmittedTopic, message: &Message) -> Time {
-        message
-            .created_at
-            .saturating_add(admitted.deadlines.dispatch)
-    }
-
-    fn replicate_abs_deadline(admitted: &AdmittedTopic, message: &Message) -> Time {
-        match admitted.deadlines.replicate {
-            Deadline::Finite(d) => message.created_at.saturating_add(d),
-            Deadline::Unbounded => Time::MAX,
-        }
-    }
-
-    /// Whether a replication job must be generated for this topic under the
-    /// current configuration (Proposition 1 when selective replication is
-    /// on; "replicate everything" otherwise).
-    fn should_replicate(&self, admitted: &AdmittedTopic) -> bool {
-        if !self.has_backup_peer {
-            return false;
-        }
-        if self.config.selective_replication {
-            admitted.deadlines.replication_needed
-        } else {
-            true
-        }
+        self.shards.len()
     }
 
     /// Message Proxy entry point: a message arrived from a publisher at
@@ -392,7 +366,6 @@ impl Broker {
                 operation: "on_resend",
             });
         }
-        self.stats.resends_in += 1;
         self.admit_message(message, now, BufferSource::Resend)
     }
 
@@ -403,64 +376,21 @@ impl Broker {
         source: BufferSource,
     ) -> Result<(), FrameError> {
         let topic_id = message.topic;
-        let entry = self
-            .topics
-            .get(&topic_id)
+        let shard = self
+            .shards
+            .get_mut(&topic_id)
             .ok_or(FrameError::UnknownTopic(topic_id))?;
-        let admitted = entry.admitted;
-        let subscriber_count = entry.subscribers.len() as u32;
-        self.stats.messages_in += 1;
-
-        let key = message.key();
-        let dispatch_deadline = Self::dispatch_abs_deadline(&admitted, &message);
-        let replicate = self.should_replicate(&admitted);
-        let replicate_deadline = Self::replicate_abs_deadline(&admitted, &message);
-
-        let (slot, evicted) = self
-            .message_buffer
-            .push(BufferedMessage::new(message, subscriber_count));
-        if let Some(old) = evicted {
-            if !old.flags.dispatched {
-                self.stats.evicted_undispatched += 1;
-            }
-            self.pending_replications.remove(&old.key());
-        }
-
-        // The FCFS baselines replicate first, then dispatch (§VI-A); under
-        // EDF the queue order is decided by deadlines, so insertion order
-        // only breaks exact ties.
-        if replicate {
-            let id = self.alloc_job_id();
-            self.queue.push(Job {
-                id,
-                kind: JobKind::Replicate,
-                topic: topic_id,
-                key,
-                slot,
-                source,
-                release: now,
-                deadline: replicate_deadline,
-            });
-            self.pending_replications.insert(key, id);
-        } else if self.config.selective_replication && self.has_backup_peer {
-            self.stats.replications_suppressed += 1;
-            self.telemetry
-                .decision(DecisionKind::Suppress, topic_id, key.seq, now);
-        }
-
-        let id = self.alloc_job_id();
-        self.queue.push(Job {
-            id,
-            kind: JobKind::Dispatch,
-            topic: topic_id,
-            key,
-            slot,
+        shard.admit(
+            message,
+            now,
             source,
-            release: now,
-            deadline: dispatch_deadline,
-        });
-        self.stats.queue_high_watermark =
-            self.stats.queue_high_watermark.max(self.queue.len() as u64);
+            AdmitCtx {
+                config: &self.config,
+                has_backup_peer: self.has_backup_peer,
+            },
+            &mut self.sched,
+            &mut self.stats,
+        );
         Ok(())
     }
 
@@ -471,130 +401,30 @@ impl Broker {
     /// already been dispatched (Table 3, Replicate step 1).
     pub fn take_job(&mut self, now: Time) -> Option<ActiveJob> {
         loop {
-            let job = self.queue.pop()?;
+            let job = self.sched.pop()?;
             self.telemetry
                 .record_stage(Stage::QueueWait, now.saturating_since(job.release));
-            let resolved = match job.source {
-                BufferSource::Message | BufferSource::Resend => self
-                    .message_buffer
-                    .get(job.slot)
-                    .map(|bm| (bm.message.clone(), bm.flags)),
-                BufferSource::Backup => self
-                    .backup_buffers
-                    .get(&job.topic)
-                    .and_then(|tb| tb.ring.get(job.slot))
-                    .filter(|e| !e.discard)
-                    .map(|e| (e.message.clone(), Default::default())),
-            };
-            let Some((message, flags)) = resolved else {
-                self.stats.stale_jobs_skipped += 1;
-                self.telemetry
-                    .decision(DecisionKind::StaleSkip, job.topic, job.key.seq, now);
-                self.pending_replications.remove(&job.key);
+            let Some(shard) = self.shards.get_mut(&job.topic) else {
                 continue;
             };
-            if job.kind == JobKind::Replicate && self.config.coordination && flags.dispatched {
-                self.stats.replications_aborted += 1;
-                self.telemetry
-                    .decision(DecisionKind::Abort, job.topic, job.key.seq, now);
-                self.pending_replications.remove(&job.key);
-                continue;
+            match shard.resolve(job, self.config.coordination, now, &mut self.stats) {
+                Resolution::Active(active) => return Some(active),
+                Resolution::Skipped => continue,
             }
-            let subscribers = match job.kind {
-                JobKind::Dispatch => self
-                    .topics
-                    .get(&job.topic)
-                    .map(|t| t.subscribers.clone())
-                    .unwrap_or_default(),
-                JobKind::Replicate => Vec::new(),
-            };
-            let will_coordinate = job.kind == JobKind::Dispatch
-                && self.config.coordination
-                && (flags.replicated || self.pending_replications.contains_key(&job.key));
-            return Some(ActiveJob {
-                job,
-                message,
-                subscribers,
-                will_coordinate,
-            });
         }
     }
 
     /// Message Delivery completion: the runtime executed `active` (spending
     /// the appropriate service time) and now commits its effects.
     pub fn finish_job(&mut self, active: &ActiveJob, now: Time) -> Vec<Effect> {
-        let mut effects = Vec::new();
-        if now > active.job.deadline {
-            match active.job.kind {
-                JobKind::Dispatch => self.stats.dispatch_deadline_misses += 1,
-                JobKind::Replicate => self.stats.replication_deadline_misses += 1,
-            }
+        let Some(shard) = self.shards.get_mut(&active.job.topic) else {
+            return Vec::new();
+        };
+        let outcome = shard.finish(active, self.config.coordination, now, &mut self.stats);
+        if let Some(id) = outcome.cancel {
+            self.sched.cancel(id);
         }
-        match active.job.kind {
-            JobKind::Dispatch => {
-                self.stats.dispatches += 1;
-                self.telemetry.decision(
-                    DecisionKind::Dispatch,
-                    active.job.topic,
-                    active.job.key.seq,
-                    now,
-                );
-                for &subscriber in &active.subscribers {
-                    effects.push(Effect::Deliver {
-                        subscriber,
-                        message: active.message.clone(),
-                    });
-                }
-                // Table 3, Dispatch steps 2–3.
-                let mut was_replicated = false;
-                if let Some(bm) = self.message_buffer.get_mut(active.job.slot) {
-                    bm.flags.dispatched = true;
-                    was_replicated = bm.flags.replicated;
-                }
-                if self.config.coordination {
-                    if let Some(job_id) = self.pending_replications.remove(&active.job.key) {
-                        self.queue.cancel(job_id);
-                        self.stats.replications_cancelled += 1;
-                        self.telemetry.decision(
-                            DecisionKind::Cancel,
-                            active.job.topic,
-                            active.job.key.seq,
-                            now,
-                        );
-                    }
-                    if was_replicated {
-                        self.stats.prunes_sent += 1;
-                        self.telemetry.decision(
-                            DecisionKind::Prune,
-                            active.job.topic,
-                            active.job.key.seq,
-                            now,
-                        );
-                        effects.push(Effect::Prune {
-                            key: active.job.key,
-                        });
-                    }
-                }
-            }
-            JobKind::Replicate => {
-                // Table 3, Replicate steps 2–3.
-                self.stats.replications += 1;
-                self.telemetry.decision(
-                    DecisionKind::Replicate,
-                    active.job.topic,
-                    active.job.key.seq,
-                    now,
-                );
-                self.pending_replications.remove(&active.job.key);
-                if let Some(bm) = self.message_buffer.get_mut(active.job.slot) {
-                    bm.flags.replicated = true;
-                }
-                effects.push(Effect::Replicate {
-                    message: active.message.clone(),
-                });
-            }
-        }
-        effects
+        outcome.effects
     }
 
     /// Backup entry point: a replica pushed by the Primary arrived.
@@ -609,20 +439,11 @@ impl Broker {
                 operation: "on_replica",
             });
         }
-        let tb = self
-            .backup_buffers
+        let shard = self
+            .shards
             .get_mut(&message.topic)
             .ok_or(FrameError::UnknownTopic(message.topic))?;
-        self.stats.replicas_received += 1;
-        let seq = message.seq;
-        let (slot, evicted) = tb.ring.push(BackupEntry {
-            message,
-            discard: false,
-        });
-        if let Some(old) = evicted {
-            tb.index.remove(&old.message.seq);
-        }
-        tb.index.insert(seq, slot);
+        shard.on_replica(message, &mut self.stats);
         Ok(())
     }
 
@@ -641,15 +462,8 @@ impl Broker {
                 operation: "on_prune",
             });
         }
-        if let Some(tb) = self.backup_buffers.get_mut(&key.topic) {
-            if let Some(&slot) = tb.index.get(&key.seq) {
-                if let Some(entry) = tb.ring.get_mut(slot) {
-                    if !entry.discard {
-                        entry.discard = true;
-                        self.stats.prunes_applied += 1;
-                    }
-                }
-            }
+        if let Some(shard) = self.shards.get_mut(&key.topic) {
+            shard.on_prune(key.seq, &mut self.stats);
         }
         Ok(())
     }
@@ -657,10 +471,7 @@ impl Broker {
     /// Number of live, non-discarded copies currently in the Backup Buffer
     /// (all topics).
     pub fn backup_buffer_live(&self) -> usize {
-        self.backup_buffers
-            .values()
-            .map(|tb| tb.ring.iter().filter(|(_, e)| !e.discard).count())
-            .sum()
+        self.shards.values().map(TopicShard::backup_live).sum()
     }
 
     /// Promotes this Backup to Primary after detecting the Primary's crash
@@ -688,50 +499,13 @@ impl Broker {
         );
 
         // Deterministic order: by topic id, then sequence number.
-        let mut topic_ids: Vec<TopicId> = self.backup_buffers.keys().copied().collect();
+        let mut topic_ids: Vec<TopicId> = self.shards.keys().copied().collect();
         topic_ids.sort_unstable();
         let mut created = 0;
         for topic_id in topic_ids {
-            let Some(entry) = self.topics.get(&topic_id) else {
-                continue;
-            };
-            let admitted = entry.admitted;
-            let tb = self.backup_buffers.get(&topic_id).expect("buffer exists");
-            let mut copies: Vec<(SlotRef, SeqNo, Time)> = tb
-                .ring
-                .iter()
-                .filter(|(_, e)| !e.discard)
-                .map(|(slot, e)| {
-                    (
-                        slot,
-                        e.message.seq,
-                        Self::dispatch_abs_deadline(&admitted, &e.message),
-                    )
-                })
-                .collect();
-            self.stats.recovery_skipped += (tb.ring.len() - copies.len()) as u64;
-            copies.sort_by_key(|&(_, seq, _)| seq);
-            for (slot, seq, deadline) in copies {
-                let id = self.alloc_job_id();
-                self.queue.push(Job {
-                    id,
-                    kind: JobKind::Dispatch,
-                    topic: topic_id,
-                    key: MessageKey {
-                        topic: topic_id,
-                        seq,
-                    },
-                    slot,
-                    source: BufferSource::Backup,
-                    release: now,
-                    deadline,
-                });
-                self.telemetry
-                    .decision(DecisionKind::RecoveryDispatch, topic_id, seq, now);
-                created += 1;
-            }
+            let shard = self.shards.get_mut(&topic_id).expect("shard exists");
+            created += shard.recovery_jobs(now, &mut self.sched, &mut self.stats);
         }
-        self.stats.recovery_dispatches += created as u64;
         Ok(created)
     }
 }
@@ -741,8 +515,8 @@ impl std::fmt::Debug for Broker {
         f.debug_struct("Broker")
             .field("id", &self.id)
             .field("role", &self.role)
-            .field("topics", &self.topics.len())
-            .field("queue_len", &self.queue.len())
+            .field("topics", &self.shards.len())
+            .field("queue_len", &self.sched.len())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -752,6 +526,7 @@ impl std::fmt::Debug for Broker {
 mod tests {
     use super::*;
     use crate::bounds::admit;
+    use crate::job::JobKind;
     use frame_types::{Destination, LossTolerance, NetworkParams, PublisherId, TopicSpec};
 
     const T1: TopicId = TopicId(1);
@@ -844,7 +619,7 @@ mod tests {
         b.on_message(msg(TopicId(2), 0, 0), Time::ZERO).unwrap();
         let j = b.take_job(Time::ZERO).unwrap();
         assert_eq!(j.job.kind, JobKind::Dispatch);
-        assert_eq!(j.subscribers, vec![S1, S2]);
+        assert_eq!(&*j.subscribers, &[S1, S2][..]);
         let effects = b.finish_job(&j, Time::ZERO);
         let delivers = effects
             .iter()
@@ -1152,6 +927,27 @@ mod tests {
         }
         assert_eq!(b.stats().dispatch_deadline_misses, 1);
         assert!(b.stats().queue_high_watermark >= 2);
+    }
+
+    #[test]
+    fn per_shard_stats_merge_folds_counts_and_maxes_watermark() {
+        let mut a = BrokerStats {
+            messages_in: 3,
+            dispatches: 2,
+            queue_high_watermark: 5,
+            ..BrokerStats::default()
+        };
+        let b = BrokerStats {
+            messages_in: 4,
+            replications: 1,
+            queue_high_watermark: 3,
+            ..BrokerStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_in, 7);
+        assert_eq!(a.dispatches, 2);
+        assert_eq!(a.replications, 1);
+        assert_eq!(a.queue_high_watermark, 5);
     }
 
     #[test]

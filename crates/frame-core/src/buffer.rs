@@ -23,9 +23,15 @@ pub struct SlotRef {
 }
 
 /// A fixed-capacity ring buffer that overwrites the oldest entry when full.
+///
+/// Slot storage is allocated lazily as entries are pushed (up to
+/// `capacity`), so a large nominal capacity — e.g. a per-topic Message
+/// Buffer sized like the paper's global one — costs memory proportional to
+/// its peak occupancy, not its configured bound.
 #[derive(Clone, Debug)]
 pub struct RingBuffer<T> {
     entries: Vec<Option<(u64, T)>>,
+    capacity: usize,
     head: usize,
     next_generation: u64,
     len: usize,
@@ -40,7 +46,8 @@ impl<T> RingBuffer<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring buffer capacity must be positive");
         RingBuffer {
-            entries: (0..capacity).map(|_| None).collect(),
+            entries: Vec::new(),
+            capacity,
             head: 0,
             next_generation: 0,
             len: 0,
@@ -53,9 +60,18 @@ impl<T> RingBuffer<T> {
         let slot = self.head;
         let generation = self.next_generation;
         self.next_generation += 1;
-        let evicted = self.entries[slot].take().map(|(_, v)| v);
-        self.entries[slot] = Some((generation, value));
-        self.head = (self.head + 1) % self.entries.len();
+        // Until the first wrap `head` always points one past the allocated
+        // tail (removals leave `None` holes behind but never shrink), so
+        // growth and overwrite are the only two cases.
+        let evicted = if slot == self.entries.len() {
+            self.entries.push(Some((generation, value)));
+            None
+        } else {
+            let evicted = self.entries[slot].take().map(|(_, v)| v);
+            self.entries[slot] = Some((generation, value));
+            evicted
+        };
+        self.head = (self.head + 1) % self.capacity;
         if evicted.is_none() {
             self.len += 1;
         }
@@ -63,26 +79,27 @@ impl<T> RingBuffer<T> {
     }
 
     /// Resolves a handle; `None` if the entry has been overwritten or
-    /// removed.
+    /// removed. A handle from another buffer (slot beyond this buffer's
+    /// allocation) also resolves to `None` via the generation check.
     pub fn get(&self, r: SlotRef) -> Option<&T> {
-        match &self.entries[r.slot] {
-            Some((generation, v)) if *generation == r.generation => Some(v),
+        match self.entries.get(r.slot) {
+            Some(Some((generation, v))) if *generation == r.generation => Some(v),
             _ => None,
         }
     }
 
     /// Mutable variant of [`RingBuffer::get`].
     pub fn get_mut(&mut self, r: SlotRef) -> Option<&mut T> {
-        match &mut self.entries[r.slot] {
-            Some((generation, v)) if *generation == r.generation => Some(v),
+        match self.entries.get_mut(r.slot) {
+            Some(Some((generation, v))) if *generation == r.generation => Some(v),
             _ => None,
         }
     }
 
     /// Removes the entry behind `r`, if still valid.
     pub fn remove(&mut self, r: SlotRef) -> Option<T> {
-        match &self.entries[r.slot] {
-            Some((generation, _)) if *generation == r.generation => {
+        match self.entries.get(r.slot) {
+            Some(Some((generation, _))) if *generation == r.generation => {
                 self.len -= 1;
                 self.entries[r.slot].take().map(|(_, v)| v)
             }
@@ -102,7 +119,7 @@ impl<T> RingBuffer<T> {
 
     /// Total capacity.
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.capacity
     }
 
     /// Iterates over live entries (oldest-to-newest order is *not*

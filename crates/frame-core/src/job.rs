@@ -241,6 +241,84 @@ impl JobQueue for FcfsQueue {
     }
 }
 
+/// The scheduling plane of a broker: the job queue plus job-id allocation
+/// and the queue high-watermark.
+///
+/// Grouping exactly these three pieces of state lets a threaded embedding
+/// place the scheduler behind one short lock — held only to push, pop or
+/// cancel a job — while all per-topic state lives in
+/// [`TopicShard`](crate::shard::TopicShard)s behind their own locks, so N
+/// workers drain the queue concurrently and only serialize per topic.
+pub struct Scheduler {
+    queue: Box<dyn JobQueue>,
+    next_job_id: u64,
+    high_watermark: u64,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler for `policy`.
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        Scheduler {
+            queue: policy.make_queue(),
+            next_job_id: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Allocates the next job id (creation order).
+    pub fn alloc_job_id(&mut self) -> JobId {
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        id
+    }
+
+    /// Enqueues a job, updating the high-watermark.
+    pub fn push(&mut self, job: Job) {
+        self.queue.push(job);
+        self.high_watermark = self.high_watermark.max(self.queue.len() as u64);
+    }
+
+    /// Dequeues the next non-cancelled job.
+    pub fn pop(&mut self) -> Option<Job> {
+        self.queue.pop()
+    }
+
+    /// Cancels a queued job (lazy; unknown ids are ignored).
+    pub fn cancel(&mut self, id: JobId) {
+        self.queue.cancel(id);
+    }
+
+    /// Live (non-cancelled) jobs in the queue.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no live jobs remain.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Deadline of the next live job without removing it.
+    pub fn peek_deadline(&mut self) -> Option<Time> {
+        self.queue.peek_deadline()
+    }
+
+    /// Highest number of live jobs ever waiting in the queue.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("len", &self.queue.len())
+            .field("next_job_id", &self.next_job_id)
+            .field("high_watermark", &self.high_watermark)
+            .finish()
+    }
+}
+
 /// The scheduling policy of a broker's delivery queue.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum SchedulingPolicy {

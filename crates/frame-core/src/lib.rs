@@ -16,6 +16,9 @@
 //! * [`broker`] — the sans-IO broker state machine: Message Proxy, Job
 //!   Generator, Message Delivery, dispatch–replicate coordination, and
 //!   fault recovery (Backup promotion).
+//! * [`shard`] — the broker's per-topic state plane ([`TopicShard`]),
+//!   pairing with the [`Scheduler`] plane so threaded embeddings can lock
+//!   per topic instead of per broker.
 //! * [`publisher`] — message creation, retention, and fail-over re-send.
 //! * [`subscriber`] — duplicate suppression and consecutive-loss tracking.
 //! * [`detector`] — the polling failure detector the Backup uses to watch
@@ -51,6 +54,7 @@ pub mod buffer;
 pub mod detector;
 pub mod job;
 pub mod publisher;
+pub mod shard;
 pub mod subscriber;
 
 pub use bounds::{
@@ -60,6 +64,9 @@ pub use bounds::{
 pub use broker::{ActiveJob, Broker, BrokerConfig, BrokerRole, BrokerStats, Effect};
 pub use buffer::{BufferedMessage, CopyFlags, RingBuffer, SlotRef};
 pub use detector::{PollingDetector, PrimaryStatus};
-pub use job::{BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, SchedulingPolicy};
+pub use job::{
+    BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, Scheduler, SchedulingPolicy,
+};
 pub use publisher::{PublishTarget, Publisher, RetentionBuffer};
+pub use shard::{AdmitCtx, FinishOutcome, Resolution, TopicShard};
 pub use subscriber::{AcceptOutcome, DeliveryTracker};

@@ -1,0 +1,440 @@
+//! The per-topic state plane of the broker.
+//!
+//! [`TopicShard`] owns every piece of broker state that belongs to exactly
+//! one topic: its Message Buffer ring, the Table-3 coordination flags, the
+//! pending-replication map and the Backup Buffer ring. The companion
+//! scheduling plane ([`Scheduler`](crate::job::Scheduler)) owns the job
+//! queue and job-id allocation.
+//!
+//! The split exists for the threaded runtime: each shard sits behind its
+//! own lock and the scheduler behind a separate short lock, so ingress on
+//! topic A never blocks a worker dispatching topic B, and N workers drain
+//! the EDF heap concurrently while serializing only per topic. That
+//! per-topic serialization is exactly what the dispatch–replicate
+//! coordination of Table 3 needs: every flag transition, cancellation and
+//! prune concerns a single `(topic, seq)` copy, so ordering between
+//! *different* topics is irrelevant to correctness — a replica and the
+//! prune that discards it always leave the same shard, under the same lock,
+//! in Table-3 order.
+//!
+//! The sans-IO [`Broker`](crate::broker::Broker) facade drives the same
+//! shards single-threaded, keeping the simulator and the threaded runtime
+//! on one state machine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use frame_telemetry::{DecisionKind, Telemetry};
+use frame_types::{Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
+
+use crate::bounds::{AdmittedTopic, Deadline};
+use crate::broker::{ActiveJob, BrokerConfig, BrokerStats, Effect};
+use crate::buffer::{BufferedMessage, RingBuffer, SlotRef};
+use crate::job::{BufferSource, Job, JobId, JobKind, Scheduler};
+
+/// Broker-level inputs to [`TopicShard::admit`] that are not per-topic
+/// state.
+#[derive(Clone, Copy)]
+pub struct AdmitCtx<'a> {
+    /// The broker configuration.
+    pub config: &'a BrokerConfig,
+    /// Whether a Backup peer currently exists to replicate to.
+    pub has_backup_peer: bool,
+}
+
+/// Outcome of resolving a popped job against its shard.
+#[derive(Debug)]
+pub enum Resolution {
+    /// The job is executable; run it and hand the result to
+    /// [`TopicShard::finish`].
+    Active(ActiveJob),
+    /// The job was skipped (stale slot, or a Table-3 replication abort);
+    /// pop the next one.
+    Skipped,
+}
+
+/// What completing a job produced.
+#[derive(Debug)]
+pub struct FinishOutcome {
+    /// I/O the runtime must perform, in order. Backup-bound effects
+    /// (`Replicate`/`Prune`) appear in Table-3 order for this topic.
+    pub effects: Vec<Effect>,
+    /// A queued replication job cancelled by this dispatch (Table 3,
+    /// Dispatch step 2). The caller applies it to the scheduler; the
+    /// cancellation is already counted in the stats.
+    pub cancel: Option<JobId>,
+}
+
+struct BackupEntry {
+    message: Message,
+    discard: bool,
+}
+
+/// All broker state belonging to one topic.
+pub struct TopicShard {
+    topic: TopicId,
+    admitted: AdmittedTopic,
+    subscribers: Arc<[SubscriberId]>,
+    messages: RingBuffer<BufferedMessage>,
+    pending_replication: HashMap<SeqNo, JobId>,
+    backup: RingBuffer<BackupEntry>,
+    backup_index: HashMap<SeqNo, SlotRef>,
+    telemetry: Telemetry,
+}
+
+impl TopicShard {
+    /// Creates the shard for an admitted topic. The Message Buffer ring is
+    /// lazily allocated, so the configured capacity costs nothing until
+    /// messages actually queue up.
+    pub fn new(
+        admitted: AdmittedTopic,
+        subscribers: Vec<SubscriberId>,
+        config: &BrokerConfig,
+        telemetry: Telemetry,
+    ) -> Self {
+        TopicShard {
+            topic: admitted.spec.id,
+            admitted,
+            subscribers: subscribers.into(),
+            messages: RingBuffer::new(config.message_buffer_capacity),
+            pending_replication: HashMap::new(),
+            backup: RingBuffer::new(config.backup_buffer_capacity),
+            backup_index: HashMap::new(),
+            telemetry,
+        }
+    }
+
+    /// The topic this shard serves.
+    pub fn topic(&self) -> TopicId {
+        self.topic
+    }
+
+    /// The topic's admitted spec and pseudo deadlines.
+    pub fn admitted(&self) -> &AdmittedTopic {
+        &self.admitted
+    }
+
+    /// The topic's subscribers.
+    pub fn subscribers(&self) -> &Arc<[SubscriberId]> {
+        &self.subscribers
+    }
+
+    /// Replaces the telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn dispatch_abs_deadline(&self, message: &Message) -> Time {
+        message
+            .created_at
+            .saturating_add(self.admitted.deadlines.dispatch)
+    }
+
+    fn replicate_abs_deadline(&self, message: &Message) -> Time {
+        match self.admitted.deadlines.replicate {
+            Deadline::Finite(d) => message.created_at.saturating_add(d),
+            Deadline::Unbounded => Time::MAX,
+        }
+    }
+
+    /// Message Proxy entry point for this topic: buffers the message and
+    /// generates its job(s) into `sched`. Returns the number of jobs
+    /// created (so a threaded runtime knows how many workers to wake).
+    pub fn admit(
+        &mut self,
+        message: Message,
+        now: Time,
+        source: BufferSource,
+        ctx: AdmitCtx<'_>,
+        sched: &mut Scheduler,
+        stats: &mut BrokerStats,
+    ) -> usize {
+        stats.messages_in += 1;
+        if source == BufferSource::Resend {
+            stats.resends_in += 1;
+        }
+        let key = message.key();
+        let dispatch_deadline = self.dispatch_abs_deadline(&message);
+        let replicate = ctx.has_backup_peer
+            && (!ctx.config.selective_replication || self.admitted.deadlines.replication_needed);
+        let replicate_deadline = self.replicate_abs_deadline(&message);
+        let subscriber_count = self.subscribers.len() as u32;
+
+        let (slot, evicted) = self
+            .messages
+            .push(BufferedMessage::new(message, subscriber_count));
+        if let Some(old) = evicted {
+            if !old.flags.dispatched {
+                stats.evicted_undispatched += 1;
+            }
+            self.pending_replication.remove(&old.message.seq);
+        }
+
+        // The FCFS baselines replicate first, then dispatch (§VI-A); under
+        // EDF the queue order is decided by deadlines, so insertion order
+        // only breaks exact ties.
+        let mut created = 0;
+        if replicate {
+            let id = sched.alloc_job_id();
+            sched.push(Job {
+                id,
+                kind: JobKind::Replicate,
+                topic: self.topic,
+                key,
+                slot,
+                source,
+                release: now,
+                deadline: replicate_deadline,
+            });
+            self.pending_replication.insert(key.seq, id);
+            created += 1;
+        } else if ctx.config.selective_replication && ctx.has_backup_peer {
+            stats.replications_suppressed += 1;
+            self.telemetry
+                .decision(DecisionKind::Suppress, self.topic, key.seq, now);
+        }
+
+        let id = sched.alloc_job_id();
+        sched.push(Job {
+            id,
+            kind: JobKind::Dispatch,
+            topic: self.topic,
+            key,
+            slot,
+            source,
+            release: now,
+            deadline: dispatch_deadline,
+        });
+        created + 1
+    }
+
+    /// Resolves a popped job against this shard's buffers, applying the
+    /// skip rules: stale slots, and — with `coordination` — replication
+    /// jobs whose message was already dispatched (Table 3, Replicate
+    /// step 1).
+    pub fn resolve(
+        &mut self,
+        job: Job,
+        coordination: bool,
+        now: Time,
+        stats: &mut BrokerStats,
+    ) -> Resolution {
+        let resolved = match job.source {
+            BufferSource::Message | BufferSource::Resend => self
+                .messages
+                .get(job.slot)
+                .map(|bm| (bm.message.clone(), bm.flags)),
+            BufferSource::Backup => self
+                .backup
+                .get(job.slot)
+                .filter(|e| !e.discard)
+                .map(|e| (e.message.clone(), Default::default())),
+        };
+        let Some((message, flags)) = resolved else {
+            stats.stale_jobs_skipped += 1;
+            self.telemetry
+                .decision(DecisionKind::StaleSkip, job.topic, job.key.seq, now);
+            self.pending_replication.remove(&job.key.seq);
+            return Resolution::Skipped;
+        };
+        if job.kind == JobKind::Replicate && coordination && flags.dispatched {
+            stats.replications_aborted += 1;
+            self.telemetry
+                .decision(DecisionKind::Abort, job.topic, job.key.seq, now);
+            self.pending_replication.remove(&job.key.seq);
+            return Resolution::Skipped;
+        }
+        let subscribers: Arc<[SubscriberId]> = match job.kind {
+            JobKind::Dispatch => self.subscribers.clone(),
+            JobKind::Replicate => Arc::new([]),
+        };
+        let will_coordinate = job.kind == JobKind::Dispatch
+            && coordination
+            && (flags.replicated || self.pending_replication.contains_key(&job.key.seq));
+        Resolution::Active(ActiveJob {
+            job,
+            message,
+            subscribers,
+            will_coordinate,
+        })
+    }
+
+    /// Commits a completed job: flag transitions, Table-3 coordination, and
+    /// the effects the runtime must perform. Any returned
+    /// [`FinishOutcome::cancel`] must be applied to the scheduler by the
+    /// caller.
+    pub fn finish(
+        &mut self,
+        active: &ActiveJob,
+        coordination: bool,
+        now: Time,
+        stats: &mut BrokerStats,
+    ) -> FinishOutcome {
+        let mut effects = Vec::new();
+        let mut cancel = None;
+        if now > active.job.deadline {
+            match active.job.kind {
+                JobKind::Dispatch => stats.dispatch_deadline_misses += 1,
+                JobKind::Replicate => stats.replication_deadline_misses += 1,
+            }
+        }
+        match active.job.kind {
+            JobKind::Dispatch => {
+                stats.dispatches += 1;
+                self.telemetry.decision(
+                    DecisionKind::Dispatch,
+                    active.job.topic,
+                    active.job.key.seq,
+                    now,
+                );
+                for &subscriber in active.subscribers.iter() {
+                    effects.push(Effect::Deliver {
+                        subscriber,
+                        message: active.message.clone(),
+                    });
+                }
+                // Table 3, Dispatch steps 2–3.
+                let mut was_replicated = false;
+                if let Some(bm) = self.messages.get_mut(active.job.slot) {
+                    bm.flags.dispatched = true;
+                    was_replicated = bm.flags.replicated;
+                }
+                if coordination {
+                    if let Some(job_id) = self.pending_replication.remove(&active.job.key.seq) {
+                        cancel = Some(job_id);
+                        stats.replications_cancelled += 1;
+                        self.telemetry.decision(
+                            DecisionKind::Cancel,
+                            active.job.topic,
+                            active.job.key.seq,
+                            now,
+                        );
+                    }
+                    if was_replicated {
+                        stats.prunes_sent += 1;
+                        self.telemetry.decision(
+                            DecisionKind::Prune,
+                            active.job.topic,
+                            active.job.key.seq,
+                            now,
+                        );
+                        effects.push(Effect::Prune {
+                            key: active.job.key,
+                        });
+                    }
+                }
+            }
+            JobKind::Replicate => {
+                // Table 3, Replicate steps 2–3.
+                stats.replications += 1;
+                self.telemetry.decision(
+                    DecisionKind::Replicate,
+                    active.job.topic,
+                    active.job.key.seq,
+                    now,
+                );
+                self.pending_replication.remove(&active.job.key.seq);
+                if let Some(bm) = self.messages.get_mut(active.job.slot) {
+                    bm.flags.replicated = true;
+                }
+                effects.push(Effect::Replicate {
+                    message: active.message.clone(),
+                });
+            }
+        }
+        FinishOutcome { effects, cancel }
+    }
+
+    /// Backup entry point: stores a replica pushed by the Primary.
+    pub fn on_replica(&mut self, message: Message, stats: &mut BrokerStats) {
+        stats.replicas_received += 1;
+        let seq = message.seq;
+        let (slot, evicted) = self.backup.push(BackupEntry {
+            message,
+            discard: false,
+        });
+        if let Some(old) = evicted {
+            self.backup_index.remove(&old.message.seq);
+        }
+        self.backup_index.insert(seq, slot);
+    }
+
+    /// Backup entry point: marks a copy `Discard` (Table 3, Dispatch step 3
+    /// → Backup side). Unknown seqs are ignored; double prunes are
+    /// idempotent.
+    pub fn on_prune(&mut self, seq: SeqNo, stats: &mut BrokerStats) {
+        if let Some(&slot) = self.backup_index.get(&seq) {
+            if let Some(entry) = self.backup.get_mut(slot) {
+                if !entry.discard {
+                    entry.discard = true;
+                    stats.prunes_applied += 1;
+                }
+            }
+        }
+    }
+
+    /// Live, non-discarded copies in this shard's Backup Buffer.
+    pub fn backup_live(&self) -> usize {
+        self.backup.iter().filter(|(_, e)| !e.discard).count()
+    }
+
+    /// Promotion for this topic: enqueues a recovery dispatch for every
+    /// non-discarded backup copy, in sequence order (paper §IV-A). Returns
+    /// the number of jobs created.
+    pub fn recovery_jobs(
+        &mut self,
+        now: Time,
+        sched: &mut Scheduler,
+        stats: &mut BrokerStats,
+    ) -> usize {
+        let mut copies: Vec<(SlotRef, SeqNo, Time)> = self
+            .backup
+            .iter()
+            .filter(|(_, e)| !e.discard)
+            .map(|(slot, e)| {
+                (
+                    slot,
+                    e.message.seq,
+                    e.message
+                        .created_at
+                        .saturating_add(self.admitted.deadlines.dispatch),
+                )
+            })
+            .collect();
+        stats.recovery_skipped += (self.backup.len() - copies.len()) as u64;
+        copies.sort_by_key(|&(_, seq, _)| seq);
+        let created = copies.len();
+        for (slot, seq, deadline) in copies {
+            let id = sched.alloc_job_id();
+            sched.push(Job {
+                id,
+                kind: JobKind::Dispatch,
+                topic: self.topic,
+                key: MessageKey {
+                    topic: self.topic,
+                    seq,
+                },
+                slot,
+                source: BufferSource::Backup,
+                release: now,
+                deadline,
+            });
+            self.telemetry
+                .decision(DecisionKind::RecoveryDispatch, self.topic, seq, now);
+        }
+        stats.recovery_dispatches += created as u64;
+        created
+    }
+}
+
+impl std::fmt::Debug for TopicShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopicShard")
+            .field("topic", &self.topic)
+            .field("subscribers", &self.subscribers.len())
+            .field("buffered", &self.messages.len())
+            .field("pending_replication", &self.pending_replication.len())
+            .field("backup_live", &self.backup_live())
+            .finish()
+    }
+}

@@ -1,5 +1,5 @@
 //! The threaded broker: a Message Proxy thread plus a pool of delivery
-//! worker threads around the sans-IO [`frame_core::Broker`].
+//! worker threads over the two-plane broker state of `frame-core`.
 //!
 //! Mirrors the paper's implementation structure (§V): the Message Proxy
 //! runs on its own thread (the paper dedicates one core to it), and
@@ -8,6 +8,38 @@
 //! subscribers, replication to the Backup peer, and prune requests all
 //! travel over crossbeam channels — swap the channel senders for sockets
 //! and the same structure runs distributed.
+//!
+//! # Locking design (two planes)
+//!
+//! Instead of one `Mutex<Broker>` serializing every stage, state is split
+//! the way `frame-core` splits it:
+//!
+//! * one [`TopicShard`] per topic, each behind its own `Mutex` — buffer
+//!   slots, Table-3 flags, the pending-replication map;
+//! * one [`Scheduler`] (the EDF/FCFS queue) behind a separate short lock,
+//!   held only to push, pop or cancel a job.
+//!
+//! A worker locks the scheduler to pop, then only the one shard its job
+//! touches; the proxy locks only the shard it is admitting into (plus the
+//! scheduler to enqueue the generated jobs). Ingress on topic A therefore
+//! never blocks a worker dispatching topic B, and N workers drain the heap
+//! concurrently, serializing only per topic.
+//!
+//! The lock order is always shard → scheduler (admit and cancel take the
+//! scheduler while holding a shard; the pop path holds the scheduler
+//! alone), so the two planes cannot deadlock.
+//!
+//! Per-topic serialization is exactly what the paper's Table-3 coordination
+//! needs: every flag transition, cancellation and prune concerns one
+//! `(topic, seq)` copy. Backup-bound effects are emitted while the shard
+//! lock is held, so for any topic the channel order equals the Table-3
+//! order — a prune can never overtake the replica it discards (this
+//! regressed once when effects were sent after dropping the broker lock;
+//! see ROADMAP).
+//!
+//! The subscriber map and the backup sender are read-mostly `RwLock`s:
+//! deliveries share the read lock and never contend with each other, and
+//! the backup sender is cloned once per effect batch.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,10 +47,14 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::Clock;
-use frame_core::{ActiveJob, AdmittedTopic, Broker, BrokerConfig, BrokerRole, Effect, JobKind};
-use frame_telemetry::{Stage, Telemetry};
-use frame_types::{BrokerId, FrameError, Message, MessageKey, SubscriberId, Time};
-use parking_lot::{Condvar, Mutex};
+use frame_core::{
+    AdmitCtx, AdmittedTopic, BrokerConfig, BrokerRole, BrokerStats, BufferSource, Effect, JobKind,
+    Resolution, Scheduler, TopicShard,
+};
+use frame_telemetry::{DecisionKind, Stage, Telemetry};
+use frame_types::{BrokerId, FrameError, Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use serde::{Deserialize, Serialize};
 
 /// A delivery handed to a subscriber.
 #[derive(Clone, Debug)]
@@ -27,6 +63,18 @@ pub struct Delivered {
     pub message: Message,
     /// Broker-side completion time (runtime clock).
     pub dispatched_at: Time,
+}
+
+/// One Primary→Backup coordination effect, as carried in a batch.
+///
+/// Within a batch, order is the Primary's Table-3 order for each topic; a
+/// receiver must apply effects in sequence.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum BackupEffect {
+    /// Store a replica of the message.
+    Replica(Message),
+    /// Mark the copy for `key` as `Discard`.
+    Prune(MessageKey),
 }
 
 /// Messages accepted by a broker's proxy thread.
@@ -40,18 +88,41 @@ pub enum BrokerMsg {
     Replica(Message),
     /// A prune request from the Primary (Backup path).
     Prune(MessageKey),
+    /// A coalesced run of replicas/prunes from the Primary, applied in
+    /// order. Produced by batching transports (e.g. the TCP bridge) to cut
+    /// per-effect channel and syscall traffic.
+    ReplicaBatch(Vec<BackupEffect>),
     /// Liveness poll; the broker answers on the provided channel.
     Poll(Sender<()>),
 }
 
+/// A topic's shard plus its slice of the broker counters, guarded by one
+/// lock so every mutation and its accounting stay atomic.
+struct ShardSlot {
+    shard: TopicShard,
+    stats: BrokerStats,
+}
+
 struct Inner {
-    broker: Mutex<Broker>,
+    id: BrokerId,
+    config: BrokerConfig,
+    role: RwLock<BrokerRole>,
+    has_backup_peer: AtomicBool,
+    /// Per-topic state plane. The map itself is read-mostly (topics are
+    /// registered up front); each shard has its own lock.
+    shards: RwLock<std::collections::HashMap<TopicId, Arc<Mutex<ShardSlot>>>>,
+    /// Scheduling plane: the job queue, behind a short lock.
+    sched: Mutex<Scheduler>,
     job_ready: Condvar,
     alive: AtomicBool,
     clock: Arc<dyn Clock>,
-    subscribers: Mutex<std::collections::HashMap<SubscriberId, Sender<Delivered>>>,
-    backup_tx: Mutex<Option<Sender<BrokerMsg>>>,
+    subscribers: RwLock<std::collections::HashMap<SubscriberId, Sender<Delivered>>>,
+    backup_tx: RwLock<Option<Sender<BrokerMsg>>>,
     telemetry: Telemetry,
+    /// Emulated downstream wire/service time per finished job, in
+    /// nanoseconds (see [`RtBroker::set_job_service_time`]). Zero (the
+    /// default) skips the sleep entirely.
+    job_service_ns: std::sync::atomic::AtomicU64,
 }
 
 /// Handle to a running threaded broker.
@@ -106,16 +177,20 @@ impl RtBroker {
         telemetry: Telemetry,
     ) -> (RtBroker, RtBrokerThreads) {
         let (tx, rx) = unbounded::<BrokerMsg>();
-        let mut broker = Broker::new(id, role, config);
-        broker.set_telemetry(telemetry.clone());
         let inner = Arc::new(Inner {
-            broker: Mutex::new(broker),
+            id,
+            config,
+            role: RwLock::new(role),
+            has_backup_peer: AtomicBool::new(role == BrokerRole::Primary),
+            shards: RwLock::new(std::collections::HashMap::new()),
+            sched: Mutex::new(Scheduler::new(config.policy)),
             job_ready: Condvar::new(),
             alive: AtomicBool::new(true),
             clock,
-            subscribers: Mutex::new(std::collections::HashMap::new()),
-            backup_tx: Mutex::new(None),
+            subscribers: RwLock::new(std::collections::HashMap::new()),
+            backup_tx: RwLock::new(None),
             telemetry,
+            job_service_ns: std::sync::atomic::AtomicU64::new(0),
         });
 
         let mut handles = Vec::with_capacity(workers + 1);
@@ -124,6 +199,11 @@ impl RtBroker {
             handles.push(spawn_worker(inner.clone(), w));
         }
         (RtBroker { inner, tx }, RtBrokerThreads { handles })
+    }
+
+    /// The broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.inner.id
     }
 
     /// The channel on which this broker accepts [`BrokerMsg`]s.
@@ -135,26 +215,42 @@ impl RtBroker {
     ///
     /// # Errors
     ///
-    /// Propagates [`frame_core::Broker::register_topic`] errors.
+    /// Returns [`FrameError::DuplicateTopic`] if already registered.
     pub fn register_topic(
         &self,
         admitted: AdmittedTopic,
         subscribers: Vec<SubscriberId>,
     ) -> Result<(), FrameError> {
-        self.inner
-            .broker
-            .lock()
-            .register_topic(admitted, subscribers)
+        let id = admitted.spec.id;
+        let mut shards = self.inner.shards.write();
+        if shards.contains_key(&id) {
+            return Err(FrameError::DuplicateTopic(id));
+        }
+        shards.insert(
+            id,
+            Arc::new(Mutex::new(ShardSlot {
+                shard: TopicShard::new(
+                    admitted,
+                    subscribers,
+                    &self.inner.config,
+                    self.inner.telemetry.clone(),
+                ),
+                stats: BrokerStats::default(),
+            })),
+        );
+        drop(shards);
+        self.inner.telemetry.ensure_topic(id);
+        Ok(())
     }
 
     /// Connects a subscriber's delivery channel.
     pub fn connect_subscriber(&self, id: SubscriberId, tx: Sender<Delivered>) {
-        self.inner.subscribers.lock().insert(id, tx);
+        self.inner.subscribers.write().insert(id, tx);
     }
 
     /// Connects the Backup peer (replicas and prunes are sent there).
     pub fn connect_backup(&self, backup: Sender<BrokerMsg>) {
-        *self.inner.backup_tx.lock() = Some(backup);
+        *self.inner.backup_tx.write() = Some(backup);
     }
 
     /// Crash the broker (fail-stop): threads stop processing immediately,
@@ -176,22 +272,75 @@ impl RtBroker {
         self.inner.alive.load(Ordering::Acquire)
     }
 
+    /// Emulates the downstream wire/service time of the paper's testbed:
+    /// after finishing each job, a worker blocks for `per_job` without
+    /// holding any lock, the way a Dispatcher writing to subscriber hosts
+    /// over a real NIC would. In-process channel transport erases that
+    /// blocked time, which makes worker-pool sizing unmeasurable on
+    /// CPU-starved hosts; benchmarks set this to restore it. Zero (the
+    /// default) is a no-op on the hot path beyond one relaxed atomic load.
+    pub fn set_job_service_time(&self, per_job: frame_types::Duration) {
+        self.inner
+            .job_service_ns
+            .store(per_job.as_nanos(), Ordering::Relaxed);
+    }
+
     /// Promotes this broker (must be a Backup) to Primary; recovery
     /// dispatch jobs are scheduled and the worker pool is woken.
     ///
     /// # Errors
     ///
-    /// Propagates [`frame_core::Broker::promote`] errors.
+    /// Returns [`FrameError::WrongRole`] if the broker is already Primary.
     pub fn promote(&self) -> Result<usize, FrameError> {
+        {
+            let mut role = self.inner.role.write();
+            if *role != BrokerRole::Backup {
+                return Err(FrameError::WrongRole {
+                    operation: "promote",
+                });
+            }
+            *role = BrokerRole::Primary;
+        }
+        self.inner.has_backup_peer.store(false, Ordering::Release);
         let now = self.inner.clock.now();
-        let created = self.inner.broker.lock().promote(now)?;
+
+        // Deterministic order: by topic id, then (inside the shard) by seq.
+        let mut slots: Vec<(TopicId, Arc<Mutex<ShardSlot>>)> = self
+            .inner
+            .shards
+            .read()
+            .iter()
+            .map(|(t, s)| (*t, s.clone()))
+            .collect();
+        slots.sort_unstable_by_key(|(t, _)| *t);
+        let live: usize = slots
+            .iter()
+            .map(|(_, s)| s.lock().shard.backup_live())
+            .sum();
+        self.inner
+            .telemetry
+            .decision(DecisionKind::Promote, TopicId(0), SeqNo(live as u64), now);
+        let mut created = 0;
+        for (_, slot) in &slots {
+            let mut guard = slot.lock();
+            let ShardSlot { shard, stats } = &mut *guard;
+            let mut sched = self.inner.sched.lock();
+            created += shard.recovery_jobs(now, &mut sched, stats);
+        }
         self.inner.job_ready.notify_all();
         Ok(created)
     }
 
-    /// Snapshot of the broker's counters.
-    pub fn stats(&self) -> frame_core::BrokerStats {
-        self.inner.broker.lock().stats()
+    /// Snapshot of the broker's counters, folded across all topic shards.
+    pub fn stats(&self) -> BrokerStats {
+        let mut total = BrokerStats::default();
+        for slot in self.inner.shards.read().values() {
+            total.merge(&slot.lock().stats);
+        }
+        total.queue_high_watermark = total
+            .queue_high_watermark
+            .max(self.inner.sched.lock().high_watermark());
+        total
     }
 
     /// The telemetry handle this broker records into.
@@ -201,13 +350,73 @@ impl RtBroker {
 
     /// Current role.
     pub fn role(&self) -> BrokerRole {
-        self.inner.broker.lock().role()
+        *self.inner.role.read()
     }
 
     /// Live jobs waiting in the delivery queue.
     pub fn queue_len(&self) -> usize {
-        self.inner.broker.lock().queue_len()
+        self.inner.sched.lock().len()
     }
+}
+
+fn shard_of(inner: &Inner, topic: TopicId) -> Option<Arc<Mutex<ShardSlot>>> {
+    inner.shards.read().get(&topic).cloned()
+}
+
+/// Locks a shard, counting the acquisition as contended when another
+/// thread already holds it (the telemetry signal for hot topics).
+fn lock_shard<'a>(inner: &Inner, slot: &'a Arc<Mutex<ShardSlot>>) -> MutexGuard<'a, ShardSlot> {
+    match slot.try_lock() {
+        Some(guard) => guard,
+        None => {
+            inner.telemetry.record_shard_contention();
+            slot.lock()
+        }
+    }
+}
+
+/// Admits a publisher message (or retention re-send): shard lock, then the
+/// scheduler lock for the generated jobs. Returns the number of jobs
+/// created (0 when the broker is not Primary or the topic is unknown).
+fn ingress(inner: &Inner, message: Message, source: BufferSource, now: Time) -> usize {
+    if *inner.role.read() != BrokerRole::Primary {
+        return 0;
+    }
+    let Some(slot) = shard_of(inner, message.topic) else {
+        return 0;
+    };
+    let mut guard = lock_shard(inner, &slot);
+    let ShardSlot { shard, stats } = &mut *guard;
+    let ctx = AdmitCtx {
+        config: &inner.config,
+        has_backup_peer: inner.has_backup_peer.load(Ordering::Acquire),
+    };
+    let mut sched = inner.sched.lock();
+    shard.admit(message, now, source, ctx, &mut sched, stats)
+}
+
+fn apply_replica(inner: &Inner, message: Message) {
+    if *inner.role.read() != BrokerRole::Backup {
+        return;
+    }
+    let Some(slot) = shard_of(inner, message.topic) else {
+        return;
+    };
+    let mut guard = lock_shard(inner, &slot);
+    let ShardSlot { shard, stats } = &mut *guard;
+    shard.on_replica(message, stats);
+}
+
+fn apply_prune(inner: &Inner, key: MessageKey) {
+    if *inner.role.read() != BrokerRole::Backup {
+        return;
+    }
+    let Some(slot) = shard_of(inner, key.topic) else {
+        return;
+    };
+    let mut guard = lock_shard(inner, &slot);
+    let ShardSlot { shard, stats } = &mut *guard;
+    shard.on_prune(key.seq, stats);
 }
 
 fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
@@ -231,41 +440,46 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
                     break;
                 }
                 let now = inner.clock.now();
-                let mut broker = inner.broker.lock();
-                let had_jobs = broker.queue_len();
-                let ingress = match msg {
+                let created = match msg {
                     BrokerMsg::Publish(m) => {
-                        let _ = broker.on_message(m, now);
-                        true
+                        let n = ingress(&inner, m, BufferSource::Message, now);
+                        inner.telemetry.record_stage(
+                            Stage::ProxyIngress,
+                            inner.clock.now().saturating_since(now),
+                        );
+                        n
                     }
                     BrokerMsg::Resend(m) => {
-                        let _ = broker.on_resend(m, now);
-                        true
+                        let n = ingress(&inner, m, BufferSource::Resend, now);
+                        inner.telemetry.record_stage(
+                            Stage::ProxyIngress,
+                            inner.clock.now().saturating_since(now),
+                        );
+                        n
                     }
                     BrokerMsg::Replica(m) => {
-                        let _ = broker.on_replica(m, now);
-                        false
+                        apply_replica(&inner, m);
+                        0
                     }
                     BrokerMsg::Prune(k) => {
-                        let _ = broker.on_prune(k, now);
-                        false
+                        apply_prune(&inner, k);
+                        0
+                    }
+                    BrokerMsg::ReplicaBatch(batch) => {
+                        for effect in batch {
+                            match effect {
+                                BackupEffect::Replica(m) => apply_replica(&inner, m),
+                                BackupEffect::Prune(k) => apply_prune(&inner, k),
+                            }
+                        }
+                        0
                     }
                     BrokerMsg::Poll(reply) => {
-                        drop(broker);
                         let _ = reply.send(());
-                        continue;
+                        0
                     }
                 };
-                let has_jobs = broker.queue_len();
-                drop(broker);
-                if ingress {
-                    // Time spent admitting the message and generating its
-                    // jobs (Message Proxy + Job Generator work).
-                    inner
-                        .telemetry
-                        .record_stage(Stage::ProxyIngress, inner.clock.now().saturating_since(now));
-                }
-                if has_jobs > had_jobs {
+                if created > 0 {
                     inner.job_ready.notify_all();
                 }
             }
@@ -280,37 +494,57 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
             if !inner.alive.load(Ordering::Acquire) {
                 return;
             }
-            let active: Option<ActiveJob> = {
-                let mut broker = inner.broker.lock();
-                let now = inner.clock.now();
-                match broker.take_job(now) {
-                    Some(a) => Some(a),
+            // Pop under the scheduler lock alone; wait on it when idle
+            // (with a timeout so kill() is always noticed).
+            let job = {
+                let mut sched = inner.sched.lock();
+                match sched.pop() {
+                    Some(job) => job,
                     None => {
-                        // Wait for the proxy to push work (with a timeout so
-                        // kill() is always noticed).
                         inner
                             .job_ready
-                            .wait_for(&mut broker, std::time::Duration::from_millis(10));
-                        None
+                            .wait_for(&mut sched, std::time::Duration::from_millis(10));
+                        continue;
                     }
                 }
             };
-            let Some(active) = active else { continue };
-            let started = inner.clock.now();
-            let effects = {
-                let mut broker = inner.broker.lock();
-                let effects = broker.finish_job(&active, started);
-                // Backup-bound effects (replicas, prunes) are enqueued while
-                // still holding the broker lock: finish_job order is the
-                // Table-3 coordination order, and sending under the same
-                // serialization keeps a prune from overtaking its replica
-                // on the peer channel. Subscriber deliveries stay outside
-                // the lock so slow subscribers never serialize workers.
-                send_backup_effects(&inner, &effects);
-                effects
+            let now = inner.clock.now();
+            inner
+                .telemetry
+                .record_stage(Stage::QueueWait, now.saturating_since(job.release));
+            let Some(slot) = shard_of(&inner, job.topic) else {
+                continue;
             };
-            execute_effects(&inner, effects, started);
-            let stage = match active.job.kind {
+            let kind = job.kind;
+            let started = inner.clock.now();
+            {
+                let mut guard = lock_shard(&inner, &slot);
+                let ShardSlot { shard, stats } = &mut *guard;
+                let active = match shard.resolve(job, inner.config.coordination, now, stats) {
+                    Resolution::Active(active) => active,
+                    Resolution::Skipped => continue,
+                };
+                let outcome = shard.finish(&active, inner.config.coordination, started, stats);
+                if let Some(id) = outcome.cancel {
+                    inner.sched.lock().cancel(id);
+                }
+                // Backup-bound effects leave while the shard lock is held:
+                // for this topic, channel order is the Table-3 order, so a
+                // prune can never overtake its replica. Subscriber pushes
+                // also happen here (crossbeam sends never block), which
+                // keeps per-topic delivery order; other topics' workers are
+                // unaffected.
+                send_backup_batch(&inner, &outcome.effects);
+                deliver(&inner, &outcome.effects, started);
+            }
+            let service_ns = inner.job_service_ns.load(Ordering::Relaxed);
+            if service_ns > 0 {
+                // Emulated wire time (see `set_job_service_time`): blocked,
+                // lock-free, so it overlaps across workers exactly like
+                // real socket writes to subscriber hosts would.
+                std::thread::sleep(std::time::Duration::from_nanos(service_ns));
+            }
+            let stage = match kind {
                 JobKind::Dispatch => Stage::DispatchExec,
                 JobKind::Replicate => Stage::ReplicateExec,
             };
@@ -321,25 +555,39 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
         .expect("spawn delivery worker")
 }
 
-fn send_backup_effects(inner: &Arc<Inner>, effects: &[Effect]) {
+/// Sends the backup-bound effects of one finished job, cloning the backup
+/// sender once for the whole batch.
+fn send_backup_batch(inner: &Inner, effects: &[Effect]) {
+    let mut batch: Vec<BackupEffect> = Vec::new();
     for effect in effects {
         match effect {
-            Effect::Replicate { message } => {
-                if let Some(tx) = inner.backup_tx.lock().as_ref() {
-                    let _ = tx.send(BrokerMsg::Replica(message.clone()));
-                }
-            }
-            Effect::Prune { key } => {
-                if let Some(tx) = inner.backup_tx.lock().as_ref() {
-                    let _ = tx.send(BrokerMsg::Prune(*key));
-                }
-            }
+            Effect::Replicate { message } => batch.push(BackupEffect::Replica(message.clone())),
+            Effect::Prune { key } => batch.push(BackupEffect::Prune(*key)),
             Effect::Deliver { .. } => {}
         }
     }
+    if batch.is_empty() {
+        return;
+    }
+    let Some(tx) = inner.backup_tx.read().clone() else {
+        return;
+    };
+    let msg = if batch.len() == 1 {
+        match batch.pop().expect("non-empty") {
+            BackupEffect::Replica(m) => BrokerMsg::Replica(m),
+            BackupEffect::Prune(k) => BrokerMsg::Prune(k),
+        }
+    } else {
+        BrokerMsg::ReplicaBatch(batch)
+    };
+    let _ = tx.send(msg);
 }
 
-fn execute_effects(inner: &Arc<Inner>, effects: Vec<Effect>, now: Time) {
+/// Pushes deliveries to subscriber channels under the shared (read) side
+/// of the subscriber map, so concurrent deliveries never contend and a
+/// slow subscriber cannot stall others behind an exclusive lock.
+fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
+    let subs = inner.subscribers.read();
     for effect in effects {
         if let Effect::Deliver {
             subscriber,
@@ -351,10 +599,9 @@ fn execute_effects(inner: &Arc<Inner>, effects: Vec<Effect>, now: Time) {
             let transit = now.saturating_since(message.created_at);
             inner.telemetry.record_stage(Stage::Transit, transit);
             inner.telemetry.record_topic(message.topic, transit);
-            let subs = inner.subscribers.lock();
-            if let Some(tx) = subs.get(&subscriber) {
+            if let Some(tx) = subs.get(subscriber) {
                 let _ = tx.send(Delivered {
-                    message,
+                    message: message.clone(),
                     dispatched_at: now,
                 });
             }
@@ -512,6 +759,47 @@ mod tests {
                 .recv_timeout(std::time::Duration::from_secs(2))
                 .expect("recovered delivery");
             assert_eq!(d.message.seq, SeqNo(seq));
+        }
+        backup.shutdown();
+        bt.join();
+    }
+
+    #[test]
+    fn replica_batch_applies_in_order() {
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let (backup, bt) = RtBroker::spawn(
+            BrokerId(1),
+            BrokerRole::Backup,
+            BrokerConfig::frame(),
+            1,
+            clock.clone(),
+        );
+        backup
+            .register_topic(admitted(2, 1), vec![SubscriberId(1)])
+            .unwrap();
+        // A batch carrying replica then prune for the same key must leave
+        // the copy discarded (order preserved within the batch).
+        let m = msg(1, 0, clock.as_ref());
+        let key = m.key();
+        backup
+            .sender()
+            .send(BrokerMsg::ReplicaBatch(vec![
+                BackupEffect::Replica(m),
+                BackupEffect::Prune(key),
+                BackupEffect::Replica(msg(1, 1, clock.as_ref())),
+            ]))
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let s = backup.stats();
+            if s.replicas_received == 2 && s.prunes_applied == 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "batch not applied: {s:?}"
+            );
+            std::thread::yield_now();
         }
         backup.shutdown();
         bt.join();

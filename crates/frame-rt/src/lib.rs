@@ -34,9 +34,9 @@ pub mod broker_rt;
 pub mod system;
 pub mod tcp;
 
-pub use broker_rt::{BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
+pub use broker_rt::{BackupEffect, BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
 pub use system::{RtPublisher, RtSystem};
 pub use tcp::{
-    connect_backup_over_tcp, read_frame, write_frame, TcpBackupBridge, TcpBrokerServer,
-    TcpPublisher, TcpSubscriber, WireMsg,
+    connect_backup_over_tcp, read_frame, write_frame, write_frame_into, TcpBackupBridge,
+    TcpBrokerServer, TcpPublisher, TcpSubscriber, WireMsg,
 };

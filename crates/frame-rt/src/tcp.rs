@@ -7,7 +7,7 @@
 //! ([`WireMsg`]); reliability and ordering come from TCP, matching the
 //! model's reliable in-order interconnect assumption (§III-B).
 
-use std::io::{Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,7 +17,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_types::{FrameError, Message, MessageKey, SubscriberId};
 use serde::{Deserialize, Serialize};
 
-use crate::broker_rt::{BrokerMsg, Delivered, RtBroker};
+use crate::broker_rt::{BackupEffect, BrokerMsg, Delivered, RtBroker};
 
 /// Messages on the wire (a serializable mirror of [`BrokerMsg`] plus
 /// subscriber-side frames).
@@ -31,6 +31,10 @@ pub enum WireMsg {
     Replica(Message),
     /// Primary → Backup: a prune request.
     Prune(MessageKey),
+    /// Primary → Backup: a coalesced run of replicas/prunes, in the
+    /// Primary's emission order. One frame (one syscall) instead of one
+    /// per effect when the replication channel runs hot.
+    ReplicaBatch(Vec<BackupEffect>),
     /// Liveness poll with a correlation token.
     Poll(u64),
     /// Poll acknowledgement.
@@ -54,18 +58,40 @@ pub enum WireMsg {
     StatsJson(String),
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame, assembling prefix and body in
+/// `scratch` so the whole frame leaves in a single `write_all` (one
+/// syscall on an unbuffered socket; with `TCP_NODELAY` set, two writes
+/// would otherwise risk the 4-byte prefix travelling as its own segment).
+/// `scratch` is cleared and reused — hot paths keep one per connection so
+/// steady state does no allocation.
 ///
 /// # Errors
 ///
 /// Propagates serialization and socket errors.
-pub fn write_frame(stream: &mut TcpStream, msg: &WireMsg) -> std::io::Result<()> {
+pub fn write_frame_into<W: Write>(
+    writer: &mut W,
+    msg: &WireMsg,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
     let body = serde_json::to_vec(msg)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let len = u32::try_from(body.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(&body)
+    scratch.clear();
+    scratch.reserve(4 + body.len());
+    scratch.extend_from_slice(&len.to_le_bytes());
+    scratch.extend_from_slice(&body);
+    writer.write_all(scratch)
+}
+
+/// Writes one length-prefixed frame (convenience wrapper over
+/// [`write_frame_into`] with a throwaway scratch buffer).
+///
+/// # Errors
+///
+/// Propagates serialization and socket errors.
+pub fn write_frame<W: Write>(writer: &mut W, msg: &WireMsg) -> std::io::Result<()> {
+    write_frame_into(writer, msg, &mut Vec::new())
 }
 
 /// Reads one length-prefixed frame.
@@ -74,7 +100,7 @@ pub fn write_frame(stream: &mut TcpStream, msg: &WireMsg) -> std::io::Result<()>
 ///
 /// Propagates deserialization and socket errors (including clean EOF as
 /// `UnexpectedEof`).
-pub fn read_frame(stream: &mut TcpStream) -> std::io::Result<WireMsg> {
+pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<WireMsg> {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
     let len = u32::from_le_bytes(len) as usize;
@@ -161,6 +187,9 @@ impl TcpBrokerServer {
 }
 
 fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) {
+    // Frames are written whole and latency matters more than throughput on
+    // this control/delivery path, so disable Nagle coalescing.
+    stream.set_nodelay(true).ok();
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -168,7 +197,10 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
     reader
         .set_read_timeout(Some(std::time::Duration::from_millis(100)))
         .ok();
-    let mut writer = stream;
+    // Responses are buffered and flushed per pump/response, so a burst of
+    // deliveries leaves as few large writes instead of one per frame.
+    let mut writer = BufWriter::new(stream);
+    let mut scratch = Vec::new();
     // If this connection subscribes, deliveries arrive on this channel and
     // are pumped back over the socket.
     let mut delivery_rx: Option<Receiver<Delivered>> = None;
@@ -179,10 +211,17 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
         }
         // Pump any pending deliveries for subscriber connections.
         if let Some(rx) = &delivery_rx {
+            let mut pumped = false;
             while let Ok(d) = rx.try_recv() {
-                if write_frame(&mut writer, &WireMsg::Deliver(d.message)).is_err() {
+                if write_frame_into(&mut writer, &WireMsg::Deliver(d.message), &mut scratch)
+                    .is_err()
+                {
                     return;
                 }
+                pumped = true;
+            }
+            if pumped && writer.flush().is_err() {
+                return;
             }
         }
         let msg = match read_frame(&mut reader) {
@@ -208,6 +247,9 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
             WireMsg::Prune(k) => {
                 let _ = broker.sender().send(BrokerMsg::Prune(k));
             }
+            WireMsg::ReplicaBatch(batch) => {
+                let _ = broker.sender().send(BrokerMsg::ReplicaBatch(batch));
+            }
             WireMsg::Poll(token) => {
                 // Bridge to the in-process poll protocol so a dead broker
                 // (proxy thread exited) stays silent, exactly like the
@@ -217,7 +259,7 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
                 if ack_rx
                     .recv_timeout(std::time::Duration::from_millis(50))
                     .is_ok()
-                    && write_frame(&mut writer, &WireMsg::PollAck(token)).is_err()
+                    && respond(&mut writer, &WireMsg::PollAck(token), &mut scratch).is_err()
                 {
                     return;
                 }
@@ -229,13 +271,13 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
             }
             WireMsg::Promote => {
                 let created = broker.promote().map(|n| n as u64).unwrap_or(0);
-                if write_frame(&mut writer, &WireMsg::Promoted(created)).is_err() {
+                if respond(&mut writer, &WireMsg::Promoted(created), &mut scratch).is_err() {
                     return;
                 }
             }
             WireMsg::Stats => {
                 let json = frame_telemetry::to_json(&broker.telemetry().snapshot());
-                if write_frame(&mut writer, &WireMsg::StatsJson(json)).is_err() {
+                if respond(&mut writer, &WireMsg::StatsJson(json), &mut scratch).is_err() {
                     return;
                 }
             }
@@ -249,6 +291,12 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
             }
         }
     }
+}
+
+/// Writes one request/response frame and flushes it out immediately.
+fn respond<W: Write>(writer: &mut W, msg: &WireMsg, scratch: &mut Vec<u8>) -> std::io::Result<()> {
+    write_frame_into(writer, msg, scratch)?;
+    writer.flush()
 }
 
 /// Bridges a Primary's Backup-bound traffic (replicas and prunes) over TCP
@@ -266,39 +314,76 @@ pub fn connect_backup_over_tcp(
     primary: &RtBroker,
     addr: SocketAddr,
 ) -> std::io::Result<TcpBackupBridge> {
-    let mut stream = TcpStream::connect(addr)?;
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
     let (tx, rx) = unbounded::<BrokerMsg>();
     primary.connect_backup(tx);
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let thread = std::thread::Builder::new()
         .name("frame-tcp-backup-bridge".into())
-        .spawn(move || loop {
-            let msg = match rx.recv_timeout(std::time::Duration::from_millis(100)) {
-                Ok(m) => m,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if stop2.load(Ordering::Acquire) {
-                        return;
+        .spawn(move || {
+            // The bridge is the only reader of this channel, so draining it
+            // greedily preserves the Primary's per-topic emission order
+            // while coalescing a backlog into one ReplicaBatch frame —
+            // one syscall instead of one per effect when replication runs
+            // behind the socket.
+            let mut writer = BufWriter::new(stream);
+            let mut scratch = Vec::new();
+            let mut batch: Vec<BackupEffect> = Vec::new();
+            loop {
+                let msg = match rx.recv_timeout(std::time::Duration::from_millis(100)) {
+                    Ok(m) => m,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if stop2.load(Ordering::Acquire) {
+                            return;
+                        }
+                        continue;
                     }
-                    continue;
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                };
+                batch.clear();
+                collect_backup_effects(msg, &mut batch);
+                while batch.len() < BACKUP_BATCH_MAX {
+                    match rx.try_recv() {
+                        Ok(m) => collect_backup_effects(m, &mut batch),
+                        Err(_) => break,
+                    }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-            };
-            let frame = match msg {
-                BrokerMsg::Replica(m) => WireMsg::Replica(m),
-                BrokerMsg::Prune(k) => WireMsg::Prune(k),
-                // The in-process protocol never routes other variants to
-                // the backup peer.
-                _ => continue,
-            };
-            if write_frame(&mut stream, &frame).is_err() {
-                return; // partition: stop forwarding
+                let frame = match batch.len() {
+                    0 => continue,
+                    1 => match batch.pop().expect("len checked") {
+                        BackupEffect::Replica(m) => WireMsg::Replica(m),
+                        BackupEffect::Prune(k) => WireMsg::Prune(k),
+                    },
+                    _ => WireMsg::ReplicaBatch(std::mem::take(&mut batch)),
+                };
+                if write_frame_into(&mut writer, &frame, &mut scratch).is_err()
+                    || writer.flush().is_err()
+                {
+                    return; // partition: stop forwarding
+                }
             }
         })?;
     Ok(TcpBackupBridge {
         stop,
         thread: Some(thread),
     })
+}
+
+/// Upper bound on effects coalesced into one bridge frame, so a deep
+/// backlog still yields frames of bounded size (and bounded decode cost).
+const BACKUP_BATCH_MAX: usize = 256;
+
+/// Flattens one backup-bound channel message into `batch`, in order.
+/// Non-backup variants never reach the backup channel and are ignored.
+fn collect_backup_effects(msg: BrokerMsg, batch: &mut Vec<BackupEffect>) {
+    match msg {
+        BrokerMsg::Replica(m) => batch.push(BackupEffect::Replica(m)),
+        BrokerMsg::Prune(k) => batch.push(BackupEffect::Prune(k)),
+        BrokerMsg::ReplicaBatch(effects) => batch.extend(effects),
+        _ => {}
+    }
 }
 
 /// Handle to a running Primary→Backup TCP bridge.
@@ -321,6 +406,7 @@ impl TcpBackupBridge {
 /// A TCP publisher connection.
 pub struct TcpPublisher {
     stream: TcpStream,
+    scratch: Vec<u8>,
 }
 
 impl TcpPublisher {
@@ -330,8 +416,13 @@ impl TcpPublisher {
     ///
     /// Propagates connection errors.
     pub fn connect(addr: SocketAddr) -> std::io::Result<TcpPublisher> {
+        let stream = TcpStream::connect(addr)?;
+        // Publishers send small periodic frames where latency is the whole
+        // point (the paper's per-topic deadlines); never wait on Nagle.
+        stream.set_nodelay(true).ok();
         Ok(TcpPublisher {
-            stream: TcpStream::connect(addr)?,
+            stream,
+            scratch: Vec::new(),
         })
     }
 
@@ -341,8 +432,12 @@ impl TcpPublisher {
     ///
     /// Returns [`FrameError::Transport`] on socket failure.
     pub fn publish(&mut self, message: Message) -> Result<(), FrameError> {
-        write_frame(&mut self.stream, &WireMsg::Publish(message))
-            .map_err(|e| FrameError::Transport(e.to_string()))
+        write_frame_into(
+            &mut self.stream,
+            &WireMsg::Publish(message),
+            &mut self.scratch,
+        )
+        .map_err(|e| FrameError::Transport(e.to_string()))
     }
 
     /// Sends a retention re-send.
@@ -351,8 +446,12 @@ impl TcpPublisher {
     ///
     /// Returns [`FrameError::Transport`] on socket failure.
     pub fn resend(&mut self, message: Message) -> Result<(), FrameError> {
-        write_frame(&mut self.stream, &WireMsg::Resend(message))
-            .map_err(|e| FrameError::Transport(e.to_string()))
+        write_frame_into(
+            &mut self.stream,
+            &WireMsg::Resend(message),
+            &mut self.scratch,
+        )
+        .map_err(|e| FrameError::Transport(e.to_string()))
     }
 }
 
@@ -371,6 +470,7 @@ impl TcpSubscriber {
     /// Propagates connection errors.
     pub fn connect(addr: SocketAddr, id: SubscriberId) -> std::io::Result<TcpSubscriber> {
         let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
         write_frame(&mut stream, &WireMsg::Subscribe(id))?;
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
         let thread = std::thread::Builder::new()
@@ -605,6 +705,33 @@ mod tests {
         broker.shutdown();
         server.shutdown();
         threads.join();
+    }
+
+    #[test]
+    fn replica_batch_frame_round_trips() {
+        let m = Message::new(
+            TopicId(1),
+            PublisherId(0),
+            SeqNo(0),
+            Time::ZERO,
+            &b"0123456789abcdef"[..],
+        );
+        let key = m.key();
+        let frame = WireMsg::ReplicaBatch(vec![BackupEffect::Replica(m), BackupEffect::Prune(key)]);
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_into(&mut wire, &frame, &mut scratch).unwrap();
+        // One buffer = one write_all: the prefix must be inside the frame.
+        assert_eq!(wire[..4], (wire.len() as u32 - 4).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame(&mut cursor).unwrap() {
+            WireMsg::ReplicaBatch(batch) => {
+                assert_eq!(batch.len(), 2);
+                assert!(matches!(batch[0], BackupEffect::Replica(_)));
+                assert!(matches!(&batch[1], BackupEffect::Prune(k) if *k == key));
+            }
+            other => panic!("expected ReplicaBatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -84,6 +84,13 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
             d.count
         );
     }
+    out.push_str("# HELP frame_shard_contention_total Topic-shard lock contention events.\n");
+    out.push_str("# TYPE frame_shard_contention_total counter\n");
+    let _ = writeln!(
+        out,
+        "frame_shard_contention_total {}",
+        snapshot.shard_contention
+    );
     let _ = writeln!(out, "frame_trace_retained_events {}", snapshot.trace.len());
     out
 }
@@ -144,6 +151,11 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
     for d in &snapshot.decisions {
         let _ = writeln!(out, "{:<20} {:>10}", d.kind.name(), d.count);
     }
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10}",
+        "shard_contention", snapshot.shard_contention
+    );
     if !snapshot.trace.is_empty() {
         let _ = writeln!(out, "\ntrace (newest {} events):", snapshot.trace.len());
         for e in &snapshot.trace {
@@ -187,6 +199,7 @@ mod tests {
             SeqNo(1),
             Time::from_nanos(2),
         );
+        t.record_shard_contention();
         t.snapshot()
     }
 
@@ -208,6 +221,15 @@ mod tests {
             back.decision_count(DecisionKind::Dispatch),
             snap.decision_count(DecisionKind::Dispatch)
         );
+        assert_eq!(back.shard_contention, snap.shard_contention);
+    }
+
+    #[test]
+    fn json_without_shard_contention_still_parses() {
+        // Snapshots serialized before the field existed must deserialize.
+        let json = r#"{"stages":[],"topics":[],"decisions":[],"trace":[]}"#;
+        let back = from_json(json).expect("old snapshot parses");
+        assert_eq!(back.shard_contention, 0);
     }
 
     #[test]
@@ -218,6 +240,7 @@ mod tests {
         assert!(text.contains("frame_topic_latency_ns{topic=\"3\",quantile=\"0.5\"}"));
         assert!(text.contains("frame_decisions_total{kind=\"dispatch\"} 1"));
         assert!(text.contains("frame_decisions_total{kind=\"suppress\"} 1"));
+        assert!(text.contains("frame_shard_contention_total 1"));
         assert!(text.contains("frame_trace_retained_events 2"));
         // Exposition format sanity: every non-comment line is `name value`
         // or `name{labels} value`.

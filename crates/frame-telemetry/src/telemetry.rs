@@ -23,6 +23,10 @@ struct Inner {
     /// write lock (cold: once per topic); recording takes the read lock
     /// and scans — topic counts are small and the slice is append-only.
     topics: RwLock<Vec<(TopicId, Arc<AtomicHistogram>)>>,
+    /// Times a worker found a topic-shard lock already held and had to
+    /// block for it (threaded runtime only). High values relative to
+    /// dispatch counts mean hot topics are serializing workers.
+    shard_contention: ShardedCounter,
 }
 
 /// Handle to a telemetry registry. Cloning shares the registry; a
@@ -48,6 +52,7 @@ impl Telemetry {
                 decisions: std::array::from_fn(|_| ShardedCounter::new()),
                 trace: DecisionTrace::new(trace_capacity),
                 topics: RwLock::new(Vec::new()),
+                shard_contention: ShardedCounter::new(),
             })),
         }
     }
@@ -118,6 +123,23 @@ impl Telemetry {
         }
     }
 
+    /// Records that a worker found a topic-shard lock contended (it had to
+    /// block rather than acquire immediately). Wait-free.
+    #[inline]
+    pub fn record_shard_contention(&self) {
+        if let Some(inner) = &self.inner {
+            inner.shard_contention.incr();
+        }
+    }
+
+    /// Total shard-lock contention events recorded so far.
+    pub fn shard_contention(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.shard_contention.get(),
+            None => 0,
+        }
+    }
+
     /// Current count for one decision kind.
     pub fn decision_count(&self, kind: DecisionKind) -> u64 {
         match &self.inner {
@@ -171,6 +193,7 @@ impl Telemetry {
             topics,
             decisions,
             trace: inner.trace.snapshot(),
+            shard_contention: inner.shard_contention.get(),
         }
     }
 }
@@ -228,6 +251,10 @@ pub struct TelemetrySnapshot {
     pub decisions: Vec<DecisionCount>,
     /// The retained decision-trace events, oldest first.
     pub trace: Vec<DecisionEvent>,
+    /// Topic-shard lock contention events (threaded runtime). `default` so
+    /// snapshots serialized before this field existed still deserialize.
+    #[serde(default)]
+    pub shard_contention: u64,
 }
 
 impl TelemetrySnapshot {
