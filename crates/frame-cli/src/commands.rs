@@ -331,6 +331,67 @@ pub fn cmd_stats(
     writeln!(out, "{rendered}").map_err(|e| e.to_string())
 }
 
+/// Where `frame-cli trace` reads its flight-recorder snapshot from.
+pub enum TraceSource<'a> {
+    /// Live: ask a running broker over TCP.
+    Addr(SocketAddr),
+    /// Offline: read a `flight.jsonl` dump written by the flight sink
+    /// (post-mortem; the newest snapshot in the file is rendered).
+    Dump(&'a std::path::Path),
+}
+
+/// `frame-cli trace`: fetch a flight-recorder snapshot (live over TCP, or
+/// from a JSONL dump file) and render per-message span timelines with
+/// deadline-budget attribution. `format` is `pretty` or `json`; `detail`
+/// caps how many of the newest spans are expanded; `find` narrows the
+/// output to one `(topic, seq)` timeline.
+///
+/// # Errors
+///
+/// Connection/protocol/file errors, an unknown format name, or — with
+/// `find` — no recorded span for that message.
+pub fn cmd_trace(
+    source: TraceSource<'_>,
+    format: &str,
+    detail: usize,
+    find: Option<(u32, u64)>,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    use frame_rt::{read_frame, write_frame, WireMsg};
+    let snapshot = match source {
+        TraceSource::Addr(addr) => {
+            let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+            s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                .map_err(|e| e.to_string())?;
+            write_frame(&mut s, &WireMsg::Trace).map_err(|e| e.to_string())?;
+            match read_frame(&mut s).map_err(|e| e.to_string())? {
+                WireMsg::TraceJson(json) => frame_telemetry::flight_from_json(&json)
+                    .map_err(|e| format!("malformed flight snapshot: {e}"))?,
+                other => return Err(format!("unexpected trace reply: {other:?}")),
+            }
+        }
+        TraceSource::Dump(path) => frame_store::FlightDump::read(path)
+            .map_err(|e| format!("cannot read dump {}: {e}", path.display()))?
+            .into_iter()
+            .last()
+            .ok_or_else(|| format!("no snapshots in dump {}", path.display()))?,
+    };
+    let rendered = match (format, find) {
+        ("json", _) => frame_telemetry::flight_to_json(&snapshot),
+        ("pretty", Some((topic, seq))) => {
+            let record = snapshot
+                .find(frame_types::TopicId(topic), frame_types::SeqNo(seq))
+                .ok_or_else(|| {
+                    format!("no recorded span for topic {topic} seq {seq} (ring evicted or never delivered)")
+                })?;
+            frame_telemetry::render_span_timeline(record)
+        }
+        ("pretty", None) => frame_telemetry::render_flight_pretty(&snapshot, detail),
+        (other, _) => return Err(format!("unknown format `{other}` (expected pretty | json)")),
+    };
+    writeln!(out, "{rendered}").map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +511,29 @@ mod tests {
             .unwrap()
             .contains("frame_decisions_total{kind=\"dispatch\"}"));
         assert!(cmd_stats(addr, "xml", &mut Vec::new()).is_err());
+        // SLO accounting rides along in the same snapshot.
+        let slo = snapshot
+            .slo(frame_types::TopicId(0))
+            .expect("topic 0 has an SLO entry");
+        assert!(slo.delivered >= 3, "SLO saw {} deliveries", slo.delivered);
+
+        // The trace subcommand renders span timelines for the same traffic.
+        let mut pretty = Vec::new();
+        cmd_trace(TraceSource::Addr(addr), "pretty", 3, None, &mut pretty).unwrap();
+        let pretty = String::from_utf8(pretty).unwrap();
+        assert!(pretty.contains("spans retained"), "got: {pretty}");
+        let mut one = Vec::new();
+        cmd_trace(TraceSource::Addr(addr), "pretty", 3, Some((0, 0)), &mut one).unwrap();
+        let one = String::from_utf8(one).unwrap();
+        assert!(one.contains("deliver_send"), "got: {one}");
+        let mut json = Vec::new();
+        cmd_trace(TraceSource::Addr(addr), "json", 3, None, &mut json).unwrap();
+        let flight =
+            frame_telemetry::flight_from_json(std::str::from_utf8(&json).unwrap().trim()).unwrap();
+        assert!(flight
+            .find(frame_types::TopicId(0), frame_types::SeqNo(0))
+            .is_some());
+        assert!(cmd_trace(TraceSource::Addr(addr), "xml", 3, None, &mut Vec::new()).is_err());
 
         stop.store(true, Ordering::Release);
         broker.shutdown();

@@ -9,6 +9,8 @@
 //!                     [--publisher-id N] [--rounds N]
 //! frame-cli subscribe --addr host:port --subscriber-id N [--count N]
 //! frame-cli stats     --addr host:port [--format pretty|json|prometheus]
+//! frame-cli trace     --addr host:port | --dump path/flight.jsonl
+//!                     [--format pretty|json] [--detail N] [--topic N --seq N]
 //! frame-cli example-manifest            # print the paper's Table 2
 //! ```
 
@@ -19,7 +21,10 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use commands::{cmd_admit, cmd_broker, cmd_publish, cmd_stats, cmd_subscribe, parse_config};
+use commands::{
+    cmd_admit, cmd_broker, cmd_publish, cmd_stats, cmd_subscribe, cmd_trace, parse_config,
+    TraceSource,
+};
 use frame_core::BrokerRole;
 use manifest::Manifest;
 
@@ -147,6 +152,44 @@ fn run(args: &[String]) -> Result<i32, String> {
             cmd_stats(addr, format, &mut std::io::stdout())?;
             Ok(0)
         }
+        "trace" => {
+            let format = flags.get("--format").unwrap_or("pretty");
+            let detail: usize = flags
+                .get("--detail")
+                .unwrap_or("5")
+                .parse()
+                .map_err(|_| "bad --detail".to_owned())?;
+            let find = match (flags.get("--topic"), flags.get("--seq")) {
+                (Some(t), Some(s)) => Some((
+                    t.parse().map_err(|_| "bad --topic".to_owned())?,
+                    s.parse().map_err(|_| "bad --seq".to_owned())?,
+                )),
+                (None, None) => None,
+                _ => return Err("--topic and --seq must be given together".to_owned()),
+            };
+            if let Some(dump) = flags.get("--dump") {
+                cmd_trace(
+                    TraceSource::Dump(std::path::Path::new(dump)),
+                    format,
+                    detail,
+                    find,
+                    &mut std::io::stdout(),
+                )?;
+            } else {
+                let addr: SocketAddr = flags
+                    .require("--addr")?
+                    .parse()
+                    .map_err(|_| "bad --addr".to_owned())?;
+                cmd_trace(
+                    TraceSource::Addr(addr),
+                    format,
+                    detail,
+                    find,
+                    &mut std::io::stdout(),
+                )?;
+            }
+            Ok(0)
+        }
         "detector" => {
             let primary: SocketAddr = flags
                 .require("--primary")?
@@ -203,6 +246,8 @@ fn usage() -> String {
      frame-cli publish   --manifest topics.json --addr ADDR [--publisher-id N] [--rounds N]\n  \
      frame-cli subscribe --addr ADDR --subscriber-id N [--count N]\n  \
      frame-cli stats     --addr ADDR [--format pretty|json|prometheus]\n  \
+     frame-cli trace     --addr ADDR | --dump PATH [--format pretty|json]\n            \
+     \u{20}         [--detail N] [--topic N --seq N]\n  \
      frame-cli detector  --primary ADDR --backup ADDR [--interval-ms N] [--timeout-ms N]\n  \
      frame-cli example-manifest"
         .to_owned()

@@ -40,8 +40,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use frame_telemetry::{DecisionKind, Stage, Telemetry};
-use frame_types::{BrokerId, FrameError, Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
+use frame_telemetry::{DecisionKind, IncidentKind, Stage, Telemetry};
+use frame_types::{
+    BrokerId, FrameError, Message, MessageKey, SeqNo, SpanPoint, SubscriberId, Time, TopicId,
+    TraceCtx,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::AdmittedTopic;
@@ -323,11 +326,13 @@ impl Broker {
         if self.shards.contains_key(&id) {
             return Err(FrameError::DuplicateTopic(id));
         }
+        let deadline = admitted.spec.deadline;
+        let loss_bound = admitted.spec.loss_tolerance.bound();
         self.shards.insert(
             id,
             TopicShard::new(admitted, subscribers, &self.config, self.telemetry.clone()),
         );
-        self.telemetry.ensure_topic(id);
+        self.telemetry.set_topic_slo(id, deadline, loss_bound);
         Ok(())
     }
 
@@ -371,7 +376,7 @@ impl Broker {
 
     fn admit_message(
         &mut self,
-        message: Message,
+        mut message: Message,
         now: Time,
         source: BufferSource,
     ) -> Result<(), FrameError> {
@@ -380,6 +385,13 @@ impl Broker {
             .shards
             .get_mut(&topic_id)
             .ok_or(FrameError::UnknownTopic(topic_id))?;
+        if self.telemetry.is_enabled() {
+            // Single-threaded facade: proxy receipt and admission collapse
+            // into one instant (no shard lock to wait on).
+            let trace = message.trace.get_or_insert_with(TraceCtx::new);
+            trace.stamp(SpanPoint::ProxyRecv, now);
+            trace.stamp(SpanPoint::Admitted, now);
+        }
         shard.admit(
             message,
             now,
@@ -408,7 +420,14 @@ impl Broker {
                 continue;
             };
             match shard.resolve(job, self.config.coordination, now, &mut self.stats) {
-                Resolution::Active(active) => return Some(active),
+                Resolution::Active(mut active) => {
+                    if let Some(trace) = active.message.trace.as_mut() {
+                        // Single-threaded facade: pop and "lock" coincide.
+                        trace.stamp(SpanPoint::Popped, now);
+                        trace.stamp(SpanPoint::Locked, now);
+                    }
+                    return Some(active);
+                }
                 Resolution::Skipped => continue,
             }
         }
@@ -423,6 +442,20 @@ impl Broker {
         let outcome = shard.finish(active, self.config.coordination, now, &mut self.stats);
         if let Some(id) = outcome.cancel {
             self.sched.cancel(id);
+        }
+        // One SLO/flight record per dispatched message (not per subscriber):
+        // the Deliver effects all carry the same message and span timeline.
+        if let Some(message) = outcome.effects.iter().find_map(|e| match e {
+            Effect::Deliver { message, .. } => Some(message),
+            _ => None,
+        }) {
+            self.telemetry.record_delivery(
+                message.topic,
+                message.seq,
+                message.created_at,
+                now,
+                message.trace.as_ref(),
+            );
         }
         outcome.effects
     }
@@ -491,11 +524,15 @@ impl Broker {
         }
         self.role = BrokerRole::Primary;
         self.has_backup_peer = false;
-        self.telemetry.decision(
-            DecisionKind::Promote,
+        let live = self.backup_buffer_live();
+        self.telemetry
+            .decision(DecisionKind::Promote, TopicId(0), SeqNo(live as u64), now);
+        self.telemetry.incident(
+            IncidentKind::Promotion,
             TopicId(0),
-            SeqNo(self.backup_buffer_live() as u64),
+            SeqNo(live as u64),
             now,
+            format!("promoted to Primary; {live} live backup copies to recover"),
         );
 
         // Deterministic order: by topic id, then sequence number.

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use frame_telemetry::{DecisionKind, Telemetry};
-use frame_types::{Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
+use frame_types::{Message, MessageKey, SeqNo, SpanPoint, SubscriberId, Time, TopicId};
 
 use crate::bounds::{AdmittedTopic, Deadline};
 use crate::broker::{ActiveJob, BrokerConfig, BrokerStats, Effect};
@@ -287,10 +287,23 @@ impl TopicShard {
                     active.job.key.seq,
                     now,
                 );
-                for &subscriber in active.subscribers.iter() {
+                // Clone once, stamp the hand-off instant, then fan out:
+                // every subscriber sees the same span timeline. A threaded
+                // runtime may re-stamp at the actual socket/channel write.
+                let mut delivered = active.message.clone();
+                if let Some(trace) = delivered.trace.as_mut() {
+                    trace.stamp(SpanPoint::DeliverSend, now);
+                }
+                if let Some((&last, rest)) = active.subscribers.split_last() {
+                    for &subscriber in rest {
+                        effects.push(Effect::Deliver {
+                            subscriber,
+                            message: delivered.clone(),
+                        });
+                    }
                     effects.push(Effect::Deliver {
-                        subscriber,
-                        message: active.message.clone(),
+                        subscriber: last,
+                        message: delivered,
                     });
                 }
                 // Table 3, Dispatch steps 2–3.

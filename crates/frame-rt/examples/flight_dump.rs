@@ -1,0 +1,47 @@
+//! Produce a sample flight-recorder dump: run a small publish stream,
+//! crash the Primary mid-stream, let the coordinator promote the Backup,
+//! and leave the resulting `flight.jsonl` in the directory given as the
+//! first argument (default `.`). CI archives the file as an artifact;
+//! inspect it with `frame-cli trace --dump <dir>/flight.jsonl`.
+
+use std::time::Duration as StdDuration;
+
+use frame_core::BrokerConfig;
+use frame_rt::RtSystem;
+use frame_types::{Duration, PublisherId, SubscriberId, TopicId, TopicSpec};
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let path = sys
+        .start_flight_dump(std::path::Path::new(&dir))
+        .expect("flight dump starts");
+
+    let spec = TopicSpec::category(2, TopicId(1));
+    sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
+    let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
+    let rx = sys.subscribe(SubscriberId(1));
+    sys.start_failover_coordinator(Duration::from_millis(5), Duration::from_millis(20));
+
+    for _ in 0..5 {
+        publisher.publish(TopicId(1), &b"pre-crash"[..]).unwrap();
+    }
+    while rx.recv_timeout(StdDuration::from_millis(500)).is_ok() {}
+    sys.crash_primary();
+    publisher.publish(TopicId(1), &b"in-flight"[..]).unwrap();
+    std::thread::sleep(StdDuration::from_millis(150));
+    publisher
+        .publish(TopicId(1), &b"post-failover"[..])
+        .unwrap();
+    while rx.recv_timeout(StdDuration::from_millis(500)).is_ok() {}
+
+    sys.shutdown();
+    let snapshots = frame_store::FlightDump::read(&path).expect("dump readable");
+    println!(
+        "wrote {} ({} snapshots, last: {} spans, {} incidents)",
+        path.display(),
+        snapshots.len(),
+        snapshots.last().map_or(0, |s| s.spans.len()),
+        snapshots.last().map_or(0, |s| s.incidents.len()),
+    );
+}

@@ -51,8 +51,11 @@ use frame_core::{
     AdmitCtx, AdmittedTopic, BrokerConfig, BrokerRole, BrokerStats, BufferSource, Effect, JobKind,
     Resolution, Scheduler, TopicShard,
 };
-use frame_telemetry::{DecisionKind, Stage, Telemetry};
-use frame_types::{BrokerId, FrameError, Message, MessageKey, SeqNo, SubscriberId, Time, TopicId};
+use frame_telemetry::{DecisionKind, IncidentKind, Stage, Telemetry};
+use frame_types::{
+    BrokerId, FrameError, Message, MessageKey, SeqNo, SpanPoint, SubscriberId, Time, TopicId,
+    TraceCtx,
+};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use serde::{Deserialize, Serialize};
 
@@ -222,6 +225,8 @@ impl RtBroker {
         subscribers: Vec<SubscriberId>,
     ) -> Result<(), FrameError> {
         let id = admitted.spec.id;
+        let deadline = admitted.spec.deadline;
+        let loss_bound = admitted.spec.loss_tolerance.bound();
         let mut shards = self.inner.shards.write();
         if shards.contains_key(&id) {
             return Err(FrameError::DuplicateTopic(id));
@@ -239,7 +244,7 @@ impl RtBroker {
             })),
         );
         drop(shards);
-        self.inner.telemetry.ensure_topic(id);
+        self.inner.telemetry.set_topic_slo(id, deadline, loss_bound);
         Ok(())
     }
 
@@ -320,6 +325,13 @@ impl RtBroker {
         self.inner
             .telemetry
             .decision(DecisionKind::Promote, TopicId(0), SeqNo(live as u64), now);
+        self.inner.telemetry.incident(
+            IncidentKind::Promotion,
+            TopicId(0),
+            SeqNo(live as u64),
+            now,
+            format!("promoted to Primary; {live} live backup copies to recover"),
+        );
         let mut created = 0;
         for (_, slot) in &slots {
             let mut guard = slot.lock();
@@ -378,14 +390,28 @@ fn lock_shard<'a>(inner: &Inner, slot: &'a Arc<Mutex<ShardSlot>>) -> MutexGuard<
 /// Admits a publisher message (or retention re-send): shard lock, then the
 /// scheduler lock for the generated jobs. Returns the number of jobs
 /// created (0 when the broker is not Primary or the topic is unknown).
-fn ingress(inner: &Inner, message: Message, source: BufferSource, now: Time) -> usize {
+fn ingress(inner: &Inner, mut message: Message, source: BufferSource, now: Time) -> usize {
     if *inner.role.read() != BrokerRole::Primary {
         return 0;
     }
     let Some(slot) = shard_of(inner, message.topic) else {
         return 0;
     };
+    let traced = inner.telemetry.is_enabled();
+    if traced {
+        message
+            .trace
+            .get_or_insert_with(TraceCtx::new)
+            .stamp(SpanPoint::ProxyRecv, now);
+    }
     let mut guard = lock_shard(inner, &slot);
+    if traced {
+        // Post-lock stamp: the ProxyRecv→Admitted slice is the admission
+        // cost including any ingress-side shard-lock wait.
+        if let Some(trace) = message.trace.as_mut() {
+            trace.stamp(SpanPoint::Admitted, inner.clock.now());
+        }
+    }
     let ShardSlot { shard, stats } = &mut *guard;
     let ctx = AdmitCtx {
         config: &inner.config,
@@ -520,10 +546,16 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
             {
                 let mut guard = lock_shard(&inner, &slot);
                 let ShardSlot { shard, stats } = &mut *guard;
-                let active = match shard.resolve(job, inner.config.coordination, now, stats) {
+                let mut active = match shard.resolve(job, inner.config.coordination, now, stats) {
                     Resolution::Active(active) => active,
                     Resolution::Skipped => continue,
                 };
+                if let Some(trace) = active.message.trace.as_mut() {
+                    // Popped at the queue pop, Locked once the shard lock is
+                    // held — their gap is this worker's lock wait.
+                    trace.stamp(SpanPoint::Popped, now);
+                    trace.stamp(SpanPoint::Locked, inner.clock.now());
+                }
                 let outcome = shard.finish(&active, inner.config.coordination, started, stats);
                 if let Some(id) = outcome.cancel {
                     inner.sched.lock().cancel(id);
@@ -588,6 +620,14 @@ fn send_backup_batch(inner: &Inner, effects: &[Effect]) {
 /// slow subscriber cannot stall others behind an exclusive lock.
 fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
     let subs = inner.subscribers.read();
+    // One clock read for the whole effect batch (the fan-out shares a
+    // hand-off instant); skipped entirely when telemetry is off.
+    let send_at = if inner.telemetry.is_enabled() {
+        inner.clock.now()
+    } else {
+        now
+    };
+    let mut recorded = false;
     for effect in effects {
         if let Effect::Deliver {
             subscriber,
@@ -598,10 +638,27 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
             // to the subscriber channel (paper Table 5 latency).
             let transit = now.saturating_since(message.created_at);
             inner.telemetry.record_stage(Stage::Transit, transit);
-            inner.telemetry.record_topic(message.topic, transit);
+            let mut message = message.clone();
+            if let Some(trace) = message.trace.as_mut() {
+                // Re-stamp over the shard's finish-time stamp: this is the
+                // actual channel hand-off instant on this worker.
+                trace.stamp(SpanPoint::DeliverSend, send_at);
+            }
+            if !recorded {
+                // Once per dispatched message, not per subscriber — the
+                // fan-out shares one seq and one span timeline.
+                recorded = true;
+                inner.telemetry.record_delivery(
+                    message.topic,
+                    message.seq,
+                    message.created_at,
+                    send_at,
+                    message.trace.as_ref(),
+                );
+            }
             if let Some(tx) = subs.get(subscriber) {
                 let _ = tx.send(Delivered {
-                    message: message.clone(),
+                    message,
                     dispatched_at: now,
                 });
             }

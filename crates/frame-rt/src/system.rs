@@ -2,6 +2,7 @@
 //! subscribers, and a failure-detection/fail-over coordinator — the
 //! threaded equivalent of the paper's testbed topology (Fig 6).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -9,10 +10,11 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::{Clock, MonotonicClock};
 use frame_core::{admit, BrokerConfig, BrokerRole, PollingDetector, PrimaryStatus, Publisher};
-use frame_telemetry::{Stage, Telemetry, TelemetrySnapshot};
+use frame_store::FlightDump;
+use frame_telemetry::{IncidentKind, Stage, Telemetry, TelemetrySnapshot};
 use frame_types::{
-    BrokerId, Duration, FrameError, Message, NetworkParams, PublisherId, SubscriberId, TopicId,
-    TopicSpec,
+    BrokerId, Duration, FrameError, Message, NetworkParams, PublisherId, SeqNo, SubscriberId,
+    TopicId, TopicSpec,
 };
 use parking_lot::Mutex;
 
@@ -80,6 +82,14 @@ pub struct RtSystem {
     threads: Vec<RtBrokerThreads>,
     detector: Option<JoinHandle<()>>,
     telemetry: Telemetry,
+    flight_sink: Option<FlightSink>,
+}
+
+/// The background thread persisting flight-recorder snapshots on incident.
+struct FlightSink {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+    path: std::path::PathBuf,
 }
 
 impl RtSystem {
@@ -131,13 +141,66 @@ impl RtSystem {
             threads: vec![pt, bt],
             detector: None,
             telemetry,
+            flight_sink: None,
         }
+    }
+
+    /// Starts the flight-recorder dump sink: a watcher thread that appends
+    /// the current [`frame_telemetry::FlightSnapshot`] as one JSONL line to
+    /// `<dir>/flight.jsonl` every time a new incident (deadline miss, loss
+    /// burst, admission rejection, promotion) is recorded. Returns the dump
+    /// file path. The sink drains on [`RtSystem::shutdown`], writing one
+    /// final snapshot if incidents arrived since the last dump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dump-directory creation errors.
+    pub fn start_flight_dump(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let dump = FlightDump::create(dir)?;
+        let path = dump.path().to_path_buf();
+        let telemetry = self.telemetry.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("frame-flight-sink".into())
+            .spawn(move || {
+                let mut dumped = 0u64;
+                loop {
+                    let stopping = stop2.load(Ordering::Acquire);
+                    let count = telemetry.incident_count();
+                    if count > dumped {
+                        dumped = count;
+                        if let Err(e) = dump.append(&telemetry.flight_snapshot()) {
+                            eprintln!("frame-rt: flight dump append failed: {e}");
+                        }
+                    }
+                    if stopping {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            })?;
+        self.flight_sink = Some(FlightSink {
+            stop,
+            thread,
+            path: path.clone(),
+        });
+        Ok(path)
     }
 
     /// The telemetry registry shared by both brokers and the fail-over
     /// coordinator.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The active flight-dump file, if [`RtSystem::start_flight_dump`] was
+    /// called.
+    pub fn flight_dump_path(&self) -> Option<&std::path::Path> {
+        self.flight_sink.as_ref().map(|s| s.path.as_path())
     }
 
     /// A consistent point-in-time view of every stage histogram, per-topic
@@ -172,7 +235,19 @@ impl RtSystem {
         spec: TopicSpec,
         subscribers: Vec<SubscriberId>,
     ) -> Result<(), FrameError> {
-        let admitted = admit(&spec, &self.net)?;
+        let admitted = match admit(&spec, &self.net) {
+            Ok(a) => a,
+            Err(e) => {
+                self.telemetry.incident(
+                    IncidentKind::AdmissionReject,
+                    spec.id,
+                    SeqNo(0),
+                    self.clock.now(),
+                    format!("admission rejected: {e}"),
+                );
+                return Err(e);
+            }
+        };
         self.primary.register_topic(admitted, subscribers.clone())?;
         self.backup.register_topic(admitted, subscribers)?;
         Ok(())
@@ -270,6 +345,10 @@ impl RtSystem {
         self.backup.kill();
         if let Some(d) = self.detector.take() {
             let _ = d.join();
+        }
+        if let Some(sink) = self.flight_sink.take() {
+            sink.stop.store(true, Ordering::Release);
+            let _ = sink.thread.join();
         }
         for t in self.threads.drain(..) {
             t.join();

@@ -56,6 +56,35 @@ pub enum WireMsg {
     /// ([`frame_telemetry::to_json`]) — parse with
     /// [`frame_telemetry::from_json`] and render in any format client-side.
     StatsJson(String),
+    /// Control plane: request the broker's flight-recorder snapshot (the
+    /// ring of recent per-message span timelines plus incidents).
+    Trace,
+    /// Control plane: the flight-recorder snapshot, as JSON
+    /// ([`frame_telemetry::flight_to_json`]) — parse with
+    /// [`frame_telemetry::flight_from_json`].
+    TraceJson(String),
+}
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The length prefix and body were fully consumed but the body did not
+    /// parse. The stream is still frame-aligned, so a server may log, drop
+    /// the frame and keep reading (a misbehaving client must not be able to
+    /// take the connection down mid-protocol for everyone sharing it).
+    Malformed(String),
+    /// A socket error — EOF, truncation mid-frame, or an oversized length
+    /// prefix. The stream can no longer be trusted to be frame-aligned.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Malformed(e) => write!(f, "malformed frame body: {e}"),
+            FrameReadError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
 }
 
 /// Writes one length-prefixed frame, assembling prefix and body in
@@ -94,26 +123,42 @@ pub fn write_frame<W: Write>(writer: &mut W, msg: &WireMsg) -> std::io::Result<(
     write_frame_into(writer, msg, &mut Vec::new())
 }
 
+/// Reads one length-prefixed frame, classifying failures so callers can
+/// tell a recoverable malformed body (frame consumed, stream still
+/// aligned) from a dead socket.
+///
+/// # Errors
+///
+/// [`FrameReadError::Malformed`] when the body fails to parse;
+/// [`FrameReadError::Io`] for socket errors, truncation and oversized
+/// length prefixes (including clean EOF as `UnexpectedEof`).
+pub fn read_frame_checked<R: Read>(stream: &mut R) -> Result<WireMsg, FrameReadError> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).map_err(FrameReadError::Io)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 16 << 20 {
+        return Err(FrameReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds sanity limit",
+        )));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).map_err(FrameReadError::Io)?;
+    serde_json::from_slice(&body).map_err(|e| FrameReadError::Malformed(e.to_string()))
+}
+
 /// Reads one length-prefixed frame.
 ///
 /// # Errors
 ///
 /// Propagates deserialization and socket errors (including clean EOF as
-/// `UnexpectedEof`).
+/// `UnexpectedEof`). Use [`read_frame_checked`] to distinguish a malformed
+/// body (recoverable) from a dead socket.
 pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<WireMsg> {
-    let mut len = [0u8; 4];
-    stream.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
-    if len > 16 << 20 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "frame exceeds sanity limit",
-        ));
-    }
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
-    serde_json::from_slice(&body)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    read_frame_checked(stream).map_err(|e| match e {
+        FrameReadError::Malformed(msg) => std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
+        FrameReadError::Io(io) => io,
+    })
 }
 
 /// A TCP front end for a broker: accepts publisher, subscriber, peer and
@@ -143,16 +188,24 @@ impl TcpBrokerServer {
                 let mut conns: Vec<JoinHandle<()>> = Vec::new();
                 while !stop2.load(Ordering::Acquire) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((stream, peer)) => {
                             stream.set_nonblocking(false).ok();
                             let broker = broker.clone();
                             let stop = stop2.clone();
-                            conns.push(
-                                std::thread::Builder::new()
-                                    .name("frame-tcp-conn".into())
-                                    .spawn(move || serve_connection(stream, broker, stop))
-                                    .expect("spawn connection thread"),
-                            );
+                            match std::thread::Builder::new()
+                                .name("frame-tcp-conn".into())
+                                .spawn(move || serve_connection(stream, broker, stop))
+                            {
+                                Ok(handle) => conns.push(handle),
+                                Err(e) => {
+                                    // Thread exhaustion must not kill the
+                                    // accept loop; shed this connection.
+                                    eprintln!(
+                                        "frame-rt/tcp: dropping connection from {peer}: \
+                                         cannot spawn handler: {e}"
+                                    );
+                                }
+                            }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -190,6 +243,10 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
     // Frames are written whole and latency matters more than throughput on
     // this control/delivery path, so disable Nagle coalescing.
     stream.set_nodelay(true).ok();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -224,15 +281,21 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
                 return;
             }
         }
-        let msg = match read_frame(&mut reader) {
+        let msg = match read_frame_checked(&mut reader) {
             Ok(m) => m,
-            Err(e)
+            Err(FrameReadError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 continue;
             }
-            Err(_) => return, // EOF or protocol error: drop the connection
+            Err(FrameReadError::Malformed(e)) => {
+                // The body was consumed whole, so the stream is still
+                // frame-aligned: log and drop the frame, keep serving.
+                eprintln!("frame-rt/tcp: dropping malformed frame from {peer}: {e}");
+                continue;
+            }
+            Err(FrameReadError::Io(_)) => return, // EOF or truncation: drop the connection
         };
         match msg {
             WireMsg::Publish(m) => {
@@ -281,10 +344,17 @@ fn serve_connection(stream: TcpStream, broker: RtBroker, stop: Arc<AtomicBool>) 
                     return;
                 }
             }
+            WireMsg::Trace => {
+                let json = frame_telemetry::flight_to_json(&broker.telemetry().flight_snapshot());
+                if respond(&mut writer, &WireMsg::TraceJson(json), &mut scratch).is_err() {
+                    return;
+                }
+            }
             WireMsg::PollAck(_)
             | WireMsg::Deliver(_)
             | WireMsg::Promoted(_)
-            | WireMsg::StatsJson(_) => {
+            | WireMsg::StatsJson(_)
+            | WireMsg::TraceJson(_) => {
                 // Server-to-client frames arriving at the server: protocol
                 // violation; drop the connection.
                 return;
@@ -476,14 +546,20 @@ impl TcpSubscriber {
         let thread = std::thread::Builder::new()
             .name("frame-tcp-subscriber".into())
             .spawn(move || loop {
-                match read_frame(&mut stream) {
+                match read_frame_checked(&mut stream) {
                     Ok(WireMsg::Deliver(m)) => {
                         if tx.send(m).is_err() {
                             return;
                         }
                     }
                     Ok(_) => continue,
-                    Err(_) => return,
+                    Err(FrameReadError::Malformed(e)) => {
+                        // Still frame-aligned: drop the bad frame, keep the
+                        // subscription alive.
+                        eprintln!("frame-rt/tcp: subscriber dropping malformed frame: {e}");
+                        continue;
+                    }
+                    Err(FrameReadError::Io(_)) => return,
                 }
             })?;
         Ok(TcpSubscriber {
@@ -732,6 +808,58 @@ mod tests {
             }
             other => panic!("expected ReplicaBatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn malformed_frame_is_dropped_and_connection_survives() {
+        let (broker, threads) = spawn_broker();
+        let server = TcpBrokerServer::bind("127.0.0.1:0", broker.clone()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+
+        // A well-framed but unparseable body: the server must log-and-drop
+        // the frame, not panic and not close the connection.
+        let body = br#"{"definitely":"not a WireMsg"}"#;
+        stream
+            .write_all(&(body.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(body).unwrap();
+
+        write_frame(&mut stream, &WireMsg::Poll(9)).unwrap();
+        match read_frame(&mut stream).unwrap() {
+            WireMsg::PollAck(9) => {}
+            other => panic!("expected PollAck(9) after malformed frame, got {other:?}"),
+        }
+        broker.shutdown();
+        server.shutdown();
+        threads.join();
+    }
+
+    #[test]
+    fn read_frame_checked_classifies_errors() {
+        // Malformed body: consumed whole, classified recoverable.
+        let body = b"not json at all";
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(body);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame_checked(&mut cursor),
+            Err(FrameReadError::Malformed(_))
+        ));
+
+        // Truncated frame (prefix promises more than the stream holds):
+        // an I/O error, the stream is no longer trustworthy.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&16u32.to_le_bytes());
+        wire.extend_from_slice(b"short");
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame_checked(&mut cursor),
+            Err(FrameReadError::Io(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Fail-over observability: a mid-stream Primary crash must leave a
+//! forensic trail — a Promotion incident in the flight recorder, a span
+//! timeline for the recovered message whose publisher-wire slice makes the
+//! fail-over window (`x + ΔBB` of the paper's §IV-A) visible, and a JSONL
+//! dump on disk that survives the process.
+
+use std::time::Duration as StdDuration;
+
+use frame_core::BrokerConfig;
+use frame_rt::RtSystem;
+use frame_store::FlightDump;
+use frame_telemetry::{BudgetStage, IncidentKind};
+use frame_types::{Duration, PublisherId, SeqNo, SubscriberId, TopicId, TopicSpec};
+
+#[test]
+fn failover_is_captured_by_flight_recorder_and_dump() {
+    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let dir = std::env::temp_dir().join(format!("frame-trace-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dump_path = sys.start_flight_dump(&dir).expect("flight dump starts");
+
+    // Category 2: zero loss via retention(1) + replication.
+    let spec = TopicSpec::category(2, TopicId(1));
+    sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
+    let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
+    let rx = sys.subscribe(SubscriberId(1));
+    sys.start_failover_coordinator(Duration::from_millis(5), Duration::from_millis(20));
+
+    publisher.publish(TopicId(1), &b"a"[..]).unwrap();
+    let d = rx.recv_timeout(StdDuration::from_secs(2)).unwrap();
+    assert_eq!(d.message.seq, SeqNo(0));
+
+    // Crash, then publish into the void: seq 1 is retained and re-sent to
+    // the promoted Backup once the detector fires.
+    sys.crash_primary();
+    publisher.publish(TopicId(1), &b"b"[..]).unwrap();
+    std::thread::sleep(StdDuration::from_millis(150));
+    publisher.publish(TopicId(1), &b"c"[..]).unwrap();
+
+    let mut seen = std::collections::BTreeSet::new();
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(3);
+    while !seen.contains(&1) && std::time::Instant::now() < deadline {
+        if let Ok(d) = rx.recv_timeout(StdDuration::from_millis(200)) {
+            seen.insert(d.message.seq.raw());
+        }
+    }
+    assert!(
+        seen.contains(&1),
+        "recovered delivery of seq 1, got {seen:?}"
+    );
+
+    // The flight recorder holds the Promotion incident...
+    let flight = sys.telemetry().flight_snapshot();
+    assert!(
+        flight
+            .incidents
+            .iter()
+            .any(|i| i.kind == IncidentKind::Promotion),
+        "promotion incident recorded, got {:?}",
+        flight.incidents
+    );
+
+    // ...and a span timeline for the recovered message. Its creation
+    // happened on the publisher before the crash, its ProxyRecv stamp on
+    // the promoted Backup after detection — so the publisher-wire slice
+    // contains the whole fail-over window and must dominate the budget.
+    let span = flight
+        .find(TopicId(1), SeqNo(1))
+        .expect("span for recovered seq 1");
+    let proxy_offset_ns = span
+        .stamps
+        .get(frame_types::SpanPoint::ProxyRecv)
+        .expect("recovered delivery stamped at ingress")
+        .as_nanos()
+        .saturating_sub(span.created_ns);
+    assert!(
+        proxy_offset_ns >= 5_000_000,
+        "fail-over window visible in stamps: created→proxy_recv is {proxy_offset_ns}ns"
+    );
+    assert_eq!(span.dominant, Some(BudgetStage::PublisherWire));
+    // Attribution telescopes: the slices sum to the measured e2e exactly.
+    assert_eq!(span.slice_sum_ns(), span.e2e_ns);
+
+    // Shutdown drains the dump sink; the JSONL on disk must replay the
+    // promotion incident.
+    sys.shutdown();
+    let snapshots = FlightDump::read(&dump_path).expect("dump readable");
+    assert!(!snapshots.is_empty(), "at least one snapshot dumped");
+    assert!(
+        snapshots
+            .last()
+            .unwrap()
+            .incidents
+            .iter()
+            .any(|i| i.kind == IncidentKind::Promotion),
+        "promotion incident persisted to JSONL"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

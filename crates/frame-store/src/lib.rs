@@ -14,15 +14,19 @@
 //! * [`log`] — the segmented [`MessageLog`]: append, rotate, group-commit
 //!   sync policies, recovery with tail truncation, checkpoint pruning;
 //! * [`retention`] — a durable publisher Retention Buffer on top of the
-//!   log, extending the paper's model to survive publisher restarts.
+//!   log, extending the paper's model to survive publisher restarts;
+//! * [`flight`] — the JSONL sink for telemetry flight-recorder snapshots,
+//!   persisting recent per-message span timelines on each incident.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
 pub mod log;
 pub mod record;
 pub mod retention;
 
+pub use flight::{FlightDump, FLIGHT_DUMP_FILE};
 pub use log::{MessageLog, RecoveryReport, SyncPolicy};
 pub use record::{crc32, decode, encode, DecodeError, MAX_RECORD};
 pub use retention::PersistentRetention;

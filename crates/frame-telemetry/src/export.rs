@@ -3,7 +3,10 @@
 
 use std::fmt::Write as _;
 
+use crate::recorder::FlightSnapshot;
+use crate::span::{BudgetStage, SpanRecord};
 use crate::telemetry::TelemetrySnapshot;
+use frame_types::SpanPoint;
 
 /// Serializes a snapshot to pretty-printed JSON.
 pub fn to_json(snapshot: &TelemetrySnapshot) -> String {
@@ -16,6 +19,21 @@ pub fn to_json(snapshot: &TelemetrySnapshot) -> String {
 ///
 /// Returns the underlying parse error on malformed input.
 pub fn from_json(json: &str) -> Result<TelemetrySnapshot, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Serializes a flight-recorder snapshot to pretty-printed JSON.
+pub fn flight_to_json(snapshot: &FlightSnapshot) -> String {
+    serde_json::to_string_pretty(snapshot).expect("flight snapshot serializes")
+}
+
+/// Parses a flight-recorder snapshot back from JSON (the inverse of
+/// [`flight_to_json`]).
+///
+/// # Errors
+///
+/// Returns the underlying parse error on malformed input.
+pub fn flight_from_json(json: &str) -> Result<FlightSnapshot, serde_json::Error> {
     serde_json::from_str(json)
 }
 
@@ -74,6 +92,48 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
             h.len()
         );
     }
+    if snapshot.slos.iter().any(|s| s.deadline_ns > 0) {
+        out.push_str("# HELP frame_topic_deadline_misses_total Deliveries exceeding D_i.\n");
+        out.push_str("# TYPE frame_topic_deadline_misses_total counter\n");
+        for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
+            let _ = writeln!(
+                out,
+                "frame_topic_deadline_misses_total{{topic=\"{}\"}} {}",
+                s.topic.0, s.deadline_misses
+            );
+        }
+        out.push_str(
+            "# HELP frame_topic_miss_by_stage_total Deadline misses by dominant budget stage.\n",
+        );
+        out.push_str("# TYPE frame_topic_miss_by_stage_total counter\n");
+        for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
+            for (i, count) in s.miss_by_stage.iter().enumerate() {
+                let Some(stage) = BudgetStage::from_index(i) else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "frame_topic_miss_by_stage_total{{topic=\"{}\",stage=\"{}\"}} {count}",
+                    s.topic.0,
+                    stage.name()
+                );
+            }
+        }
+        out.push_str("# HELP frame_topic_max_loss_run Longest consecutive-loss run vs L_i.\n");
+        out.push_str("# TYPE frame_topic_max_loss_run gauge\n");
+        for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
+            let _ = writeln!(
+                out,
+                "frame_topic_max_loss_run{{topic=\"{}\"}} {}",
+                s.topic.0, s.max_loss_run
+            );
+            let _ = writeln!(
+                out,
+                "frame_topic_loss_bound_violations_total{{topic=\"{}\"}} {}",
+                s.topic.0, s.loss_bound_violations
+            );
+        }
+    }
     out.push_str("# HELP frame_decisions_total Broker decisions by kind (Table 3).\n");
     out.push_str("# TYPE frame_decisions_total counter\n");
     for d in &snapshot.decisions {
@@ -92,6 +152,7 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
         snapshot.shard_contention
     );
     let _ = writeln!(out, "frame_trace_retained_events {}", snapshot.trace.len());
+    let _ = writeln!(out, "frame_incidents_total {}", snapshot.incident_count);
     out
 }
 
@@ -147,6 +208,34 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
             );
         }
     }
+    let slos: Vec<_> = snapshot
+        .slos
+        .iter()
+        .filter(|s| s.deadline_ns > 0 || s.deadline_misses > 0 || s.lost > 0)
+        .collect();
+    if !slos.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<20} {:>10} {:>10} {:>10} {:>14} {:>10} {:>12}",
+            "slo", "deadline", "delivered", "misses", "worst_stage", "lost", "max_run/L_i"
+        );
+        for s in slos {
+            let bound = s
+                .loss_bound
+                .map_or_else(|| "-".to_string(), |b| b.to_string());
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>10} {:>10} {:>14} {:>10} {:>12}",
+                format!("topic-{}", s.topic.0),
+                fmt_ns(s.deadline_ns),
+                s.delivered,
+                s.deadline_misses,
+                s.worst_stage.map_or("-", BudgetStage::name),
+                s.lost,
+                format!("{}/{}", s.max_loss_run, bound)
+            );
+        }
+    }
     let _ = writeln!(out, "\n{:<20} {:>10}", "decision", "count");
     for d in &snapshot.decisions {
         let _ = writeln!(out, "{:<20} {:>10}", d.kind.name(), d.count);
@@ -156,6 +245,25 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
         "{:<20} {:>10}",
         "shard_contention", snapshot.shard_contention
     );
+    if !snapshot.incidents.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nincidents ({} total, newest {} retained):",
+            snapshot.incident_count,
+            snapshot.incidents.len()
+        );
+        for i in &snapshot.incidents {
+            let _ = writeln!(
+                out,
+                "  {} {} topic-{} #{} {}",
+                i.at,
+                i.kind.name(),
+                i.topic.0,
+                i.seq.0,
+                i.detail
+            );
+        }
+    }
     if !snapshot.trace.is_empty() {
         let _ = writeln!(out, "\ntrace (newest {} events):", snapshot.trace.len());
         for e in &snapshot.trace {
@@ -172,6 +280,106 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
     out
 }
 
+/// Renders one message's span timeline: each stamped point with its
+/// offset from creation, then the budget decomposition with a bar chart.
+pub fn render_span_timeline(record: &SpanRecord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "topic-{} #{}  e2e {}  deadline {}  {}",
+        record.topic.0,
+        record.seq.0,
+        fmt_ns(record.e2e_ns),
+        if record.deadline_ns > 0 {
+            fmt_ns(record.deadline_ns)
+        } else {
+            "-".to_string()
+        },
+        if record.missed { "MISSED" } else { "on time" }
+    );
+    let created = record.created_ns;
+    let _ = writeln!(out, "  {:<14} +0ns (publisher clock)", "created");
+    for point in SpanPoint::ALL {
+        match record.stamps.get(point) {
+            Some(at) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} +{}",
+                    point.name(),
+                    fmt_ns(at.as_nanos().saturating_sub(created))
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {:<14} (unstamped)", point.name());
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} +{} (consumer clock)",
+        "delivered",
+        fmt_ns(record.delivered_ns.saturating_sub(created))
+    );
+    let _ = writeln!(out, "budget:");
+    let total = record.e2e_ns.max(1);
+    for slice in &record.slices {
+        let width = ((slice.ns as u128 * 40) / total as u128) as usize;
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {}{}",
+            slice.stage.name(),
+            fmt_ns(slice.ns),
+            "#".repeat(width),
+            if Some(slice.stage) == record.dominant {
+                " <- dominant"
+            } else {
+                ""
+            }
+        );
+    }
+    out
+}
+
+/// Renders a flight-recorder snapshot: the incident log and the newest
+/// retained spans (fully expanded for up to `detail` of them, newest
+/// first).
+pub fn render_flight_pretty(snapshot: &FlightSnapshot, detail: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: {} spans retained, {} incidents total",
+        snapshot.spans.len(),
+        snapshot.incident_count
+    );
+    if let Some(incident) = snapshot.last_incident() {
+        let _ = writeln!(
+            out,
+            "last incident: {} at {} topic-{} #{} {}",
+            incident.kind.name(),
+            incident.at,
+            incident.topic.0,
+            incident.seq.0,
+            incident.detail
+        );
+    }
+    for incident in snapshot.incidents.iter().rev().skip(1) {
+        let _ = writeln!(
+            out,
+            "  earlier: {} at {} topic-{} #{} {}",
+            incident.kind.name(),
+            incident.at,
+            incident.topic.0,
+            incident.seq.0,
+            incident.detail
+        );
+    }
+    for record in snapshot.spans.iter().rev().take(detail) {
+        out.push('\n');
+        out.push_str(&render_span_timeline(record));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,10 +391,39 @@ mod tests {
     fn sample() -> TelemetrySnapshot {
         let t = Telemetry::new();
         t.ensure_topic(TopicId(3));
+        t.set_topic_slo(TopicId(3), Duration::from_micros(500), Some(2));
         for us in [10u64, 100, 1000] {
             t.record_stage(Stage::DispatchExec, Duration::from_micros(us));
             t.record_topic(TopicId(3), Duration::from_micros(us * 2));
         }
+        // Two traced deliveries: seq 0 on time, then a gap of 3 (> L_i 2)
+        // followed by seq 4 blowing the 500us deadline.
+        let mut trace = frame_types::TraceCtx::new();
+        trace.stamp(SpanPoint::ProxyRecv, Time::from_micros(1_010));
+        trace.stamp(SpanPoint::Admitted, Time::from_micros(1_020));
+        trace.stamp(SpanPoint::Popped, Time::from_micros(1_050));
+        trace.stamp(SpanPoint::Locked, Time::from_micros(1_055));
+        trace.stamp(SpanPoint::DeliverSend, Time::from_micros(1_070));
+        t.record_delivery(
+            TopicId(3),
+            SeqNo(0),
+            Time::from_micros(1_000),
+            Time::from_micros(1_100),
+            Some(&trace),
+        );
+        let mut slow = frame_types::TraceCtx::new();
+        slow.stamp(SpanPoint::ProxyRecv, Time::from_micros(2_010));
+        slow.stamp(SpanPoint::Admitted, Time::from_micros(2_020));
+        slow.stamp(SpanPoint::Popped, Time::from_micros(2_700));
+        slow.stamp(SpanPoint::Locked, Time::from_micros(2_705));
+        slow.stamp(SpanPoint::DeliverSend, Time::from_micros(2_720));
+        t.record_delivery(
+            TopicId(3),
+            SeqNo(4),
+            Time::from_micros(2_000),
+            Time::from_micros(2_800),
+            Some(&slow),
+        );
         t.decision(
             DecisionKind::Dispatch,
             TopicId(3),
@@ -222,6 +459,63 @@ mod tests {
             snap.decision_count(DecisionKind::Dispatch)
         );
         assert_eq!(back.shard_contention, snap.shard_contention);
+        // SLO fields survive the round trip exactly.
+        assert_eq!(back.slos, snap.slos);
+        assert_eq!(back.incident_count, snap.incident_count);
+        assert_eq!(back.incidents.len(), snap.incidents.len());
+        let slo = back.slo(TopicId(3)).expect("slo present");
+        assert_eq!(slo.delivered, 2);
+        assert_eq!(slo.deadline_misses, 1);
+        assert_eq!(slo.worst_stage, Some(crate::span::BudgetStage::QueueWait));
+        assert_eq!(slo.lost, 3);
+        assert_eq!(slo.max_loss_run, 3);
+        assert_eq!(slo.loss_bound_violations, 1);
+    }
+
+    #[test]
+    fn flight_snapshot_json_round_trips() {
+        let t = Telemetry::new();
+        t.ensure_topic(TopicId(3));
+        t.set_topic_slo(TopicId(3), Duration::from_micros(500), Some(2));
+        let _ = sample_into(&t);
+        let flight = t.flight_snapshot();
+        assert!(!flight.spans.is_empty());
+        assert!(flight.incident_count > 0);
+        let json = serde_json::to_string(&flight).expect("serializes");
+        let back: crate::recorder::FlightSnapshot =
+            serde_json::from_str(&json).expect("parses back");
+        assert_eq!(back.spans.len(), flight.spans.len());
+        assert_eq!(back.incident_count, flight.incident_count);
+        for (a, b) in flight.spans.iter().zip(&back.spans) {
+            assert_eq!(a.topic, b.topic);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.stamps, b.stamps);
+            assert_eq!(a.e2e_ns, b.e2e_ns);
+            assert_eq!(a.missed, b.missed);
+            assert_eq!(a.dominant, b.dominant);
+            assert_eq!(a.slice_sum_ns(), a.e2e_ns);
+        }
+        let rendered = render_flight_pretty(&back, 2);
+        assert!(rendered.contains("last incident"));
+        assert!(rendered.contains("dominant"));
+    }
+
+    /// Replays `sample()`'s deliveries into an existing handle.
+    fn sample_into(t: &Telemetry) -> TelemetrySnapshot {
+        let mut slow = frame_types::TraceCtx::new();
+        slow.stamp(SpanPoint::ProxyRecv, Time::from_micros(2_010));
+        slow.stamp(SpanPoint::Admitted, Time::from_micros(2_020));
+        slow.stamp(SpanPoint::Popped, Time::from_micros(2_700));
+        slow.stamp(SpanPoint::Locked, Time::from_micros(2_705));
+        slow.stamp(SpanPoint::DeliverSend, Time::from_micros(2_720));
+        t.record_delivery(
+            TopicId(3),
+            SeqNo(0),
+            Time::from_micros(2_000),
+            Time::from_micros(2_800),
+            Some(&slow),
+        );
+        t.snapshot()
     }
 
     #[test]

@@ -29,16 +29,23 @@
 pub mod export;
 pub mod histogram;
 pub mod metrics;
+pub mod recorder;
+pub mod span;
 pub mod stage;
 pub mod telemetry;
 pub mod trace;
 
-pub use export::{from_json, render_pretty, render_prometheus, to_json};
+pub use export::{
+    flight_from_json, flight_to_json, from_json, render_flight_pretty, render_pretty,
+    render_prometheus, render_span_timeline, to_json,
+};
 pub use histogram::LatencyHistogram;
 pub use metrics::{AtomicHistogram, ShardedCounter};
+pub use recorder::{FlightRecorder, FlightSnapshot, Incident, IncidentKind};
+pub use span::{attribute, Attribution, BudgetSlice, BudgetStage, SpanRecord};
 pub use stage::Stage;
 pub use telemetry::{
-    DecisionCount, StageSnapshot, Telemetry, TelemetrySnapshot, TopicSnapshot,
-    DEFAULT_TRACE_CAPACITY,
+    DecisionCount, StageSnapshot, Telemetry, TelemetrySnapshot, TopicSloSnapshot, TopicSnapshot,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY, DEFAULT_TRACE_CAPACITY,
 };
 pub use trace::{DecisionEvent, DecisionKind, DecisionTrace};

@@ -1,0 +1,392 @@
+//! The flight recorder: a fixed-capacity, lock-free ring of recent
+//! delivery spans plus a small cold-path queue of incidents (deadline
+//! misses, loss-bound violations, admission rejections, promotions).
+//!
+//! The ring uses the same seqlock protocol as
+//! [`DecisionTrace`](crate::trace::DecisionTrace): a writer claims a slot
+//! with one relaxed `fetch_add`, parks its stamp, stores the raw span
+//! fields with relaxed ordering, then publishes the (index + 1) stamp with
+//! a release store. Snapshotting validates each slot before and after the
+//! copy and skips torn reads, so dumping the recorder never blocks a
+//! delivery thread. Slots hold only raw `u64`s — the budget decomposition
+//! is recomputed at snapshot time from the stored stamps, keeping the hot
+//! path to ~10 relaxed stores.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use frame_types::{SeqNo, SpanPoint, Time, TopicId, TraceCtx};
+use serde::{Deserialize, Serialize};
+
+use crate::span::SpanRecord;
+
+/// Why a flight-recorder dump fired.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// A delivered message exceeded its topic deadline `D_i`.
+    DeadlineMiss,
+    /// A consecutive-loss run exceeded the topic's tolerance `L_i`.
+    LossBurst,
+    /// The admission test rejected a topic.
+    AdmissionReject,
+    /// A Backup promoted itself to Primary after detecting a crash.
+    Promotion,
+}
+
+impl IncidentKind {
+    /// Every kind.
+    pub const ALL: [IncidentKind; 4] = [
+        IncidentKind::DeadlineMiss,
+        IncidentKind::LossBurst,
+        IncidentKind::AdmissionReject,
+        IncidentKind::Promotion,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentKind::DeadlineMiss => "deadline_miss",
+            IncidentKind::LossBurst => "loss_burst",
+            IncidentKind::AdmissionReject => "admission_reject",
+            IncidentKind::Promotion => "promotion",
+        }
+    }
+}
+
+impl std::fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded incident.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Incident {
+    /// What happened.
+    pub kind: IncidentKind,
+    /// When (host-local monotonic clock of whoever recorded it).
+    pub at: Time,
+    /// The topic involved (zero when not topic-specific, e.g. promotion).
+    pub topic: TopicId,
+    /// The message sequence involved (for [`IncidentKind::Promotion`]: the
+    /// number of recovery dispatch jobs created; for
+    /// [`IncidentKind::LossBurst`]: the first sequence of the run).
+    pub seq: SeqNo,
+    /// Free-form context (e.g. "run 4 > L_i 2", "x+ΔBB window 52ms").
+    pub detail: String,
+}
+
+const EMPTY: u64 = 0;
+const CLAIMED: u64 = u64::MAX;
+const STAMPS: usize = SpanPoint::ALL.len();
+
+struct Slot {
+    stamp: AtomicU64,
+    topic: AtomicU64,
+    seq: AtomicU64,
+    created: AtomicU64,
+    delivered: AtomicU64,
+    deadline: AtomicU64,
+    spans: [AtomicU64; STAMPS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(EMPTY),
+            topic: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            created: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            deadline: AtomicU64::new(0),
+            spans: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Fixed-capacity lock-free ring of recent delivery spans, with a bounded
+/// incident queue on the side.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Monotone count of spans ever recorded (the next write index).
+    head: AtomicU64,
+    /// Monotone count of incidents ever recorded; sinks poll this to
+    /// decide when to dump.
+    incident_count: AtomicU64,
+    /// Recent incidents, newest last, capped at `incident_capacity`
+    /// (cold path: incidents are rare by definition).
+    incidents: Mutex<VecDeque<Incident>>,
+    incident_capacity: usize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the newest `capacity` spans and up to
+    /// `incident_capacity` incidents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(capacity: usize, incident_capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        assert!(incident_capacity > 0, "incident capacity must be positive");
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            incident_count: AtomicU64::new(0),
+            incidents: Mutex::new(VecDeque::with_capacity(incident_capacity)),
+            incident_capacity,
+        }
+    }
+
+    /// Ring capacity (spans retained).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records one delivery span. Lock-free: one relaxed RMW plus ~10
+    /// relaxed stores bracketed by two release stores.
+    #[inline]
+    pub fn record(
+        &self,
+        topic: TopicId,
+        seq: SeqNo,
+        created_at: Time,
+        delivered_at: Time,
+        trace: Option<&TraceCtx>,
+        deadline_ns: u64,
+    ) {
+        let index = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(index % self.slots.len() as u64) as usize];
+        slot.stamp.store(CLAIMED, Ordering::Release);
+        slot.topic.store(u64::from(topic.0), Ordering::Relaxed);
+        slot.seq.store(seq.0, Ordering::Relaxed);
+        slot.created.store(created_at.as_nanos(), Ordering::Relaxed);
+        slot.delivered
+            .store(delivered_at.as_nanos(), Ordering::Relaxed);
+        slot.deadline.store(deadline_ns, Ordering::Relaxed);
+        let stamps = trace.map_or([0; STAMPS], TraceCtx::stamps);
+        for (cell, ns) in slot.spans.iter().zip(stamps) {
+            cell.store(ns, Ordering::Relaxed);
+        }
+        slot.stamp.store(index + 1, Ordering::Release);
+    }
+
+    /// Records an incident and bumps the incident counter.
+    pub fn incident(&self, incident: Incident) {
+        let mut incidents = self.incidents.lock().expect("incidents lock");
+        if incidents.len() == self.incident_capacity {
+            incidents.pop_front();
+        }
+        incidents.push_back(incident);
+        drop(incidents);
+        self.incident_count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Total incidents ever recorded. Monotone; sinks compare successive
+    /// readings to detect new incidents without taking the lock.
+    pub fn incident_count(&self) -> u64 {
+        self.incident_count.load(Ordering::Acquire)
+    }
+
+    /// Copies out the retained spans (oldest first, torn slots skipped),
+    /// re-attributing each from its raw stamps.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut records = Vec::with_capacity((head - start) as usize);
+        for index in start..head {
+            let slot = &self.slots[(index % cap) as usize];
+            let before = slot.stamp.load(Ordering::Acquire);
+            if before != index + 1 {
+                continue; // overwritten or still in flight
+            }
+            let topic = slot.topic.load(Ordering::Relaxed);
+            let seq = slot.seq.load(Ordering::Relaxed);
+            let created = slot.created.load(Ordering::Relaxed);
+            let delivered = slot.delivered.load(Ordering::Relaxed);
+            let deadline = slot.deadline.load(Ordering::Relaxed);
+            let mut stamps = [0u64; STAMPS];
+            for (ns, cell) in stamps.iter_mut().zip(&slot.spans) {
+                *ns = cell.load(Ordering::Relaxed);
+            }
+            if slot.stamp.load(Ordering::Acquire) != before {
+                continue; // torn read: a writer lapped us mid-copy
+            }
+            let trace = TraceCtx::from_stamps(stamps);
+            records.push(SpanRecord::attribute(
+                TopicId(topic as u32),
+                SeqNo(seq),
+                Time::from_nanos(created),
+                Time::from_nanos(delivered),
+                (!trace.is_empty()).then_some(&trace),
+                deadline,
+            ));
+        }
+        records
+    }
+
+    /// The retained incidents, oldest first.
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.incidents
+            .lock()
+            .expect("incidents lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// A serializable copy of the whole recorder state.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        FlightSnapshot {
+            incident_count: self.incident_count(),
+            incidents: self.incidents(),
+            spans: self.spans(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("incidents", &self.incident_count())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of the flight recorder: what `frame-cli trace`
+/// renders and what the JSONL dump persists.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FlightSnapshot {
+    /// Total incidents ever recorded at snapshot time.
+    #[serde(default)]
+    pub incident_count: u64,
+    /// Retained incidents, oldest first.
+    #[serde(default)]
+    pub incidents: Vec<Incident>,
+    /// Retained delivery spans, oldest first, fully attributed.
+    #[serde(default)]
+    pub spans: Vec<SpanRecord>,
+}
+
+impl FlightSnapshot {
+    /// The newest retained span for `(topic, seq)`, if any.
+    pub fn find(&self, topic: TopicId, seq: SeqNo) -> Option<&SpanRecord> {
+        self.spans
+            .iter()
+            .rev()
+            .find(|r| r.topic == topic && r.seq == seq)
+    }
+
+    /// The most recent incident, if any.
+    pub fn last_incident(&self) -> Option<&Incident> {
+        self.incidents.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_span(r: &FlightRecorder, seq: u64, e2e: u64) {
+        let mut trace = TraceCtx::new();
+        trace.stamp(SpanPoint::ProxyRecv, Time::from_nanos(100 + 10));
+        trace.stamp(SpanPoint::DeliverSend, Time::from_nanos(100 + e2e - 5));
+        r.record(
+            TopicId(1),
+            SeqNo(seq),
+            Time::from_nanos(100),
+            Time::from_nanos(100 + e2e),
+            Some(&trace),
+            1_000,
+        );
+    }
+
+    #[test]
+    fn records_and_attributes() {
+        let r = FlightRecorder::new(8, 4);
+        record_span(&r, 0, 500);
+        record_span(&r, 1, 2_000); // miss: e2e > 1000ns deadline
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(!spans[0].missed);
+        assert!(spans[1].missed);
+        assert_eq!(spans[1].slice_sum_ns(), spans[1].e2e_ns);
+        assert!(spans[1].dominant.is_some());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let r = FlightRecorder::new(4, 4);
+        for seq in 0..10 {
+            record_span(&r, seq, 500);
+        }
+        let seqs: Vec<u64> = r.spans().iter().map(|s| s.seq.0).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn incidents_are_capped_and_counted() {
+        let r = FlightRecorder::new(4, 2);
+        for i in 0..3u64 {
+            r.incident(Incident {
+                kind: IncidentKind::DeadlineMiss,
+                at: Time::from_nanos(i),
+                topic: TopicId(1),
+                seq: SeqNo(i),
+                detail: String::new(),
+            });
+        }
+        assert_eq!(r.incident_count(), 3);
+        let kept = r.incidents();
+        assert_eq!(kept.len(), 2, "oldest incident evicted");
+        assert_eq!(kept[0].seq, SeqNo(1));
+        assert_eq!(r.snapshot().last_incident().unwrap().seq, SeqNo(2));
+    }
+
+    #[test]
+    fn snapshot_find_returns_newest_match() {
+        let r = FlightRecorder::new(8, 2);
+        record_span(&r, 3, 500);
+        record_span(&r, 3, 700);
+        let snap = r.snapshot();
+        let found = snap.find(TopicId(1), SeqNo(3)).unwrap();
+        assert_eq!(found.e2e_ns, 700);
+        assert!(snap.find(TopicId(9), SeqNo(3)).is_none());
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt() {
+        use std::sync::Arc;
+        let r = Arc::new(FlightRecorder::new(64, 4));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        record_span(&r, w * 10_000 + i, 500);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for s in r.spans() {
+                assert_eq!(s.slice_sum_ns(), s.e2e_ns);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 4000);
+        assert_eq!(r.spans().len(), 64);
+    }
+}

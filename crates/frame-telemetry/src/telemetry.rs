@@ -1,32 +1,120 @@
 //! The [`Telemetry`] handle: a cheap-to-clone registry of per-stage
-//! latency histograms, per-topic delivery histograms, decision counters
-//! and the decision trace, shared by every component of a running system.
+//! latency histograms, per-topic delivery histograms and SLO counters,
+//! decision counters, the decision trace and the flight recorder, shared
+//! by every component of a running system.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use frame_types::{Duration, SeqNo, Time, TopicId};
+use frame_types::{Duration, SeqNo, Time, TopicId, TraceCtx};
 use serde::{Deserialize, Serialize};
 
 use crate::histogram::LatencyHistogram;
 use crate::metrics::{AtomicHistogram, ShardedCounter};
+use crate::recorder::{FlightRecorder, FlightSnapshot, Incident, IncidentKind};
+use crate::span::{attribute, BudgetStage};
 use crate::stage::Stage;
 use crate::trace::{DecisionEvent, DecisionKind, DecisionTrace};
 
 /// Default decision-trace capacity (events retained).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
+/// Default flight-recorder capacity (delivery spans retained).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// Default incident-queue capacity.
+pub const DEFAULT_INCIDENT_CAPACITY: usize = 64;
+
+/// Sentinel for "no consecutive-loss bound" (best-effort topics).
+const NO_LOSS_BOUND: u64 = u64::MAX;
+
+/// Per-topic delivery histogram plus SLO accounting. All counters are
+/// relaxed atomics; the delivery path for one topic is serialized by the
+/// topic-shard lock, so the sequence-gap bookkeeping needs no stronger
+/// ordering.
+struct TopicEntry {
+    histogram: AtomicHistogram,
+    /// Deadline `D_i` in nanoseconds; zero until an SLO is registered.
+    deadline_ns: AtomicU64,
+    /// Consecutive-loss tolerance `L_i`; [`NO_LOSS_BOUND`] = best-effort.
+    loss_bound: AtomicU64,
+    delivered: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// Misses by dominant budget stage.
+    miss_by_stage: [AtomicU64; BudgetStage::ALL.len()],
+    /// The next sequence number expected in order.
+    next_seq: AtomicU64,
+    /// Messages never delivered (sum of sequence gaps).
+    lost: AtomicU64,
+    /// The longest consecutive-loss run observed.
+    max_loss_run: AtomicU64,
+    /// Runs that exceeded `L_i`.
+    loss_bound_violations: AtomicU64,
+}
+
+impl TopicEntry {
+    fn new() -> TopicEntry {
+        TopicEntry {
+            histogram: AtomicHistogram::new(),
+            deadline_ns: AtomicU64::new(0),
+            loss_bound: AtomicU64::new(NO_LOSS_BOUND),
+            delivered: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            miss_by_stage: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_seq: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            max_loss_run: AtomicU64::new(0),
+            loss_bound_violations: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Inner {
     stages: [AtomicHistogram; Stage::ALL.len()],
     decisions: [ShardedCounter; DecisionKind::ALL.len()],
     trace: DecisionTrace,
-    /// Per-topic end-to-end delivery histograms. Registration takes the
-    /// write lock (cold: once per topic); recording takes the read lock
-    /// and scans — topic counts are small and the slice is append-only.
-    topics: RwLock<Vec<(TopicId, Arc<AtomicHistogram>)>>,
+    /// Per-topic delivery histograms and SLO counters. Registration takes
+    /// the write lock (cold: once per topic); recording takes the read
+    /// lock and scans — topic counts are small and the slice is
+    /// append-only.
+    /// Sorted by `TopicId` so the per-delivery hot path can binary-search.
+    topics: RwLock<Vec<(TopicId, Arc<TopicEntry>)>>,
     /// Times a worker found a topic-shard lock already held and had to
     /// block for it (threaded runtime only). High values relative to
     /// dispatch counts mean hot topics are serializing workers.
     shard_contention: ShardedCounter,
+    /// Recent delivery spans + incidents.
+    flight: FlightRecorder,
+}
+
+impl Inner {
+    /// The entry for `topic`, created if absent (write-locks only on
+    /// first sight of a topic).
+    fn entry(&self, topic: TopicId) -> Arc<TopicEntry> {
+        if let Some(e) = self.lookup(topic) {
+            return e;
+        }
+        let mut topics = self.topics.write().expect("topics lock");
+        match topics.binary_search_by_key(&topic.0, |(t, _)| t.0) {
+            Ok(i) => topics[i].1.clone(),
+            Err(i) => {
+                let entry = Arc::new(TopicEntry::new());
+                topics.insert(i, (topic, entry.clone()));
+                entry
+            }
+        }
+    }
+
+    /// The entry for `topic`, if registered. Binary search over the
+    /// sorted registry — this sits on the per-delivery hot path.
+    #[inline]
+    fn lookup(&self, topic: TopicId) -> Option<Arc<TopicEntry>> {
+        let topics = self.topics.read().expect("topics lock");
+        topics
+            .binary_search_by_key(&topic.0, |(t, _)| t.0)
+            .ok()
+            .map(|i| topics[i].1.clone())
+    }
 }
 
 /// Handle to a telemetry registry. Cloning shares the registry; a
@@ -53,6 +141,7 @@ impl Telemetry {
                 trace: DecisionTrace::new(trace_capacity),
                 topics: RwLock::new(Vec::new()),
                 shard_contention: ShardedCounter::new(),
+                flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY),
             })),
         }
     }
@@ -87,10 +176,23 @@ impl Telemetry {
     /// topic-registration time so the delivery path never write-locks).
     pub fn ensure_topic(&self, topic: TopicId) {
         if let Some(inner) = &self.inner {
-            let mut topics = inner.topics.write().expect("topics lock");
-            if !topics.iter().any(|(t, _)| *t == topic) {
-                topics.push((topic, Arc::new(AtomicHistogram::new())));
-            }
+            inner.entry(topic);
+        }
+    }
+
+    /// Registers (or updates) `topic`'s SLO: its end-to-end deadline `D_i`
+    /// and consecutive-loss tolerance `L_i` (`None` = best-effort).
+    /// Deliveries recorded afterwards are classified against these bounds.
+    pub fn set_topic_slo(&self, topic: TopicId, deadline: Duration, loss_bound: Option<u32>) {
+        if let Some(inner) = &self.inner {
+            let entry = inner.entry(topic);
+            entry
+                .deadline_ns
+                .store(deadline.as_nanos(), Ordering::Relaxed);
+            entry.loss_bound.store(
+                loss_bound.map_or(NO_LOSS_BOUND, u64::from),
+                Ordering::Relaxed,
+            );
         }
     }
 
@@ -99,10 +201,135 @@ impl Telemetry {
     #[inline]
     pub fn record_topic(&self, topic: TopicId, latency: Duration) {
         if let Some(inner) = &self.inner {
-            let topics = inner.topics.read().expect("topics lock");
-            if let Some((_, h)) = topics.iter().find(|(t, _)| *t == topic) {
-                h.record(latency);
+            if let Some(e) = inner.lookup(topic) {
+                e.histogram.record(latency);
             }
+        }
+    }
+
+    /// Records one delivered message end to end: topic histogram, SLO
+    /// classification (deadline miss → dominant-stage attribution,
+    /// sequence gap → loss-run accounting against `L_i`), and a flight
+    /// recorder ring slot. Misses and loss-bound violations also enqueue
+    /// an [`Incident`].
+    ///
+    /// Relaxed atomics plus one ring-slot write on the common (on-time)
+    /// path; attribution runs only for misses. Unregistered topics are
+    /// ignored.
+    pub fn record_delivery(
+        &self,
+        topic: TopicId,
+        seq: SeqNo,
+        created_at: Time,
+        delivered_at: Time,
+        trace: Option<&TraceCtx>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        // Hold the read guard instead of cloning the entry Arc: this path
+        // runs once per delivered message.
+        let topics = inner.topics.read().expect("topics lock");
+        let Ok(i) = topics.binary_search_by_key(&topic.0, |(t, _)| t.0) else {
+            return;
+        };
+        let entry = &topics[i].1;
+        let e2e = delivered_at.saturating_since(created_at);
+        entry.histogram.record(e2e);
+        entry.delivered.fetch_add(1, Ordering::Relaxed);
+
+        let deadline_ns = entry.deadline_ns.load(Ordering::Relaxed);
+        inner
+            .flight
+            .record(topic, seq, created_at, delivered_at, trace, deadline_ns);
+
+        // Sequence-gap loss accounting: a gap of `g` before this delivery
+        // is a run of `g` consecutive losses (Lemma 1's quantity). Late
+        // re-deliveries (recovery dispatches) never rewind the expectation.
+        let expected = entry.next_seq.load(Ordering::Relaxed);
+        if seq.0 >= expected {
+            let gap = seq.0 - expected;
+            entry.next_seq.store(seq.0 + 1, Ordering::Relaxed);
+            if gap > 0 {
+                entry.lost.fetch_add(gap, Ordering::Relaxed);
+                entry.max_loss_run.fetch_max(gap, Ordering::Relaxed);
+                let bound = entry.loss_bound.load(Ordering::Relaxed);
+                if gap > bound {
+                    entry.loss_bound_violations.fetch_add(1, Ordering::Relaxed);
+                    inner.flight.incident(Incident {
+                        kind: IncidentKind::LossBurst,
+                        at: delivered_at,
+                        topic,
+                        seq: SeqNo(expected),
+                        detail: format!("consecutive-loss run {gap} > L_i {bound}"),
+                    });
+                }
+            }
+        }
+
+        if deadline_ns > 0 && e2e.as_nanos() > deadline_ns {
+            entry.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            let attribution = attribute(created_at, delivered_at, trace);
+            let detail = match attribution.dominant {
+                Some(stage) => {
+                    entry.miss_by_stage[stage.index()].fetch_add(1, Ordering::Relaxed);
+                    format!(
+                        "e2e {}ns > D_i {}ns, dominant {} ({}ns)",
+                        attribution.e2e_ns,
+                        deadline_ns,
+                        stage,
+                        attribution.slices[stage.index()]
+                    )
+                }
+                None => format!(
+                    "e2e {}ns > D_i {deadline_ns}ns, no stamps",
+                    attribution.e2e_ns
+                ),
+            };
+            inner.flight.incident(Incident {
+                kind: IncidentKind::DeadlineMiss,
+                at: delivered_at,
+                topic,
+                seq,
+                detail,
+            });
+        }
+    }
+
+    /// Records an incident directly (admission rejections, promotions —
+    /// events that do not ride on a delivery).
+    pub fn incident(
+        &self,
+        kind: IncidentKind,
+        topic: TopicId,
+        seq: SeqNo,
+        at: Time,
+        detail: String,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.flight.incident(Incident {
+                kind,
+                at,
+                topic,
+                seq,
+                detail,
+            });
+        }
+    }
+
+    /// Total incidents ever recorded. Monotone: dump sinks poll this to
+    /// decide when to snapshot the flight recorder.
+    pub fn incident_count(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.flight.incident_count(),
+            None => 0,
+        }
+    }
+
+    /// A serializable copy of the flight recorder (retained spans +
+    /// incidents). Empty for a disabled handle.
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        match &self.inner {
+            Some(inner) => inner.flight.snapshot(),
+            None => FlightSnapshot::default(),
         }
     }
 
@@ -170,17 +397,40 @@ impl Telemetry {
                 histogram: inner.stages[stage.index()].snapshot(),
             })
             .collect();
-        let mut topics: Vec<TopicSnapshot> = inner
-            .topics
-            .read()
-            .expect("topics lock")
-            .iter()
-            .map(|(topic, h)| TopicSnapshot {
+        let mut topics = Vec::new();
+        let mut slos = Vec::new();
+        for (topic, e) in inner.topics.read().expect("topics lock").iter() {
+            topics.push(TopicSnapshot {
                 topic: *topic,
-                histogram: h.snapshot(),
-            })
-            .collect();
+                histogram: e.histogram.snapshot(),
+            });
+            let loss_bound = e.loss_bound.load(Ordering::Relaxed);
+            let miss_by_stage: Vec<u64> = e
+                .miss_by_stage
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            let worst_stage = miss_by_stage
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .max_by_key(|(_, n)| **n)
+                .and_then(|(i, _)| BudgetStage::from_index(i));
+            slos.push(TopicSloSnapshot {
+                topic: *topic,
+                deadline_ns: e.deadline_ns.load(Ordering::Relaxed),
+                loss_bound: (loss_bound != NO_LOSS_BOUND).then_some(loss_bound),
+                delivered: e.delivered.load(Ordering::Relaxed),
+                deadline_misses: e.deadline_misses.load(Ordering::Relaxed),
+                worst_stage,
+                miss_by_stage,
+                lost: e.lost.load(Ordering::Relaxed),
+                max_loss_run: e.max_loss_run.load(Ordering::Relaxed),
+                loss_bound_violations: e.loss_bound_violations.load(Ordering::Relaxed),
+            });
+        }
         topics.sort_by_key(|t| t.topic.0);
+        slos.sort_by_key(|s| s.topic.0);
         let decisions = DecisionKind::ALL
             .iter()
             .map(|&kind| DecisionCount {
@@ -194,6 +444,9 @@ impl Telemetry {
             decisions,
             trace: inner.trace.snapshot(),
             shard_contention: inner.shard_contention.get(),
+            slos,
+            incident_count: inner.flight.incident_count(),
+            incidents: inner.flight.incidents(),
         }
     }
 }
@@ -230,6 +483,32 @@ pub struct TopicSnapshot {
     pub histogram: LatencyHistogram,
 }
 
+/// One topic's SLO accounting: deliveries and losses classified against
+/// its deadline `D_i` and consecutive-loss tolerance `L_i`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopicSloSnapshot {
+    /// The topic.
+    pub topic: TopicId,
+    /// Deadline `D_i` in nanoseconds (zero: no SLO registered).
+    pub deadline_ns: u64,
+    /// Consecutive-loss tolerance `L_i` (`None`: best-effort).
+    pub loss_bound: Option<u64>,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Deliveries whose end-to-end latency exceeded `D_i`.
+    pub deadline_misses: u64,
+    /// The budget stage most often dominant among misses.
+    pub worst_stage: Option<BudgetStage>,
+    /// Miss counts by dominant stage, in [`BudgetStage::ALL`] order.
+    pub miss_by_stage: Vec<u64>,
+    /// Messages never delivered (sum of sequence gaps).
+    pub lost: u64,
+    /// The longest consecutive-loss run observed (compare against `L_i`).
+    pub max_loss_run: u64,
+    /// Loss runs that exceeded `L_i`.
+    pub loss_bound_violations: u64,
+}
+
 /// One decision kind's total.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionCount {
@@ -255,6 +534,17 @@ pub struct TelemetrySnapshot {
     /// snapshots serialized before this field existed still deserialize.
     #[serde(default)]
     pub shard_contention: u64,
+    /// Per-topic SLO counters, sorted by topic id. `default` for
+    /// pre-tracing snapshots.
+    #[serde(default)]
+    pub slos: Vec<TopicSloSnapshot>,
+    /// Total incidents recorded at snapshot time.
+    #[serde(default)]
+    pub incident_count: u64,
+    /// Retained incidents, oldest first (the flight recorder's span ring
+    /// is snapshotted separately — see `Telemetry::flight_snapshot`).
+    #[serde(default)]
+    pub incidents: Vec<Incident>,
 }
 
 impl TelemetrySnapshot {
@@ -272,6 +562,11 @@ impl TelemetrySnapshot {
             .iter()
             .find(|d| d.kind == kind)
             .map_or(0, |d| d.count)
+    }
+
+    /// The SLO counters for `topic`, if present.
+    pub fn slo(&self, topic: TopicId) -> Option<&TopicSloSnapshot> {
+        self.slos.iter().find(|s| s.topic == topic)
     }
 }
 
@@ -335,6 +630,94 @@ mod tests {
         // snapshot() does not consume; drain does.
         assert_eq!(t.drain_trace().len(), 3);
         assert!(t.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn record_delivery_classifies_misses_and_losses() {
+        use frame_types::SpanPoint;
+        let t = Telemetry::new();
+        t.set_topic_slo(TopicId(5), Duration::from_micros(100), Some(1));
+
+        // seq 0: on time (50us e2e vs 100us deadline).
+        t.record_delivery(
+            TopicId(5),
+            SeqNo(0),
+            Time::from_micros(1_000),
+            Time::from_micros(1_050),
+            None,
+        );
+        // seq 3: gap of 2 (> L_i = 1) and a deadline miss dominated by
+        // queue wait.
+        let mut trace = TraceCtx::new();
+        trace.stamp(SpanPoint::ProxyRecv, Time::from_micros(2_005));
+        trace.stamp(SpanPoint::Admitted, Time::from_micros(2_010));
+        trace.stamp(SpanPoint::Popped, Time::from_micros(2_200));
+        trace.stamp(SpanPoint::Locked, Time::from_micros(2_205));
+        trace.stamp(SpanPoint::DeliverSend, Time::from_micros(2_215));
+        t.record_delivery(
+            TopicId(5),
+            SeqNo(3),
+            Time::from_micros(2_000),
+            Time::from_micros(2_220),
+            Some(&trace),
+        );
+
+        let s = t.snapshot();
+        let slo = s.slo(TopicId(5)).expect("slo registered");
+        assert_eq!(slo.delivered, 2);
+        assert_eq!(slo.deadline_misses, 1);
+        assert_eq!(slo.worst_stage, Some(crate::span::BudgetStage::QueueWait));
+        assert_eq!(slo.lost, 2);
+        assert_eq!(slo.max_loss_run, 2);
+        assert_eq!(slo.loss_bound_violations, 1);
+        // One DeadlineMiss + one LossBurst incident.
+        assert_eq!(s.incident_count, 2);
+        let kinds: Vec<_> = s.incidents.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&IncidentKind::LossBurst));
+        assert!(kinds.contains(&IncidentKind::DeadlineMiss));
+        // The flight recorder retained both spans.
+        let flight = t.flight_snapshot();
+        assert_eq!(flight.spans.len(), 2);
+        assert!(flight.spans[1].missed);
+        assert_eq!(flight.spans[1].slice_sum_ns(), flight.spans[1].e2e_ns);
+    }
+
+    #[test]
+    fn late_redelivery_never_rewinds_loss_accounting() {
+        let t = Telemetry::new();
+        t.set_topic_slo(TopicId(5), Duration::from_millis(10), Some(3));
+        for seq in [0u64, 1, 4, 2] {
+            // seq 2 arrives late (recovery re-dispatch after the gap).
+            t.record_delivery(
+                TopicId(5),
+                SeqNo(seq),
+                Time::from_micros(1_000),
+                Time::from_micros(1_100),
+                None,
+            );
+        }
+        let slo = t.snapshot().slo(TopicId(5)).cloned().expect("slo");
+        assert_eq!(slo.delivered, 4);
+        assert_eq!(slo.lost, 2, "gap before seq 4 counted once");
+        assert_eq!(slo.max_loss_run, 2);
+        assert_eq!(slo.loss_bound_violations, 0, "run 2 <= L_i 3");
+    }
+
+    #[test]
+    fn disabled_handle_ignores_slo_and_flight() {
+        let t = Telemetry::disabled();
+        t.set_topic_slo(TopicId(1), Duration::from_micros(1), Some(0));
+        t.record_delivery(TopicId(1), SeqNo(9), Time::ZERO, Time::from_millis(1), None);
+        t.incident(
+            IncidentKind::Promotion,
+            TopicId(0),
+            SeqNo(0),
+            Time::ZERO,
+            String::new(),
+        );
+        assert_eq!(t.incident_count(), 0);
+        assert!(t.flight_snapshot().spans.is_empty());
+        assert!(t.snapshot().slos.is_empty());
     }
 
     #[test]

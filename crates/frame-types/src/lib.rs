@@ -19,6 +19,7 @@ pub mod ids;
 pub mod message;
 pub mod spec;
 pub mod time;
+pub mod trace;
 
 pub use config::{NetworkParams, SystemConfig};
 pub use error::{AdmissionFailure, FrameError, Result};
@@ -26,3 +27,4 @@ pub use ids::{BrokerId, HostId, PublisherId, SeqNo, SubscriberId, TopicId};
 pub use message::{Message, MessageKey};
 pub use spec::{Destination, LossTolerance, SubscriberRequirement, TopicSpec};
 pub use time::{Duration, Time};
+pub use trace::{SpanPoint, TraceCtx};

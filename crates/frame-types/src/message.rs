@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::{PublisherId, SeqNo, TopicId};
 use crate::time::Time;
+use crate::trace::TraceCtx;
 
 /// A published message.
 ///
@@ -14,7 +15,13 @@ use crate::time::Time;
 /// keeps — retention buffer at the publisher, message buffer at the Primary,
 /// backup buffer at the Backup — share one allocation. Cloning a `Message`
 /// is cheap and does not copy the payload.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality compares the message's identity and content (topic, publisher,
+/// sequence, creation time, payload) and deliberately ignores the optional
+/// [`TraceCtx`]: the trace is observability metadata that mutates as the
+/// message moves through the pipeline, and a re-sent copy with different
+/// stamps is still the *same* message.
+#[derive(Clone, Eq, Serialize, Deserialize)]
 pub struct Message {
     /// Topic this message belongs to.
     pub topic: TopicId,
@@ -27,6 +34,21 @@ pub struct Message {
     /// Application payload (16 bytes in the paper's evaluation).
     #[serde(with = "bytes_serde")]
     pub payload: Bytes,
+    /// Per-message span stamps, attached by the broker when tracing is
+    /// enabled. `None` (the default) serializes as null, so pre-trace
+    /// peers and snapshots keep parsing.
+    #[serde(default)]
+    pub trace: Option<TraceCtx>,
+}
+
+impl PartialEq for Message {
+    fn eq(&self, other: &Self) -> bool {
+        self.topic == other.topic
+            && self.publisher == other.publisher
+            && self.seq == other.seq
+            && self.created_at == other.created_at
+            && self.payload == other.payload
+    }
 }
 
 impl Message {
@@ -44,6 +66,7 @@ impl Message {
             seq,
             created_at,
             payload: payload.into(),
+            trace: None,
         }
     }
 
