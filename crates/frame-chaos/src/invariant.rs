@@ -1,0 +1,432 @@
+//! The post-run invariant checker: replays a chaos run's evidence and
+//! asserts the paper's guarantees held *despite* the injected faults.
+//!
+//! Four checks, one per guarantee:
+//!
+//! * **Lemma 1 (loss bound)** — for every topic with a finite `L_i`, no
+//!   subscriber observed more than `L_i` consecutive missing sequence
+//!   numbers. Evidence: the per-subscriber delivered-sequence sets
+//!   collected at the runner's channel ends (subscriber-side truth, so a
+//!   broker→subscriber drop counts as a loss even though the broker
+//!   believes it delivered).
+//! * **Lemma 2 (deadline budget)** — every recorded deadline miss is
+//!   attributable to an injected fault window or to the crash-recovery
+//!   window; a miss with no scripted cause means the budget decomposition
+//!   leaks somewhere. Evidence: `DeadlineMiss` incidents from the flight
+//!   recorder.
+//! * **Table 3 (replica before prune)** — in the Primary's emission
+//!   stream, no `(topic, seq)` is ever pruned before it was replicated.
+//!   Evidence: the injector's emission-order observations, captured under
+//!   the shard lock.
+//! * **Exactly-once dispatch** — without a crash or scripted duplication,
+//!   every delivered sequence arrives exactly once; with them, duplicates
+//!   are allowed only where the script explains them (fail-over re-sends
+//!   of retained messages, `duplicate` fault windows).
+
+use std::collections::BTreeMap;
+
+use frame_rt::BackupEffectKind;
+use frame_types::{LossTolerance, TopicId};
+use serde::Serialize;
+
+use crate::inject::BackupObservation;
+use crate::plan::{Action, FaultPlan, Surface};
+
+/// Delivery counts per subscriber: `(subscriber, topic) → seq → count`.
+pub type DeliveryCounts = BTreeMap<(u32, u32), BTreeMap<u64, u32>>;
+
+/// Everything the checker replays.
+pub struct ChaosEvidence {
+    /// Subscriber-side delivery counts from the runner's channels.
+    pub delivered: DeliveryCounts,
+    /// Primary→Backup emission order from the injector.
+    pub backup_order: Vec<BackupObservation>,
+    /// `(topic, seq)` of every `DeadlineMiss` incident in the flight
+    /// recorder.
+    pub deadline_misses: Vec<(u32, u64)>,
+}
+
+/// One check's outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct CheckResult {
+    /// Stable check name.
+    pub name: String,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// What was verified or how it failed.
+    pub detail: String,
+}
+
+/// The run's verdict: all checks, pass only if every one passed.
+#[derive(Clone, Debug, Serialize)]
+pub struct Verdict {
+    /// Conjunction of all checks.
+    pub passed: bool,
+    /// Individual results, in fixed order.
+    pub checks: Vec<CheckResult>,
+}
+
+impl Verdict {
+    /// A one-line rendering per check plus the final word.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(if c.passed { "PASS " } else { "FAIL " });
+            out.push_str(&c.name);
+            out.push_str(": ");
+            out.push_str(&c.detail);
+            out.push('\n');
+        }
+        out.push_str(if self.passed {
+            "verdict: PASS\n"
+        } else {
+            "verdict: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Runs every invariant check against the evidence.
+pub fn check(plan: &FaultPlan, evidence: &ChaosEvidence) -> Verdict {
+    let checks = vec![
+        check_loss_bound(plan, evidence),
+        check_deadline_budget(plan, evidence),
+        check_table3_order(evidence),
+        check_dispatch_multiplicity(plan, evidence),
+    ];
+    Verdict {
+        passed: checks.iter().all(|c| c.passed),
+        checks,
+    }
+}
+
+/// Longest run of consecutive missing sequence numbers in `0..messages`.
+fn longest_loss_run(delivered: &BTreeMap<u64, u32>, messages: u64) -> u64 {
+    let mut worst = 0u64;
+    let mut run = 0u64;
+    for seq in 0..messages {
+        if delivered.contains_key(&seq) {
+            run = 0;
+        } else {
+            run += 1;
+            worst = worst.max(run);
+        }
+    }
+    worst
+}
+
+/// Lemma 1: per topic, per subscriber, consecutive losses ≤ `L_i`.
+fn check_loss_bound(plan: &FaultPlan, evidence: &ChaosEvidence) -> CheckResult {
+    let mut failures = Vec::new();
+    let mut verified = 0usize;
+    for topic in &plan.topics {
+        let bound = match topic.spec().loss_tolerance {
+            LossTolerance::Consecutive(l) => u64::from(l),
+            LossTolerance::BestEffort => continue,
+        };
+        for &sub in &topic.subscribers {
+            let empty = BTreeMap::new();
+            let delivered = evidence.delivered.get(&(sub, topic.id)).unwrap_or(&empty);
+            let worst = longest_loss_run(delivered, plan.messages);
+            verified += 1;
+            if worst > bound {
+                failures.push(format!(
+                    "topic {} subscriber {}: {} consecutive losses > L_i {}",
+                    topic.id, sub, worst, bound
+                ));
+            }
+        }
+    }
+    CheckResult {
+        name: "lemma1_loss_bound".into(),
+        passed: failures.is_empty(),
+        detail: if failures.is_empty() {
+            format!("{verified} subscriber/topic pairs within L_i")
+        } else {
+            failures.join("; ")
+        },
+    }
+}
+
+/// Whether a deadline miss at `(topic, seq)` has a scripted explanation.
+fn miss_is_explained(plan: &FaultPlan, topic: u32, seq: u64) -> bool {
+    // Any fault rule whose window covers the message perturbs its path
+    // (a delayed/dropped/stalled frame legitimately misses; a dropped
+    // replica forces recovery work). Detector stalls stretch fail-over
+    // and so explain misses anywhere once a crash is scripted.
+    for rule in &plan.rules {
+        match rule.surface {
+            Surface::Frame(_) | Surface::Worker => {
+                if rule.covers(TopicId(topic), seq) {
+                    return true;
+                }
+            }
+            Surface::Detector => {
+                if plan.crash.is_some() {
+                    return true;
+                }
+            }
+        }
+    }
+    // Crash recovery: messages retained at the crash (the `N_i` newest at
+    // `at_seq`) plus everything published during the fail-over blackout
+    // re-arrive late by up to `x + ΔBB`; their misses are the scripted
+    // fail-over cost, not a budget leak.
+    if let Some(crash) = plan.crash {
+        let retention = plan
+            .topics
+            .iter()
+            .find(|t| t.id == topic)
+            .map_or(0, |t| u64::from(t.retention));
+        if seq + retention >= crash.at_seq {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lemma 2: every deadline miss is attributable to a scripted fault.
+fn check_deadline_budget(plan: &FaultPlan, evidence: &ChaosEvidence) -> CheckResult {
+    let unexplained: Vec<&(u32, u64)> = evidence
+        .deadline_misses
+        .iter()
+        .filter(|(topic, seq)| !miss_is_explained(plan, *topic, *seq))
+        .collect();
+    let allowed = plan.check.allow_unexplained_misses;
+    let passed = unexplained.len() as u64 <= allowed;
+    CheckResult {
+        name: "lemma2_deadline_budget".into(),
+        passed,
+        detail: if passed {
+            "all deadline misses attributed to scripted faults".to_string()
+        } else {
+            format!(
+                "{} unexplained deadline misses (allowed {allowed}), first at {:?}",
+                unexplained.len(),
+                unexplained[0]
+            )
+        },
+    }
+}
+
+/// Table 3: a prune never precedes its replica in the emission stream.
+fn check_table3_order(evidence: &ChaosEvidence) -> CheckResult {
+    let mut replicated: std::collections::BTreeSet<(u32, u64)> = Default::default();
+    let mut violations = Vec::new();
+    for obs in &evidence.backup_order {
+        let key = (obs.topic.0, obs.seq.0);
+        match obs.kind {
+            BackupEffectKind::Replica => {
+                replicated.insert(key);
+            }
+            BackupEffectKind::Prune => {
+                if !replicated.contains(&key) {
+                    violations.push(format!(
+                        "prune for topic {} seq {} emitted before its replica",
+                        key.0, key.1
+                    ));
+                }
+            }
+        }
+    }
+    CheckResult {
+        name: "table3_replica_before_prune".into(),
+        passed: violations.is_empty(),
+        detail: if violations.is_empty() {
+            format!(
+                "{} backup effects in replica-before-prune order",
+                evidence.backup_order.len()
+            )
+        } else {
+            violations.join("; ")
+        },
+    }
+}
+
+/// Whether duplicate deliveries of `(topic, seq)` have a scripted cause.
+fn duplicate_is_explained(plan: &FaultPlan, topic: u32, seq: u64) -> bool {
+    for rule in &plan.rules {
+        if let (Surface::Frame(_), Action::Duplicate(_)) = (rule.surface, rule.action) {
+            if rule.covers(TopicId(topic), seq) {
+                return true;
+            }
+        }
+    }
+    if let Some(crash) = plan.crash {
+        // Fail-over re-sends the publisher's retained window; the Backup
+        // may re-dispatch anything whose prune was lost with the Primary.
+        let retention = plan
+            .topics
+            .iter()
+            .find(|t| t.id == topic)
+            .map_or(0, |t| u64::from(t.retention));
+        if seq + retention >= crash.at_seq {
+            return true;
+        }
+    }
+    false
+}
+
+/// Exactly-once: duplicates only where the script explains them.
+fn check_dispatch_multiplicity(plan: &FaultPlan, evidence: &ChaosEvidence) -> CheckResult {
+    let mut violations = Vec::new();
+    let mut singles = 0usize;
+    for ((sub, topic), counts) in &evidence.delivered {
+        for (&seq, &count) in counts {
+            if count == 1 {
+                singles += 1;
+            } else if !duplicate_is_explained(plan, *topic, seq) {
+                violations.push(format!(
+                    "topic {topic} seq {seq} delivered {count}x to subscriber {sub}"
+                ));
+            }
+        }
+    }
+    CheckResult {
+        name: "exactly_once_dispatch".into(),
+        passed: violations.is_empty(),
+        detail: if violations.is_empty() {
+            format!("{singles} deliveries exactly-once; duplicates all scripted")
+        } else {
+            violations.join("; ")
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame_types::SeqNo;
+
+    fn plan(toml: &str) -> FaultPlan {
+        FaultPlan::from_toml_str(toml).unwrap()
+    }
+
+    const BASE: &str = r#"
+        messages = 8
+
+        [[topics]]
+        id = 1
+        period_ms = 10
+        deadline_ms = 100
+        loss_tolerance = 1
+        retention = 2
+        subscribers = [1]
+    "#;
+
+    fn full_delivery(messages: u64) -> DeliveryCounts {
+        let mut m = BTreeMap::new();
+        m.insert((1, 1), (0..messages).map(|s| (s, 1)).collect());
+        m
+    }
+
+    fn evidence(delivered: DeliveryCounts) -> ChaosEvidence {
+        ChaosEvidence {
+            delivered,
+            backup_order: Vec::new(),
+            deadline_misses: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_everything() {
+        let v = check(&plan(BASE), &evidence(full_delivery(8)));
+        assert!(v.passed, "{}", v.render());
+        assert_eq!(v.checks.len(), 4);
+    }
+
+    #[test]
+    fn loss_run_beyond_tolerance_fails_lemma1() {
+        let mut delivered = full_delivery(8);
+        let counts = delivered.get_mut(&(1, 1)).unwrap();
+        counts.remove(&3);
+        counts.remove(&4); // 2 consecutive > L_i = 1
+        let v = check(&plan(BASE), &evidence(delivered));
+        assert!(!v.passed);
+        assert!(!v.checks[0].passed, "{}", v.checks[0].detail);
+
+        let mut delivered = full_delivery(8);
+        delivered.get_mut(&(1, 1)).unwrap().remove(&3); // 1 loss = L_i
+        let v = check(&plan(BASE), &evidence(delivered));
+        assert!(v.checks[0].passed);
+    }
+
+    #[test]
+    fn missing_subscriber_stream_counts_as_loss() {
+        let v = check(&plan(BASE), &evidence(BTreeMap::new()));
+        assert!(!v.checks[0].passed, "absent stream = total loss");
+    }
+
+    #[test]
+    fn unexplained_miss_fails_lemma2_scripted_miss_passes() {
+        let mut e = evidence(full_delivery(8));
+        e.deadline_misses.push((1, 5));
+        let v = check(&plan(BASE), &e);
+        assert!(!v.checks[1].passed);
+
+        let scripted = format!(
+            "{BASE}
+            [[faults]]
+            hop = \"broker_to_subscriber\"
+            action = \"delay\"
+            delay_ms = 50
+            topic = 1
+            from_seq = 5
+            until_seq = 6
+        "
+        );
+        let v = check(&plan(&scripted), &e);
+        assert!(v.checks[1].passed, "{}", v.checks[1].detail);
+    }
+
+    #[test]
+    fn crash_window_explains_misses_and_duplicates() {
+        let crashy = format!(
+            "{BASE}
+            [crash]
+            topic = 1
+            at_seq = 5
+        "
+        );
+        let p = plan(&crashy);
+        let mut e = evidence(full_delivery(8));
+        e.deadline_misses.push((1, 4)); // retained at crash (retention 2: 4, 5)
+        e.delivered.get_mut(&(1, 1)).unwrap().insert(4, 2); // re-dispatch
+        let v = check(&p, &e);
+        assert!(v.passed, "{}", v.render());
+
+        // A duplicate far before the crash window is NOT explained.
+        e.delivered.get_mut(&(1, 1)).unwrap().insert(0, 2);
+        let v = check(&p, &e);
+        assert!(!v.checks[3].passed);
+    }
+
+    #[test]
+    fn prune_before_replica_fails_table3() {
+        let mut e = evidence(full_delivery(8));
+        e.backup_order = vec![
+            BackupObservation {
+                topic: TopicId(1),
+                seq: SeqNo(0),
+                kind: BackupEffectKind::Replica,
+            },
+            BackupObservation {
+                topic: TopicId(1),
+                seq: SeqNo(0),
+                kind: BackupEffectKind::Prune,
+            },
+            BackupObservation {
+                topic: TopicId(1),
+                seq: SeqNo(1),
+                kind: BackupEffectKind::Prune,
+            },
+        ];
+        let v = check(&plan(BASE), &e);
+        assert!(!v.checks[2].passed);
+        assert!(v.checks[2].detail.contains("seq 1"));
+
+        e.backup_order.truncate(2);
+        let v = check(&plan(BASE), &e);
+        assert!(v.checks[2].passed);
+    }
+}

@@ -1,0 +1,225 @@
+//! The chaos runner: executes a [`FaultPlan`] against a live
+//! [`RtSystem`] and hands the evidence to the invariant checker.
+//!
+//! The runner owns everything the plan leaves to the harness: building
+//! the system with the injector installed, driving the publish schedule,
+//! pulling the crash trigger at its scripted sequence number, draining
+//! subscriber channels, and assembling the [`ChaosEvidence`]. Faults
+//! themselves are the injector's business — the runner never flips a coin.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use frame_core::BrokerConfig;
+use frame_rt::RtSystem;
+use frame_telemetry::{IncidentKind, Telemetry};
+use frame_types::{Duration, FrameError, PublisherId, SubscriberId, TopicId};
+
+use crate::inject::{ChaosInjector, InjectedFault};
+use crate::invariant::{self, ChaosEvidence, DeliveryCounts, Verdict};
+use crate::plan::FaultPlan;
+
+/// Everything a finished chaos run produces.
+pub struct ChaosReport {
+    /// The invariant checker's verdict.
+    pub verdict: Verdict,
+    /// The deterministic injected-fault log.
+    pub incidents: Vec<InjectedFault>,
+    /// The same log as byte-stable JSONL (the CI artifact).
+    pub incidents_jsonl: String,
+    /// Messages delivered per `(subscriber, topic)` pair.
+    pub delivered: DeliveryCounts,
+    /// Deadline misses observed by the flight recorder.
+    pub deadline_misses: usize,
+}
+
+/// How long to keep draining a quiet subscriber channel before declaring
+/// the run settled. Covers a full detector period plus recovery dispatch.
+fn settle_timeout(plan: &FaultPlan) -> StdDuration {
+    let detector = plan.detector.interval_ms + plan.detector.timeout_ms;
+    let deadline = plan
+        .topics
+        .iter()
+        .map(|t| t.deadline_ms)
+        .max()
+        .unwrap_or(100);
+    StdDuration::from_millis((detector + deadline).max(250) * 2)
+}
+
+/// Runs `plan` with `seed`: builds a Primary/Backup pair with the seeded
+/// injector installed, publishes the schedule (crashing the Primary where
+/// scripted), drains deliveries, and checks every invariant.
+///
+/// # Errors
+///
+/// Admission rejections and system construction failures; a failed
+/// *invariant* is not an error — it is a [`Verdict`] with
+/// `passed == false`.
+pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
+    let telemetry = Telemetry::new();
+    let injector = ChaosInjector::new(plan.clone(), seed, telemetry.clone());
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .telemetry(telemetry.clone())
+        .chaos(injector.clone() as Arc<dyn frame_rt::FaultHook>)
+        .start()?;
+
+    let mut specs = Vec::new();
+    for topic in &plan.topics {
+        let spec = topic.spec();
+        sys.add_topic(spec, topic.subscriber_ids())?;
+        specs.push(spec);
+    }
+    let publisher = sys.add_publisher(PublisherId(0), &specs)?;
+
+    // One channel per distinct subscriber id across all topics.
+    let mut subscribers: Vec<u32> = plan
+        .topics
+        .iter()
+        .flat_map(|t| t.subscribers.iter().copied())
+        .collect();
+    subscribers.sort_unstable();
+    subscribers.dedup();
+    let receivers: Vec<(u32, crossbeam::channel::Receiver<frame_rt::Delivered>)> = subscribers
+        .iter()
+        .map(|&s| (s, sys.subscribe(SubscriberId(s))))
+        .collect();
+
+    sys.start_failover_coordinator(
+        Duration::from_millis(plan.detector.interval_ms),
+        Duration::from_millis(plan.detector.timeout_ms),
+    );
+
+    // Drive the schedule: one publish round per sequence number, paced so
+    // the Primary has processed a message before the next round — and,
+    // crucially, before a scripted crash. That keeps the set of frames
+    // that crossed each hop (and so the incident log) schedule-determined
+    // rather than race-determined.
+    let pace = StdDuration::from_millis(plan.pace_ms);
+    let mut crashed = false;
+    for seq in 0..plan.messages {
+        for topic in &plan.topics {
+            let payload = format!("{:016}", seq).into_bytes();
+            // Publishing into a crashed Primary is part of the scenario:
+            // the message lands in the retention buffer and is re-sent on
+            // fail-over, so a send error here is evidence, not a bug.
+            let _ = publisher.publish(TopicId(topic.id), payload);
+        }
+        std::thread::sleep(pace);
+        if let Some(crash) = plan.crash {
+            if !crashed && crash.at_seq == seq {
+                crashed = true;
+                sys.crash_primary();
+                telemetry.incident(
+                    IncidentKind::FaultInjected,
+                    TopicId(crash.topic),
+                    frame_types::SeqNo(crash.at_seq),
+                    sys.clock().now(),
+                    format!("scripted Primary crash after seq {}", crash.at_seq),
+                );
+            }
+        }
+    }
+
+    // Drain until every channel has been quiet for the settle window.
+    let mut delivered: DeliveryCounts = BTreeMap::new();
+    let settle = settle_timeout(plan);
+    for (sub, rx) in &receivers {
+        while let Ok(d) = rx.recv_timeout(settle) {
+            *delivered
+                .entry((*sub, d.message.topic.0))
+                .or_default()
+                .entry(d.message.seq.0)
+                .or_insert(0) += 1;
+        }
+    }
+
+    let deadline_misses: Vec<(u32, u64)> = telemetry
+        .flight_snapshot()
+        .incidents
+        .iter()
+        .filter(|i| i.kind == IncidentKind::DeadlineMiss)
+        .map(|i| (i.topic.0, i.seq.0))
+        .collect();
+
+    sys.shutdown();
+
+    let evidence = ChaosEvidence {
+        delivered: delivered.clone(),
+        backup_order: injector.backup_order(),
+        deadline_misses: deadline_misses.clone(),
+    };
+    let verdict = invariant::check(plan, &evidence);
+    Ok(ChaosReport {
+        verdict,
+        incidents: injector.incident_log(),
+        incidents_jsonl: injector.incident_jsonl(),
+        delivered,
+        deadline_misses: deadline_misses.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_passes_all_invariants() {
+        let plan = FaultPlan::from_toml_str(
+            r#"
+            messages = 5
+            pace_ms = 5
+
+            [[topics]]
+            id = 1
+            period_ms = 10
+            deadline_ms = 200
+            loss_tolerance = 0
+            retention = 6
+            subscribers = [1]
+        "#,
+        )
+        .unwrap();
+        let report = run(&plan, 1).unwrap();
+        assert!(report.verdict.passed, "{}", report.verdict.render());
+        assert!(report.incidents.is_empty(), "no faults scripted");
+        let counts = report.delivered.get(&(1, 1)).expect("deliveries");
+        assert_eq!(counts.len(), 5, "all seqs delivered");
+    }
+
+    #[test]
+    fn dropped_deliveries_break_lemma1_and_the_checker_sees_it() {
+        // Sever broker→subscriber for 3 consecutive seqs on an L_i = 0
+        // topic with no recovery path for dispatches: the loss bound MUST
+        // fail — proving the checker reads subscriber-side truth, not the
+        // broker's belief.
+        let plan = FaultPlan::from_toml_str(
+            r#"
+            messages = 6
+            pace_ms = 5
+
+            [[topics]]
+            id = 1
+            period_ms = 10
+            deadline_ms = 200
+            loss_tolerance = 0
+            retention = 6
+            subscribers = [1]
+
+            [[faults]]
+            hop = "broker_to_subscriber"
+            action = "drop"
+            topic = 1
+            from_seq = 2
+            until_seq = 5
+        "#,
+        )
+        .unwrap();
+        let report = run(&plan, 3).unwrap();
+        assert!(!report.verdict.passed);
+        let lemma1 = &report.verdict.checks[0];
+        assert!(!lemma1.passed);
+        assert!(lemma1.detail.contains("3 consecutive"), "{}", lemma1.detail);
+        assert_eq!(report.incidents.len(), 3, "three dropped frames logged");
+    }
+}

@@ -1,0 +1,329 @@
+//! A minimal TOML-subset parser for fault plans.
+//!
+//! The container builds fully offline, so there is no `toml` crate to
+//! lean on; plans need only a small slice of TOML, and this module parses
+//! exactly that slice into the vendored [`serde::Value`] tree (the same
+//! interchange format `serde_json` uses), so plan types deserialize with
+//! their ordinary serde derives.
+//!
+//! Supported: `#` comments, `[table]` and nested `[a.b]` headers,
+//! `[[array-of-tables]]` headers, `key = value` with basic strings,
+//! integers (with `_` separators), floats, booleans, and single-line
+//! arrays of those. Not supported (rejected, never misparsed): multiline
+//! strings and arrays, inline tables, dotted keys, and dates.
+
+use serde::Value;
+
+/// Parses a TOML document into a [`Value::Object`] tree.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table that `key = value` lines currently land in.
+    let mut path: Vec<String> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", idx + 1);
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[table]] header".into()))?;
+            path = parse_key_path(name).map_err(err)?;
+            push_array_table(&mut root, &path).map_err(err)?;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [table] header".into()))?;
+            path = parse_key_path(name).map_err(err)?;
+            // Materialize the table so empty sections still exist.
+            table_at(&mut root, &path).map_err(err)?;
+        } else {
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`".into()))?;
+            let key = parse_bare_key(key.trim()).map_err(err)?;
+            let value = parse_value(value.trim()).map_err(err)?;
+            let table = table_at(&mut root, &path).map_err(err)?;
+            if table.iter().any(|(k, _)| *k == key) {
+                return Err(err(format!("duplicate key `{key}`")));
+            }
+            table.push((key, value));
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+/// Cuts a `#` comment, ignoring `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// `a.b.c` → `["a", "b", "c"]`, bare keys only.
+fn parse_key_path(s: &str) -> Result<Vec<String>, String> {
+    s.split('.').map(|p| parse_bare_key(p.trim())).collect()
+}
+
+fn parse_bare_key(s: &str) -> Result<String, String> {
+    if !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(s.to_string())
+    } else {
+        Err(format!("invalid key `{s}` (bare keys only)"))
+    }
+}
+
+/// Walks (creating as needed) to the table at `path`. A path segment that
+/// names an array of tables resolves to its most recent element, as TOML
+/// specifies.
+fn table_at<'a>(
+    mut current: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, String> {
+    for key in path {
+        let idx = match current.iter().position(|(k, _)| k == key) {
+            Some(i) => i,
+            None => {
+                current.push((key.clone(), Value::Object(Vec::new())));
+                current.len() - 1
+            }
+        };
+        current = match &mut current[idx].1 {
+            Value::Object(o) => o,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Object(o)) => o,
+                _ => return Err(format!("`{key}` is not a table")),
+            },
+            _ => return Err(format!("`{key}` is not a table")),
+        };
+    }
+    Ok(current)
+}
+
+/// Appends a fresh element to the array of tables at `path`.
+fn push_array_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), String> {
+    let (last, parents) = path.split_last().ok_or("empty table name")?;
+    let parent = table_at(root, parents)?;
+    let idx = match parent.iter().position(|(k, _)| k == last) {
+        Some(i) => i,
+        None => {
+            parent.push((last.clone(), Value::Array(Vec::new())));
+            parent.len() - 1
+        }
+    };
+    match &mut parent[idx].1 {
+        Value::Array(items) => {
+            items.push(Value::Object(Vec::new()));
+            Ok(())
+        }
+        _ => Err(format!("`{last}` is not an array of tables")),
+    }
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(rest) = s.strip_prefix('"') {
+        let (v, tail) = parse_string(rest)?;
+        if tail.trim().is_empty() {
+            return Ok(Value::Str(v));
+        }
+        return Err(format!("trailing input after string: `{tail}`"));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if s.starts_with('[') {
+        return parse_array(s);
+    }
+    parse_number(s)
+}
+
+/// Parses a basic string body (after the opening quote); returns the
+/// decoded string and the input remaining after the closing quote.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => return Err(format!("unsupported escape `\\{other}`")),
+                None => return Err("unterminated escape".into()),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(s: &str) -> Result<Value, String> {
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+        return cleaned
+            .parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| format!("invalid float `{s}`"));
+    }
+    if let Some(neg) = cleaned.strip_prefix('-') {
+        return neg
+            .parse::<u64>()
+            .map(|u| Value::I64(-(u as i64)))
+            .map_err(|_| format!("invalid integer `{s}`"));
+    }
+    cleaned
+        .parse::<u64>()
+        .map(Value::U64)
+        .map_err(|_| format!("invalid value `{s}`"))
+}
+
+/// Parses a single-line array, splitting elements at top-level commas.
+fn parse_array(s: &str) -> Result<Value, String> {
+    let body = s
+        .strip_prefix('[')
+        .and_then(|b| b.trim_end().strip_suffix(']'))
+        .ok_or_else(|| format!("unterminated array `{s}`"))?;
+    let mut items = Vec::new();
+    for part in split_top_level(body)? {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_value(part)?);
+    }
+    Ok(Value::Array(items))
+}
+
+/// Splits on commas not nested in brackets or strings.
+fn split_top_level(s: &str) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match c {
+                '\\' if !escaped => {
+                    escaped = true;
+                    continue;
+                }
+                '"' if !escaped => in_string = false,
+                _ => {}
+            }
+            escaped = false;
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '[' => depth += 1,
+            ']' => depth = depth.checked_sub(1).ok_or("unbalanced `]`")?,
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string in array".into());
+    }
+    parts.push(&s[start..]);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+            # a plan
+            name = "partition" # trailing comment
+            messages = 12
+            prob = 0.5
+            flag = true
+
+            [detector]
+            interval_ms = 5
+
+            [[faults]]
+            hop = "primary_to_backup"
+            subs = [1, 2, 3]
+
+            [[faults]]
+            hop = "broker_to_subscriber"
+        "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("name").unwrap(), &Value::Str("partition".into()));
+        assert_eq!(v.get("messages").unwrap(), &Value::U64(12));
+        assert_eq!(v.get("prob").unwrap(), &Value::F64(0.5));
+        assert_eq!(v.get("flag").unwrap(), &Value::Bool(true));
+        assert_eq!(
+            v.get("detector").unwrap().get("interval_ms").unwrap(),
+            &Value::U64(5)
+        );
+        let faults = match v.get("faults").unwrap() {
+            Value::Array(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(faults.len(), 2);
+        assert_eq!(
+            faults[0].get("subs").unwrap(),
+            &Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+    }
+
+    #[test]
+    fn strings_keep_hashes_and_escapes() {
+        let v = parse(r#"s = "a # not a comment \"x\"""#).unwrap();
+        assert_eq!(
+            v.get("s").unwrap(),
+            &Value::Str("a # not a comment \"x\"".into())
+        );
+    }
+
+    #[test]
+    fn negative_and_underscored_numbers() {
+        let v = parse("a = -3\nb = 1_000").unwrap();
+        assert_eq!(v.get("a").unwrap(), &Value::I64(-3));
+        assert_eq!(v.get("b").unwrap(), &Value::U64(1000));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = parse("ok = 1\noops").unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        assert!(parse("[unterminated").is_err());
+        assert!(parse("k = [1, 2").is_err());
+        assert!(parse("k = 1\nk = 2").is_err());
+    }
+}

@@ -392,6 +392,53 @@ pub fn cmd_trace(
     writeln!(out, "{rendered}").map_err(|e| e.to_string())
 }
 
+/// `frame-cli chaos run`: execute a fault plan against a fresh in-process
+/// Primary/Backup pair with the seeded injector installed, print the
+/// invariant verdict, and (with `--out`) write the deterministic incident
+/// log as `incidents.jsonl` plus the verdict as `verdict.json`. The same
+/// plan and seed always produce byte-identical artifacts.
+///
+/// Returns `0` when every invariant held, `1` when any failed.
+///
+/// # Errors
+///
+/// Plan load/parse failures, admission rejections, and artifact-write
+/// failures — a failed *invariant* is an exit code, not an error.
+pub fn cmd_chaos(
+    plan_path: &std::path::Path,
+    seed: u64,
+    out_dir: Option<&std::path::Path>,
+    out: &mut impl std::io::Write,
+) -> Result<i32, String> {
+    let plan = frame_chaos::FaultPlan::load(plan_path).map_err(|e| e.to_string())?;
+    let report = frame_chaos::run(&plan, seed).map_err(|e| e.to_string())?;
+    writeln!(out, "plan: {}  seed: {seed}", plan.name).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "injected: {} incidents  deadline misses: {}",
+        report.incidents.len(),
+        report.deadline_misses
+    )
+    .map_err(|e| e.to_string())?;
+    write!(out, "{}", report.verdict.render()).map_err(|e| e.to_string())?;
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let incidents = dir.join("incidents.jsonl");
+        std::fs::write(&incidents, &report.incidents_jsonl).map_err(|e| e.to_string())?;
+        let verdict = dir.join("verdict.json");
+        let json = serde_json::to_string(&report.verdict).map_err(|e| e.to_string())?;
+        std::fs::write(&verdict, json).map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "artifacts: {} {}",
+            incidents.display(),
+            verdict.display()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(if report.verdict.passed { 0 } else { 1 })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

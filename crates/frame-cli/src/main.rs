@@ -11,6 +11,7 @@
 //! frame-cli stats     --addr host:port [--format pretty|json|prometheus]
 //! frame-cli trace     --addr host:port | --dump path/flight.jsonl
 //!                     [--format pretty|json] [--detail N] [--topic N --seq N]
+//! frame-cli chaos run plan.toml [--seed N] [--out dir]
 //! frame-cli example-manifest            # print the paper's Table 2
 //! ```
 
@@ -22,8 +23,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use commands::{
-    cmd_admit, cmd_broker, cmd_publish, cmd_stats, cmd_subscribe, cmd_trace, parse_config,
-    TraceSource,
+    cmd_admit, cmd_broker, cmd_chaos, cmd_publish, cmd_stats, cmd_subscribe, cmd_trace,
+    parse_config, TraceSource,
 };
 use frame_core::BrokerRole;
 use manifest::Manifest;
@@ -224,6 +225,35 @@ fn run(args: &[String]) -> Result<i32, String> {
                 None => Ok(0),
             }
         }
+        "chaos" => {
+            // `chaos run <plan.toml> --seed N [--out DIR]`
+            match args.get(1).map(String::as_str) {
+                Some("run") => {}
+                Some(other) => return Err(format!("unknown chaos subcommand `{other}`")),
+                None => {
+                    return Err(
+                        "usage: frame-cli chaos run PLAN.toml [--seed N] [--out DIR]".to_owned(),
+                    )
+                }
+            }
+            let plan = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("missing plan path: frame-cli chaos run PLAN.toml")?;
+            let flags = Flags(args[3..].to_vec());
+            let seed: u64 = flags
+                .get("--seed")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| "bad --seed".to_owned())?;
+            let out_dir = flags.get("--out").map(std::path::Path::new);
+            cmd_chaos(
+                std::path::Path::new(plan),
+                seed,
+                out_dir,
+                &mut std::io::stdout(),
+            )
+        }
         "example-manifest" => {
             println!(
                 "{}",
@@ -249,6 +279,7 @@ fn usage() -> String {
      frame-cli trace     --addr ADDR | --dump PATH [--format pretty|json]\n            \
      \u{20}         [--detail N] [--topic N --seq N]\n  \
      frame-cli detector  --primary ADDR --backup ADDR [--interval-ms N] [--timeout-ms N]\n  \
+     frame-cli chaos run PLAN.toml [--seed N] [--out DIR]\n  \
      frame-cli example-manifest"
         .to_owned()
 }

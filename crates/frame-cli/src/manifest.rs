@@ -96,14 +96,12 @@ impl ManifestTopic {
             DestinationField::Cloud => Destination::Cloud,
         };
         (
-            TopicSpec::new(
-                TopicId(self.id),
-                period,
-                Duration::from_millis(self.deadline_ms),
-                loss,
-                self.retention,
-                destination,
-            ),
+            TopicSpec::new(TopicId(self.id))
+                .period(period)
+                .deadline(Duration::from_millis(self.deadline_ms))
+                .loss_tolerance(loss)
+                .retention(self.retention)
+                .destination(destination),
             self.subscribers.iter().map(|&s| SubscriberId(s)).collect(),
         )
     }

@@ -157,7 +157,7 @@ pub struct AdmittedTopic {
 /// The admission test of §III-D.1: both `D^d_i ≥ 0` and `D^r_i ≥ 0` must
 /// hold. On success, returns the topic bundled with its pseudo deadlines.
 pub fn admit(spec: &TopicSpec, net: &NetworkParams) -> Result<AdmittedTopic, FrameError> {
-    let to_err = |reason| FrameError::NotAdmissible {
+    let to_err = |reason| FrameError::AdmissionRejected {
         topic: spec.id,
         reason,
     };
@@ -415,7 +415,7 @@ mod tests {
         let err = admit(&spec, &net).unwrap_err();
         assert!(matches!(
             err,
-            FrameError::NotAdmissible {
+            FrameError::AdmissionRejected {
                 reason: AdmissionFailure::DispatchDeadlineNegative,
                 ..
             }
@@ -432,7 +432,7 @@ mod tests {
         let err = admit(&spec, &net).unwrap_err();
         assert!(matches!(
             err,
-            FrameError::NotAdmissible {
+            FrameError::AdmissionRejected {
                 reason: AdmissionFailure::ReplicationDeadlineNegative,
                 ..
             }
@@ -466,24 +466,14 @@ mod tests {
     fn min_retention_for_aperiodic_topics() {
         // §III-D.4: rare time-critical messages, T=∞, L=0 ⇒ N must be > 0.
         let net = paper_net();
-        let spec = TopicSpec::new(
-            TopicId(9),
-            Duration::MAX,
-            Duration::from_millis(10),
-            LossTolerance::ZERO,
-            0,
-            Destination::Edge,
-        );
+        let spec = TopicSpec::new(TopicId(9))
+            .deadline(Duration::from_millis(10))
+            .loss_tolerance(LossTolerance::ZERO);
         assert_eq!(min_admissible_retention(&spec, &net), Some(1));
         // With L>0 the window is already unbounded at N=0.
-        let tolerant = TopicSpec::new(
-            TopicId(10),
-            Duration::MAX,
-            Duration::from_millis(10),
-            LossTolerance::Consecutive(1),
-            0,
-            Destination::Edge,
-        );
+        let tolerant = TopicSpec::new(TopicId(10))
+            .deadline(Duration::from_millis(10))
+            .loss_tolerance(LossTolerance::Consecutive(1));
         assert_eq!(min_admissible_retention(&tolerant, &net), Some(0));
     }
 
@@ -500,14 +490,12 @@ mod tests {
         // Case D > T (e.g. multimedia streaming): Eq. (3) suggests a likely
         // need for replication unless ΔBS is small.
         let net = paper_net();
-        let streaming = TopicSpec::new(
-            TopicId(11),
-            Duration::from_millis(10),
-            Duration::from_millis(200),
-            LossTolerance::ZERO,
-            6,
-            Destination::Cloud,
-        );
+        let streaming = TopicSpec::new(TopicId(11))
+            .period(Duration::from_millis(10))
+            .deadline(Duration::from_millis(200))
+            .loss_tolerance(LossTolerance::ZERO)
+            .retention(6)
+            .destination(Destination::Cloud);
         assert!(replication_needed(&streaming, &net).unwrap());
     }
 

@@ -564,7 +564,7 @@ mod tests {
     use super::*;
     use crate::bounds::admit;
     use crate::job::JobKind;
-    use frame_types::{Destination, LossTolerance, NetworkParams, PublisherId, TopicSpec};
+    use frame_types::{LossTolerance, NetworkParams, PublisherId, TopicSpec};
 
     const T1: TopicId = TopicId(1);
     const S1: SubscriberId = SubscriberId(1);
@@ -737,14 +737,11 @@ mod tests {
         // replication deadline, so dispatch pops first while the
         // replication job is still queued.
         let b = Broker::new(BrokerId(1), BrokerRole::Primary, BrokerConfig::frame());
-        let spec = TopicSpec::new(
-            T1,
-            frame_types::Duration::from_millis(100),
-            frame_types::Duration::from_millis(30), // tight deadline
-            LossTolerance::Consecutive(0),
-            2,
-            Destination::Edge,
-        );
+        let spec = TopicSpec::new(T1)
+            .period(frame_types::Duration::from_millis(100))
+            .deadline(frame_types::Duration::from_millis(30)) // tight deadline
+            .loss_tolerance(LossTolerance::Consecutive(0))
+            .retention(2);
         let adm = admit(&spec, &net()).unwrap();
         // Force replication regardless of Prop 1 by using fcfs-style
         // selective_replication=false but EDF policy + coordination:

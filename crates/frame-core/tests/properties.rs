@@ -161,14 +161,12 @@ proptest! {
         cloud in any::<bool>(),
     ) {
         let net = NetworkParams::paper_example();
-        let spec = TopicSpec::new(
-            TopicId(0),
-            Duration::from_millis(period_ms),
-            Duration::from_millis(deadline_ms),
-            LossTolerance::Consecutive(loss),
-            retention,
-            if cloud { Destination::Cloud } else { Destination::Edge },
-        );
+        let spec = TopicSpec::new(TopicId(0))
+            .period(Duration::from_millis(period_ms))
+            .deadline(Duration::from_millis(deadline_ms))
+            .loss_tolerance(LossTolerance::Consecutive(loss))
+            .retention(retention)
+            .destination(if cloud { Destination::Cloud } else { Destination::Edge });
         let bumped = spec.with_extra_retention(1);
 
         match (replication_deadline(&spec, &net), replication_deadline(&bumped, &net)) {
@@ -187,14 +185,11 @@ proptest! {
     #[test]
     fn dispatch_deadline_monotone(d1 in 1u64..5000, extra in 0u64..5000) {
         let net = NetworkParams::paper_example();
-        let mk = |d| TopicSpec::new(
-            TopicId(0),
-            Duration::from_millis(100),
-            Duration::from_millis(d),
-            LossTolerance::Consecutive(1),
-            1,
-            Destination::Edge,
-        );
+        let mk = |d| TopicSpec::new(TopicId(0))
+            .period(Duration::from_millis(100))
+            .deadline(Duration::from_millis(d))
+            .loss_tolerance(LossTolerance::Consecutive(1))
+            .retention(1);
         if let (Ok(a), Ok(b)) = (dispatch_deadline(&mk(d1), &net), dispatch_deadline(&mk(d1 + extra), &net)) {
             prop_assert!(b >= a);
         }

@@ -12,10 +12,14 @@ use frame_types::{Duration, PublisherId, SubscriberId, TopicId, TopicSpec};
 
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
-    let path = sys
-        .start_flight_dump(std::path::Path::new(&dir))
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .flight_dump(&dir)
+        .start()
         .expect("flight dump starts");
+    let path = sys
+        .flight_dump_path()
+        .expect("flight dump configured")
+        .to_path_buf();
 
     let spec = TopicSpec::category(2, TopicId(1));
     sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();

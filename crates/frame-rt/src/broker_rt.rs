@@ -59,6 +59,8 @@ use frame_types::{
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{fate_of, BackupEffectKind, Hop, SharedFaultHook};
+
 /// A delivery handed to a subscriber.
 #[derive(Clone, Debug)]
 pub struct Delivered {
@@ -126,6 +128,8 @@ struct Inner {
     /// nanoseconds (see [`RtBroker::set_job_service_time`]). Zero (the
     /// default) skips the sleep entirely.
     job_service_ns: std::sync::atomic::AtomicU64,
+    /// Scripted fault hook ([`crate::fault`]); `None` in production.
+    hook: SharedFaultHook,
 }
 
 /// Handle to a running threaded broker.
@@ -179,6 +183,22 @@ impl RtBroker {
         clock: Arc<dyn Clock>,
         telemetry: Telemetry,
     ) -> (RtBroker, RtBrokerThreads) {
+        RtBroker::spawn_configured(id, role, config, workers, clock, telemetry, None)
+    }
+
+    /// Spawns a broker with the full configuration surface: a shared
+    /// [`Telemetry`] registry plus an optional scripted
+    /// [`crate::fault::FaultHook`] consulted on the Primary→Backup and
+    /// broker→subscriber hops and in the worker loop.
+    pub fn spawn_configured(
+        id: BrokerId,
+        role: BrokerRole,
+        config: BrokerConfig,
+        workers: usize,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+        hook: SharedFaultHook,
+    ) -> (RtBroker, RtBrokerThreads) {
         let (tx, rx) = unbounded::<BrokerMsg>();
         let inner = Arc::new(Inner {
             id,
@@ -194,6 +214,7 @@ impl RtBroker {
             backup_tx: RwLock::new(None),
             telemetry,
             job_service_ns: std::sync::atomic::AtomicU64::new(0),
+            hook,
         });
 
         let mut handles = Vec::with_capacity(workers + 1);
@@ -534,6 +555,13 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
                     }
                 }
             };
+            if let Some(hook) = inner.hook.as_deref() {
+                if let Some(stall) = hook.on_worker_job(job.topic, job.key.seq) {
+                    // Scripted worker stall: lock-free, so it consumes
+                    // queue-wait budget exactly like a preempted worker.
+                    std::thread::sleep(stall);
+                }
+            }
             let now = inner.clock.now();
             inner
                 .telemetry
@@ -589,21 +617,71 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
 
 /// Sends the backup-bound effects of one finished job, cloning the backup
 /// sender once for the whole batch.
+///
+/// Each effect crosses the Primary→Backup hop through the fault hook (if
+/// any): dropped effects never leave, truncated replicas leave cut short,
+/// duplicated effects are repeated in place (order preserved), and delayed
+/// effects leave from a timer thread — so later traffic overtakes them,
+/// which is how Table-3 order violations are provoked under test.
 fn send_backup_batch(inner: &Inner, effects: &[Effect]) {
     let mut batch: Vec<BackupEffect> = Vec::new();
+    let mut delayed: Vec<(std::time::Duration, BackupEffect)> = Vec::new();
     for effect in effects {
-        match effect {
-            Effect::Replicate { message } => batch.push(BackupEffect::Replica(message.clone())),
-            Effect::Prune { key } => batch.push(BackupEffect::Prune(*key)),
-            Effect::Deliver { .. } => {}
+        let staged = match effect {
+            Effect::Replicate { message } => BackupEffect::Replica(message.clone()),
+            Effect::Prune { key } => BackupEffect::Prune(*key),
+            Effect::Deliver { .. } => continue,
+        };
+        let (topic, seq, kind) = match &staged {
+            BackupEffect::Replica(m) => (m.topic, m.seq, BackupEffectKind::Replica),
+            BackupEffect::Prune(k) => (k.topic, k.seq, BackupEffectKind::Prune),
+        };
+        if let Some(hook) = &inner.hook {
+            // Emission-order observation (still under the shard lock):
+            // this is the ground truth a Table-3 order checker replays.
+            hook.on_backup_effect(topic, seq, kind);
+        }
+        let fate = fate_of(&inner.hook, Hop::PrimaryToBackup, topic, seq);
+        if fate.is_pass() {
+            batch.push(staged);
+            continue;
+        }
+        if fate.copies == 0 {
+            continue;
+        }
+        let staged = match (staged, fate.truncate_to) {
+            (BackupEffect::Replica(mut m), Some(n)) => {
+                m.payload.truncate(n);
+                BackupEffect::Replica(m)
+            }
+            (s, _) => s,
+        };
+        for _ in 0..fate.copies {
+            match fate.delay {
+                None => batch.push(staged.clone()),
+                Some(d) => delayed.push((d, staged.clone())),
+            }
         }
     }
-    if batch.is_empty() {
+    if batch.is_empty() && delayed.is_empty() {
         return;
     }
     let Some(tx) = inner.backup_tx.read().clone() else {
         return;
     };
+    for (delay, effect) in delayed {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            let _ = tx.send(match effect {
+                BackupEffect::Replica(m) => BrokerMsg::Replica(m),
+                BackupEffect::Prune(k) => BrokerMsg::Prune(k),
+            });
+        });
+    }
+    if batch.is_empty() {
+        return;
+    }
     let msg = if batch.len() == 1 {
         match batch.pop().expect("non-empty") {
             BackupEffect::Replica(m) => BrokerMsg::Replica(m),
@@ -657,10 +735,45 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                 );
             }
             if let Some(tx) = subs.get(subscriber) {
-                let _ = tx.send(Delivered {
-                    message,
-                    dispatched_at: now,
-                });
+                // The broker→subscriber hop crosses the fault hook last:
+                // the dispatch above is already accounted (the broker did
+                // its work); what a fate perturbs is whether/when the
+                // frame reaches this subscriber's channel.
+                let fate = fate_of(
+                    &inner.hook,
+                    Hop::BrokerToSubscriber,
+                    message.topic,
+                    message.seq,
+                );
+                if fate.copies == 0 {
+                    continue;
+                }
+                let mut message = message;
+                if let Some(n) = fate.truncate_to {
+                    message.payload.truncate(n);
+                }
+                match fate.delay {
+                    None => {
+                        for _ in 0..fate.copies {
+                            let _ = tx.send(Delivered {
+                                message: message.clone(),
+                                dispatched_at: now,
+                            });
+                        }
+                    }
+                    Some(delay) => {
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            std::thread::sleep(delay);
+                            for _ in 0..fate.copies {
+                                let _ = tx.send(Delivered {
+                                    message: message.clone(),
+                                    dispatched_at: now,
+                                });
+                            }
+                        });
+                    }
+                }
             }
         }
     }

@@ -15,7 +15,7 @@
 //! use frame_rt::RtSystem;
 //! use frame_types::{PublisherId, SubscriberId, TopicId, TopicSpec};
 //!
-//! let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+//! let mut sys = RtSystem::builder(BrokerConfig::frame()).start().unwrap();
 //! let spec = TopicSpec::category(0, TopicId(1));
 //! sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
 //! let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
@@ -31,12 +31,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod broker_rt;
+pub mod fault;
 pub mod system;
 pub mod tcp;
 
 pub use broker_rt::{BackupEffect, BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
-pub use system::{RtPublisher, RtSystem};
+pub use fault::{BackupEffectKind, FaultHook, FrameFate, Hop, SharedFaultHook};
+pub use system::{RtPublisher, RtSystem, RtSystemBuilder};
 pub use tcp::{
-    connect_backup_over_tcp, read_frame, write_frame, write_frame_into, TcpBackupBridge,
-    TcpBrokerServer, TcpPublisher, TcpSubscriber, WireMsg,
+    connect_backup_over_tcp, connect_backup_over_tcp_with_hook, read_frame, write_frame,
+    write_frame_into, TcpBackupBridge, TcpBrokerServer, TcpPublisher, TcpSubscriber, WireMsg,
 };

@@ -19,6 +19,7 @@ use frame_types::{
 use parking_lot::Mutex;
 
 use crate::broker_rt::{BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
+use crate::fault::{fate_of, FaultHook, Hop, SharedFaultHook};
 
 /// A publisher with retention and fail-over re-send, bound to the broker
 /// pair.
@@ -27,9 +28,58 @@ pub struct RtPublisher {
     primary: Sender<BrokerMsg>,
     backup: Sender<BrokerMsg>,
     clock: Arc<dyn Clock>,
+    hook: SharedFaultHook,
 }
 
 impl RtPublisher {
+    /// Sends `msg` through the publisher→Primary fault hook: dropped
+    /// frames vanish (the message stays retained, exactly like a lost
+    /// packet), delayed frames leave from a timer thread, duplicates are
+    /// repeated, truncation cuts the payload.
+    fn send_through_hook(&self, target: &Sender<BrokerMsg>, mut message: Message, resend: bool) {
+        let fate = fate_of(
+            &self.hook,
+            Hop::PublisherToPrimary,
+            message.topic,
+            message.seq,
+        );
+        if fate.is_pass() {
+            // A send to a dead broker is a network drop, not an error.
+            let _ = target.send(wrap(message, resend));
+            return;
+        }
+        if fate.copies == 0 {
+            return;
+        }
+        if let Some(n) = fate.truncate_to {
+            message.payload.truncate(n);
+        }
+        match fate.delay {
+            None => {
+                for _ in 0..fate.copies {
+                    let _ = target.send(wrap(message.clone(), resend));
+                }
+            }
+            Some(delay) => {
+                let target = target.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    for _ in 0..fate.copies {
+                        let _ = target.send(wrap(message.clone(), resend));
+                    }
+                });
+            }
+        }
+
+        fn wrap(m: Message, resend: bool) -> BrokerMsg {
+            if resend {
+                BrokerMsg::Resend(m)
+            } else {
+                BrokerMsg::Publish(m)
+            }
+        }
+    }
+
     /// Publishes the next message of `topic`.
     ///
     /// Sending to a crashed broker behaves like a dropped network packet:
@@ -49,17 +99,17 @@ impl RtPublisher {
             frame_core::PublishTarget::Primary => &self.primary,
             frame_core::PublishTarget::Backup => &self.backup,
         };
-        // A send to a dead broker is a network drop, not an error.
-        let _ = target.send(BrokerMsg::Publish(message));
+        self.send_through_hook(target, message, false);
         Ok(())
     }
 
     /// Redirects to the Backup and re-sends every retained message
-    /// (idempotent).
+    /// (idempotent). Re-sends cross the same publisher→Primary hop (the
+    /// Backup *is* the new Primary), so scripted faults apply to them too.
     pub fn fail_over(&self) {
         let retained: Vec<Message> = self.core.lock().fail_over();
         for m in retained {
-            let _ = self.backup.send(BrokerMsg::Resend(m));
+            self.send_through_hook(&self.backup, m, true);
         }
     }
 
@@ -78,11 +128,13 @@ pub struct RtSystem {
     pub backup: RtBroker,
     clock: Arc<dyn Clock>,
     net: NetworkParams,
+    workers: usize,
     publishers: Vec<Arc<RtPublisher>>,
     threads: Vec<RtBrokerThreads>,
     detector: Option<JoinHandle<()>>,
     telemetry: Telemetry,
     flight_sink: Option<FlightSink>,
+    hook: SharedFaultHook,
 }
 
 /// The background thread persisting flight-recorder snapshots on incident.
@@ -92,103 +144,250 @@ struct FlightSink {
     path: std::path::PathBuf,
 }
 
-impl RtSystem {
-    /// Starts a broker pair with `config` and `workers` delivery threads
-    /// each, using the paper's example network bounds for admission.
-    pub fn start(config: BrokerConfig, workers: usize) -> RtSystem {
-        RtSystem::start_with(config, workers, NetworkParams::paper_example())
+/// Spawns the watcher thread that appends a [`frame_telemetry::FlightSnapshot`]
+/// JSONL line to `<dir>/flight.jsonl` whenever a new incident is recorded.
+fn spawn_flight_sink(telemetry: Telemetry, dir: &std::path::Path) -> std::io::Result<FlightSink> {
+    let dump = FlightDump::create(dir)?;
+    let path = dump.path().to_path_buf();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("frame-flight-sink".into())
+        .spawn(move || {
+            let mut dumped = 0u64;
+            loop {
+                let stopping = stop2.load(Ordering::Acquire);
+                let count = telemetry.incident_count();
+                if count > dumped {
+                    dumped = count;
+                    if let Err(e) = dump.append(&telemetry.flight_snapshot()) {
+                        eprintln!("frame-rt: flight dump append failed: {e}");
+                    }
+                }
+                if stopping {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        })?;
+    Ok(FlightSink { stop, thread, path })
+}
+
+/// Configures and starts an [`RtSystem`]: broker pair, worker pools,
+/// telemetry, optional flight-recorder dump sink, and optional scripted
+/// fault injection.
+///
+/// ```no_run
+/// use frame_core::BrokerConfig;
+/// use frame_rt::RtSystem;
+///
+/// let sys = RtSystem::builder(BrokerConfig::frame())
+///     .workers(4)
+///     .flight_dump("/tmp/frame-dump")
+///     .start()
+///     .expect("system starts");
+/// # drop(sys);
+/// ```
+#[must_use = "a builder does nothing until `start()` is called"]
+pub struct RtSystemBuilder {
+    config: BrokerConfig,
+    workers: usize,
+    net: NetworkParams,
+    telemetry: Telemetry,
+    flight_dump: Option<std::path::PathBuf>,
+    hook: SharedFaultHook,
+}
+
+impl RtSystemBuilder {
+    /// Number of delivery worker threads per broker (default 2; the paper
+    /// uses 3 × CPU cores on its testbed).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
-    /// Starts a broker pair with explicit network bounds. Both brokers
-    /// record into one shared [`Telemetry`] registry, readable live via
-    /// [`RtSystem::snapshot`].
-    pub fn start_with(config: BrokerConfig, workers: usize, net: NetworkParams) -> RtSystem {
-        RtSystem::start_with_telemetry(config, workers, net, Telemetry::new())
+    /// Network bounds used by the admission test (default
+    /// [`NetworkParams::paper_example`]).
+    pub fn net(mut self, net: NetworkParams) -> Self {
+        self.net = net;
+        self
     }
 
-    /// Starts a broker pair recording into the given telemetry handle
-    /// (pass [`Telemetry::disabled`] to turn observability off entirely).
-    pub fn start_with_telemetry(
-        config: BrokerConfig,
-        workers: usize,
-        net: NetworkParams,
-        telemetry: Telemetry,
-    ) -> RtSystem {
+    /// Telemetry registry shared by both brokers (default a fresh enabled
+    /// registry; pass [`Telemetry::disabled`] to turn observability off).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Persist flight-recorder snapshots to `<dir>/flight.jsonl` whenever
+    /// an incident is recorded (see [`RtSystem::flight_dump_path`]).
+    pub fn flight_dump(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.flight_dump = Some(dir.into());
+        self
+    }
+
+    /// Install a scripted fault hook (the `frame-chaos` injector) on the
+    /// publisher→Primary, Primary→Backup and broker→subscriber hops, the
+    /// worker loop, and the failure detector.
+    pub fn chaos(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Starts the broker pair and (if configured) the flight-dump sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Store`] when the flight-dump directory cannot
+    /// be created.
+    pub fn start(self) -> Result<RtSystem, FrameError> {
+        let RtSystemBuilder {
+            config,
+            workers,
+            net,
+            telemetry,
+            flight_dump,
+            hook,
+        } = self;
         let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
-        let (primary, pt) = RtBroker::spawn_with_telemetry(
+        let (primary, pt) = RtBroker::spawn_configured(
             BrokerId(0),
             BrokerRole::Primary,
             config,
             workers,
             clock.clone(),
             telemetry.clone(),
+            hook.clone(),
         );
-        let (backup, bt) = RtBroker::spawn_with_telemetry(
+        let (backup, bt) = RtBroker::spawn_configured(
             BrokerId(1),
             BrokerRole::Backup,
             config,
             workers,
             clock.clone(),
             telemetry.clone(),
+            hook.clone(),
         );
         primary.connect_backup(backup.sender());
-        RtSystem {
+        let flight_sink = match flight_dump {
+            None => None,
+            Some(dir) => {
+                Some(spawn_flight_sink(telemetry.clone(), &dir).map_err(FrameError::store)?)
+            }
+        };
+        Ok(RtSystem {
             primary,
             backup,
             clock,
             net,
+            workers,
             publishers: Vec::new(),
             threads: vec![pt, bt],
             detector: None,
             telemetry,
-            flight_sink: None,
+            flight_sink,
+            hook,
+        })
+    }
+}
+
+impl RtSystem {
+    /// Starts configuring a system running `config` on both brokers; see
+    /// [`RtSystemBuilder`] for the knobs and defaults.
+    pub fn builder(config: BrokerConfig) -> RtSystemBuilder {
+        RtSystemBuilder {
+            config,
+            workers: 2,
+            net: NetworkParams::paper_example(),
+            telemetry: Telemetry::new(),
+            flight_dump: None,
+            hook: None,
         }
     }
 
-    /// Starts the flight-recorder dump sink: a watcher thread that appends
-    /// the current [`frame_telemetry::FlightSnapshot`] as one JSONL line to
-    /// `<dir>/flight.jsonl` every time a new incident (deadline miss, loss
-    /// burst, admission rejection, promotion) is recorded. Returns the dump
-    /// file path. The sink drains on [`RtSystem::shutdown`], writing one
-    /// final snapshot if incidents arrived since the last dump.
+    /// Starts a broker pair with `config` and `workers` delivery threads
+    /// each, using the paper's example network bounds for admission.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RtSystem::builder(config).workers(n).start()`"
+    )]
+    pub fn start(config: BrokerConfig, workers: usize) -> RtSystem {
+        RtSystem::builder(config)
+            .workers(workers)
+            .start()
+            .expect("no flight dump configured, start cannot fail")
+    }
+
+    /// Starts a broker pair with explicit network bounds. Both brokers
+    /// record into one shared [`Telemetry`] registry, readable live via
+    /// [`RtSystem::snapshot`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RtSystem::builder(config).workers(n).net(params).start()`"
+    )]
+    pub fn start_with(config: BrokerConfig, workers: usize, net: NetworkParams) -> RtSystem {
+        RtSystem::builder(config)
+            .workers(workers)
+            .net(net)
+            .start()
+            .expect("no flight dump configured, start cannot fail")
+    }
+
+    /// Starts a broker pair recording into the given telemetry handle
+    /// (pass [`Telemetry::disabled`] to turn observability off entirely).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RtSystem::builder(config).workers(n).net(params).telemetry(t).start()`"
+    )]
+    pub fn start_with_telemetry(
+        config: BrokerConfig,
+        workers: usize,
+        net: NetworkParams,
+        telemetry: Telemetry,
+    ) -> RtSystem {
+        RtSystem::builder(config)
+            .workers(workers)
+            .net(net)
+            .telemetry(telemetry)
+            .start()
+            .expect("no flight dump configured, start cannot fail")
+    }
+
+    /// Starts the flight-recorder dump sink on an already-running system
+    /// and returns the dump file path. Prefer configuring the sink up
+    /// front with [`RtSystemBuilder::flight_dump`].
     ///
     /// # Errors
     ///
     /// Propagates dump-directory creation errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RtSystem::builder(config).flight_dump(dir).start()`"
+    )]
     pub fn start_flight_dump(
         &mut self,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<std::path::PathBuf> {
-        let dump = FlightDump::create(dir)?;
-        let path = dump.path().to_path_buf();
-        let telemetry = self.telemetry.clone();
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let thread = std::thread::Builder::new()
-            .name("frame-flight-sink".into())
-            .spawn(move || {
-                let mut dumped = 0u64;
-                loop {
-                    let stopping = stop2.load(Ordering::Acquire);
-                    let count = telemetry.incident_count();
-                    if count > dumped {
-                        dumped = count;
-                        if let Err(e) = dump.append(&telemetry.flight_snapshot()) {
-                            eprintln!("frame-rt: flight dump append failed: {e}");
-                        }
-                    }
-                    if stopping {
-                        return;
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                }
-            })?;
-        self.flight_sink = Some(FlightSink {
-            stop,
-            thread,
-            path: path.clone(),
-        });
+        let sink = spawn_flight_sink(self.telemetry.clone(), dir.as_ref())?;
+        let path = sink.path.clone();
+        self.flight_sink = Some(sink);
         Ok(path)
+    }
+
+    /// The network bounds the system admits topics against.
+    pub fn net(&self) -> NetworkParams {
+        self.net
+    }
+
+    /// Delivery worker threads per broker.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether a scripted fault hook is installed.
+    pub fn has_chaos_hook(&self) -> bool {
+        self.hook.is_some()
     }
 
     /// The telemetry registry shared by both brokers and the fail-over
@@ -273,6 +472,7 @@ impl RtSystem {
             primary: self.primary.sender(),
             backup: self.backup.sender(),
             clock: self.clock.clone(),
+            hook: self.hook.clone(),
         });
         self.publishers.push(p.clone());
         Ok(p)
@@ -297,11 +497,19 @@ impl RtSystem {
         let publishers = self.publishers.clone();
         let clock = self.clock.clone();
         let telemetry = self.telemetry.clone();
+        let hook = self.hook.clone();
         let handle = std::thread::Builder::new()
             .name("frame-detector".into())
             .spawn(move || {
                 let mut detector = PollingDetector::new(interval, timeout, clock.now());
                 loop {
+                    if let Some(h) = hook.as_deref() {
+                        if let Some(stall) = h.on_detector_poll() {
+                            // Scripted detector stall: stretches the
+                            // realized fail-over time x.
+                            std::thread::sleep(stall);
+                        }
+                    }
                     let (ack_tx, ack_rx) = unbounded();
                     detector.on_poll_sent(clock.now());
                     if primary_tx.send(BrokerMsg::Poll(ack_tx)).is_ok()
@@ -363,8 +571,86 @@ mod tests {
     use std::time::Duration as StdDuration;
 
     #[test]
+    fn builder_and_deprecated_shims_construct_identical_systems() {
+        // The shims are thin delegations to the builder; prove the
+        // observable configuration comes out bit-identical.
+        #[allow(deprecated)]
+        let shim = RtSystem::start(BrokerConfig::frame(), 3);
+        let built = RtSystem::builder(BrokerConfig::frame())
+            .workers(3)
+            .start()
+            .unwrap();
+        assert_eq!(shim.net(), built.net());
+        assert_eq!(shim.worker_count(), built.worker_count());
+        assert_eq!(shim.has_chaos_hook(), built.has_chaos_hook());
+        assert_eq!(
+            shim.telemetry().is_enabled(),
+            built.telemetry().is_enabled()
+        );
+        assert_eq!(shim.flight_dump_path(), built.flight_dump_path());
+        assert_eq!(shim.primary.id(), built.primary.id());
+        assert_eq!(shim.backup.role(), built.backup.role());
+
+        let custom_net = NetworkParams {
+            delta_bs_cloud: Duration::from_millis(35),
+            ..NetworkParams::paper_example()
+        };
+        #[allow(deprecated)]
+        let shim2 = RtSystem::start_with(BrokerConfig::fcfs(), 1, custom_net);
+        let built2 = RtSystem::builder(BrokerConfig::fcfs())
+            .workers(1)
+            .net(custom_net)
+            .start()
+            .unwrap();
+        assert_eq!(shim2.net(), built2.net());
+        assert_eq!(shim2.worker_count(), built2.worker_count());
+
+        #[allow(deprecated)]
+        let shim3 = RtSystem::start_with_telemetry(
+            BrokerConfig::frame(),
+            2,
+            custom_net,
+            Telemetry::disabled(),
+        );
+        let built3 = RtSystem::builder(BrokerConfig::frame())
+            .workers(2)
+            .net(custom_net)
+            .telemetry(Telemetry::disabled())
+            .start()
+            .unwrap();
+        assert_eq!(
+            shim3.telemetry().is_enabled(),
+            built3.telemetry().is_enabled()
+        );
+        assert!(!built3.telemetry().is_enabled());
+
+        for sys in [shim, built, shim2, built2, shim3, built3] {
+            sys.shutdown();
+        }
+    }
+
+    #[test]
+    fn builder_flight_dump_maps_io_failure_to_store_error() {
+        // A file where the dump directory should be → Store error.
+        let dir = std::env::temp_dir().join(format!("frame-builder-dump-{}", std::process::id()));
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let err = match RtSystem::builder(BrokerConfig::frame())
+            .flight_dump(&dir)
+            .start()
+        {
+            Err(e) => e,
+            Ok(sys) => {
+                sys.shutdown();
+                panic!("flight dump into a plain file should fail");
+            }
+        };
+        assert!(matches!(err, FrameError::Store(_)), "got {err:?}");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
     fn end_to_end_publish_subscribe() {
-        let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+        let mut sys = RtSystem::builder(BrokerConfig::frame()).start().unwrap();
         let spec = TopicSpec::category(0, TopicId(1));
         sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
         let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
@@ -386,7 +672,7 @@ mod tests {
 
     #[test]
     fn failover_recovers_retained_messages() {
-        let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+        let mut sys = RtSystem::builder(BrokerConfig::frame()).start().unwrap();
         // Category 0: zero-loss via retention (N=2), no replication.
         let spec = TopicSpec::category(0, TopicId(1));
         sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
@@ -425,7 +711,10 @@ mod tests {
 
     #[test]
     fn admission_rejects_bad_specs_at_add_topic() {
-        let sys = RtSystem::start(BrokerConfig::frame(), 1);
+        let sys = RtSystem::builder(BrokerConfig::frame())
+            .workers(1)
+            .start()
+            .unwrap();
         let mut spec = TopicSpec::category(0, TopicId(1));
         spec.retention = 0; // L=0 with no retention is inadmissible
         assert!(sys.add_topic(spec, vec![SubscriberId(1)]).is_err());

@@ -18,6 +18,7 @@ use frame_types::{FrameError, Message, MessageKey, SubscriberId};
 use serde::{Deserialize, Serialize};
 
 use crate::broker_rt::{BackupEffect, BrokerMsg, Delivered, RtBroker};
+use crate::fault::{fate_of, Hop, SharedFaultHook};
 
 /// Messages on the wire (a serializable mirror of [`BrokerMsg`] plus
 /// subscriber-side frames).
@@ -175,11 +176,11 @@ impl TcpBrokerServer {
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
-    pub fn bind(addr: &str, broker: RtBroker) -> std::io::Result<TcpBrokerServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+    /// Returns [`FrameError::Net`] on bind failure.
+    pub fn bind(addr: &str, broker: RtBroker) -> Result<TcpBrokerServer, FrameError> {
+        let listener = TcpListener::bind(addr).map_err(FrameError::net)?;
+        let addr = listener.local_addr().map_err(FrameError::net)?;
+        listener.set_nonblocking(true).map_err(FrameError::net)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let accept_thread = std::thread::Builder::new()
@@ -216,7 +217,8 @@ impl TcpBrokerServer {
                 for c in conns {
                     let _ = c.join();
                 }
-            })?;
+            })
+            .map_err(FrameError::net)?;
         Ok(TcpBrokerServer {
             addr,
             stop,
@@ -379,12 +381,30 @@ fn respond<W: Write>(writer: &mut W, msg: &WireMsg, scratch: &mut Vec<u8>) -> st
 ///
 /// # Errors
 ///
-/// Propagates the initial connection error.
+/// Returns [`FrameError::Net`] on the initial connection error.
 pub fn connect_backup_over_tcp(
     primary: &RtBroker,
     addr: SocketAddr,
-) -> std::io::Result<TcpBackupBridge> {
-    let stream = TcpStream::connect(addr)?;
+) -> Result<TcpBackupBridge, FrameError> {
+    connect_backup_over_tcp_with_hook(primary, addr, None)
+}
+
+/// [`connect_backup_over_tcp`] with a fault hook on the Primary→Backup
+/// hop: each effect crosses the hook before it is framed. Dropped effects
+/// never reach the socket, truncated replicas leave cut short, duplicates
+/// are repeated in emission order, and a delay stalls the bridge thread
+/// itself — head-of-line blocking, which is what added wire latency looks
+/// like on an ordered TCP stream.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Net`] on the initial connection error.
+pub fn connect_backup_over_tcp_with_hook(
+    primary: &RtBroker,
+    addr: SocketAddr,
+    hook: SharedFaultHook,
+) -> Result<TcpBackupBridge, FrameError> {
+    let stream = TcpStream::connect(addr).map_err(FrameError::net)?;
     stream.set_nodelay(true).ok();
     let (tx, rx) = unbounded::<BrokerMsg>();
     primary.connect_backup(tx);
@@ -420,6 +440,9 @@ pub fn connect_backup_over_tcp(
                         Err(_) => break,
                     }
                 }
+                if hook.is_some() {
+                    apply_bridge_fates(&hook, &mut batch);
+                }
                 let frame = match batch.len() {
                     0 => continue,
                     1 => match batch.pop().expect("len checked") {
@@ -434,7 +457,8 @@ pub fn connect_backup_over_tcp(
                     return; // partition: stop forwarding
                 }
             }
-        })?;
+        })
+        .map_err(FrameError::net)?;
     Ok(TcpBackupBridge {
         stop,
         thread: Some(thread),
@@ -444,6 +468,40 @@ pub fn connect_backup_over_tcp(
 /// Upper bound on effects coalesced into one bridge frame, so a deep
 /// backlog still yields frames of bounded size (and bounded decode cost).
 const BACKUP_BATCH_MAX: usize = 256;
+
+/// Rewrites a staged effect batch through the Primary→Backup fault hook.
+///
+/// Runs on the bridge thread, in emission order; a delay sleeps the
+/// bridge itself (TCP is an ordered stream, so added latency delays
+/// everything behind it too — unlike the channel transport, where a
+/// delayed frame can be overtaken).
+fn apply_bridge_fates(hook: &SharedFaultHook, batch: &mut Vec<BackupEffect>) {
+    let staged = std::mem::take(batch);
+    for effect in staged {
+        let (topic, seq) = match &effect {
+            BackupEffect::Replica(m) => (m.topic, m.seq),
+            BackupEffect::Prune(k) => (k.topic, k.seq),
+        };
+        let fate = fate_of(hook, Hop::PrimaryToBackup, topic, seq);
+        if fate.copies == 0 {
+            continue;
+        }
+        if let Some(d) = fate.delay {
+            std::thread::sleep(d);
+        }
+        let effect = match (effect, fate.truncate_to) {
+            (BackupEffect::Replica(mut m), Some(n)) => {
+                m.payload.truncate(n);
+                BackupEffect::Replica(m)
+            }
+            (e, _) => e,
+        };
+        for _ in 1..fate.copies {
+            batch.push(effect.clone());
+        }
+        batch.push(effect);
+    }
+}
 
 /// Flattens one backup-bound channel message into `batch`, in order.
 /// Non-backup variants never reach the backup channel and are ignored.
@@ -484,9 +542,9 @@ impl TcpPublisher {
     ///
     /// # Errors
     ///
-    /// Propagates connection errors.
-    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpPublisher> {
-        let stream = TcpStream::connect(addr)?;
+    /// Returns [`FrameError::Net`] on connection failure.
+    pub fn connect(addr: SocketAddr) -> Result<TcpPublisher, FrameError> {
+        let stream = TcpStream::connect(addr).map_err(FrameError::net)?;
         // Publishers send small periodic frames where latency is the whole
         // point (the paper's per-topic deadlines); never wait on Nagle.
         stream.set_nodelay(true).ok();
@@ -500,28 +558,28 @@ impl TcpPublisher {
     ///
     /// # Errors
     ///
-    /// Returns [`FrameError::Transport`] on socket failure.
+    /// Returns [`FrameError::Net`] on socket failure.
     pub fn publish(&mut self, message: Message) -> Result<(), FrameError> {
         write_frame_into(
             &mut self.stream,
             &WireMsg::Publish(message),
             &mut self.scratch,
         )
-        .map_err(|e| FrameError::Transport(e.to_string()))
+        .map_err(FrameError::net)
     }
 
     /// Sends a retention re-send.
     ///
     /// # Errors
     ///
-    /// Returns [`FrameError::Transport`] on socket failure.
+    /// Returns [`FrameError::Net`] on socket failure.
     pub fn resend(&mut self, message: Message) -> Result<(), FrameError> {
         write_frame_into(
             &mut self.stream,
             &WireMsg::Resend(message),
             &mut self.scratch,
         )
-        .map_err(|e| FrameError::Transport(e.to_string()))
+        .map_err(FrameError::net)
     }
 }
 
@@ -537,11 +595,11 @@ impl TcpSubscriber {
     ///
     /// # Errors
     ///
-    /// Propagates connection errors.
-    pub fn connect(addr: SocketAddr, id: SubscriberId) -> std::io::Result<TcpSubscriber> {
-        let mut stream = TcpStream::connect(addr)?;
+    /// Returns [`FrameError::Net`] on connection failure.
+    pub fn connect(addr: SocketAddr, id: SubscriberId) -> Result<TcpSubscriber, FrameError> {
+        let mut stream = TcpStream::connect(addr).map_err(FrameError::net)?;
         stream.set_nodelay(true).ok();
-        write_frame(&mut stream, &WireMsg::Subscribe(id))?;
+        write_frame(&mut stream, &WireMsg::Subscribe(id)).map_err(FrameError::net)?;
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
         let thread = std::thread::Builder::new()
             .name("frame-tcp-subscriber".into())
@@ -561,7 +619,8 @@ impl TcpSubscriber {
                     }
                     Err(FrameReadError::Io(_)) => return,
                 }
-            })?;
+            })
+            .map_err(FrameError::net)?;
         Ok(TcpSubscriber {
             rx,
             _thread: thread,

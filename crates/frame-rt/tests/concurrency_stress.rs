@@ -172,7 +172,10 @@ fn sharded_broker_exactly_once_and_table3_order_under_contention() {
 #[test]
 fn consecutive_loss_bound_survives_midstream_crash() {
     let spec = TopicSpec::category(2, TopicId(1));
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 4);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(4)
+        .start()
+        .expect("builder start");
     sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
     let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
     let rx = sys.subscribe(SubscriberId(1));

@@ -12,7 +12,10 @@ use frame_types::{Duration, PublisherId, SubscriberId, TopicId, TopicSpec};
 
 #[test]
 fn snapshot_reflects_live_traffic() {
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
     let spec = TopicSpec::category(0, TopicId(1));
     sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
     let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
@@ -59,7 +62,10 @@ fn snapshot_reflects_live_traffic() {
 
 #[test]
 fn failover_traces_promote_then_recovery_dispatches() {
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
     // Category 2 replicates under Proposition 1, so copies sit in the
     // Backup Buffer when the Primary dies.
     let spec = TopicSpec::category(2, TopicId(1));

@@ -14,10 +14,16 @@ use frame_types::{Duration, PublisherId, SeqNo, SubscriberId, TopicId, TopicSpec
 
 #[test]
 fn failover_is_captured_by_flight_recorder_and_dump() {
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
     let dir = std::env::temp_dir().join(format!("frame-trace-failover-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let dump_path = sys.start_flight_dump(&dir).expect("flight dump starts");
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .flight_dump(&dir)
+        .start()
+        .expect("flight dump starts");
+    let dump_path = sys
+        .flight_dump_path()
+        .expect("flight dump configured")
+        .to_path_buf();
 
     // Category 2: zero loss via retention(1) + replication.
     let spec = TopicSpec::category(2, TopicId(1));

@@ -32,15 +32,21 @@ pub enum IncidentKind {
     AdmissionReject,
     /// A Backup promoted itself to Primary after detecting a crash.
     Promotion,
+    /// The chaos engine injected a scripted fault (drop, delay, duplicate,
+    /// truncate, sever, stall, crash). The `detail` field carries the hop
+    /// and action so a post-run checker can separate injected misbehaviour
+    /// from organic failures.
+    FaultInjected,
 }
 
 impl IncidentKind {
     /// Every kind.
-    pub const ALL: [IncidentKind; 4] = [
+    pub const ALL: [IncidentKind; 5] = [
         IncidentKind::DeadlineMiss,
         IncidentKind::LossBurst,
         IncidentKind::AdmissionReject,
         IncidentKind::Promotion,
+        IncidentKind::FaultInjected,
     ];
 
     /// Stable snake_case name.
@@ -50,6 +56,7 @@ impl IncidentKind {
             IncidentKind::LossBurst => "loss_burst",
             IncidentKind::AdmissionReject => "admission_reject",
             IncidentKind::Promotion => "promotion",
+            IncidentKind::FaultInjected => "fault_injected",
         }
     }
 }

@@ -10,6 +10,55 @@ use serde::{Deserialize, Serialize};
 use crate::spec::{Destination, TopicSpec};
 use crate::time::Duration;
 
+/// One of the three network hops a FRAME message crosses, matching the
+/// latency bounds of the timing analysis: publisher→Primary (`ΔPB`),
+/// Primary→Backup (`ΔBB`), and broker→subscriber (`ΔBS`).
+///
+/// The hop taxonomy is shared vocabulary between the timing bounds in
+/// `frame-core`, the runtime fault hooks in `frame-rt`, and the scripted
+/// fault plans in `frame-chaos`: a fault plan names the hop it perturbs,
+/// and the invariant checker maps each hop back to the `Δ` term whose
+/// budget the perturbation consumes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Hop {
+    /// Publisher → Primary broker (`ΔPB`). Carries `Publish`/`Resend`.
+    PublisherToPrimary,
+    /// Primary → Backup broker (`ΔBB`). Carries `Replica`/`Prune`
+    /// coordination traffic (paper Table 3).
+    PrimaryToBackup,
+    /// Broker → subscriber (`ΔBS`). Carries deliveries.
+    BrokerToSubscriber,
+}
+
+impl Hop {
+    /// All hops, in publisher-to-subscriber order.
+    pub const ALL: [Hop; 3] = [
+        Hop::PublisherToPrimary,
+        Hop::PrimaryToBackup,
+        Hop::BrokerToSubscriber,
+    ];
+
+    /// Stable lower-case name used in plans, logs and error messages.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hop::PublisherToPrimary => "publisher_to_primary",
+            Hop::PrimaryToBackup => "primary_to_backup",
+            Hop::BrokerToSubscriber => "broker_to_subscriber",
+        }
+    }
+
+    /// Parses the stable name produced by [`Hop::name`].
+    pub fn parse(name: &str) -> Option<Hop> {
+        Hop::ALL.into_iter().find(|h| h.name() == name)
+    }
+}
+
+impl core::fmt::Display for Hop {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Network and fail-over timing parameters of the deployment.
 ///
 /// `ΔBS` differs by destination domain. The paper stresses (§III-D.5) that
@@ -52,6 +101,17 @@ impl NetworkParams {
         match destination {
             Destination::Edge => self.delta_bs_edge,
             Destination::Cloud => self.delta_bs_cloud,
+        }
+    }
+
+    /// The latency bound budgeted for `hop` towards a subscriber in
+    /// `destination` — the `Δ` term a fault injected on that hop consumes.
+    #[inline]
+    pub fn hop_bound(&self, hop: Hop, destination: Destination) -> Duration {
+        match hop {
+            Hop::PublisherToPrimary => self.delta_pb,
+            Hop::PrimaryToBackup => self.delta_bb,
+            Hop::BrokerToSubscriber => self.delta_bs(destination),
         }
     }
 
@@ -115,6 +175,27 @@ mod tests {
         assert_eq!(p.delta_bb, Duration::from_micros(50));
         assert_eq!(p.failover, Duration::from_millis(50));
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn hop_names_roundtrip_and_bounds_match() {
+        let p = NetworkParams::paper_example();
+        for hop in Hop::ALL {
+            assert_eq!(Hop::parse(hop.name()), Some(hop));
+        }
+        assert_eq!(Hop::parse("sneakernet"), None);
+        assert_eq!(
+            p.hop_bound(Hop::PublisherToPrimary, Destination::Edge),
+            p.delta_pb
+        );
+        assert_eq!(
+            p.hop_bound(Hop::PrimaryToBackup, Destination::Cloud),
+            p.delta_bb
+        );
+        assert_eq!(
+            p.hop_bound(Hop::BrokerToSubscriber, Destination::Cloud),
+            p.delta_bs_cloud
+        );
     }
 
     #[test]

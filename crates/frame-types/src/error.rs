@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use crate::config::Hop;
 use crate::ids::{BrokerId, SubscriberId, TopicId};
 
 /// Errors produced by FRAME components.
@@ -11,7 +12,7 @@ pub enum FrameError {
     /// A topic failed the admission test of the paper (§III-D.1):
     /// either its dispatch deadline `D^d_i` or its replication deadline
     /// `D^r_i` is negative under the configured network parameters.
-    NotAdmissible {
+    AdmissionRejected {
         /// The rejected topic.
         topic: TopicId,
         /// Human-readable reason ("dispatch deadline negative", ...).
@@ -40,9 +41,48 @@ pub enum FrameError {
     },
     /// Transport-level failure in the threaded runtime (peer disconnected,
     /// channel closed, ...).
+    #[deprecated(since = "0.2.0", note = "use `FrameError::Net` instead")]
     Transport(String),
     /// Configuration could not be parsed or is internally inconsistent.
     InvalidConfig(String),
+    /// A network operation failed (socket error, peer disconnected,
+    /// channel closed, ...). Replaces ad-hoc `io::Error` plumbing on the
+    /// wire paths.
+    Net(String),
+    /// A storage operation failed (flight dump, bench log, plan file, ...).
+    /// Replaces ad-hoc `io::Error` plumbing on the persistence paths.
+    Store(String),
+    /// The operation failed because a scripted fault was injected on `hop`
+    /// by the chaos engine — distinguishable from a *real* [`Self::Net`]
+    /// failure so invariant checkers and operators can tell them apart.
+    Injected {
+        /// The hop the fault was injected on.
+        hop: Hop,
+        /// What the injector did ("drop seq 5", "sever window", ...).
+        detail: String,
+    },
+}
+
+impl FrameError {
+    /// Wraps a network-layer failure (typically an `io::Error`) into
+    /// [`FrameError::Net`].
+    pub fn net(err: impl fmt::Display) -> FrameError {
+        FrameError::Net(err.to_string())
+    }
+
+    /// Wraps a storage-layer failure (typically an `io::Error`) into
+    /// [`FrameError::Store`].
+    pub fn store(err: impl fmt::Display) -> FrameError {
+        FrameError::Store(err.to_string())
+    }
+
+    /// Builds an [`FrameError::Injected`] for a scripted fault on `hop`.
+    pub fn injected(hop: Hop, detail: impl Into<String>) -> FrameError {
+        FrameError::Injected {
+            hop,
+            detail: detail.into(),
+        }
+    }
 }
 
 /// The specific admission-test clause that failed.
@@ -76,7 +116,7 @@ impl fmt::Display for AdmissionFailure {
 impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FrameError::NotAdmissible { topic, reason } => {
+            FrameError::AdmissionRejected { topic, reason } => {
                 write!(f, "{topic} is not admissible: {reason}")
             }
             FrameError::UnknownTopic(t) => write!(f, "unknown topic {t}"),
@@ -93,8 +133,14 @@ impl fmt::Display for FrameError {
                     "operation `{operation}` is not valid in this broker role"
                 )
             }
+            #[allow(deprecated)]
             FrameError::Transport(msg) => write!(f, "transport error: {msg}"),
             FrameError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FrameError::Net(msg) => write!(f, "network error: {msg}"),
+            FrameError::Store(msg) => write!(f, "storage error: {msg}"),
+            FrameError::Injected { hop, detail } => {
+                write!(f, "injected fault on {hop}: {detail}")
+            }
         }
     }
 }
@@ -110,7 +156,7 @@ mod tests {
 
     #[test]
     fn errors_render_usefully() {
-        let e = FrameError::NotAdmissible {
+        let e = FrameError::AdmissionRejected {
             topic: TopicId(3),
             reason: AdmissionFailure::ReplicationDeadlineNegative,
         };
@@ -126,6 +172,25 @@ mod tests {
         }
         .to_string()
         .contains("dispatch"));
+    }
+
+    #[test]
+    fn layer_wrappers_and_injected_render() {
+        let net = FrameError::net(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "peer gone",
+        ));
+        assert!(net.to_string().contains("network error"));
+        assert!(net.to_string().contains("peer gone"));
+
+        let store = FrameError::store("disk full");
+        assert_eq!(store, FrameError::Store("disk full".to_string()));
+
+        let injected = FrameError::injected(Hop::PrimaryToBackup, "drop seq 5");
+        let s = injected.to_string();
+        assert!(s.contains("injected fault"));
+        assert!(s.contains("primary_to_backup"));
+        assert!(s.contains("drop seq 5"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod spec;
 pub mod time;
 pub mod trace;
 
-pub use config::{NetworkParams, SystemConfig};
+pub use config::{Hop, NetworkParams, SystemConfig};
 pub use error::{AdmissionFailure, FrameError, Result};
 pub use ids::{BrokerId, HostId, PublisherId, SeqNo, SubscriberId, TopicId};
 pub use message::{Message, MessageKey};

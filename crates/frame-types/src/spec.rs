@@ -133,23 +133,69 @@ pub struct TopicSpec {
 }
 
 impl TopicSpec {
-    /// Creates a specification with explicit parameters.
-    pub fn new(
-        id: TopicId,
-        period: Duration,
-        deadline: Duration,
-        loss_tolerance: LossTolerance,
-        retention: u32,
-        destination: Destination,
-    ) -> Self {
+    /// Starts a specification for topic `id` with the laxest defaults —
+    /// aperiodic (`T_i = ∞`), no deadline (`D_i = ∞`), best-effort loss
+    /// (`L_i = ∞`), no retention (`N_i = 0`), edge destination — to be
+    /// tightened with the chainable setters:
+    ///
+    /// ```
+    /// use frame_types::{Duration, LossTolerance, TopicId, TopicSpec};
+    /// let spec = TopicSpec::new(TopicId(1))
+    ///     .period(Duration::from_millis(50))
+    ///     .deadline(Duration::from_millis(50))
+    ///     .loss_tolerance(LossTolerance::ZERO)
+    ///     .retention(2);
+    /// assert_eq!(spec, TopicSpec::category(0, TopicId(1)));
+    /// ```
+    ///
+    /// Admission, the simulator, the threaded runtime, and chaos plans all
+    /// speak this one type; the defaults describe a topic with no QoS
+    /// requirements, so anything left unset simply does not constrain the
+    /// admission test.
+    pub fn new(id: TopicId) -> Self {
         TopicSpec {
             id,
-            period,
-            deadline,
-            loss_tolerance,
-            retention,
-            destination,
+            period: Duration::MAX,
+            deadline: Duration::MAX,
+            loss_tolerance: LossTolerance::BestEffort,
+            retention: 0,
+            destination: Destination::Edge,
         }
+    }
+
+    /// Sets `T_i`, the minimum inter-creation time of the sporadic stream.
+    #[must_use]
+    pub fn period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Sets `D_i`, the soft end-to-end deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets `L_i`, the tolerated consecutive losses.
+    #[must_use]
+    pub fn loss_tolerance(mut self, loss_tolerance: LossTolerance) -> Self {
+        self.loss_tolerance = loss_tolerance;
+        self
+    }
+
+    /// Sets `N_i`, the publisher retention depth.
+    #[must_use]
+    pub fn retention(mut self, retention: u32) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Sets the destination domain of the topic's subscribers.
+    #[must_use]
+    pub fn destination(mut self, destination: Destination) -> Self {
+        self.destination = destination;
+        self
     }
 
     /// Builds the paper's Table 2 category specification for `category`
@@ -314,24 +360,15 @@ mod tests {
         let c4 = TopicSpec::category(4, TopicId(4));
         assert_eq!(c4.tolerance_window(), Duration::MAX);
         // Aperiodic emergency topic: T = ∞, L = 0, N > 0 ⇒ window ∞.
-        let emergency = TopicSpec::new(
-            TopicId(9),
-            Duration::MAX,
-            Duration::from_millis(10),
-            LossTolerance::ZERO,
-            1,
-            Destination::Edge,
-        );
+        let emergency = TopicSpec::new(TopicId(9))
+            .deadline(Duration::from_millis(10))
+            .loss_tolerance(LossTolerance::ZERO)
+            .retention(1);
         assert_eq!(emergency.tolerance_window(), Duration::MAX);
         // T = ∞ but factor 0 ⇒ zero window (degenerate, inadmissible).
-        let degenerate = TopicSpec::new(
-            TopicId(10),
-            Duration::MAX,
-            Duration::from_millis(10),
-            LossTolerance::ZERO,
-            0,
-            Destination::Edge,
-        );
+        let degenerate = TopicSpec::new(TopicId(10))
+            .deadline(Duration::from_millis(10))
+            .loss_tolerance(LossTolerance::ZERO);
         assert_eq!(degenerate.tolerance_window(), Duration::ZERO);
     }
 
@@ -380,6 +417,27 @@ mod tests {
         // Merging with nothing changes nothing.
         let same = base.with_merged_requirements(&[]);
         assert_eq!(same, base);
+    }
+
+    #[test]
+    fn builder_defaults_are_unconstrained() {
+        let spec = TopicSpec::new(TopicId(7));
+        assert_eq!(spec.period, Duration::MAX);
+        assert_eq!(spec.deadline, Duration::MAX);
+        assert!(spec.loss_tolerance.is_best_effort());
+        assert_eq!(spec.retention, 0);
+        assert_eq!(spec.destination, Destination::Edge);
+    }
+
+    #[test]
+    fn builder_reproduces_table2_row() {
+        let built = TopicSpec::new(TopicId(5))
+            .period(Duration::from_millis(500))
+            .deadline(Duration::from_millis(500))
+            .loss_tolerance(LossTolerance::ZERO)
+            .retention(1)
+            .destination(Destination::Cloud);
+        assert_eq!(built, TopicSpec::category(5, TopicId(5)));
     }
 
     #[test]

@@ -66,14 +66,12 @@ fn parse_spec(args: &[String]) -> TopicSpec {
             other => die(&format!("unknown flag {other}")),
         }
     }
-    TopicSpec::new(
-        TopicId(0),
-        Duration::from_millis(period),
-        Duration::from_millis(deadline),
-        loss.map_or(LossTolerance::BestEffort, LossTolerance::Consecutive),
-        retention,
-        destination,
-    )
+    TopicSpec::new(TopicId(0))
+        .period(Duration::from_millis(period))
+        .deadline(Duration::from_millis(deadline))
+        .loss_tolerance(loss.map_or(LossTolerance::BestEffort, LossTolerance::Consecutive))
+        .retention(retention)
+        .destination(destination)
 }
 
 fn die(msg: &str) -> ! {

@@ -14,7 +14,10 @@ use frame::rt::RtSystem;
 use frame::types::{Duration, PublisherId, SubscriberId, TopicId, TopicSpec};
 
 fn main() {
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
 
     // Two zero-loss topics with different recovery paths:
     //  - cat 0 recovers via publisher retention (Prop 1 suppresses

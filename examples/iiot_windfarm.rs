@@ -59,7 +59,10 @@ fn main() {
     ];
     let net = NetworkParams::paper_example();
 
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 3);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(3)
+        .start()
+        .expect("builder start");
 
     // Register topics, one subscriber each; remember spec per topic.
     let mut next_id = 0u32;

@@ -32,7 +32,10 @@ fn main() {
 
     // Start the threaded runtime: Primary + Backup, 2 delivery workers
     // each, EDF + selective replication + coordination (the FRAME config).
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
     sys.add_topic(spec, vec![SubscriberId(1)])
         .expect("admissible");
     let publisher = sys.add_publisher(PublisherId(0), &[spec]).unwrap();

@@ -18,7 +18,9 @@
 //! * [`sim`] (`frame-sim`) — the discrete-event evaluation testbed;
 //! * [`rt`] (`frame-rt`) — the threaded runtime;
 //! * [`store`] (`frame-store`) — the local-disk loss-tolerance strategy
-//!   (Table 1) as a segmented write-ahead message log.
+//!   (Table 1) as a segmented write-ahead message log;
+//! * [`chaos`] (`frame-chaos`) — deterministic fault injection and the
+//!   post-run invariant checker for the threaded runtime.
 //!
 //! ## Which entry point do I want?
 //!
@@ -27,6 +29,8 @@
 //! * Run a real broker in-process → [`rt::RtSystem`].
 //! * Reproduce the paper's evaluation → [`sim::run`] and the
 //!   `frame-bench` binaries.
+//! * Attack the runtime with scripted faults and prove the guarantees
+//!   held → [`chaos::run`] (or `frame-cli chaos run plan.toml --seed 7`).
 //!
 //! ```
 //! use frame::core::{admit, replication_needed};
@@ -41,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub use frame_chaos as chaos;
 pub use frame_clock as clock;
 pub use frame_core as core;
 pub use frame_event as event;

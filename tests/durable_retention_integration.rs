@@ -52,7 +52,10 @@ fn publisher_restart_recovers_retention_and_resends() {
         "latest N=3 survive the restart"
     );
 
-    let sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
     let spec = TopicSpec::category(0, topic);
     sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
     let rx = sys.subscribe(SubscriberId(1));

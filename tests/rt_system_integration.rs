@@ -10,7 +10,10 @@ use frame::types::{Duration, PublisherId, SubscriberId, TopicId, TopicSpec};
 
 #[test]
 fn multi_topic_multi_subscriber_delivery() {
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 3);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(3)
+        .start()
+        .expect("builder start");
     let a = TopicSpec::category(0, TopicId(1));
     let b = TopicSpec::category(2, TopicId(2));
     // Topic b has two subscribers.
@@ -51,24 +54,21 @@ fn crash_failover_preserves_zero_loss_topics() {
     // the paper's 50 ms fail-over budget: Lemma 1 needs
     // (N+L)·T >= ΔPB + ΔBB + x, and Proposition 1 suppresses replication
     // only when (N+L)·T − D >= x + ΔBB − ΔBS (≈ 49 ms here).
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
-    use frame::types::{Destination, LossTolerance};
-    let retained = TopicSpec::new(
-        TopicId(1),
-        Duration::from_millis(10),
-        Duration::from_millis(50),
-        LossTolerance::ZERO,
-        12, // (12·10 − 50) = 70 ms > 49 ms → replication suppressed
-        Destination::Edge,
-    );
-    let replicated = TopicSpec::new(
-        TopicId(2),
-        Duration::from_millis(10),
-        Duration::from_millis(100),
-        LossTolerance::ZERO,
-        6, // admissible (60 ms > 50.1 ms) but still needs replication
-        Destination::Edge,
-    );
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
+    use frame::types::LossTolerance;
+    let retained = TopicSpec::new(TopicId(1))
+        .period(Duration::from_millis(10))
+        .deadline(Duration::from_millis(50))
+        .loss_tolerance(LossTolerance::ZERO)
+        .retention(12); // (12·10 − 50) = 70 ms > 49 ms → replication suppressed
+    let replicated = TopicSpec::new(TopicId(2))
+        .period(Duration::from_millis(10))
+        .deadline(Duration::from_millis(100))
+        .loss_tolerance(LossTolerance::ZERO)
+        .retention(6); // admissible (60 ms > 50.1 ms) but still needs replication
     sys.add_topic(retained, vec![SubscriberId(1)]).unwrap();
     sys.add_topic(replicated, vec![SubscriberId(2)]).unwrap();
     let p = sys
@@ -120,7 +120,10 @@ fn crash_failover_preserves_zero_loss_topics() {
 
 #[test]
 fn latency_stays_small_under_light_load() {
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
     let spec = TopicSpec::category(0, TopicId(1));
     sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
     let p = sys.add_publisher(PublisherId(0), &[spec]).unwrap();
@@ -148,16 +151,16 @@ fn aperiodic_emergency_topic_survives_failover() {
     // Admission requires N > 0 and Proposition 1 removes replication (the
     // tolerance window is unbounded), so retention alone must carry an
     // emergency notification through a crash.
-    use frame::types::{Destination, LossTolerance};
-    let mut sys = RtSystem::start(BrokerConfig::frame(), 2);
-    let emergency = TopicSpec::new(
-        TopicId(9),
-        frame::types::Duration::MAX, // aperiodic
-        frame::types::Duration::from_millis(50),
-        LossTolerance::ZERO,
-        1,
-        Destination::Edge,
-    );
+    use frame::types::LossTolerance;
+    let mut sys = RtSystem::builder(BrokerConfig::frame())
+        .workers(2)
+        .start()
+        .expect("builder start");
+    // Period stays at the builder's aperiodic default (T = ∞).
+    let emergency = TopicSpec::new(TopicId(9))
+        .deadline(frame::types::Duration::from_millis(50))
+        .loss_tolerance(LossTolerance::ZERO)
+        .retention(1);
     sys.add_topic(emergency, vec![SubscriberId(1)]).unwrap();
     let p = sys.add_publisher(PublisherId(0), &[emergency]).unwrap();
     let rx = sys.subscribe(SubscriberId(1));
@@ -180,7 +183,10 @@ fn duplicate_suppression_across_failover() {
     // A replicated topic whose copies may arrive twice (backup buffer +
     // retention re-send): the subscriber-side tracker must end with exactly
     // one accepted copy per sequence.
-    let mut sys = RtSystem::start(BrokerConfig::fcfs_minus(), 2);
+    let mut sys = RtSystem::builder(BrokerConfig::fcfs_minus())
+        .workers(2)
+        .start()
+        .expect("builder start");
     let spec = TopicSpec::category(2, TopicId(7));
     sys.add_topic(spec, vec![SubscriberId(1)]).unwrap();
     let p = sys.add_publisher(PublisherId(0), &[spec]).unwrap();

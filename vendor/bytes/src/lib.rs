@@ -66,6 +66,20 @@ impl Bytes {
         self.as_slice().is_empty()
     }
 
+    /// Shortens the buffer to at most `len` bytes, keeping the prefix.
+    /// No-op when the buffer is already short enough. (The upstream crate
+    /// adjusts a stored length; this stand-in re-slices or re-copies,
+    /// which is fine for its rare callers.)
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len() {
+            return;
+        }
+        self.repr = match &self.repr {
+            Repr::Static(s) => Repr::Static(&s[..len]),
+            Repr::Shared(a) => Repr::Shared(Arc::from(&a[..len])),
+        };
+    }
+
     #[inline]
     fn as_slice(&self) -> &[u8] {
         match &self.repr {
