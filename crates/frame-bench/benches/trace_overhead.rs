@@ -14,7 +14,10 @@
 //! admit/pop/lock/deliver, budget attribution, per-topic SLO counters and
 //! one flight-recorder ring-slot write per delivery; `disabled` is the
 //! no-op [`Telemetry::disabled`] handle, where every stamp site collapses
-//! to one branch.
+//! to one branch. The broker pipeline adds a third variant, `sampled`:
+//! tracing enabled *plus* the `frame-obs` background sampler snapshotting
+//! the registry at its default cadence — the steady-state cost of the
+//! metrics time-series pipeline, gated at ≤1% on top of `enabled`.
 //!
 //! Writes `BENCH_trace_overhead.json` at the repo root. Custom harness
 //! (`harness = false`): run with
@@ -49,6 +52,14 @@ const VARIANTS: [(&str, MakeTelemetry); 2] = [
     ("enabled", Telemetry::new),
 ];
 
+/// Broker-pipeline matrix: the third column is "run the background
+/// `frame-obs` sampler alongside" (only meaningful with tracing on).
+const BROKER_VARIANTS: [(&str, MakeTelemetry, bool); 3] = [
+    ("disabled", Telemetry::disabled, false),
+    ("enabled", Telemetry::new, false),
+    ("sampled", Telemetry::new, true),
+];
+
 #[derive(Serialize)]
 struct RunResult {
     pipeline: &'static str,
@@ -72,6 +83,11 @@ struct BenchReport {
     /// tracing on, percent (negative = noise). Gated at ≤5%.
     broker_overhead_pct: f64,
     overhead_budget_pct: f64,
+    /// Additional throughput lost by running the `frame-obs` background
+    /// sampler on top of `enabled` tracing (steady state, default 100 ms
+    /// cadence), percent (negative = noise). Gated at ≤1%.
+    sampler_overhead_pct: f64,
+    sampler_budget_pct: f64,
 }
 
 /// Sans-IO: one full publish→dispatch pass through the core facade.
@@ -118,8 +134,14 @@ fn run_core(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunRes
 }
 
 /// Threaded: the `broker_throughput` pipeline (EDF, worker pool, emulated
-/// downstream wire time) with the chosen telemetry handle.
-fn run_broker(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunResult {
+/// downstream wire time) with the chosen telemetry handle, optionally
+/// with the background metrics sampler running at its default cadence.
+fn run_broker(
+    variant: &'static str,
+    make: MakeTelemetry,
+    messages: u64,
+    with_sampler: bool,
+) -> RunResult {
     let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
     let (broker, threads) = RtBroker::spawn_with_telemetry(
         BrokerId(0),
@@ -138,6 +160,13 @@ fn run_broker(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunR
             .register_topic(admit(&spec, &net).unwrap(), subscribers.clone())
             .unwrap();
     }
+    let mut obs = with_sampler.then(|| {
+        frame_obs::spawn_sampler(
+            broker.telemetry().clone(),
+            clock.clone(),
+            frame_obs::SamplerConfig::default(),
+        )
+    });
     let mut drainers = Vec::new();
     for s in &subscribers {
         let (tx, rx) = unbounded();
@@ -173,6 +202,9 @@ fn run_broker(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunR
     }
     let elapsed = start.elapsed();
     assert_eq!(drained, messages * u64::from(FANOUT));
+    if let Some(s) = obs.as_mut() {
+        s.shutdown();
+    }
     broker.shutdown();
     threads.join();
     RunResult {
@@ -184,17 +216,18 @@ fn run_broker(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunR
     }
 }
 
-/// Runs both variants `repeats` times, interleaved (off/on/off/on…) so
-/// slow drift on a shared host biases neither side; keeps each variant's
+/// Runs every variant `repeats` times, interleaved (off/on/off/on…) so
+/// slow drift on a shared host biases no side; keeps each variant's
 /// best run.
-fn bench_pair(
+fn bench_matrix<V: Copy>(
     repeats: usize,
-    run: impl Fn(&'static str, MakeTelemetry) -> RunResult,
+    variants: &[V],
+    run: impl Fn(V) -> RunResult,
 ) -> Vec<RunResult> {
-    let mut best: [Option<RunResult>; VARIANTS.len()] = [None, None];
+    let mut best: Vec<Option<RunResult>> = (0..variants.len()).map(|_| None).collect();
     for _ in 0..repeats {
-        for (i, (variant, make)) in VARIANTS.iter().enumerate() {
-            let r = run(variant, *make);
+        for (i, v) in variants.iter().enumerate() {
+            let r = run(*v);
             if best[i]
                 .as_ref()
                 .is_none_or(|b| r.msgs_per_sec > b.msgs_per_sec)
@@ -225,9 +258,9 @@ fn main() {
         (400_000, 12_000, 4)
     };
 
-    let mut results = bench_pair(repeats, |v, m| run_core(v, m, core_messages));
-    results.extend(bench_pair(repeats, |v, m| {
-        run_broker(v, m, broker_messages)
+    let mut results = bench_matrix(repeats, &VARIANTS, |(v, m)| run_core(v, m, core_messages));
+    results.extend(bench_matrix(repeats, &BROKER_VARIANTS, |(v, m, s)| {
+        run_broker(v, m, broker_messages, s)
     }));
     for r in &results {
         eprintln!(
@@ -242,8 +275,11 @@ fn main() {
     let broker_off = throughput_of(&results, "broker", "disabled");
     let broker_on = throughput_of(&results, "broker", "enabled");
     let broker_overhead_pct = (broker_off / broker_on - 1.0) * 100.0;
+    let broker_sampled = throughput_of(&results, "broker", "sampled");
+    let sampler_overhead_pct = (broker_on / broker_sampled - 1.0) * 100.0;
     eprintln!("core tracing cost: {core_trace_cost_ns_per_msg:.0} ns/msg");
     eprintln!("broker tracing overhead: {broker_overhead_pct:+.2}% (budget 5%)");
+    eprintln!("sampler steady-state overhead: {sampler_overhead_pct:+.2}% (budget 1%)");
 
     let report = BenchReport {
         bench: "trace_overhead",
@@ -254,11 +290,15 @@ fn main() {
                tracing; the cost is reported per message). `broker` is the \
                threaded worker pool with emulated downstream wire time — \
                the broker_throughput pipeline — where the ≤5% acceptance \
-               budget applies.",
+               budget applies. `sampled` adds the frame-obs background \
+               sampler (default 100 ms cadence) on top of `enabled`; its \
+               steady-state cost is gated at ≤1%.",
         results,
         core_trace_cost_ns_per_msg,
         broker_overhead_pct,
         overhead_budget_pct: 5.0,
+        sampler_overhead_pct,
+        sampler_budget_pct: 1.0,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = concat!(

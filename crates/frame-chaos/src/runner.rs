@@ -6,19 +6,30 @@
 //! pulling the crash trigger at its scripted sequence number, draining
 //! subscriber channels, and assembling the [`ChaosEvidence`]. Faults
 //! themselves are the injector's business — the runner never flips a coin.
+//!
+//! Time is *logical*: the runner injects a [`SimClock`] into the system
+//! and advances it in detector-interval sub-steps, waiting between steps
+//! (on the wall clock) until the brokers have quiesced. Every publish,
+//! delivery, failure-detector poll, promotion and metrics sample is
+//! therefore stamped at a schedule-determined instant — which is what
+//! makes the `metrics.jsonl` timeline byte-identical across same-seed
+//! runs of a delay-free plan, and the promotion/deadline-miss set
+//! deterministic for every plan.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
+use frame_clock::{Clock, SimClock};
 use frame_core::BrokerConfig;
-use frame_rt::RtSystem;
-use frame_telemetry::{IncidentKind, Telemetry};
-use frame_types::{Duration, FrameError, PublisherId, SubscriberId, TopicId};
+use frame_obs::{HealthConfig, Sampler, SamplerConfig, TimelinePoint};
+use frame_rt::{FaultHook, RtPublisher, RtSystem};
+use frame_telemetry::{HeartbeatKind, IncidentKind, Stage, Telemetry};
+use frame_types::{Duration, FrameError, PublisherId, SubscriberId, Time, TopicId};
 
 use crate::inject::{ChaosInjector, InjectedFault};
 use crate::invariant::{self, ChaosEvidence, DeliveryCounts, Verdict};
-use crate::plan::FaultPlan;
+use crate::plan::{Action, DelaySource, FaultPlan};
 
 /// Everything a finished chaos run produces.
 pub struct ChaosReport {
@@ -32,24 +43,176 @@ pub struct ChaosReport {
     pub delivered: DeliveryCounts,
     /// Deadline misses observed by the flight recorder.
     pub deadline_misses: usize,
+    /// The metrics timeline, one point per logical sub-step.
+    pub timeline: Vec<TimelinePoint>,
+    /// The timeline as JSONL (the `metrics.jsonl` artifact) —
+    /// byte-identical across same-seed runs of a delay-free plan.
+    pub metrics_jsonl: String,
 }
 
-/// How long to keep draining a quiet subscriber channel before declaring
-/// the run settled. Covers a full detector period plus recovery dispatch.
-fn settle_timeout(plan: &FaultPlan) -> StdDuration {
-    let detector = plan.detector.interval_ms + plan.detector.timeout_ms;
-    let deadline = plan
-        .topics
-        .iter()
-        .map(|t| t.deadline_ms)
-        .max()
-        .unwrap_or(100);
-    StdDuration::from_millis((detector + deadline).max(250) * 2)
+/// How long a broker must hold a stable counter fingerprint (wall time)
+/// before a sub-step is considered quiesced. Scripted wall-clock delays
+/// (delayed frames, stalled workers) widen the window so a parked frame
+/// always lands inside the sub-step that scheduled it.
+fn stability_window(plan: &FaultPlan) -> StdDuration {
+    let mut slack_ms = 0u64;
+    for rule in &plan.rules {
+        let bound = match rule.action {
+            Action::Delay(DelaySource::Constant(d)) => d.as_millis(),
+            Action::Delay(DelaySource::Jittered { base, jitter }) => {
+                base.as_millis() + jitter.as_millis()
+            }
+            // The diurnal model replays Fig 8's cloud envelope; bound it
+            // by the envelope's worst case rather than computing it.
+            Action::Delay(DelaySource::Diurnal) => 60,
+            Action::Stall(d) => d.as_millis(),
+            Action::Drop | Action::Duplicate(_) | Action::Truncate(_) => 0,
+        };
+        slack_ms = slack_ms.max(bound);
+    }
+    StdDuration::from_millis((3 + slack_ms).min(200))
+}
+
+/// The live run state: the system under test plus the logical clock, the
+/// synchronous failure detector, and the metrics sampler.
+struct Driver {
+    sys: RtSystem,
+    publisher: Arc<RtPublisher>,
+    clock: SimClock,
+    telemetry: Telemetry,
+    injector: Arc<ChaosInjector>,
+    sampler: Sampler,
+    timeline: Vec<TimelinePoint>,
+    metrics_jsonl: String,
+    stable_window: StdDuration,
+    detector_timeout_ms: u64,
+    lt_ms: u64,
+    last_ack_ms: u64,
+    stall_until_ms: u64,
+    promoted: bool,
+}
+
+impl Driver {
+    /// One logical sub-step: advance the clock, wait for the brokers to
+    /// quiesce, sample the metrics timeline, then run one detector round.
+    /// Sampling *before* the detector acts makes a crash window visible
+    /// as `Degraded` at the very sub-step that detects it.
+    fn sub_step(&mut self, dt_ms: u64) {
+        self.lt_ms += dt_ms;
+        self.clock.advance_to(Time::from_millis(self.lt_ms));
+        self.quiesce();
+        let point = self
+            .sampler
+            .observe(&self.telemetry.snapshot(), Time::from_millis(self.lt_ms));
+        let tp = TimelinePoint::from_sample(&point);
+        self.metrics_jsonl.push_str(&tp.to_json_line());
+        self.metrics_jsonl.push('\n');
+        self.timeline.push(tp);
+        self.detector_step();
+    }
+
+    /// Waits (wall time) until the counter fingerprint has been stable for
+    /// the plan's stability window, so everything in flight at this
+    /// logical instant has landed before it is sampled.
+    fn quiesce(&self) {
+        let cap = std::time::Instant::now() + StdDuration::from_millis(400);
+        let mut last = self.fingerprint();
+        let mut stable_since = std::time::Instant::now();
+        loop {
+            std::thread::sleep(StdDuration::from_millis(1));
+            let now = std::time::Instant::now();
+            let cur = self.fingerprint();
+            if cur != last {
+                last = cur;
+                stable_since = now;
+            } else if now.duration_since(stable_since) >= self.stable_window {
+                return;
+            }
+            if now >= cap {
+                return;
+            }
+        }
+    }
+
+    /// Every counter that moves when work is in flight — deliberately
+    /// excluding heartbeats (they beat while idle) and latency histograms
+    /// (their values are what we're waiting on, not whether work remains).
+    fn fingerprint(&self) -> String {
+        let snap = self.telemetry.snapshot();
+        let slos: Vec<(u32, u64, u64, u64, u64)> = snap
+            .slos
+            .iter()
+            .map(|s| {
+                (
+                    s.topic.0,
+                    s.delivered,
+                    s.deadline_misses,
+                    s.lost,
+                    s.loss_bound_violations,
+                )
+            })
+            .collect();
+        let queues: Vec<(u32, u64)> = snap.queues.iter().map(|q| (q.broker.0, q.depth)).collect();
+        let decisions: Vec<(&str, u64)> = snap
+            .decisions
+            .iter()
+            .map(|d| (d.kind.name(), d.count))
+            .collect();
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}",
+            self.sys.primary.stats(),
+            self.sys.backup.stats(),
+            snap.admits,
+            slos,
+            queues,
+            decisions,
+            snap.incident_count,
+        )
+    }
+
+    /// One failure-detector round at the current logical instant: poll the
+    /// Primary, and declare the crash once the logical silence exceeds the
+    /// plan's timeout — then promote the Backup and trigger the
+    /// publisher's retention re-send, exactly like the wall-clock
+    /// coordinator, but at a schedule-determined time.
+    fn detector_step(&mut self) {
+        if self.promoted {
+            return;
+        }
+        let now = Time::from_millis(self.lt_ms);
+        self.telemetry.heartbeat(HeartbeatKind::Detector, now);
+        if self.lt_ms < self.stall_until_ms {
+            return;
+        }
+        if let Some(stall) = self.injector.on_detector_poll() {
+            // A scripted detector stall postpones polls in *logical* time,
+            // stretching the realized fail-over deterministically.
+            self.stall_until_ms = self.lt_ms + stall.as_millis() as u64;
+            return;
+        }
+        if self.sys.poll_primary(Duration::from_millis(500)) {
+            self.last_ack_ms = self.lt_ms;
+            self.telemetry.heartbeat(HeartbeatKind::PrimaryAck, now);
+        } else if self.lt_ms.saturating_sub(self.last_ack_ms) >= self.detector_timeout_ms {
+            let silence = Duration::from_millis(self.lt_ms - self.last_ack_ms);
+            self.telemetry
+                .record_stage(Stage::FailoverDetection, silence);
+            let _ = self.sys.backup.promote();
+            // Promotion runs synchronously while the clock is parked, so
+            // its logical duration is zero by construction.
+            self.telemetry
+                .record_stage(Stage::Promotion, Duration::ZERO);
+            self.publisher.fail_over();
+            self.promoted = true;
+        }
+    }
 }
 
 /// Runs `plan` with `seed`: builds a Primary/Backup pair with the seeded
-/// injector installed, publishes the schedule (crashing the Primary where
-/// scripted), drains deliveries, and checks every invariant.
+/// injector installed and a logical clock, publishes the schedule
+/// (crashing the Primary where scripted), samples the metrics timeline at
+/// every detector sub-step, drains deliveries, and checks every
+/// invariant.
 ///
 /// # Errors
 ///
@@ -59,9 +222,11 @@ fn settle_timeout(plan: &FaultPlan) -> StdDuration {
 pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
     let telemetry = Telemetry::new();
     let injector = ChaosInjector::new(plan.clone(), seed, telemetry.clone());
+    let clock = SimClock::new();
     let mut sys = RtSystem::builder(BrokerConfig::frame())
         .telemetry(telemetry.clone())
-        .chaos(injector.clone() as Arc<dyn frame_rt::FaultHook>)
+        .clock(Arc::new(clock.clone()))
+        .chaos(injector.clone() as Arc<dyn FaultHook>)
         .start()?;
 
     let mut specs = Vec::new();
@@ -85,17 +250,44 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         .map(|&s| (s, sys.subscribe(SubscriberId(s))))
         .collect();
 
-    sys.start_failover_coordinator(
-        Duration::from_millis(plan.detector.interval_ms),
-        Duration::from_millis(plan.detector.timeout_ms),
-    );
+    // No wall-clock fail-over coordinator: the driver below runs one
+    // detector round per logical sub-step instead, so detection and
+    // promotion land at schedule-determined instants.
+    let interval_ms = plan.detector.interval_ms.max(1);
+    let sampler = Sampler::new(SamplerConfig {
+        cadence: Duration::from_millis(interval_ms),
+        health: HealthConfig {
+            // Two missed polls of logical silence reads as a Degraded
+            // Primary — tight enough that the crash window is visible in
+            // the sampled health verdict before promotion heals it.
+            primary_silence: Duration::from_millis(2 * interval_ms),
+            ..HealthConfig::default()
+        },
+        ..SamplerConfig::default()
+    });
+    let mut driver = Driver {
+        stable_window: stability_window(plan),
+        detector_timeout_ms: plan.detector.timeout_ms,
+        sys,
+        publisher,
+        clock,
+        telemetry: telemetry.clone(),
+        injector: injector.clone(),
+        sampler,
+        timeline: Vec::new(),
+        metrics_jsonl: String::new(),
+        lt_ms: 0,
+        last_ack_ms: 0,
+        stall_until_ms: 0,
+        promoted: false,
+    };
 
-    // Drive the schedule: one publish round per sequence number, paced so
-    // the Primary has processed a message before the next round — and,
-    // crucially, before a scripted crash. That keeps the set of frames
-    // that crossed each hop (and so the incident log) schedule-determined
-    // rather than race-determined.
-    let pace = StdDuration::from_millis(plan.pace_ms);
+    // Drive the schedule: one publish round per sequence number, advanced
+    // in detector-interval sub-steps so the Primary has processed a
+    // message before the next round — and, crucially, before a scripted
+    // crash. That keeps the set of frames that crossed each hop (and so
+    // the incident and metrics logs) schedule-determined rather than
+    // race-determined.
     let mut crashed = false;
     for seq in 0..plan.messages {
         for topic in &plan.topics {
@@ -103,29 +295,48 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
             // Publishing into a crashed Primary is part of the scenario:
             // the message lands in the retention buffer and is re-sent on
             // fail-over, so a send error here is evidence, not a bug.
-            let _ = publisher.publish(TopicId(topic.id), payload);
+            let _ = driver.publisher.publish(TopicId(topic.id), payload);
         }
-        std::thread::sleep(pace);
+        let mut remaining = plan.pace_ms.max(1);
+        while remaining > 0 {
+            let dt = interval_ms.min(remaining);
+            driver.sub_step(dt);
+            remaining -= dt;
+        }
         if let Some(crash) = plan.crash {
             if !crashed && crash.at_seq == seq {
                 crashed = true;
-                sys.crash_primary();
+                driver.sys.crash_primary();
                 telemetry.incident(
                     IncidentKind::FaultInjected,
                     TopicId(crash.topic),
                     frame_types::SeqNo(crash.at_seq),
-                    sys.clock().now(),
+                    driver.clock.now(),
                     format!("scripted Primary crash after seq {}", crash.at_seq),
                 );
             }
         }
     }
 
-    // Drain until every channel has been quiet for the settle window.
+    // Settle: keep stepping until a crash in the last rounds has been
+    // detected, promoted and re-delivered, with deadline slack on top.
+    let deadline_ms = plan
+        .topics
+        .iter()
+        .map(|t| t.deadline_ms)
+        .max()
+        .unwrap_or(100);
+    let mut remaining = plan.detector.timeout_ms + interval_ms + deadline_ms;
+    while remaining > 0 {
+        let dt = interval_ms.min(remaining);
+        driver.sub_step(dt);
+        remaining -= dt;
+    }
+
+    // Everything has quiesced; the channels just need emptying.
     let mut delivered: DeliveryCounts = BTreeMap::new();
-    let settle = settle_timeout(plan);
     for (sub, rx) in &receivers {
-        while let Ok(d) = rx.recv_timeout(settle) {
+        while let Ok(d) = rx.recv_timeout(StdDuration::from_millis(100)) {
             *delivered
                 .entry((*sub, d.message.topic.0))
                 .or_default()
@@ -142,6 +353,12 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         .map(|i| (i.topic.0, i.seq.0))
         .collect();
 
+    let Driver {
+        sys,
+        timeline,
+        metrics_jsonl,
+        ..
+    } = driver;
     sys.shutdown();
 
     let evidence = ChaosEvidence {
@@ -156,6 +373,8 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         incidents_jsonl: injector.incident_jsonl(),
         delivered,
         deadline_misses: deadline_misses.len(),
+        timeline,
+        metrics_jsonl,
     })
 }
 
@@ -185,6 +404,12 @@ mod tests {
         assert!(report.incidents.is_empty(), "no faults scripted");
         let counts = report.delivered.get(&(1, 1)).expect("deliveries");
         assert_eq!(counts.len(), 5, "all seqs delivered");
+        // The timeline sampled the run: cumulative deliveries end at 5,
+        // and a healthy run never leaves the healthy verdict.
+        let last = report.timeline.last().expect("timeline sampled");
+        assert_eq!(last.delivered, 5);
+        assert!(report.timeline.iter().all(|p| p.health == "healthy"));
+        assert_eq!(report.metrics_jsonl.lines().count(), report.timeline.len());
     }
 
     #[test]

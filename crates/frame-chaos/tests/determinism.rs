@@ -127,4 +127,42 @@ fn shipped_partition_failover_plan_passes_and_reproduces() {
             .any(|i| i.hop == "primary_to_backup" && i.action == "drop"),
         "severed-link drops must be logged"
     );
+
+    // The metrics timeline is an artifact too: sampled on the injected
+    // logical clock, it must be byte-identical run to run.
+    assert_eq!(
+        first.metrics_jsonl, second.metrics_jsonl,
+        "same plan + seed must produce an identical metrics timeline"
+    );
+    assert!(!first.timeline.is_empty(), "the run must be sampled");
+
+    // The Primary crash window is visible in the timeline: deliveries
+    // flow, then stall while the detector counts silence, then spike as
+    // the promoted Backup re-delivers the retained window.
+    let deltas: Vec<u64> = first.timeline.iter().map(|p| p.deliver_delta).collect();
+    let first_flow = deltas.iter().position(|&d| d > 0).expect("deliveries flow");
+    let stall = deltas[first_flow..]
+        .iter()
+        .position(|&d| d == 0)
+        .map(|i| i + first_flow)
+        .expect("crash stalls delivery");
+    assert!(
+        deltas[stall..].iter().any(|&d| d > 1),
+        "fail-over re-delivery must spike the deliver rate: {:?}",
+        deltas
+    );
+
+    // And in the health verdict: the silent Primary reads as degraded at
+    // the detection sample, then promotion heals the system.
+    let verdicts: Vec<&str> = first.timeline.iter().map(|p| p.health.as_str()).collect();
+    let degraded = verdicts
+        .iter()
+        .position(|&v| v == "degraded")
+        .expect("crash window must surface as a degraded verdict");
+    assert_eq!(
+        *verdicts.last().unwrap(),
+        "healthy",
+        "promotion must heal the verdict: {:?}",
+        &verdicts[degraded..]
+    );
 }

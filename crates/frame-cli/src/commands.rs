@@ -74,18 +74,25 @@ pub fn cmd_admit(manifest: &Manifest, out: &mut impl std::io::Write) -> std::io:
     Ok(rejected)
 }
 
-/// A running broker process: server plus broker handle.
+/// A running broker process: server plus broker handle, and — with
+/// `--obs` — the metrics sampler and HTTP scrape endpoint.
 pub struct RunningBroker {
     /// The broker.
     pub broker: RtBroker,
     /// Its TCP front end.
     pub server: TcpBrokerServer,
+    /// The `/metrics` + `/healthz` listener, when `--obs` was given.
+    pub obs: Option<(frame_obs::ObsSampler, frame_obs::ObsServer)>,
     threads: frame_rt::RtBrokerThreads,
 }
 
 impl RunningBroker {
     /// Stops everything.
     pub fn shutdown(self) {
+        if let Some((mut sampler, mut server)) = self.obs {
+            server.shutdown();
+            sampler.shutdown();
+        }
         self.broker.shutdown();
         self.server.shutdown();
         self.threads.join();
@@ -104,6 +111,7 @@ pub fn cmd_broker(
     config: BrokerConfig,
     workers: usize,
     backup_addr: Option<SocketAddr>,
+    obs_addr: Option<&str>,
 ) -> Result<RunningBroker, String> {
     let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
     let (broker, threads) = RtBroker::spawn(
@@ -114,7 +122,7 @@ pub fn cmd_broker(
         role,
         config,
         workers,
-        clock,
+        clock.clone(),
     );
     for t in &manifest.topics {
         let (spec, subscribers) = t.to_spec();
@@ -128,10 +136,25 @@ pub fn cmd_broker(
         let bridge = connect_backup_over_tcp(&broker, addr).map_err(|e| e.to_string())?;
         std::mem::forget(bridge);
     }
+    let obs = match obs_addr {
+        None => None,
+        Some(addr) => {
+            let sampler = frame_obs::spawn_sampler(
+                broker.telemetry().clone(),
+                clock,
+                frame_obs::SamplerConfig::default(),
+            );
+            let obs_server =
+                frame_obs::ObsServer::bind(addr, broker.telemetry().clone(), sampler.shared())
+                    .map_err(|e| e.to_string())?;
+            Some((sampler, obs_server))
+        }
+    };
     let server = TcpBrokerServer::bind(listen, broker.clone()).map_err(|e| e.to_string())?;
     Ok(RunningBroker {
         broker,
         server,
+        obs,
         threads,
     })
 }
@@ -289,6 +312,48 @@ pub fn cmd_detector(
     }
 }
 
+/// Fetches a broker's live telemetry snapshot over TCP as raw JSON — the
+/// shared poll step behind `stats`, `stats --watch` and `top`.
+fn fetch_stats_json(addr: SocketAddr) -> Result<String, String> {
+    use frame_rt::{read_frame, write_frame, WireMsg};
+    let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write_frame(&mut s, &WireMsg::Stats).map_err(|e| e.to_string())?;
+    match read_frame(&mut s).map_err(|e| e.to_string())? {
+        WireMsg::StatsJson(json) => Ok(json),
+        other => Err(format!("unexpected stats reply: {other:?}")),
+    }
+}
+
+/// The shared polling loop behind `top` and `stats --watch`: runs `tick`
+/// up to `max_rounds` times with `interval` of sleep *before* each one
+/// (every tick observes a full interval of activity), stopping early when
+/// `stop` is set.
+fn watch(
+    interval: std::time::Duration,
+    max_rounds: u64,
+    stop: &StopFlag,
+    mut tick: impl FnMut() -> Result<(), String>,
+) -> Result<(), String> {
+    for _ in 0..max_rounds {
+        // Sleep in short slices so Ctrl-C doesn't wait out the interval.
+        let deadline = std::time::Instant::now() + interval;
+        while std::time::Instant::now() < deadline {
+            if stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            std::thread::sleep(left.min(std::time::Duration::from_millis(50)));
+        }
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        tick()?;
+    }
+    Ok(())
+}
+
 /// `frame-cli stats`: fetch a broker's live telemetry snapshot over TCP and
 /// render it. `format` is `pretty` (per-stage/per-topic p50/p99/max table),
 /// `json` (the wire snapshot as-is), or `prometheus` (text exposition
@@ -302,15 +367,7 @@ pub fn cmd_stats(
     format: &str,
     out: &mut impl std::io::Write,
 ) -> Result<(), String> {
-    use frame_rt::{read_frame, write_frame, WireMsg};
-    let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
-    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
-        .map_err(|e| e.to_string())?;
-    write_frame(&mut s, &WireMsg::Stats).map_err(|e| e.to_string())?;
-    let json = match read_frame(&mut s).map_err(|e| e.to_string())? {
-        WireMsg::StatsJson(json) => json,
-        other => return Err(format!("unexpected stats reply: {other:?}")),
-    };
+    let json = fetch_stats_json(addr)?;
     let rendered = match format {
         "json" => json,
         "pretty" | "prometheus" => {
@@ -329,6 +386,132 @@ pub fn cmd_stats(
         }
     };
     writeln!(out, "{rendered}").map_err(|e| e.to_string())
+}
+
+/// `frame-cli stats --watch`: re-render `cmd_stats` every `interval`,
+/// clearing the screen between renders, until `stop` is set (or
+/// `max_rounds` renders for tests). The first render is immediate; the
+/// rest ride the shared [`watch`] loop.
+///
+/// # Errors
+///
+/// Same as [`cmd_stats`].
+pub fn cmd_stats_watch(
+    addr: SocketAddr,
+    format: &str,
+    interval: std::time::Duration,
+    max_rounds: u64,
+    stop: &StopFlag,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    cmd_stats(addr, format, out)?;
+    watch(interval, max_rounds.saturating_sub(1), stop, || {
+        write!(out, "\x1b[2J\x1b[H").map_err(|e| e.to_string())?;
+        cmd_stats(addr, format, out)
+    })
+}
+
+/// `frame-cli top`: a live single-screen view of a broker — rates, queue
+/// watermarks, heartbeats, per-topic SLO counters and the health verdict.
+///
+/// Polls the broker's stats surface every `interval` and differentiates
+/// consecutive snapshots through a client-side [`frame_obs::Sampler`], so
+/// the broker needs no extra support beyond `stats`. `clear_screen`
+/// drives the live ANSI refresh; `--once` uses one round without it.
+///
+/// # Errors
+///
+/// Connection/protocol errors as strings.
+pub fn cmd_top(
+    addr: SocketAddr,
+    interval: std::time::Duration,
+    max_rounds: u64,
+    clear_screen: bool,
+    stop: &StopFlag,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let clock = MonotonicClock::new();
+    let mut sampler = frame_obs::Sampler::new(frame_obs::SamplerConfig {
+        cadence: frame_types::Duration::from_std(interval),
+        ..Default::default()
+    });
+    // Prime: rates are deltas, so the first render needs a predecessor.
+    // The broker snapshots at request arrival, so stamp each sample with
+    // the clock *before* the fetch — response-transfer latency must not
+    // age the heartbeats.
+    let now = clock.now();
+    let snap = frame_telemetry::from_json(&fetch_stats_json(addr)?)
+        .map_err(|e| format!("malformed snapshot: {e}"))?;
+    sampler.observe(&snap, now);
+    let mut render = || -> Result<(), String> {
+        let now = clock.now();
+        let snap = frame_telemetry::from_json(&fetch_stats_json(addr)?)
+            .map_err(|e| format!("malformed snapshot: {e}"))?;
+        let point = sampler.observe(&snap, now);
+        if clear_screen {
+            write!(out, "\x1b[2J\x1b[H").map_err(|e| e.to_string())?;
+        }
+        write!(out, "{}", render_top(addr, &point, &snap)).map_err(|e| e.to_string())
+    };
+    watch(interval, max_rounds, stop, &mut render)
+}
+
+/// Renders one `top` screen from a differentiated sample plus the raw
+/// snapshot it came from.
+fn render_top(
+    addr: SocketAddr,
+    p: &frame_obs::SamplePoint,
+    snap: &frame_telemetry::TelemetrySnapshot,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "frame top — {addr} — t {:.1}s — health {}",
+        p.t_ns as f64 / 1e9,
+        p.health.verdict.name().to_uppercase(),
+    );
+    let _ = writeln!(
+        s,
+        "rates/s   admit {:>8.1}  deliver {:>8.1}  replicate {:>8.1}  miss {:>6.1}  loss {:>6.1}",
+        p.admit_rate(),
+        p.deliver_rate(),
+        p.replicate_rate(),
+        p.miss_rate(),
+        p.loss_rate(),
+    );
+    let _ = writeln!(
+        s,
+        "queues    depth {} (high {})   ingress {} (high {})",
+        p.queue_depth, p.queue_watermark, p.ingress_backlog, p.ingress_watermark,
+    );
+    let beats: Vec<String> = snap
+        .heartbeats
+        .iter()
+        .filter(|h| h.beats > 0)
+        .map(|h| format!("{} {}", h.kind.name(), h.beats))
+        .collect();
+    let _ = writeln!(
+        s,
+        "beats     {}",
+        if beats.is_empty() {
+            "(none yet)".to_owned()
+        } else {
+            beats.join("   ")
+        }
+    );
+    let _ = writeln!(s, "topics    id  delivered  misses  lost  violations");
+    for slo in &snap.slos {
+        let _ = writeln!(
+            s,
+            "          {:<3} {:>9}  {:>6}  {:>4}  {:>10}",
+            slo.topic.0, slo.delivered, slo.deadline_misses, slo.lost, slo.loss_bound_violations,
+        );
+    }
+    if !p.health.reasons.is_empty() {
+        let _ = writeln!(s, "reasons   {}", p.health.reasons.join("; "));
+    }
+    s
 }
 
 /// Where `frame-cli trace` reads its flight-recorder snapshot from.
@@ -395,8 +578,9 @@ pub fn cmd_trace(
 /// `frame-cli chaos run`: execute a fault plan against a fresh in-process
 /// Primary/Backup pair with the seeded injector installed, print the
 /// invariant verdict, and (with `--out`) write the deterministic incident
-/// log as `incidents.jsonl` plus the verdict as `verdict.json`. The same
-/// plan and seed always produce byte-identical artifacts.
+/// log as `incidents.jsonl`, the sampled metrics timeline as
+/// `metrics.jsonl`, and the verdict as `verdict.json`. The same plan and
+/// seed always produce byte-identical artifacts.
 ///
 /// Returns `0` when every invariant held, `1` when any failed.
 ///
@@ -425,13 +609,16 @@ pub fn cmd_chaos(
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         let incidents = dir.join("incidents.jsonl");
         std::fs::write(&incidents, &report.incidents_jsonl).map_err(|e| e.to_string())?;
+        let metrics = dir.join("metrics.jsonl");
+        std::fs::write(&metrics, &report.metrics_jsonl).map_err(|e| e.to_string())?;
         let verdict = dir.join("verdict.json");
         let json = serde_json::to_string(&report.verdict).map_err(|e| e.to_string())?;
         std::fs::write(&verdict, json).map_err(|e| e.to_string())?;
         writeln!(
             out,
-            "artifacts: {} {}",
+            "artifacts: {} {} {}",
             incidents.display(),
+            metrics.display(),
             verdict.display()
         )
         .map_err(|e| e.to_string())?;
@@ -476,6 +663,7 @@ mod tests {
             BrokerConfig::frame(),
             2,
             None,
+            None,
         )
         .unwrap();
         let backup = cmd_broker(
@@ -484,6 +672,7 @@ mod tests {
             BrokerRole::Backup,
             BrokerConfig::frame(),
             2,
+            None,
             None,
         )
         .unwrap();
@@ -517,6 +706,7 @@ mod tests {
             BrokerRole::Primary,
             BrokerConfig::frame(),
             2,
+            None,
             None,
         )
         .unwrap();
@@ -584,5 +774,114 @@ mod tests {
 
         stop.store(true, Ordering::Release);
         broker.shutdown();
+    }
+
+    #[test]
+    fn top_once_renders_rates_watermarks_and_health() {
+        let manifest = Manifest::table2();
+        let broker = cmd_broker(
+            &manifest,
+            "127.0.0.1:0",
+            BrokerRole::Primary,
+            BrokerConfig::frame(),
+            2,
+            None,
+            Some("127.0.0.1:0"),
+        )
+        .unwrap();
+        let addr = broker.server.local_addr();
+        let obs_addr = broker.obs.as_ref().unwrap().1.local_addr();
+        assert_ne!(obs_addr.port(), 0, "--obs bound a real port");
+        let stop: StopFlag = Arc::new(AtomicBool::new(false));
+
+        // Traffic published *between* top's two snapshots shows up as a
+        // non-zero deliver rate in the rendered screen.
+        let stop_pub = stop.clone();
+        let m = manifest.clone();
+        let publisher = std::thread::spawn(move || cmd_publish(&m, addr, 0, 5, &stop_pub));
+        let mut sink = Vec::new();
+        cmd_top(
+            addr,
+            std::time::Duration::from_millis(400),
+            1,
+            false,
+            &stop,
+            &mut sink,
+        )
+        .unwrap();
+        publisher.join().unwrap().unwrap();
+        let screen = String::from_utf8(sink).unwrap();
+        assert!(screen.contains("health HEALTHY"), "got: {screen}");
+        assert!(screen.contains("rates/s"), "got: {screen}");
+        assert!(screen.contains("queues"), "got: {screen}");
+        let rates = screen
+            .lines()
+            .find(|l| l.starts_with("rates/s"))
+            .expect("rates line");
+        let tokens: Vec<&str> = rates.split_whitespace().collect();
+        let deliver_rate: f64 = tokens
+            .iter()
+            .position(|&t| t == "deliver")
+            .and_then(|i| tokens.get(i + 1))
+            .expect("deliver rate column")
+            .parse()
+            .expect("deliver rate is a number");
+        assert!(
+            deliver_rate > 0.0,
+            "deliver rate must be non-zero while publishing: {screen}"
+        );
+
+        // stats --watch shares the loop: two renders, cleared in between.
+        let mut sink = Vec::new();
+        cmd_stats_watch(
+            addr,
+            "pretty",
+            std::time::Duration::from_millis(50),
+            2,
+            &stop,
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert_eq!(text.matches("dispatch_exec").count(), 2, "two renders");
+        assert!(text.contains("\x1b[2J"), "screen cleared between renders");
+
+        stop.store(true, Ordering::Release);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn chaos_out_writes_metrics_timeline_alongside_incidents() {
+        let dir = std::env::temp_dir().join(format!("frame-chaos-cli-{}", std::process::id()));
+        let plan_path = dir.join("plan.toml");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            &plan_path,
+            r#"
+            messages = 3
+            pace_ms = 5
+
+            [[topics]]
+            id = 1
+            period_ms = 30
+            deadline_ms = 200
+            loss_tolerance = 0
+            retention = 4
+            subscribers = [1]
+        "#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let code = cmd_chaos(&plan_path, 1, Some(&dir), &mut out).unwrap();
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+        let metrics = std::fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
+        assert!(!metrics.is_empty());
+        for line in metrics.lines() {
+            let point = serde_json::parse_value(line).expect("timeline line parses");
+            assert!(point.get("t_ms").is_some(), "line: {line}");
+            assert!(point.get("health").is_some(), "line: {line}");
+        }
+        assert!(dir.join("incidents.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,10 +5,13 @@
 //! frame-cli broker    --manifest topics.json --listen 0.0.0.0:7400
 //!                     [--role primary|backup] [--config frame|fcfs|fcfs-]
 //!                     [--workers N] [--backup-addr host:port]
+//!                     [--obs host:port]     # /metrics + /healthz + /series
 //! frame-cli publish   --manifest topics.json --addr host:port
 //!                     [--publisher-id N] [--rounds N]
 //! frame-cli subscribe --addr host:port --subscriber-id N [--count N]
 //! frame-cli stats     --addr host:port [--format pretty|json|prometheus]
+//!                     [--watch SECS]
+//! frame-cli top       --addr host:port [--interval SECS] [--once]
 //! frame-cli trace     --addr host:port | --dump path/flight.jsonl
 //!                     [--format pretty|json] [--detail N] [--topic N --seq N]
 //! frame-cli chaos run plan.toml [--seed N] [--out dir]
@@ -23,8 +26,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use commands::{
-    cmd_admit, cmd_broker, cmd_chaos, cmd_publish, cmd_stats, cmd_subscribe, cmd_trace,
-    parse_config, TraceSource,
+    cmd_admit, cmd_broker, cmd_chaos, cmd_publish, cmd_stats, cmd_stats_watch, cmd_subscribe,
+    cmd_top, cmd_trace, parse_config, TraceSource,
 };
 use frame_core::BrokerRole;
 use manifest::Manifest;
@@ -85,13 +88,27 @@ fn run(args: &[String]) -> Result<i32, String> {
                 Some(a) => Some(a.parse().map_err(|_| "bad --backup-addr".to_owned())?),
                 None => None,
             };
-            let running = cmd_broker(&m, listen, role, config, workers, backup_addr)?;
+            let running = cmd_broker(
+                &m,
+                listen,
+                role,
+                config,
+                workers,
+                backup_addr,
+                flags.get("--obs"),
+            )?;
             eprintln!(
                 "broker listening on {} ({:?}, {} topics); Ctrl-C to stop",
                 running.server.local_addr(),
                 running.broker.role(),
                 m.topics.len()
             );
+            if let Some((_, obs)) = &running.obs {
+                eprintln!(
+                    "observability on http://{} (/metrics /healthz /series)",
+                    obs.local_addr()
+                );
+            }
             // Serve until the process is killed; the RunningBroker's
             // threads (and its shutdown path, used by tests) stay alive
             // for the process lifetime.
@@ -150,7 +167,42 @@ fn run(args: &[String]) -> Result<i32, String> {
                 .parse()
                 .map_err(|_| "bad --addr".to_owned())?;
             let format = flags.get("--format").unwrap_or("pretty");
-            cmd_stats(addr, format, &mut std::io::stdout())?;
+            match flags.get("--watch") {
+                None => cmd_stats(addr, format, &mut std::io::stdout())?,
+                Some(secs) => {
+                    let secs: u64 = secs.parse().map_err(|_| "bad --watch".to_owned())?;
+                    let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
+                    cmd_stats_watch(
+                        addr,
+                        format,
+                        std::time::Duration::from_secs(secs.max(1)),
+                        u64::MAX,
+                        &stop,
+                        &mut std::io::stdout(),
+                    )?;
+                }
+            }
+            Ok(0)
+        }
+        "top" => {
+            let addr: SocketAddr = flags
+                .require("--addr")?
+                .parse()
+                .map_err(|_| "bad --addr".to_owned())?;
+            let once = flags.0.iter().any(|a| a == "--once");
+            let interval = match flags.get("--interval") {
+                // --once differentiates two snapshots a short window apart.
+                None if once => std::time::Duration::from_millis(200),
+                None => std::time::Duration::from_secs(2),
+                Some(secs) => std::time::Duration::from_secs(
+                    secs.parse::<u64>()
+                        .map_err(|_| "bad --interval".to_owned())?
+                        .max(1),
+                ),
+            };
+            let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
+            let rounds = if once { 1 } else { u64::MAX };
+            cmd_top(addr, interval, rounds, !once, &stop, &mut std::io::stdout())?;
             Ok(0)
         }
         "trace" => {
@@ -272,10 +324,12 @@ fn run(args: &[String]) -> Result<i32, String> {
 fn usage() -> String {
     "usage:\n  frame-cli admit     --manifest topics.json\n  \
      frame-cli broker    --manifest topics.json --listen ADDR [--role primary|backup]\n            \
-     \u{20}         [--config frame|fcfs|fcfs-] [--workers N] [--backup-addr ADDR]\n  \
+     \u{20}         [--config frame|fcfs|fcfs-] [--workers N] [--backup-addr ADDR]\n            \
+     \u{20}         [--obs ADDR]\n  \
      frame-cli publish   --manifest topics.json --addr ADDR [--publisher-id N] [--rounds N]\n  \
      frame-cli subscribe --addr ADDR --subscriber-id N [--count N]\n  \
-     frame-cli stats     --addr ADDR [--format pretty|json|prometheus]\n  \
+     frame-cli stats     --addr ADDR [--format pretty|json|prometheus] [--watch SECS]\n  \
+     frame-cli top       --addr ADDR [--interval SECS] [--once]\n  \
      frame-cli trace     --addr ADDR | --dump PATH [--format pretty|json]\n            \
      \u{20}         [--detail N] [--topic N --seq N]\n  \
      frame-cli detector  --primary ADDR --backup ADDR [--interval-ms N] [--timeout-ms N]\n  \

@@ -1,0 +1,41 @@
+//! Validates a scraped Prometheus exposition file.
+//!
+//! ```sh
+//! curl -fsS http://127.0.0.1:9400/metrics -o metrics.txt
+//! cargo run -p frame-obs --example scrape_check -- metrics.txt
+//! ```
+//!
+//! Exits non-zero (with the violation on stderr) when the text breaks
+//! exposition-format rules — CI uses this to gate the `/metrics`
+//! endpoint on every push.
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: scrape_check METRICS_FILE");
+        std::process::exit(2);
+    });
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scrape_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if text.trim().is_empty() {
+        eprintln!("scrape_check: {path} is empty");
+        std::process::exit(1);
+    }
+    match frame_telemetry::check_prometheus_conformance(&text) {
+        Ok(()) => {
+            let series = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            println!("scrape_check: OK ({series} series)");
+        }
+        Err(e) => {
+            eprintln!("scrape_check: malformed exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}

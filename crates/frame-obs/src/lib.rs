@@ -1,0 +1,30 @@
+//! The metrics time-series pipeline for FRAME: a sampler that
+//! differentiates [`frame_telemetry::TelemetrySnapshot`] counters into
+//! rates, fixed-capacity ring time-series with aggregates, a
+//! heartbeat/threshold health model, and a minimal embedded HTTP/1.1
+//! scrape surface (`/metrics`, `/healthz`, `/series`).
+//!
+//! The crate deliberately depends only on `frame-types`,
+//! `frame-telemetry` and `frame-clock`, so the runtime (`frame-rt`), the
+//! CLI and the chaos harness can all reuse the same sampling and health
+//! logic — server-side (a background thread over a live [`Telemetry`]
+//! registry), client-side (`frame-cli top` differentiating snapshots
+//! fetched over TCP), and inside the chaos runner (cadence driven by the
+//! injected clock, so the `metrics.jsonl` timeline is deterministic).
+//!
+//! [`Telemetry`]: frame_telemetry::Telemetry
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod health;
+pub mod http;
+pub mod sampler;
+pub mod series;
+pub mod timeline;
+
+pub use health::{HealthConfig, HealthReport, HealthVerdict};
+pub use http::ObsServer;
+pub use sampler::{spawn_sampler, ObsSampler, SamplePoint, Sampler, SamplerConfig, SharedSampler};
+pub use series::{RingSeries, SeriesStore};
+pub use timeline::TimelinePoint;

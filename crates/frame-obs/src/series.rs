@@ -1,0 +1,195 @@
+//! Fixed-capacity ring time-series with running aggregates, and the
+//! bounded store that holds one ring per metric name.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// One `(t_ns, value)` observation.
+pub type Point = (u64, f64);
+
+/// A fixed-capacity ring of timestamped observations plus running
+/// min/max/last/count aggregates. The aggregates cover every point ever
+/// pushed, not just the retained window, so a scraper that missed old
+/// points still sees the lifetime extremes.
+#[derive(Clone, Debug)]
+pub struct RingSeries {
+    capacity: usize,
+    points: VecDeque<Point>,
+    /// Lifetime minimum (meaningless until `count > 0`).
+    min: f64,
+    /// Lifetime maximum (meaningless until `count > 0`).
+    max: f64,
+    /// The newest value pushed.
+    last: f64,
+    /// Total points ever pushed (retained + evicted).
+    count: u64,
+}
+
+impl RingSeries {
+    /// An empty series retaining the newest `capacity` points.
+    pub fn new(capacity: usize) -> RingSeries {
+        RingSeries {
+            capacity: capacity.max(1),
+            points: VecDeque::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Pushes an observation, evicting the oldest once full.
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back((t_ns, value));
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.last = value;
+        self.count += 1;
+    }
+
+    /// The retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &Point> {
+        self.points.iter()
+    }
+
+    /// Retained point count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Lifetime minimum, if any point was pushed.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Lifetime maximum, if any point was pushed.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The newest value, if any point was pushed.
+    pub fn last(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.last)
+    }
+
+    /// Total points ever pushed (retained + evicted).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// A bounded collection of named ring series.
+///
+/// The cardinality guard caps the number of distinct series: pushes to a
+/// new name beyond `max_series` are counted in [`SeriesStore::dropped`]
+/// instead of allocating — per-topic series cannot grow without bound
+/// when topics churn.
+#[derive(Clone, Debug)]
+pub struct SeriesStore {
+    ring_capacity: usize,
+    max_series: usize,
+    series: BTreeMap<String, RingSeries>,
+    dropped: u64,
+}
+
+impl SeriesStore {
+    /// An empty store: up to `max_series` rings of `ring_capacity` points.
+    pub fn new(ring_capacity: usize, max_series: usize) -> SeriesStore {
+        SeriesStore {
+            ring_capacity: ring_capacity.max(1),
+            max_series: max_series.max(1),
+            series: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Pushes an observation into the series named `name`, creating it
+    /// unless the cardinality guard is saturated (then the point is
+    /// dropped and counted).
+    pub fn push(&mut self, name: &str, t_ns: u64, value: f64) {
+        if let Some(s) = self.series.get_mut(name) {
+            s.push(t_ns, value);
+            return;
+        }
+        if self.series.len() >= self.max_series {
+            self.dropped += 1;
+            return;
+        }
+        let mut s = RingSeries::new(self.ring_capacity);
+        s.push(t_ns, value);
+        self.series.insert(name.to_string(), s);
+    }
+
+    /// The series named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&RingSeries> {
+        self.series.get(name)
+    }
+
+    /// Every series name, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Distinct series currently held.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Points dropped by the cardinality guard.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_lifetime_aggregates() {
+        let mut s = RingSeries::new(3);
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        for (t, v) in [(1, 10.0), (2, 50.0), (3, 5.0), (4, 20.0)] {
+            s.push(t, v);
+        }
+        assert_eq!(s.len(), 3);
+        let ts: Vec<u64> = s.points().map(|p| p.0).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest evicted");
+        // The evicted (1, 10.0) still counts toward the aggregates.
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(50.0));
+        assert_eq!(s.last(), Some(20.0));
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn store_guards_cardinality() {
+        let mut store = SeriesStore::new(8, 2);
+        store.push("a", 1, 1.0);
+        store.push("b", 1, 2.0);
+        store.push("c", 1, 3.0); // over the cap: dropped
+        store.push("a", 2, 4.0); // existing series: fine
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.names(), vec!["a", "b"]);
+        assert_eq!(store.dropped(), 1);
+        assert!(store.get("c").is_none());
+        assert_eq!(store.get("a").unwrap().count(), 2);
+    }
+}

@@ -51,7 +51,7 @@ use frame_core::{
     AdmitCtx, AdmittedTopic, BrokerConfig, BrokerRole, BrokerStats, BufferSource, Effect, JobKind,
     Resolution, Scheduler, TopicShard,
 };
-use frame_telemetry::{DecisionKind, IncidentKind, Stage, Telemetry};
+use frame_telemetry::{DecisionKind, HeartbeatKind, IncidentKind, Stage, Telemetry};
 use frame_types::{
     BrokerId, FrameError, Message, MessageKey, SeqNo, SpanPoint, SubscriberId, Time, TopicId,
     TraceCtx,
@@ -359,6 +359,9 @@ impl RtBroker {
             let ShardSlot { shard, stats } = &mut *guard;
             let mut sched = self.inner.sched.lock();
             created += shard.recovery_jobs(now, &mut sched, stats);
+            self.inner
+                .telemetry
+                .record_queue_depth(self.inner.id, sched.len() as u64);
         }
         self.inner.job_ready.notify_all();
         Ok(created)
@@ -439,7 +442,15 @@ fn ingress(inner: &Inner, mut message: Message, source: BufferSource, now: Time)
         has_backup_peer: inner.has_backup_peer.load(Ordering::Acquire),
     };
     let mut sched = inner.sched.lock();
-    shard.admit(message, now, source, ctx, &mut sched, stats)
+    let created = shard.admit(message, now, source, ctx, &mut sched, stats);
+    if created > 0 {
+        inner.telemetry.record_admit();
+    }
+    // Gauge stored under the scheduler lock: store order = mutation order.
+    inner
+        .telemetry
+        .record_queue_depth(inner.id, sched.len() as u64);
+    created
 }
 
 fn apply_replica(inner: &Inner, message: Message) {
@@ -479,6 +490,11 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
                         if !inner.alive.load(Ordering::Acquire) {
                             break;
                         }
+                        // An idle proxy is a live proxy: beat on timeouts
+                        // too, or quiet systems would trip the watchdog.
+                        inner
+                            .telemetry
+                            .heartbeat(HeartbeatKind::Proxy, inner.clock.now());
                         continue;
                     }
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
@@ -487,6 +503,10 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
                     break;
                 }
                 let now = inner.clock.now();
+                inner.telemetry.heartbeat(HeartbeatKind::Proxy, now);
+                inner
+                    .telemetry
+                    .record_ingress_backlog(inner.id, rx.len() as u64);
                 let created = match msg {
                     BrokerMsg::Publish(m) => {
                         let n = ingress(&inner, m, BufferSource::Message, now);
@@ -543,10 +563,20 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
             }
             // Pop under the scheduler lock alone; wait on it when idle
             // (with a timeout so kill() is always noticed).
+            inner
+                .telemetry
+                .heartbeat(HeartbeatKind::Worker, inner.clock.now());
             let job = {
                 let mut sched = inner.sched.lock();
                 match sched.pop() {
-                    Some(job) => job,
+                    Some(job) => {
+                        // Gauge stored while the lock is still held, so
+                        // stores land in mutation order.
+                        inner
+                            .telemetry
+                            .record_queue_depth(inner.id, sched.len() as u64);
+                        job
+                    }
                     None => {
                         inner
                             .job_ready
@@ -586,7 +616,11 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
                 }
                 let outcome = shard.finish(&active, inner.config.coordination, started, stats);
                 if let Some(id) = outcome.cancel {
-                    inner.sched.lock().cancel(id);
+                    let mut sched = inner.sched.lock();
+                    sched.cancel(id);
+                    inner
+                        .telemetry
+                        .record_queue_depth(inner.id, sched.len() as u64);
                 }
                 // Backup-bound effects leave while the shard lock is held:
                 // for this topic, channel order is the Table-3 order, so a

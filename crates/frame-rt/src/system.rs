@@ -10,8 +10,9 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::{Clock, MonotonicClock};
 use frame_core::{admit, BrokerConfig, BrokerRole, PollingDetector, PrimaryStatus, Publisher};
+use frame_obs::{spawn_sampler, ObsSampler, ObsServer, SamplerConfig};
 use frame_store::FlightDump;
-use frame_telemetry::{IncidentKind, Stage, Telemetry, TelemetrySnapshot};
+use frame_telemetry::{HeartbeatKind, IncidentKind, Stage, Telemetry, TelemetrySnapshot};
 use frame_types::{
     BrokerId, Duration, FrameError, Message, NetworkParams, PublisherId, SeqNo, SubscriberId,
     TopicId, TopicSpec,
@@ -134,6 +135,8 @@ pub struct RtSystem {
     detector: Option<JoinHandle<()>>,
     telemetry: Telemetry,
     flight_sink: Option<FlightSink>,
+    obs_sampler: Option<ObsSampler>,
+    obs_server: Option<ObsServer>,
     hook: SharedFaultHook,
 }
 
@@ -195,6 +198,9 @@ pub struct RtSystemBuilder {
     net: NetworkParams,
     telemetry: Telemetry,
     flight_dump: Option<std::path::PathBuf>,
+    clock: Option<Arc<dyn Clock>>,
+    obs: Option<String>,
+    sampler: SamplerConfig,
     hook: SharedFaultHook,
 }
 
@@ -235,12 +241,37 @@ impl RtSystemBuilder {
         self
     }
 
-    /// Starts the broker pair and (if configured) the flight-dump sink.
+    /// Clock shared by every component (default [`MonotonicClock`]). The
+    /// chaos harness injects a [`frame_clock::SimClock`] here so sampled
+    /// timestamps come from logical time.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Serve the observability endpoint (`/metrics`, `/healthz`,
+    /// `/series`) on `addr` (e.g. `"127.0.0.1:9464"`, or port `0` to let
+    /// the OS pick — read it back with [`RtSystem::obs_addr`]), and start
+    /// the background metrics sampler feeding it.
+    pub fn obs(mut self, addr: impl Into<String>) -> Self {
+        self.obs = Some(addr.into());
+        self
+    }
+
+    /// Sampler cadence, ring sizing and health thresholds used by the
+    /// observability endpoint (default [`SamplerConfig::default`]).
+    pub fn sampler_config(mut self, sampler: SamplerConfig) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Starts the broker pair and (if configured) the flight-dump sink,
+    /// metrics sampler and observability endpoint.
     ///
     /// # Errors
     ///
     /// Returns [`FrameError::Store`] when the flight-dump directory cannot
-    /// be created.
+    /// be created or the observability endpoint cannot bind its address.
     pub fn start(self) -> Result<RtSystem, FrameError> {
         let RtSystemBuilder {
             config,
@@ -248,9 +279,12 @@ impl RtSystemBuilder {
             net,
             telemetry,
             flight_dump,
+            clock,
+            obs,
+            sampler,
             hook,
         } = self;
-        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let clock: Arc<dyn Clock> = clock.unwrap_or_else(|| Arc::new(MonotonicClock::new()));
         let (primary, pt) = RtBroker::spawn_configured(
             BrokerId(0),
             BrokerRole::Primary,
@@ -276,6 +310,16 @@ impl RtSystemBuilder {
                 Some(spawn_flight_sink(telemetry.clone(), &dir).map_err(FrameError::store)?)
             }
         };
+        let (obs_sampler, obs_server) = match obs {
+            None => (None, None),
+            Some(addr) => {
+                let obs_sampler = spawn_sampler(telemetry.clone(), clock.clone(), sampler);
+                let server =
+                    ObsServer::bind(addr.as_str(), telemetry.clone(), obs_sampler.shared())
+                        .map_err(FrameError::store)?;
+                (Some(obs_sampler), Some(server))
+            }
+        };
         Ok(RtSystem {
             primary,
             backup,
@@ -287,6 +331,8 @@ impl RtSystemBuilder {
             detector: None,
             telemetry,
             flight_sink,
+            obs_sampler,
+            obs_server,
             hook,
         })
     }
@@ -302,77 +348,11 @@ impl RtSystem {
             net: NetworkParams::paper_example(),
             telemetry: Telemetry::new(),
             flight_dump: None,
+            clock: None,
+            obs: None,
+            sampler: SamplerConfig::default(),
             hook: None,
         }
-    }
-
-    /// Starts a broker pair with `config` and `workers` delivery threads
-    /// each, using the paper's example network bounds for admission.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RtSystem::builder(config).workers(n).start()`"
-    )]
-    pub fn start(config: BrokerConfig, workers: usize) -> RtSystem {
-        RtSystem::builder(config)
-            .workers(workers)
-            .start()
-            .expect("no flight dump configured, start cannot fail")
-    }
-
-    /// Starts a broker pair with explicit network bounds. Both brokers
-    /// record into one shared [`Telemetry`] registry, readable live via
-    /// [`RtSystem::snapshot`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RtSystem::builder(config).workers(n).net(params).start()`"
-    )]
-    pub fn start_with(config: BrokerConfig, workers: usize, net: NetworkParams) -> RtSystem {
-        RtSystem::builder(config)
-            .workers(workers)
-            .net(net)
-            .start()
-            .expect("no flight dump configured, start cannot fail")
-    }
-
-    /// Starts a broker pair recording into the given telemetry handle
-    /// (pass [`Telemetry::disabled`] to turn observability off entirely).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RtSystem::builder(config).workers(n).net(params).telemetry(t).start()`"
-    )]
-    pub fn start_with_telemetry(
-        config: BrokerConfig,
-        workers: usize,
-        net: NetworkParams,
-        telemetry: Telemetry,
-    ) -> RtSystem {
-        RtSystem::builder(config)
-            .workers(workers)
-            .net(net)
-            .telemetry(telemetry)
-            .start()
-            .expect("no flight dump configured, start cannot fail")
-    }
-
-    /// Starts the flight-recorder dump sink on an already-running system
-    /// and returns the dump file path. Prefer configuring the sink up
-    /// front with [`RtSystemBuilder::flight_dump`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates dump-directory creation errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RtSystem::builder(config).flight_dump(dir).start()`"
-    )]
-    pub fn start_flight_dump(
-        &mut self,
-        dir: impl AsRef<std::path::Path>,
-    ) -> std::io::Result<std::path::PathBuf> {
-        let sink = spawn_flight_sink(self.telemetry.clone(), dir.as_ref())?;
-        let path = sink.path.clone();
-        self.flight_sink = Some(sink);
-        Ok(path)
     }
 
     /// The network bounds the system admits topics against.
@@ -396,10 +376,22 @@ impl RtSystem {
         &self.telemetry
     }
 
-    /// The active flight-dump file, if [`RtSystem::start_flight_dump`] was
-    /// called.
+    /// The active flight-dump file, if [`RtSystemBuilder::flight_dump`]
+    /// was configured.
     pub fn flight_dump_path(&self) -> Option<&std::path::Path> {
         self.flight_sink.as_ref().map(|s| s.path.as_path())
+    }
+
+    /// The bound observability endpoint address, if
+    /// [`RtSystemBuilder::obs`] was configured (useful with port 0).
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.as_ref().map(ObsServer::local_addr)
+    }
+
+    /// The shared metrics sampler behind the observability endpoint, if
+    /// one is running.
+    pub fn obs_sampler(&self) -> Option<frame_obs::SharedSampler> {
+        self.obs_sampler.as_ref().map(ObsSampler::shared)
     }
 
     /// A consistent point-in-time view of every stage histogram, per-topic
@@ -511,11 +503,14 @@ impl RtSystem {
                         }
                     }
                     let (ack_tx, ack_rx) = unbounded();
+                    telemetry.heartbeat(HeartbeatKind::Detector, clock.now());
                     detector.on_poll_sent(clock.now());
                     if primary_tx.send(BrokerMsg::Poll(ack_tx)).is_ok()
                         && ack_rx.recv_timeout(timeout.to_std()).is_ok()
                     {
-                        detector.on_ack(clock.now());
+                        let acked = clock.now();
+                        telemetry.heartbeat(HeartbeatKind::PrimaryAck, acked);
+                        detector.on_ack(acked);
                     }
                     let now = clock.now();
                     if detector.status(now) == PrimaryStatus::Crashed {
@@ -542,6 +537,16 @@ impl RtSystem {
         self.detector = Some(handle);
     }
 
+    /// Sends one liveness poll to the Primary and waits up to `timeout`
+    /// (wall time) for the acknowledgement. This is the failure detector's
+    /// probe as a synchronous call, for harnesses that drive detection on
+    /// a logical clock instead of the wall-clock coordinator thread.
+    pub fn poll_primary(&self, timeout: Duration) -> bool {
+        let (ack_tx, ack_rx) = unbounded();
+        self.primary.sender().send(BrokerMsg::Poll(ack_tx)).is_ok()
+            && ack_rx.recv_timeout(timeout.to_std()).is_ok()
+    }
+
     /// Injects a Primary crash (the paper's SIGKILL).
     pub fn crash_primary(&self) {
         self.primary.kill();
@@ -553,6 +558,12 @@ impl RtSystem {
         self.backup.kill();
         if let Some(d) = self.detector.take() {
             let _ = d.join();
+        }
+        if let Some(mut server) = self.obs_server.take() {
+            server.shutdown();
+        }
+        if let Some(mut sampler) = self.obs_sampler.take() {
+            sampler.shutdown();
         }
         if let Some(sink) = self.flight_sink.take() {
             sink.stop.store(true, Ordering::Release);
@@ -571,62 +582,73 @@ mod tests {
     use std::time::Duration as StdDuration;
 
     #[test]
-    fn builder_and_deprecated_shims_construct_identical_systems() {
-        // The shims are thin delegations to the builder; prove the
-        // observable configuration comes out bit-identical.
-        #[allow(deprecated)]
-        let shim = RtSystem::start(BrokerConfig::frame(), 3);
+    fn builder_defaults_and_knobs_are_observable() {
+        // Every construction path goes through the builder; prove the
+        // defaults and each knob land in the running system.
         let built = RtSystem::builder(BrokerConfig::frame())
             .workers(3)
             .start()
             .unwrap();
-        assert_eq!(shim.net(), built.net());
-        assert_eq!(shim.worker_count(), built.worker_count());
-        assert_eq!(shim.has_chaos_hook(), built.has_chaos_hook());
-        assert_eq!(
-            shim.telemetry().is_enabled(),
-            built.telemetry().is_enabled()
-        );
-        assert_eq!(shim.flight_dump_path(), built.flight_dump_path());
-        assert_eq!(shim.primary.id(), built.primary.id());
-        assert_eq!(shim.backup.role(), built.backup.role());
+        assert_eq!(built.net(), NetworkParams::paper_example());
+        assert_eq!(built.worker_count(), 3);
+        assert!(!built.has_chaos_hook());
+        assert!(built.telemetry().is_enabled());
+        assert_eq!(built.flight_dump_path(), None);
+        assert_eq!(built.obs_addr(), None);
+        assert_eq!(built.primary.id(), BrokerId(0));
+        assert_eq!(built.backup.role(), BrokerRole::Backup);
 
         let custom_net = NetworkParams {
             delta_bs_cloud: Duration::from_millis(35),
             ..NetworkParams::paper_example()
         };
-        #[allow(deprecated)]
-        let shim2 = RtSystem::start_with(BrokerConfig::fcfs(), 1, custom_net);
         let built2 = RtSystem::builder(BrokerConfig::fcfs())
             .workers(1)
             .net(custom_net)
             .start()
             .unwrap();
-        assert_eq!(shim2.net(), built2.net());
-        assert_eq!(shim2.worker_count(), built2.worker_count());
+        assert_eq!(built2.net(), custom_net);
+        assert_eq!(built2.worker_count(), 1);
 
-        #[allow(deprecated)]
-        let shim3 = RtSystem::start_with_telemetry(
-            BrokerConfig::frame(),
-            2,
-            custom_net,
-            Telemetry::disabled(),
-        );
         let built3 = RtSystem::builder(BrokerConfig::frame())
             .workers(2)
             .net(custom_net)
             .telemetry(Telemetry::disabled())
             .start()
             .unwrap();
-        assert_eq!(
-            shim3.telemetry().is_enabled(),
-            built3.telemetry().is_enabled()
-        );
         assert!(!built3.telemetry().is_enabled());
 
-        for sys in [shim, built, shim2, built2, shim3, built3] {
+        for sys in [built, built2, built3] {
             sys.shutdown();
         }
+    }
+
+    #[test]
+    fn builder_obs_endpoint_serves_metrics_and_health() {
+        use std::io::{Read as _, Write as _};
+
+        let sys = RtSystem::builder(BrokerConfig::frame())
+            .workers(1)
+            .obs("127.0.0.1:0")
+            .start()
+            .unwrap();
+        let addr = sys.obs_addr().expect("obs endpoint bound");
+        assert!(sys.obs_sampler().is_some());
+
+        let fetch = |path: &str| {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).unwrap();
+            raw
+        };
+        let metrics = fetch("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"));
+        assert!(metrics.contains("frame_health_status"));
+        let health = fetch("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"));
+        assert!(health.contains("\"status\""));
+        sys.shutdown();
     }
 
     #[test]

@@ -37,123 +37,413 @@ pub fn flight_from_json(json: &str) -> Result<FlightSnapshot, serde_json::Error>
     serde_json::from_str(json)
 }
 
+/// Escapes a label value per the Prometheus text exposition rules:
+/// backslash, double quote and newline are backslash-escaped.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental Prometheus text-exposition writer.
+///
+/// Declaring a family writes its `# HELP`/`# TYPE` pair; samples must
+/// belong to the most recently declared family (Prometheus requires a
+/// family's samples to be consecutive). The writer enforces the
+/// conformance properties the exposition tests check: one HELP/TYPE pair
+/// per family, escaped label values, no duplicate series.
+pub struct PromWriter {
+    out: String,
+    families: std::collections::BTreeSet<String>,
+    series: std::collections::BTreeSet<String>,
+    current: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> PromWriter {
+        PromWriter {
+            out: String::new(),
+            families: std::collections::BTreeSet::new(),
+            series: std::collections::BTreeSet::new(),
+            current: String::new(),
+        }
+    }
+
+    /// Declares a metric family: exactly one `# HELP`/`# TYPE` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already declared (duplicate HELP/TYPE blocks
+    /// are malformed exposition).
+    pub fn family(&mut self, name: &str, metric_type: &str, help: &str) {
+        assert!(
+            self.families.insert(name.to_string()),
+            "duplicate metric family {name}"
+        );
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {metric_type}");
+        self.current = name.to_string();
+    }
+
+    /// Emits one sample of the current family. Label values are escaped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not the most recently declared family or the
+    /// exact series (name + label set) was already emitted.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: impl std::fmt::Display) {
+        assert_eq!(
+            name, self.current,
+            "sample {name} outside its family block (current: {})",
+            self.current
+        );
+        let mut head = String::from(name);
+        if !labels.is_empty() {
+            head.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    head.push(',');
+                }
+                let _ = write!(head, "{k}=\"{}\"", escape_label_value(v));
+            }
+            head.push('}');
+        }
+        assert!(self.series.insert(head.clone()), "duplicate series {head}");
+        let _ = writeln!(self.out, "{head} {value}");
+    }
+
+    /// The rendered exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl Default for PromWriter {
+    fn default() -> Self {
+        PromWriter::new()
+    }
+}
+
+/// Checks Prometheus text-exposition conformance: every sample's metric
+/// name has exactly one `# HELP` and one `# TYPE` line (appearing before
+/// its first sample), no duplicate series (name + label set), and every
+/// sample line parses as `name value` or `name{labels} value` with a
+/// numeric value.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn check_prometheus_conformance(text: &str) -> Result<(), String> {
+    let mut helped = std::collections::BTreeSet::new();
+    let mut typed = std::collections::BTreeSet::new();
+    let mut series = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_string();
+            if !helped.insert(name.clone()) {
+                return Err(format!("duplicate HELP for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_string();
+            if !typed.insert(name.clone()) {
+                return Err(format!("duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((head, value)) = line.rsplit_once(' ') else {
+            return Err(format!("unparseable sample line: {line}"));
+        };
+        if value.parse::<f64>().is_err() {
+            return Err(format!("non-numeric value in: {line}"));
+        }
+        let name = head.split('{').next().unwrap_or_default();
+        if name.is_empty() {
+            return Err(format!("empty metric name in: {line}"));
+        }
+        if let Some(labels) = head.strip_prefix(name) {
+            let braced = labels.starts_with('{') && labels.ends_with('}');
+            if !labels.is_empty() && !braced {
+                return Err(format!("malformed label set in: {line}"));
+            }
+        }
+        if !helped.contains(name) {
+            return Err(format!("sample {name} has no # HELP line"));
+        }
+        if !typed.contains(name) {
+            return Err(format!("sample {name} has no # TYPE line"));
+        }
+        if !series.insert(head.to_string()) {
+            return Err(format!("duplicate series {head}"));
+        }
+    }
+    Ok(())
+}
+
 /// Renders a snapshot in the Prometheus text exposition format:
-/// per-stage and per-topic quantile gauges plus decision counters, all in
-/// nanoseconds.
+/// per-stage and per-topic quantile gauges, queue/heartbeat gauges, and
+/// decision counters, all latencies in nanoseconds.
 pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
-    let mut out = String::new();
-    out.push_str("# HELP frame_stage_latency_ns Per-stage latency quantiles.\n");
-    out.push_str("# TYPE frame_stage_latency_ns gauge\n");
+    let mut w = PromWriter::new();
+    w.family(
+        "frame_stage_latency_ns",
+        "gauge",
+        "Per-stage latency quantiles.",
+    );
     for s in &snapshot.stages {
-        let h = &s.histogram;
         for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
-            let _ = writeln!(
-                out,
-                "frame_stage_latency_ns{{stage=\"{}\",quantile=\"{label}\"}} {}",
-                s.stage.name(),
-                h.quantile(q).as_nanos()
+            w.sample(
+                "frame_stage_latency_ns",
+                &[("stage", s.stage.name()), ("quantile", label)],
+                s.histogram.quantile(q).as_nanos(),
             );
         }
-        let _ = writeln!(
-            out,
-            "frame_stage_latency_ns_max{{stage=\"{}\"}} {}",
-            s.stage.name(),
-            h.max().as_nanos()
-        );
-        let _ = writeln!(
-            out,
-            "frame_stage_latency_ns_count{{stage=\"{}\"}} {}",
-            s.stage.name(),
-            h.len()
+    }
+    w.family(
+        "frame_stage_latency_ns_max",
+        "gauge",
+        "Per-stage maximum latency.",
+    );
+    for s in &snapshot.stages {
+        w.sample(
+            "frame_stage_latency_ns_max",
+            &[("stage", s.stage.name())],
+            s.histogram.max().as_nanos(),
         );
     }
-    out.push_str("# HELP frame_topic_latency_ns Per-topic creation-to-delivery latency.\n");
-    out.push_str("# TYPE frame_topic_latency_ns gauge\n");
+    w.family(
+        "frame_stage_latency_ns_count",
+        "counter",
+        "Per-stage latency samples recorded.",
+    );
+    for s in &snapshot.stages {
+        w.sample(
+            "frame_stage_latency_ns_count",
+            &[("stage", s.stage.name())],
+            s.histogram.len(),
+        );
+    }
+    w.family(
+        "frame_topic_latency_ns",
+        "gauge",
+        "Per-topic creation-to-delivery latency.",
+    );
     for t in &snapshot.topics {
-        let h = &t.histogram;
         for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
-            let _ = writeln!(
-                out,
-                "frame_topic_latency_ns{{topic=\"{}\",quantile=\"{label}\"}} {}",
-                t.topic.0,
-                h.quantile(q).as_nanos()
+            w.sample(
+                "frame_topic_latency_ns",
+                &[("topic", &t.topic.0.to_string()), ("quantile", label)],
+                t.histogram.quantile(q).as_nanos(),
             );
         }
-        let _ = writeln!(
-            out,
-            "frame_topic_latency_ns_max{{topic=\"{}\"}} {}",
-            t.topic.0,
-            h.max().as_nanos()
+    }
+    w.family(
+        "frame_topic_latency_ns_max",
+        "gauge",
+        "Per-topic maximum creation-to-delivery latency.",
+    );
+    for t in &snapshot.topics {
+        w.sample(
+            "frame_topic_latency_ns_max",
+            &[("topic", &t.topic.0.to_string())],
+            t.histogram.max().as_nanos(),
         );
-        let _ = writeln!(
-            out,
-            "frame_topic_latency_ns_count{{topic=\"{}\"}} {}",
-            t.topic.0,
-            h.len()
+    }
+    w.family(
+        "frame_topic_latency_ns_count",
+        "counter",
+        "Per-topic deliveries recorded.",
+    );
+    for t in &snapshot.topics {
+        w.sample(
+            "frame_topic_latency_ns_count",
+            &[("topic", &t.topic.0.to_string())],
+            t.histogram.len(),
         );
     }
     if snapshot.slos.iter().any(|s| s.deadline_ns > 0) {
-        out.push_str("# HELP frame_topic_deadline_misses_total Deliveries exceeding D_i.\n");
-        out.push_str("# TYPE frame_topic_deadline_misses_total counter\n");
+        w.family(
+            "frame_topic_deadline_misses_total",
+            "counter",
+            "Deliveries exceeding D_i.",
+        );
         for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
-            let _ = writeln!(
-                out,
-                "frame_topic_deadline_misses_total{{topic=\"{}\"}} {}",
-                s.topic.0, s.deadline_misses
+            w.sample(
+                "frame_topic_deadline_misses_total",
+                &[("topic", &s.topic.0.to_string())],
+                s.deadline_misses,
             );
         }
-        out.push_str(
-            "# HELP frame_topic_miss_by_stage_total Deadline misses by dominant budget stage.\n",
+        w.family(
+            "frame_topic_miss_by_stage_total",
+            "counter",
+            "Deadline misses by dominant budget stage.",
         );
-        out.push_str("# TYPE frame_topic_miss_by_stage_total counter\n");
         for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
             for (i, count) in s.miss_by_stage.iter().enumerate() {
                 let Some(stage) = BudgetStage::from_index(i) else {
                     continue;
                 };
-                let _ = writeln!(
-                    out,
-                    "frame_topic_miss_by_stage_total{{topic=\"{}\",stage=\"{}\"}} {count}",
-                    s.topic.0,
-                    stage.name()
+                w.sample(
+                    "frame_topic_miss_by_stage_total",
+                    &[("topic", &s.topic.0.to_string()), ("stage", stage.name())],
+                    count,
                 );
             }
         }
-        out.push_str("# HELP frame_topic_max_loss_run Longest consecutive-loss run vs L_i.\n");
-        out.push_str("# TYPE frame_topic_max_loss_run gauge\n");
+        w.family(
+            "frame_topic_max_loss_run",
+            "gauge",
+            "Longest consecutive-loss run vs L_i.",
+        );
         for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
-            let _ = writeln!(
-                out,
-                "frame_topic_max_loss_run{{topic=\"{}\"}} {}",
-                s.topic.0, s.max_loss_run
+            w.sample(
+                "frame_topic_max_loss_run",
+                &[("topic", &s.topic.0.to_string())],
+                s.max_loss_run,
             );
-            let _ = writeln!(
-                out,
-                "frame_topic_loss_bound_violations_total{{topic=\"{}\"}} {}",
-                s.topic.0, s.loss_bound_violations
+        }
+        w.family(
+            "frame_topic_loss_bound_violations_total",
+            "counter",
+            "Consecutive-loss runs exceeding L_i.",
+        );
+        for s in snapshot.slos.iter().filter(|s| s.deadline_ns > 0) {
+            w.sample(
+                "frame_topic_loss_bound_violations_total",
+                &[("topic", &s.topic.0.to_string())],
+                s.loss_bound_violations,
             );
         }
     }
-    out.push_str("# HELP frame_decisions_total Broker decisions by kind (Table 3).\n");
-    out.push_str("# TYPE frame_decisions_total counter\n");
-    for d in &snapshot.decisions {
-        let _ = writeln!(
-            out,
-            "frame_decisions_total{{kind=\"{}\"}} {}",
-            d.kind.name(),
-            d.count
-        );
-    }
-    out.push_str("# HELP frame_shard_contention_total Topic-shard lock contention events.\n");
-    out.push_str("# TYPE frame_shard_contention_total counter\n");
-    let _ = writeln!(
-        out,
-        "frame_shard_contention_total {}",
-        snapshot.shard_contention
+    w.family(
+        "frame_decisions_total",
+        "counter",
+        "Broker decisions by kind (Table 3).",
     );
-    let _ = writeln!(out, "frame_trace_retained_events {}", snapshot.trace.len());
-    let _ = writeln!(out, "frame_incidents_total {}", snapshot.incident_count);
-    out
+    for d in &snapshot.decisions {
+        w.sample("frame_decisions_total", &[("kind", d.kind.name())], d.count);
+    }
+    w.family(
+        "frame_admitted_total",
+        "counter",
+        "Messages admitted at ingress.",
+    );
+    w.sample("frame_admitted_total", &[], snapshot.admits);
+    if !snapshot.heartbeats.is_empty() {
+        w.family(
+            "frame_heartbeat_beats_total",
+            "counter",
+            "Liveness beats by signal kind.",
+        );
+        for h in &snapshot.heartbeats {
+            w.sample(
+                "frame_heartbeat_beats_total",
+                &[("kind", h.kind.name())],
+                h.beats,
+            );
+        }
+        w.family(
+            "frame_heartbeat_last_beat_ns",
+            "gauge",
+            "Clock reading of the newest beat per signal kind.",
+        );
+        for h in &snapshot.heartbeats {
+            w.sample(
+                "frame_heartbeat_last_beat_ns",
+                &[("kind", h.kind.name())],
+                h.last_beat_ns,
+            );
+        }
+    }
+    if !snapshot.queues.is_empty() {
+        w.family(
+            "frame_queue_depth",
+            "gauge",
+            "Live jobs in a broker's scheduler queue.",
+        );
+        for q in &snapshot.queues {
+            w.sample(
+                "frame_queue_depth",
+                &[("broker", &q.broker.0.to_string())],
+                q.depth,
+            );
+        }
+        w.family(
+            "frame_queue_high_watermark",
+            "gauge",
+            "Deepest the scheduler queue has been.",
+        );
+        for q in &snapshot.queues {
+            w.sample(
+                "frame_queue_high_watermark",
+                &[("broker", &q.broker.0.to_string())],
+                q.high_watermark,
+            );
+        }
+        w.family(
+            "frame_ingress_backlog",
+            "gauge",
+            "Messages waiting in a broker's proxy ingress channel.",
+        );
+        for q in &snapshot.queues {
+            w.sample(
+                "frame_ingress_backlog",
+                &[("broker", &q.broker.0.to_string())],
+                q.ingress_backlog,
+            );
+        }
+        w.family(
+            "frame_ingress_backlog_watermark",
+            "gauge",
+            "Deepest the ingress backlog has been.",
+        );
+        for q in &snapshot.queues {
+            w.sample(
+                "frame_ingress_backlog_watermark",
+                &[("broker", &q.broker.0.to_string())],
+                q.ingress_watermark,
+            );
+        }
+    }
+    w.family(
+        "frame_shard_contention_total",
+        "counter",
+        "Topic-shard lock contention events.",
+    );
+    w.sample(
+        "frame_shard_contention_total",
+        &[],
+        snapshot.shard_contention,
+    );
+    w.family(
+        "frame_trace_retained_events",
+        "gauge",
+        "Decision-trace events currently retained.",
+    );
+    w.sample("frame_trace_retained_events", &[], snapshot.trace.len());
+    w.family(
+        "frame_incidents_total",
+        "counter",
+        "Incidents recorded since start-up.",
+    );
+    w.sample("frame_incidents_total", &[], snapshot.incident_count);
+    w.finish()
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -437,6 +727,15 @@ mod tests {
             Time::from_nanos(2),
         );
         t.record_shard_contention();
+        t.record_admit();
+        t.record_admit();
+        t.heartbeat(
+            crate::telemetry::HeartbeatKind::Worker,
+            Time::from_micros(9),
+        );
+        t.record_queue_depth(frame_types::BrokerId(0), 4);
+        t.record_queue_depth(frame_types::BrokerId(0), 1);
+        t.record_ingress_backlog(frame_types::BrokerId(0), 2);
         t.snapshot()
     }
 
@@ -543,6 +842,68 @@ mod tests {
             assert!(!head.is_empty());
             assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_exports_gauges_heartbeats_and_admits() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("frame_admitted_total 2"));
+        assert!(text.contains("frame_heartbeat_beats_total{kind=\"worker\"} 1"));
+        assert!(text.contains("frame_heartbeat_beats_total{kind=\"detector\"} 0"));
+        // Last store wins: depth 1, watermark remembers the 4.
+        assert!(text.contains("frame_queue_depth{broker=\"0\"} 1"));
+        assert!(text.contains("frame_queue_high_watermark{broker=\"0\"} 4"));
+        assert!(text.contains("frame_ingress_backlog{broker=\"0\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let text = render_prometheus(&sample());
+        check_prometheus_conformance(&text).expect("conformant exposition");
+        // Every sample family carries HELP and TYPE — including the
+        // families that historically rode bare on a neighbour's block.
+        for family in [
+            "frame_stage_latency_ns_max",
+            "frame_stage_latency_ns_count",
+            "frame_topic_latency_ns_max",
+            "frame_topic_latency_ns_count",
+            "frame_topic_loss_bound_violations_total",
+            "frame_trace_retained_events",
+            "frame_incidents_total",
+            "frame_queue_depth",
+            "frame_heartbeat_beats_total",
+        ] {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn conformance_checker_rejects_malformed_exposition() {
+        check_prometheus_conformance("frame_orphan 1\n").expect_err("no HELP/TYPE");
+        check_prometheus_conformance("# HELP m x\n# TYPE m gauge\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n")
+            .expect_err("duplicate series");
+        check_prometheus_conformance("# HELP m x\n# TYPE m gauge\nm not-a-number\n")
+            .expect_err("non-numeric value");
+        check_prometheus_conformance("# HELP m x\n# HELP m y\n# TYPE m gauge\nm 1\n")
+            .expect_err("duplicate HELP");
+    }
+
+    #[test]
+    fn prom_writer_escapes_label_values() {
+        let mut w = PromWriter::new();
+        w.family("m", "gauge", "test");
+        w.sample("m", &[("path", "a\\b\"c\nd")], 1);
+        let text = w.finish();
+        assert!(text.contains("m{path=\"a\\\\b\\\"c\\nd\"} 1"));
+        check_prometheus_conformance(&text).expect("escaped exposition conforms");
+        assert_eq!(escape_label_value("plain"), "plain");
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub mod telemetry;
 pub mod trace;
 
 pub use export::{
-    flight_from_json, flight_to_json, from_json, render_flight_pretty, render_pretty,
-    render_prometheus, render_span_timeline, to_json,
+    check_prometheus_conformance, escape_label_value, flight_from_json, flight_to_json, from_json,
+    render_flight_pretty, render_pretty, render_prometheus, render_span_timeline, to_json,
+    PromWriter,
 };
 pub use histogram::LatencyHistogram;
 pub use metrics::{AtomicHistogram, ShardedCounter};
@@ -45,7 +46,8 @@ pub use recorder::{FlightRecorder, FlightSnapshot, Incident, IncidentKind};
 pub use span::{attribute, Attribution, BudgetSlice, BudgetStage, SpanRecord};
 pub use stage::Stage;
 pub use telemetry::{
-    DecisionCount, StageSnapshot, Telemetry, TelemetrySnapshot, TopicSloSnapshot, TopicSnapshot,
-    DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY, DEFAULT_TRACE_CAPACITY,
+    DecisionCount, HeartbeatKind, HeartbeatSnapshot, QueueGaugeSnapshot, StageSnapshot, Telemetry,
+    TelemetrySnapshot, TopicSloSnapshot, TopicSnapshot, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_INCIDENT_CAPACITY, DEFAULT_TRACE_CAPACITY,
 };
 pub use trace::{DecisionEvent, DecisionKind, DecisionTrace};

@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use frame_types::{Duration, SeqNo, Time, TopicId, TraceCtx};
+use frame_types::{BrokerId, Duration, SeqNo, Time, TopicId, TraceCtx};
 use serde::{Deserialize, Serialize};
 
 use crate::histogram::LatencyHistogram;
@@ -27,6 +27,71 @@ pub const DEFAULT_INCIDENT_CAPACITY: usize = 64;
 
 /// Sentinel for "no consecutive-loss bound" (best-effort topics).
 const NO_LOSS_BOUND: u64 = u64::MAX;
+
+/// The liveness signals a running system beats: each kind is a class of
+/// thread whose silence the health model turns into a watchdog verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeartbeatKind {
+    /// A broker's Message Proxy loop iterated.
+    Proxy,
+    /// A delivery worker iterated (popped a job or woke from its wait).
+    Worker,
+    /// The failure-detector loop completed a poll round.
+    Detector,
+    /// The Primary answered a liveness poll.
+    PrimaryAck,
+}
+
+impl HeartbeatKind {
+    /// Every kind, in index order.
+    pub const ALL: [HeartbeatKind; 4] = [
+        HeartbeatKind::Proxy,
+        HeartbeatKind::Worker,
+        HeartbeatKind::Detector,
+        HeartbeatKind::PrimaryAck,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (label value in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            HeartbeatKind::Proxy => "proxy",
+            HeartbeatKind::Worker => "worker",
+            HeartbeatKind::Detector => "detector",
+            HeartbeatKind::PrimaryAck => "primary_ack",
+        }
+    }
+}
+
+impl std::fmt::Display for HeartbeatKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One heartbeat kind's liveness counters.
+struct HeartbeatEntry {
+    /// Clock reading of the most recent beat (nanoseconds); zero until the
+    /// first beat, which doubles as "this signal was never active".
+    last_beat_ns: AtomicU64,
+    beats: AtomicU64,
+}
+
+/// One broker's queue gauges. Depth is stored (not added) under the
+/// scheduler lock at every push/pop/cancel site, so store order equals
+/// mutation order and the last store is the true depth.
+struct QueueEntry {
+    depth: AtomicU64,
+    high_watermark: AtomicU64,
+    /// Proxy ingress channel backlog (messages waiting for admission).
+    ingress_backlog: AtomicU64,
+    ingress_watermark: AtomicU64,
+}
 
 /// Per-topic delivery histogram plus SLO accounting. All counters are
 /// relaxed atomics; the delivery path for one topic is serialized by the
@@ -83,6 +148,14 @@ struct Inner {
     /// block for it (threaded runtime only). High values relative to
     /// dispatch counts mean hot topics are serializing workers.
     shard_contention: ShardedCounter,
+    /// Messages admitted at ingress (publishes + retention re-sends that
+    /// passed the role/topic checks and reached `TopicShard::admit`).
+    admits: ShardedCounter,
+    /// Liveness beats by kind ([`HeartbeatKind::ALL`] order).
+    heartbeats: [HeartbeatEntry; HeartbeatKind::ALL.len()],
+    /// Per-broker queue gauges, sorted by `BrokerId` (same append-only
+    /// binary-searched scheme as `topics`).
+    queues: RwLock<Vec<(BrokerId, Arc<QueueEntry>)>>,
     /// Recent delivery spans + incidents.
     flight: FlightRecorder,
 }
@@ -115,6 +188,30 @@ impl Inner {
             .ok()
             .map(|i| topics[i].1.clone())
     }
+
+    /// The queue-gauge entry for `broker`, created if absent.
+    fn queue_entry(&self, broker: BrokerId) -> Arc<QueueEntry> {
+        {
+            let queues = self.queues.read().expect("queues lock");
+            if let Ok(i) = queues.binary_search_by_key(&broker.0, |(b, _)| b.0) {
+                return queues[i].1.clone();
+            }
+        }
+        let mut queues = self.queues.write().expect("queues lock");
+        match queues.binary_search_by_key(&broker.0, |(b, _)| b.0) {
+            Ok(i) => queues[i].1.clone(),
+            Err(i) => {
+                let entry = Arc::new(QueueEntry {
+                    depth: AtomicU64::new(0),
+                    high_watermark: AtomicU64::new(0),
+                    ingress_backlog: AtomicU64::new(0),
+                    ingress_watermark: AtomicU64::new(0),
+                });
+                queues.insert(i, (broker, entry.clone()));
+                entry
+            }
+        }
+    }
 }
 
 /// Handle to a telemetry registry. Cloning shares the registry; a
@@ -141,6 +238,12 @@ impl Telemetry {
                 trace: DecisionTrace::new(trace_capacity),
                 topics: RwLock::new(Vec::new()),
                 shard_contention: ShardedCounter::new(),
+                admits: ShardedCounter::new(),
+                heartbeats: std::array::from_fn(|_| HeartbeatEntry {
+                    last_beat_ns: AtomicU64::new(0),
+                    beats: AtomicU64::new(0),
+                }),
+                queues: RwLock::new(Vec::new()),
                 flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY),
             })),
         }
@@ -367,6 +470,58 @@ impl Telemetry {
         }
     }
 
+    /// Records one admitted ingress message (publish or retention
+    /// re-send that reached `TopicShard::admit`). Wait-free.
+    #[inline]
+    pub fn record_admit(&self) {
+        if let Some(inner) = &self.inner {
+            inner.admits.incr();
+        }
+    }
+
+    /// Total admitted ingress messages so far.
+    pub fn admit_count(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.admits.get(),
+            None => 0,
+        }
+    }
+
+    /// Records a liveness beat for `kind` at clock reading `at`. The
+    /// watchdogs compare the age of the newest beat against their stall
+    /// thresholds; `fetch_max` keeps the newest reading under races.
+    #[inline]
+    pub fn heartbeat(&self, kind: HeartbeatKind, at: Time) {
+        if let Some(inner) = &self.inner {
+            let e = &inner.heartbeats[kind.index()];
+            e.last_beat_ns.fetch_max(at.as_nanos(), Ordering::Relaxed);
+            e.beats.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `broker`'s scheduler queue depth. Call under the scheduler
+    /// lock right after a push/pop/cancel so store order equals mutation
+    /// order (the last store is then the true depth, race-free).
+    #[inline]
+    pub fn record_queue_depth(&self, broker: BrokerId, depth: u64) {
+        if let Some(inner) = &self.inner {
+            let e = inner.queue_entry(broker);
+            e.depth.store(depth, Ordering::Relaxed);
+            e.high_watermark.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `broker`'s proxy ingress-channel backlog (messages waiting
+    /// for admission). Sampled once per proxy loop iteration.
+    #[inline]
+    pub fn record_ingress_backlog(&self, broker: BrokerId, backlog: u64) {
+        if let Some(inner) = &self.inner {
+            let e = inner.queue_entry(broker);
+            e.ingress_backlog.store(backlog, Ordering::Relaxed);
+            e.ingress_watermark.fetch_max(backlog, Ordering::Relaxed);
+        }
+    }
+
     /// Current count for one decision kind.
     pub fn decision_count(&self, kind: DecisionKind) -> u64 {
         match &self.inner {
@@ -387,6 +542,20 @@ impl Telemetry {
     /// Folds every live metric into a serializable snapshot. The trace
     /// portion is a non-consuming copy of the retained ring contents.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.snapshot_impl(true)
+    }
+
+    /// The counters-only snapshot a periodic sampler needs: per-topic
+    /// delivery histograms, the decision-trace ring copy and the retained
+    /// incident list are left empty. Those are the allocation-heavy parts
+    /// of [`snapshot`](Self::snapshot) — with hundreds of topics they
+    /// dominate its cost — and a rate sampler differentiates counters, so
+    /// paying for them every cadence tick would be pure waste.
+    pub fn sample_snapshot(&self) -> TelemetrySnapshot {
+        self.snapshot_impl(false)
+    }
+
+    fn snapshot_impl(&self, full: bool) -> TelemetrySnapshot {
         let Some(inner) = &self.inner else {
             return TelemetrySnapshot::default();
         };
@@ -400,10 +569,12 @@ impl Telemetry {
         let mut topics = Vec::new();
         let mut slos = Vec::new();
         for (topic, e) in inner.topics.read().expect("topics lock").iter() {
-            topics.push(TopicSnapshot {
-                topic: *topic,
-                histogram: e.histogram.snapshot(),
-            });
+            if full {
+                topics.push(TopicSnapshot {
+                    topic: *topic,
+                    histogram: e.histogram.snapshot(),
+                });
+            }
             let loss_bound = e.loss_bound.load(Ordering::Relaxed);
             let miss_by_stage: Vec<u64> = e
                 .miss_by_stage
@@ -438,15 +609,50 @@ impl Telemetry {
                 count: inner.decisions[kind.index()].get(),
             })
             .collect();
+        let heartbeats = HeartbeatKind::ALL
+            .iter()
+            .map(|&kind| {
+                let e = &inner.heartbeats[kind.index()];
+                HeartbeatSnapshot {
+                    kind,
+                    beats: e.beats.load(Ordering::Relaxed),
+                    last_beat_ns: e.last_beat_ns.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        let queues = inner
+            .queues
+            .read()
+            .expect("queues lock")
+            .iter()
+            .map(|(broker, e)| QueueGaugeSnapshot {
+                broker: *broker,
+                depth: e.depth.load(Ordering::Relaxed),
+                high_watermark: e.high_watermark.load(Ordering::Relaxed),
+                ingress_backlog: e.ingress_backlog.load(Ordering::Relaxed),
+                ingress_watermark: e.ingress_watermark.load(Ordering::Relaxed),
+            })
+            .collect();
         TelemetrySnapshot {
             stages,
             topics,
             decisions,
-            trace: inner.trace.snapshot(),
+            trace: if full {
+                inner.trace.snapshot()
+            } else {
+                Vec::new()
+            },
             shard_contention: inner.shard_contention.get(),
             slos,
             incident_count: inner.flight.incident_count(),
-            incidents: inner.flight.incidents(),
+            incidents: if full {
+                inner.flight.incidents()
+            } else {
+                Vec::new()
+            },
+            admits: inner.admits.get(),
+            heartbeats,
+            queues,
         }
     }
 }
@@ -509,6 +715,32 @@ pub struct TopicSloSnapshot {
     pub loss_bound_violations: u64,
 }
 
+/// One heartbeat kind's liveness counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatSnapshot {
+    /// The signal class.
+    pub kind: HeartbeatKind,
+    /// Total beats since start-up (zero: never active).
+    pub beats: u64,
+    /// Clock reading of the newest beat, in nanoseconds.
+    pub last_beat_ns: u64,
+}
+
+/// One broker's queue gauges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueGaugeSnapshot {
+    /// The broker.
+    pub broker: BrokerId,
+    /// Live jobs in the scheduler queue at snapshot time.
+    pub depth: u64,
+    /// The deepest the scheduler queue has been.
+    pub high_watermark: u64,
+    /// Messages waiting in the proxy ingress channel.
+    pub ingress_backlog: u64,
+    /// The deepest the ingress backlog has been.
+    pub ingress_watermark: u64,
+}
+
 /// One decision kind's total.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionCount {
@@ -545,6 +777,17 @@ pub struct TelemetrySnapshot {
     /// is snapshotted separately — see `Telemetry::flight_snapshot`).
     #[serde(default)]
     pub incidents: Vec<Incident>,
+    /// Messages admitted at ingress. `default` for older snapshots.
+    #[serde(default)]
+    pub admits: u64,
+    /// Liveness beats by kind (every kind present; zero beats = the
+    /// signal was never active). `default` for older snapshots.
+    #[serde(default)]
+    pub heartbeats: Vec<HeartbeatSnapshot>,
+    /// Per-broker queue gauges, sorted by broker id. `default` for older
+    /// snapshots.
+    #[serde(default)]
+    pub queues: Vec<QueueGaugeSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -567,6 +810,16 @@ impl TelemetrySnapshot {
     /// The SLO counters for `topic`, if present.
     pub fn slo(&self, topic: TopicId) -> Option<&TopicSloSnapshot> {
         self.slos.iter().find(|s| s.topic == topic)
+    }
+
+    /// The liveness counters for one heartbeat kind, if present.
+    pub fn heartbeat(&self, kind: HeartbeatKind) -> Option<&HeartbeatSnapshot> {
+        self.heartbeats.iter().find(|h| h.kind == kind)
+    }
+
+    /// The queue gauges for `broker`, if present.
+    pub fn queue(&self, broker: BrokerId) -> Option<&QueueGaugeSnapshot> {
+        self.queues.iter().find(|q| q.broker == broker)
     }
 }
 
@@ -605,6 +858,38 @@ mod tests {
         assert_eq!(s.topics.len(), 1);
         assert_eq!(s.topics[0].topic, TopicId(7));
         assert_eq!(s.topics[0].histogram.len(), 1);
+    }
+
+    #[test]
+    fn sample_snapshot_carries_counters_but_skips_heavy_parts() {
+        let t = Telemetry::new();
+        t.set_topic_slo(TopicId(3), Duration::from_millis(100), Some(1));
+        t.record_admit();
+        t.record_delivery(
+            TopicId(3),
+            SeqNo(0),
+            Time::from_millis(0),
+            Time::from_millis(1),
+            None,
+        );
+        t.record_stage(Stage::QueueWait, Duration::from_micros(10));
+        t.decision(DecisionKind::Replicate, TopicId(3), SeqNo(0), Time::ZERO);
+        t.heartbeat(HeartbeatKind::Worker, Time::from_millis(5));
+
+        let full = t.snapshot();
+        let lite = t.sample_snapshot();
+        // Everything a rate sampler differentiates is identical…
+        assert_eq!(lite.admits, full.admits);
+        assert_eq!(lite.slos, full.slos);
+        assert_eq!(lite.decisions, full.decisions);
+        assert_eq!(lite.heartbeats, full.heartbeats);
+        assert_eq!(lite.incident_count, full.incident_count);
+        assert_eq!(lite.stage(Stage::QueueWait).unwrap().len(), 1);
+        // …while the allocation-heavy copies stay empty.
+        assert!(!full.topics.is_empty());
+        assert!(lite.topics.is_empty());
+        assert!(!full.trace.is_empty());
+        assert!(lite.trace.is_empty() && lite.incidents.is_empty());
     }
 
     #[test]
@@ -718,6 +1003,39 @@ mod tests {
         assert_eq!(t.incident_count(), 0);
         assert!(t.flight_snapshot().spans.is_empty());
         assert!(t.snapshot().slos.is_empty());
+    }
+
+    #[test]
+    fn heartbeats_queues_and_admits_snapshot() {
+        let t = Telemetry::new();
+        t.record_admit();
+        t.heartbeat(HeartbeatKind::Proxy, Time::from_millis(1));
+        t.heartbeat(HeartbeatKind::Proxy, Time::from_millis(3));
+        // fetch_max: an out-of-order older beat never rewinds the reading.
+        t.heartbeat(HeartbeatKind::Proxy, Time::from_millis(2));
+        t.record_queue_depth(BrokerId(7), 5);
+        t.record_queue_depth(BrokerId(7), 2);
+        t.record_ingress_backlog(BrokerId(7), 9);
+        t.record_ingress_backlog(BrokerId(7), 0);
+
+        let s = t.snapshot();
+        assert_eq!(s.admits, 1);
+        let hb = s.heartbeat(HeartbeatKind::Proxy).expect("proxy beats");
+        assert_eq!(hb.beats, 3);
+        assert_eq!(hb.last_beat_ns, Time::from_millis(3).as_nanos());
+        assert_eq!(s.heartbeat(HeartbeatKind::Detector).unwrap().beats, 0);
+        let q = s.queue(BrokerId(7)).expect("queue gauges");
+        assert_eq!(q.depth, 2);
+        assert_eq!(q.high_watermark, 5);
+        assert_eq!(q.ingress_backlog, 0);
+        assert_eq!(q.ingress_watermark, 9);
+
+        let disabled = Telemetry::disabled();
+        disabled.heartbeat(HeartbeatKind::Worker, Time::from_millis(1));
+        disabled.record_queue_depth(BrokerId(0), 1);
+        disabled.record_admit();
+        assert_eq!(disabled.admit_count(), 0);
+        assert!(disabled.snapshot().heartbeats.is_empty());
     }
 
     #[test]

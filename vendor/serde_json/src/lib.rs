@@ -247,13 +247,25 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-synchronise on UTF-8 boundaries: back up and take
-                    // the full character.
+                    // Multi-byte UTF-8: back up and decode just this one
+                    // character. Validation is bounded to its at-most-4
+                    // bytes — validating the whole remaining input here
+                    // would make string parsing quadratic.
                     self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let prefix = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // A valid char followed by the start of the next
+                        // one still yields a non-empty valid prefix.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).expect("valid prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8")),
+                    };
+                    let c = prefix.chars().next().expect("non-empty prefix");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
