@@ -61,6 +61,7 @@ struct Speedups {
 struct BenchReport {
     bench: &'static str,
     command: &'static str,
+    host: frame_bench::HostMeta,
     quick: bool,
     topics: u32,
     fanout: u32,
@@ -212,6 +213,7 @@ fn main() {
     let report = BenchReport {
         bench: "broker_throughput",
         command: "cargo bench -p frame-bench --bench broker_throughput",
+        host: frame_bench::HostMeta::capture(),
         quick,
         topics: TOPICS,
         fanout: FANOUT,

@@ -73,6 +73,7 @@ struct RunResult {
 struct BenchReport {
     bench: &'static str,
     command: &'static str,
+    host: frame_bench::HostMeta,
     quick: bool,
     repeats: usize,
     note: &'static str,
@@ -284,6 +285,7 @@ fn main() {
     let report = BenchReport {
         bench: "trace_overhead",
         command: "cargo bench -p frame-bench --bench trace_overhead",
+        host: frame_bench::HostMeta::capture(),
         quick,
         repeats,
         note: "`core` is the sans-IO facade (pure CPU, worst case for \

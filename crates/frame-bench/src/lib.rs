@@ -106,6 +106,70 @@ impl Options {
     }
 }
 
+/// Host facts stamped into every `BENCH_*.json` report so numbers from
+/// different runners can be told apart: throughput and fan-in results are
+/// meaningless without the core count and the file-descriptor ceiling they
+/// were measured under.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct HostMeta {
+    /// Cores visible to this process (`available_parallelism`).
+    pub cores: usize,
+    /// Soft `RLIMIT_NOFILE` (0 when unreadable, `u64::MAX` for unlimited).
+    pub nofile_soft: u64,
+    /// Hard `RLIMIT_NOFILE` (same conventions).
+    pub nofile_hard: u64,
+    /// `git rev-parse --short HEAD` of the tree the bench was built from
+    /// (`"unknown"` outside a checkout).
+    pub git_rev: String,
+    /// `std::env::consts` OS and architecture, e.g. `"linux/x86_64"`.
+    pub os: String,
+}
+
+impl HostMeta {
+    /// Captures the current host's metadata.
+    pub fn capture() -> HostMeta {
+        let (nofile_soft, nofile_hard) = nofile_limits();
+        HostMeta {
+            cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            nofile_soft,
+            nofile_hard,
+            git_rev: git_rev(),
+            os: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
+        }
+    }
+}
+
+/// Reads the open-file limits from `/proc/self/limits`; `(0, 0)` when the
+/// file is unreadable (non-Linux).
+fn nofile_limits() -> (u64, u64) {
+    let Ok(text) = std::fs::read_to_string("/proc/self/limits") else {
+        return (0, 0);
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("Max open files") {
+            let parse = |v: Option<&str>| match v {
+                Some("unlimited") => u64::MAX,
+                Some(n) => n.parse().unwrap_or(0),
+                None => 0,
+            };
+            let mut it = rest.split_whitespace();
+            return (parse(it.next()), parse(it.next()));
+        }
+    }
+    (0, 0)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
@@ -230,6 +294,18 @@ mod tests {
         assert_eq!(fmt_rate(100.0, 0.0), "100.0");
         assert_eq!(fmt_rate(80.0, 30.1), "80.0 ± 30.1");
         assert_eq!(fmt_rate(99.9, 0.01), "99.9");
+    }
+
+    #[test]
+    fn host_meta_captures_plausible_facts() {
+        let m = HostMeta::capture();
+        assert!(m.cores >= 1);
+        assert!(m.os.contains('/'));
+        assert!(!m.git_rev.is_empty());
+        if cfg!(target_os = "linux") {
+            assert!(m.nofile_soft > 0, "limits file parses on Linux");
+            assert!(m.nofile_hard >= m.nofile_soft);
+        }
     }
 
     #[test]

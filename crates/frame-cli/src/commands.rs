@@ -10,7 +10,10 @@ use frame_core::{
     admit, dispatch_deadline, min_admissible_retention, replication_deadline, replication_needed,
     BrokerConfig, BrokerRole, Deadline, Publisher,
 };
-use frame_rt::{connect_backup_over_tcp, RtBroker, TcpBrokerServer, TcpPublisher, TcpSubscriber};
+use frame_rt::{
+    connect_backup_over_tcp, serve_ingress, IngressMode, IngressServer, RtBroker, TcpPublisher,
+    TcpSubscriber,
+};
 use frame_types::{BrokerId, PublisherId, SubscriberId};
 
 use crate::manifest::Manifest;
@@ -79,8 +82,8 @@ pub fn cmd_admit(manifest: &Manifest, out: &mut impl std::io::Write) -> std::io:
 pub struct RunningBroker {
     /// The broker.
     pub broker: RtBroker,
-    /// Its TCP front end.
-    pub server: TcpBrokerServer,
+    /// Its TCP front end (`--ingress threaded|reactor`).
+    pub server: IngressServer,
     /// The `/metrics` + `/healthz` listener, when `--obs` was given.
     pub obs: Option<(frame_obs::ObsSampler, frame_obs::ObsServer)>,
     threads: frame_rt::RtBrokerThreads,
@@ -104,6 +107,7 @@ impl RunningBroker {
 /// # Errors
 ///
 /// Admission failures, duplicate topics, or bind errors as strings.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flag surface 1:1
 pub fn cmd_broker(
     manifest: &Manifest,
     listen: &str,
@@ -112,6 +116,7 @@ pub fn cmd_broker(
     workers: usize,
     backup_addr: Option<SocketAddr>,
     obs_addr: Option<&str>,
+    ingress: IngressMode,
 ) -> Result<RunningBroker, String> {
     let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
     let (broker, threads) = RtBroker::spawn(
@@ -150,7 +155,7 @@ pub fn cmd_broker(
             Some((sampler, obs_server))
         }
     };
-    let server = TcpBrokerServer::bind(listen, broker.clone()).map_err(|e| e.to_string())?;
+    let server = serve_ingress(listen, broker.clone(), ingress).map_err(|e| e.to_string())?;
     Ok(RunningBroker {
         broker,
         server,
@@ -656,6 +661,8 @@ mod tests {
     #[test]
     fn detector_promotes_backup_over_tcp() {
         let manifest = Manifest::table2();
+        // One broker per ingress flavor: the detector protocol must be
+        // transport-agnostic.
         let primary = cmd_broker(
             &manifest,
             "127.0.0.1:0",
@@ -664,6 +671,7 @@ mod tests {
             2,
             None,
             None,
+            IngressMode::Reactor,
         )
         .unwrap();
         let backup = cmd_broker(
@@ -674,6 +682,7 @@ mod tests {
             2,
             None,
             None,
+            IngressMode::Threaded,
         )
         .unwrap();
         let p_addr = primary.server.local_addr();
@@ -708,6 +717,7 @@ mod tests {
             2,
             None,
             None,
+            IngressMode::Reactor,
         )
         .unwrap();
         let addr = broker.server.local_addr();
@@ -787,6 +797,7 @@ mod tests {
             2,
             None,
             Some("127.0.0.1:0"),
+            IngressMode::Threaded,
         )
         .unwrap();
         let addr = broker.server.local_addr();

@@ -88,6 +88,9 @@ fn run(args: &[String]) -> Result<i32, String> {
                 Some(a) => Some(a.parse().map_err(|_| "bad --backup-addr".to_owned())?),
                 None => None,
             };
+            let ingress_flag = flags.get("--ingress").unwrap_or("reactor");
+            let ingress = frame_rt::IngressMode::parse(ingress_flag)
+                .ok_or_else(|| format!("unknown ingress `{ingress_flag}` (threaded|reactor)"))?;
             let running = cmd_broker(
                 &m,
                 listen,
@@ -96,11 +99,13 @@ fn run(args: &[String]) -> Result<i32, String> {
                 workers,
                 backup_addr,
                 flags.get("--obs"),
+                ingress,
             )?;
             eprintln!(
-                "broker listening on {} ({:?}, {} topics); Ctrl-C to stop",
+                "broker listening on {} ({:?}, {} ingress, {} topics); Ctrl-C to stop",
                 running.server.local_addr(),
                 running.broker.role(),
+                ingress.name(),
                 m.topics.len()
             );
             if let Some((_, obs)) = &running.obs {
@@ -325,7 +330,7 @@ fn usage() -> String {
     "usage:\n  frame-cli admit     --manifest topics.json\n  \
      frame-cli broker    --manifest topics.json --listen ADDR [--role primary|backup]\n            \
      \u{20}         [--config frame|fcfs|fcfs-] [--workers N] [--backup-addr ADDR]\n            \
-     \u{20}         [--obs ADDR]\n  \
+     \u{20}         [--obs ADDR] [--ingress threaded|reactor]\n  \
      frame-cli publish   --manifest topics.json --addr ADDR [--publisher-id N] [--rounds N]\n  \
      frame-cli subscribe --addr ADDR --subscriber-id N [--count N]\n  \
      frame-cli stats     --addr ADDR [--format pretty|json|prometheus] [--watch SECS]\n  \

@@ -2,10 +2,10 @@
 //! `GET /metrics` (Prometheus exposition), `GET /healthz` (JSON verdict),
 //! `GET /series` (the ring time-series as JSON).
 //!
-//! This is deliberately not a web framework: one nonblocking accept loop,
-//! one short-lived thread per connection, `Connection: close` on every
-//! response. It exists so an edge deployment can be scraped and probed
-//! without pulling an HTTP stack into the dependency tree.
+//! This is deliberately not a web framework: one readiness-driven accept
+//! loop, one short-lived thread per connection, `Connection: close` on
+//! every response. It exists so an edge deployment can be scraped and
+//! probed without pulling an HTTP stack into the dependency tree.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use frame_telemetry::{render_prometheus, PromWriter, Telemetry};
+use polling::{Event, Events, Poller};
 use serde::Value;
 
 use crate::health::HealthReport;
@@ -22,10 +23,14 @@ use crate::sampler::SharedSampler;
 /// Largest request head we will buffer before giving up.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
+/// Key under which the listener is registered with the poller.
+const LISTENER_KEY: usize = 0;
+
 /// The embedded observability endpoint.
 pub struct ObsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -41,15 +46,22 @@ impl ObsServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        // The accept loop parks on readiness instead of sleep-polling: a
+        // scrape is served the moment the connection arrives, and an idle
+        // endpoint costs no periodic wake-ups.
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(LISTENER_KEY))?;
         let thread = {
             let stop = stop.clone();
+            let poller = poller.clone();
             std::thread::Builder::new()
                 .name("frame-obs-http".into())
-                .spawn(move || accept_loop(listener, telemetry, sampler, stop))?
+                .spawn(move || accept_loop(listener, poller, telemetry, sampler, stop))?
         };
         Ok(ObsServer {
             addr,
             stop,
+            poller,
             thread: Some(thread),
         })
     }
@@ -62,6 +74,7 @@ impl ObsServer {
     /// Stops the accept loop and joins it.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
+        let _ = self.poller.notify();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -76,26 +89,38 @@ impl Drop for ObsServer {
 
 fn accept_loop(
     listener: TcpListener,
+    poller: Arc<Poller>,
     telemetry: Telemetry,
     sampler: SharedSampler,
     stop: Arc<AtomicBool>,
 ) {
+    let mut events = Events::new();
     while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let telemetry = telemetry.clone();
-                let sampler = sampler.clone();
-                let _ = std::thread::Builder::new()
-                    .name("frame-obs-conn".into())
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &telemetry, &sampler);
-                    });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            Err(_) => break,
+        // Park until the listener is readable or `shutdown` notifies; the
+        // timeout is a safety net against a missed wake-up, not a poll.
+        events.clear();
+        let _ = poller.wait(&mut events, Some(std::time::Duration::from_secs(1)));
+        if stop.load(Ordering::Acquire) {
+            return;
         }
+        // Drain the accept backlog (oneshot: no event fires again until
+        // re-armed below).
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let telemetry = telemetry.clone();
+                    let sampler = sampler.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("frame-obs-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &telemetry, &sampler);
+                        });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return,
+            }
+        }
+        let _ = poller.modify(&listener, Event::readable(LISTENER_KEY));
     }
 }
 

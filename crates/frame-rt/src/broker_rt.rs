@@ -101,6 +101,19 @@ pub enum BrokerMsg {
     Poll(Sender<()>),
 }
 
+/// Called after deliveries are pushed onto a subscriber's channel, so an
+/// event-driven transport (the ingress reactor) can wake the loop that
+/// owns the subscriber's connection instead of having it poll the
+/// channel. Must be cheap and non-blocking: it runs on worker threads
+/// under the subscriber-map read lock.
+pub type DeliveryNotify = Arc<dyn Fn() + Send + Sync>;
+
+/// A subscriber's delivery channel plus its optional wake-up callback.
+struct SubscriberEntry {
+    tx: Sender<Delivered>,
+    notify: Option<DeliveryNotify>,
+}
+
 /// A topic's shard plus its slice of the broker counters, guarded by one
 /// lock so every mutation and its accounting stay atomic.
 struct ShardSlot {
@@ -121,7 +134,7 @@ struct Inner {
     job_ready: Condvar,
     alive: AtomicBool,
     clock: Arc<dyn Clock>,
-    subscribers: RwLock<std::collections::HashMap<SubscriberId, Sender<Delivered>>>,
+    subscribers: RwLock<std::collections::HashMap<SubscriberId, SubscriberEntry>>,
     backup_tx: RwLock<Option<Sender<BrokerMsg>>>,
     telemetry: Telemetry,
     /// Emulated downstream wire/service time per finished job, in
@@ -271,7 +284,28 @@ impl RtBroker {
 
     /// Connects a subscriber's delivery channel.
     pub fn connect_subscriber(&self, id: SubscriberId, tx: Sender<Delivered>) {
-        self.inner.subscribers.write().insert(id, tx);
+        self.inner
+            .subscribers
+            .write()
+            .insert(id, SubscriberEntry { tx, notify: None });
+    }
+
+    /// Connects a subscriber's delivery channel with a wake-up callback,
+    /// invoked after deliveries are pushed so an event-driven transport
+    /// can schedule the drain instead of polling the channel.
+    pub fn connect_subscriber_with_notify(
+        &self,
+        id: SubscriberId,
+        tx: Sender<Delivered>,
+        notify: DeliveryNotify,
+    ) {
+        self.inner.subscribers.write().insert(
+            id,
+            SubscriberEntry {
+                tx,
+                notify: Some(notify),
+            },
+        );
     }
 
     /// Connects the Backup peer (replicas and prunes are sent there).
@@ -768,7 +802,7 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                     message.trace.as_ref(),
                 );
             }
-            if let Some(tx) = subs.get(subscriber) {
+            if let Some(entry) = subs.get(subscriber) {
                 // The broker→subscriber hop crosses the fault hook last:
                 // the dispatch above is already accounted (the broker did
                 // its work); what a fate perturbs is whether/when the
@@ -789,14 +823,18 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                 match fate.delay {
                     None => {
                         for _ in 0..fate.copies {
-                            let _ = tx.send(Delivered {
+                            let _ = entry.tx.send(Delivered {
                                 message: message.clone(),
                                 dispatched_at: now,
                             });
                         }
+                        if let Some(notify) = &entry.notify {
+                            notify();
+                        }
                     }
                     Some(delay) => {
-                        let tx = tx.clone();
+                        let tx = entry.tx.clone();
+                        let notify = entry.notify.clone();
                         std::thread::spawn(move || {
                             std::thread::sleep(delay);
                             for _ in 0..fate.copies {
@@ -804,6 +842,9 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                                     message: message.clone(),
                                     dispatched_at: now,
                                 });
+                            }
+                            if let Some(notify) = &notify {
+                                notify();
                             }
                         });
                     }

@@ -32,13 +32,18 @@
 
 pub mod broker_rt;
 pub mod fault;
+pub mod reactor;
 pub mod system;
 pub mod tcp;
 
-pub use broker_rt::{BackupEffect, BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
+pub use broker_rt::{
+    BackupEffect, BrokerMsg, Delivered, DeliveryNotify, RtBroker, RtBrokerThreads,
+};
 pub use fault::{BackupEffectKind, FaultHook, FrameFate, Hop, SharedFaultHook};
+pub use reactor::{serve_ingress, IngressMode, IngressServer, ReactorConfig, ReactorServer};
 pub use system::{RtPublisher, RtSystem, RtSystemBuilder};
 pub use tcp::{
     connect_backup_over_tcp, connect_backup_over_tcp_with_hook, read_frame, write_frame,
-    write_frame_into, TcpBackupBridge, TcpBrokerServer, TcpPublisher, TcpSubscriber, WireMsg,
+    write_frame_into, Decoded, FrameDecoder, TcpBackupBridge, TcpBrokerServer, TcpPublisher,
+    TcpSubscriber, WireMsg, MAX_FRAME_LEN,
 };

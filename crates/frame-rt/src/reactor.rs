@@ -1,0 +1,883 @@
+//! Readiness-driven ingress reactor: the high fan-in TCP front end.
+//!
+//! [`crate::tcp::TcpBrokerServer`] spends one OS thread (and one stack)
+//! per peer — faithful to the paper's seven-host testbed, a hard wall for
+//! edge fan-in at publisher counts in the tens of thousands. This module
+//! serves the same wire protocol ([`WireMsg`]) from a fixed pool of event
+//! loops instead:
+//!
+//! - **N event loops** (default: one per core, capped at 4), each owning
+//!   an epoll-style [`Poller`] with oneshot re-arm semantics. Loop 0 also
+//!   owns the nonblocking listener and deals accepted connections out
+//!   round-robin; peers adopt them through an injection queue plus a
+//!   poller wake-up.
+//! - **Incremental decode**: each connection carries a [`FrameDecoder`],
+//!   so a frame may arrive one byte per wakeup (partial length prefix,
+//!   partial body) without a blocking read anywhere.
+//! - **Read budget**: one wakeup reads at most `read_budget` bytes per
+//!   connection before parking it back on the poller, so a fire-hose
+//!   publisher cannot starve the rest of its loop.
+//! - **Bounded write queues**: subscriber deliveries and Stats/Trace
+//!   responses are queued per connection and written when the socket is
+//!   writable (interest is registered only while a backlog exists).
+//!   Deliveries to a full queue are dropped and counted — a slow consumer
+//!   loses its own frames, never the loop.
+//!
+//! Decoded messages feed the broker's existing sharded admit path and
+//! fault hooks unchanged — this module replaces the socket layer only.
+//! The control plane for deliberate operations (Promote, Stats, Trace)
+//! rides the same connections but is answered from queued responses, so a
+//! management round-trip never blocks a data loop either.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, TryRecvError};
+use frame_telemetry::ReactorGauges;
+use frame_types::FrameError;
+use parking_lot::Mutex;
+use polling::{Event, Events, Poller};
+
+use crate::broker_rt::{BrokerMsg, Delivered, DeliveryNotify, RtBroker};
+use crate::tcp::{encode_frame, Decoded, FrameDecoder, LogBackoff, TcpBrokerServer, WireMsg};
+
+/// Which transport serves a broker's TCP ingress.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngressMode {
+    /// One OS thread per connection ([`TcpBrokerServer`]): simple,
+    /// per-connection blocking I/O, fine at testbed scale. Kept selectable
+    /// for A/B measurement against the reactor.
+    Threaded,
+    /// A fixed pool of readiness-driven event loops ([`ReactorServer`]).
+    #[default]
+    Reactor,
+}
+
+impl IngressMode {
+    /// Parses the CLI spelling (`"threaded"` / `"reactor"`).
+    pub fn parse(s: &str) -> Option<IngressMode> {
+        match s {
+            "threaded" => Some(IngressMode::Threaded),
+            "reactor" => Some(IngressMode::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            IngressMode::Threaded => "threaded",
+            IngressMode::Reactor => "reactor",
+        }
+    }
+}
+
+/// Tuning knobs for a [`ReactorServer`].
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Event loop count; `0` picks one per available core, capped at 4
+    /// (beyond that the sharded broker core, not ingress, is the
+    /// bottleneck).
+    pub loops: usize,
+    /// Max bytes read from one connection per wakeup before it is parked
+    /// back on the poller (fairness under fire-hose publishers).
+    pub read_budget: usize,
+    /// Max bytes queued for write per connection; delivery frames beyond
+    /// this are dropped and counted (slow-consumer backpressure).
+    pub write_queue_cap: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            loops: 0,
+            read_budget: 64 * 1024,
+            write_queue_cap: 256 * 1024,
+        }
+    }
+}
+
+impl ReactorConfig {
+    fn effective_loops(&self) -> usize {
+        if self.loops > 0 {
+            return self.loops;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+}
+
+/// Key under which a loop's listener is registered; distinct from every
+/// connection key (connection keys are slab indices) and from the
+/// poller's reserved notify key (`usize::MAX`).
+const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// How long `wait` blocks with nothing ready: the safety net for a missed
+/// wake-up and the cadence at which pending poll-acks and stop flags are
+/// checked.
+const WAIT_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Read-chunk size; one loop-owned scratch buffer, reused across
+/// connections.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Connections accepted per listener event before re-arming, so a connect
+/// storm cannot monopolize loop 0.
+const ACCEPT_BATCH: usize = 512;
+
+/// How long a bridged liveness poll waits for the broker's ack before the
+/// reactor goes silent on it (mirrors the threaded path's 50 ms — a dead
+/// broker must look dead to the failure detector).
+const POLL_ACK_DEADLINE: Duration = Duration::from_millis(50);
+
+/// A readiness-driven TCP front end serving the same protocol as
+/// [`TcpBrokerServer`] from a fixed pool of event loops.
+pub struct ReactorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    loops: Vec<Arc<LoopShared>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds `addr` (port 0 for ephemeral) and serves `broker` with the
+    /// default [`ReactorConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Net`] on bind/poller/spawn failure.
+    pub fn bind(addr: &str, broker: RtBroker) -> Result<ReactorServer, FrameError> {
+        ReactorServer::bind_with(addr, broker, ReactorConfig::default())
+    }
+
+    /// [`ReactorServer::bind`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Net`] on bind/poller/spawn failure.
+    pub fn bind_with(
+        addr: &str,
+        broker: RtBroker,
+        config: ReactorConfig,
+    ) -> Result<ReactorServer, FrameError> {
+        let listener = TcpListener::bind(addr).map_err(FrameError::net)?;
+        let addr = listener.local_addr().map_err(FrameError::net)?;
+        listener.set_nonblocking(true).map_err(FrameError::net)?;
+
+        let n = config.effective_loops();
+        let mut loops = Vec::with_capacity(n);
+        for _ in 0..n {
+            loops.push(Arc::new(LoopShared {
+                poller: Poller::new().map_err(FrameError::net)?,
+                injected: Mutex::new(Vec::new()),
+                delivery_ready: Mutex::new(Vec::new()),
+            }));
+        }
+        loops[0]
+            .poller
+            .add(&listener, Event::readable(LISTENER_KEY))
+            .map_err(FrameError::net)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(n);
+        let mut listener = Some(listener);
+        for index in 0..n {
+            let ctx = LoopCtx {
+                index,
+                shared: loops[index].clone(),
+                peers: loops.clone(),
+                listener: listener.take(), // loop 0 only
+                broker: broker.clone(),
+                stop: stop.clone(),
+                config: config.clone(),
+                gauges: broker.telemetry().reactor_gauges(index),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("frame-reactor-{index}"))
+                    .spawn(move || run_loop(ctx))
+                    .map_err(FrameError::net)?,
+            );
+        }
+        Ok(ReactorServer {
+            addr,
+            stop,
+            loops,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops every event loop and joins them; open connections are closed
+    /// in the process.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        for l in &self.loops {
+            let _ = l.poller.notify();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A running ingress front end of either flavor, so embedders can switch
+/// transports ([`IngressMode`]) without changing their shutdown plumbing.
+pub enum IngressServer {
+    /// Thread-per-connection.
+    Threaded(TcpBrokerServer),
+    /// Event-loop pool.
+    Reactor(ReactorServer),
+}
+
+impl IngressServer {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        match self {
+            IngressServer::Threaded(s) => s.local_addr(),
+            IngressServer::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    /// Stops serving and joins the transport's threads.
+    pub fn shutdown(self) {
+        match self {
+            IngressServer::Threaded(s) => s.shutdown(),
+            IngressServer::Reactor(s) => s.shutdown(),
+        }
+    }
+}
+
+/// Binds `addr` and serves `broker` over the chosen ingress transport.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Net`] on bind failure.
+pub fn serve_ingress(
+    addr: &str,
+    broker: RtBroker,
+    mode: IngressMode,
+) -> Result<IngressServer, FrameError> {
+    match mode {
+        IngressMode::Threaded => TcpBrokerServer::bind(addr, broker).map(IngressServer::Threaded),
+        IngressMode::Reactor => ReactorServer::bind(addr, broker).map(IngressServer::Reactor),
+    }
+}
+
+/// State a loop shares with the accept loop and with broker worker
+/// threads (delivery wake-ups).
+struct LoopShared {
+    poller: Poller,
+    /// Accepted streams awaiting adoption by this loop.
+    injected: Mutex<Vec<TcpStream>>,
+    /// Connections with deliveries queued on their channel, awaiting a
+    /// drain by this loop.
+    delivery_ready: Mutex<Vec<Arc<ConnTag>>>,
+}
+
+/// A connection's cross-thread identity. Worker threads hold it inside
+/// delivery callbacks; the owning loop checks pointer identity before
+/// trusting `key`, so a key reused after close can never route another
+/// connection's wake-up to the wrong socket.
+struct ConnTag {
+    key: usize,
+    closed: AtomicBool,
+    /// Already on the loop's `delivery_ready` list (dedup so a burst of
+    /// deliveries queues one wake-up, not one per message).
+    queued: AtomicBool,
+}
+
+struct PendingPoll {
+    token: u64,
+    rx: Receiver<()>,
+    expires_at: Instant,
+}
+
+/// Per-connection state owned by exactly one loop.
+struct Conn {
+    stream: TcpStream,
+    tag: Arc<ConnTag>,
+    peer: String,
+    decoder: FrameDecoder,
+    out: WriteQueue,
+    /// Writable interest is registered (a write backlog exists).
+    wants_write: bool,
+    /// Set once the connection subscribes.
+    deliveries: Option<Receiver<Delivered>>,
+    /// Bridged liveness polls awaiting the broker's ack, oldest first.
+    pending_polls: VecDeque<PendingPoll>,
+}
+
+/// A bounded FIFO of encoded frames with partial-write tracking.
+struct WriteQueue {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written.
+    front_pos: usize,
+    bytes: usize,
+    cap: usize,
+}
+
+impl WriteQueue {
+    fn new(cap: usize) -> WriteQueue {
+        WriteQueue {
+            frames: VecDeque::new(),
+            front_pos: 0,
+            bytes: 0,
+            cap,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Enqueues a delivery frame unless the queue is over its byte cap;
+    /// returns whether it was accepted.
+    fn push_bounded(&mut self, frame: Vec<u8>) -> bool {
+        if self.bytes + frame.len() > self.cap {
+            return false;
+        }
+        self.push(frame);
+        true
+    }
+
+    /// Enqueues unconditionally (request/response control frames: the
+    /// client asked, so the answer is bounded by the request rate).
+    fn push(&mut self, frame: Vec<u8>) {
+        self.bytes += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    /// Writes as much as the socket accepts; `Ok(true)` when drained.
+    fn write_some(&mut self, stream: &mut TcpStream) -> std::io::Result<bool> {
+        while let Some(front) = self.frames.front() {
+            match stream.write(&front[self.front_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.front_pos += n;
+                    if self.front_pos == front.len() {
+                        self.bytes -= front.len();
+                        self.front_pos = 0;
+                        self.frames.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Everything one event loop needs; moved onto its thread.
+struct LoopCtx {
+    index: usize,
+    shared: Arc<LoopShared>,
+    /// Every loop's shared state, indexable for round-robin hand-off
+    /// (only loop 0, the acceptor, uses the others).
+    peers: Vec<Arc<LoopShared>>,
+    listener: Option<TcpListener>,
+    broker: RtBroker,
+    stop: Arc<AtomicBool>,
+    config: ReactorConfig,
+    gauges: ReactorGauges,
+}
+
+fn run_loop(ctx: LoopCtx) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = Events::new();
+    let mut read_buf = vec![0u8; READ_CHUNK];
+    // Keys with in-flight liveness polls, checked each iteration.
+    let mut poll_waiters: Vec<usize> = Vec::new();
+    // Round-robin cursor over `peers` (acceptor only).
+    let mut next_loop = 0usize;
+    let mut accept_backoff = LogBackoff::new();
+    let mut broker_was_alive = true;
+
+    loop {
+        events.clear();
+        let _ = ctx.shared.poller.wait(&mut events, Some(WAIT_TIMEOUT));
+        ctx.gauges.record_wakeup();
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if !ctx.broker.is_alive() {
+            // Broker crashed (or was killed): every connection goes down
+            // with it, exactly like the thread-per-connection handlers
+            // returning. The loop stays up to drain accepts and wait for
+            // shutdown.
+            if broker_was_alive {
+                broker_was_alive = false;
+                for key in 0..conns.len() {
+                    close_conn(&mut conns, &mut free, &ctx.shared.poller, key);
+                }
+                poll_waiters.clear();
+            }
+        }
+        let broker_dead = !broker_was_alive;
+
+        // Adopt connections the acceptor handed this loop.
+        let injected: Vec<TcpStream> = std::mem::take(&mut *ctx.shared.injected.lock());
+        for stream in injected {
+            if broker_dead {
+                continue; // dropped: closes the socket
+            }
+            register_conn(&mut conns, &mut free, stream, &ctx);
+        }
+
+        for ev in events.iter() {
+            if ev.key == LISTENER_KEY {
+                accept_batch(
+                    &ctx,
+                    &mut conns,
+                    &mut free,
+                    &mut next_loop,
+                    &mut accept_backoff,
+                    broker_dead,
+                );
+                if let Some(listener) = &ctx.listener {
+                    let _ = ctx
+                        .shared
+                        .poller
+                        .modify(listener, Event::readable(LISTENER_KEY));
+                }
+                continue;
+            }
+            let Some(Some(conn)) = conns.get_mut(ev.key) else {
+                continue; // closed earlier this iteration
+            };
+            let mut alive = true;
+            if ev.writable && !conn.out.is_empty() {
+                alive = flush(conn);
+            }
+            if alive && ev.readable {
+                alive = read_budgeted(conn, &ctx, &mut read_buf, &mut poll_waiters, ev.key);
+            }
+            if alive {
+                alive = rearm(&ctx.shared.poller, conn);
+            }
+            if !alive {
+                close_conn(&mut conns, &mut free, &ctx.shared.poller, ev.key);
+            }
+        }
+
+        // Drain delivery wake-ups (after events, so a Subscribe decoded
+        // this iteration is already visible).
+        let ready: Vec<Arc<ConnTag>> = std::mem::take(&mut *ctx.shared.delivery_ready.lock());
+        for tag in ready {
+            // Clear before draining: a delivery pushed after this store
+            // re-queues the tag; one pushed before it is caught by the
+            // drain below. Either way nothing is stranded.
+            tag.queued.store(false, Ordering::Release);
+            if tag.closed.load(Ordering::Acquire) {
+                continue;
+            }
+            let Some(Some(conn)) = conns.get_mut(tag.key) else {
+                continue;
+            };
+            if !Arc::ptr_eq(&conn.tag, &tag) {
+                continue; // key was reused; wake-up was for the old conn
+            }
+            let alive = pump_deliveries(conn, &ctx) && rearm(&ctx.shared.poller, conn);
+            if !alive {
+                close_conn(&mut conns, &mut free, &ctx.shared.poller, tag.key);
+            }
+        }
+
+        // Settle bridged liveness polls: ack what the broker answered,
+        // go silent on what it did not (dead-broker semantics).
+        if !poll_waiters.is_empty() {
+            let poller = &ctx.shared.poller;
+            let mut closed = Vec::new();
+            poll_waiters.retain(|&key| {
+                let Some(Some(conn)) = conns.get_mut(key) else {
+                    return false;
+                };
+                match settle_polls(conn) {
+                    Ok(()) => {
+                        if !(conn.out.is_empty() || flush(conn) && rearm(poller, conn)) {
+                            closed.push(key);
+                            return false;
+                        }
+                        !conn.pending_polls.is_empty()
+                    }
+                    Err(()) => {
+                        closed.push(key);
+                        false
+                    }
+                }
+            });
+            for key in closed {
+                close_conn(&mut conns, &mut free, &ctx.shared.poller, key);
+            }
+        }
+
+        ctx.gauges.set_registered((conns.len() - free.len()) as u64);
+    }
+    // Shutdown: dropping a Conn closes its socket; subscribers see EOF.
+    ctx.gauges.set_registered(0);
+}
+
+/// Accepts a batch of connections and deals them round-robin across
+/// loops. Runs on loop 0 only.
+fn accept_batch(
+    ctx: &LoopCtx,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    next_loop: &mut usize,
+    backoff: &mut LogBackoff,
+    broker_dead: bool,
+) {
+    let Some(listener) = &ctx.listener else {
+        return;
+    };
+    for _ in 0..ACCEPT_BATCH {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff.reset();
+                if broker_dead {
+                    continue; // accept-and-close, like dead handlers
+                }
+                ctx.gauges.record_accept();
+                let target = *next_loop % ctx.peers.len();
+                *next_loop = next_loop.wrapping_add(1);
+                if target == ctx.index {
+                    register_conn(conns, free, stream, ctx);
+                } else {
+                    let peer = &ctx.peers[target];
+                    peer.injected.lock().push(stream);
+                    let _ = peer.poller.notify();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) => {
+                // EMFILE/ENFILE and friends: log (rate-limited), yield to
+                // the poller rather than spinning on the error.
+                let err = FrameError::net(&e);
+                backoff.report(|| format!("frame-rt/reactor: accept failed: {err:?}"));
+                return;
+            }
+        }
+    }
+}
+
+/// Adopts an accepted stream: nonblocking, nodelay, slab slot, poller
+/// registration. Failures shed the connection (the socket drops closed).
+fn register_conn(
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    stream: TcpStream,
+    ctx: &LoopCtx,
+) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    let key = free.pop().unwrap_or_else(|| {
+        conns.push(None);
+        conns.len() - 1
+    });
+    if ctx
+        .shared
+        .poller
+        .add(&stream, Event::readable(key))
+        .is_err()
+    {
+        free.push(key);
+        return;
+    }
+    conns[key] = Some(Conn {
+        stream,
+        tag: Arc::new(ConnTag {
+            key,
+            closed: AtomicBool::new(false),
+            queued: AtomicBool::new(false),
+        }),
+        peer,
+        decoder: FrameDecoder::new(),
+        out: WriteQueue::new(ctx.config.write_queue_cap),
+        wants_write: false,
+        deliveries: None,
+        pending_polls: VecDeque::new(),
+    });
+}
+
+fn close_conn(conns: &mut [Option<Conn>], free: &mut Vec<usize>, poller: &Poller, key: usize) {
+    let Some(slot) = conns.get_mut(key) else {
+        return;
+    };
+    if let Some(conn) = slot.take() {
+        conn.tag.closed.store(true, Ordering::Release);
+        let _ = poller.delete(&conn.stream);
+        free.push(key);
+        // `conn.stream` drops here, closing the fd (after the poller
+        // delete above, so the key cannot fire for a recycled fd).
+    }
+}
+
+/// Re-registers oneshot interest after handling a connection: always
+/// readable, writable only while a backlog exists.
+fn rearm(poller: &Poller, conn: &Conn) -> bool {
+    let interest = Event {
+        key: conn.tag.key,
+        readable: true,
+        writable: conn.wants_write,
+    };
+    poller.modify(&conn.stream, interest).is_ok()
+}
+
+/// Writes queued frames; updates writable interest. `false` = close.
+fn flush(conn: &mut Conn) -> bool {
+    match conn.out.write_some(&mut conn.stream) {
+        Ok(drained) => {
+            conn.wants_write = !drained;
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Drains the subscriber channel into the write queue (dropping on a full
+/// queue) and flushes. `false` = close.
+fn pump_deliveries(conn: &mut Conn, ctx: &LoopCtx) -> bool {
+    let Some(rx) = conn.deliveries.clone() else {
+        return true;
+    };
+    while let Ok(d) = rx.try_recv() {
+        match encode_frame(&WireMsg::Deliver(d.message)) {
+            Ok(frame) => {
+                if !conn.out.push_bounded(frame) {
+                    ctx.gauges.record_write_queue_drop();
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    flush(conn)
+}
+
+/// Reads up to the per-wakeup budget, feeding the incremental decoder.
+/// `false` = close (EOF, socket error, unrecoverable framing, protocol
+/// violation).
+fn read_budgeted(
+    conn: &mut Conn,
+    ctx: &LoopCtx,
+    buf: &mut [u8],
+    poll_waiters: &mut Vec<usize>,
+    key: usize,
+) -> bool {
+    let mut used = 0usize;
+    loop {
+        let n = match conn.stream.read(buf) {
+            Ok(0) => return false, // EOF
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        };
+        // The decoder steps out of `conn` so the sink closure may borrow
+        // the rest of the connection (write queue, poll bridge) freely.
+        let mut decoder = std::mem::take(&mut conn.decoder);
+        let mut fatal = false;
+        let fed = decoder.feed(&buf[..n], &mut |decoded| {
+            if fatal {
+                return;
+            }
+            match decoded {
+                Decoded::Frame(msg) => {
+                    if !handle_frame(conn, ctx, msg, poll_waiters, key) {
+                        fatal = true;
+                    }
+                }
+                Decoded::Malformed(e) => {
+                    // Frame-aligned still: drop the frame, keep serving
+                    // (same contract as the blocking path).
+                    eprintln!(
+                        "frame-rt/reactor: dropping malformed frame from {}: {e}",
+                        conn.peer
+                    );
+                }
+            }
+        });
+        conn.decoder = decoder;
+        if fed.is_err() || fatal {
+            return false;
+        }
+        used += n;
+        if used >= ctx.config.read_budget {
+            // Parked with bytes likely still pending: the re-armed
+            // readable interest fires again immediately, giving other
+            // connections their turn in between.
+            ctx.gauges.record_budget_exhaustion();
+            break;
+        }
+    }
+    // Anything the frames above queued up (acks, stats) goes out now;
+    // leftovers arm writable interest via `rearm`.
+    if conn.out.is_empty() {
+        true
+    } else {
+        flush(conn)
+    }
+}
+
+/// Applies one decoded frame. `false` = close the connection.
+fn handle_frame(
+    conn: &mut Conn,
+    ctx: &LoopCtx,
+    msg: WireMsg,
+    poll_waiters: &mut Vec<usize>,
+    key: usize,
+) -> bool {
+    match msg {
+        WireMsg::Publish(m) => {
+            let _ = ctx.broker.sender().send(BrokerMsg::Publish(m));
+            true
+        }
+        WireMsg::Resend(m) => {
+            let _ = ctx.broker.sender().send(BrokerMsg::Resend(m));
+            true
+        }
+        WireMsg::Replica(m) => {
+            let _ = ctx.broker.sender().send(BrokerMsg::Replica(m));
+            true
+        }
+        WireMsg::Prune(k) => {
+            let _ = ctx.broker.sender().send(BrokerMsg::Prune(k));
+            true
+        }
+        WireMsg::ReplicaBatch(batch) => {
+            let _ = ctx.broker.sender().send(BrokerMsg::ReplicaBatch(batch));
+            true
+        }
+        WireMsg::Poll(token) => {
+            // Bridge to the in-process poll protocol without blocking the
+            // loop: stash the ack channel; `settle_polls` answers when
+            // the broker does and goes silent past the deadline, so a
+            // dead broker looks dead to the failure detector.
+            let (ack_tx, ack_rx) = unbounded();
+            let _ = ctx.broker.sender().send(BrokerMsg::Poll(ack_tx));
+            conn.pending_polls.push_back(PendingPoll {
+                token,
+                rx: ack_rx,
+                expires_at: Instant::now() + POLL_ACK_DEADLINE,
+            });
+            if !poll_waiters.contains(&key) {
+                poll_waiters.push(key);
+            }
+            true
+        }
+        WireMsg::Subscribe(id) => {
+            let (tx, rx) = unbounded();
+            ctx.broker.connect_subscriber_with_notify(
+                id,
+                tx,
+                delivery_notify(&ctx.shared, &conn.tag),
+            );
+            conn.deliveries = Some(rx);
+            true
+        }
+        WireMsg::Promote => {
+            let created = ctx.broker.promote().map(|n| n as u64).unwrap_or(0);
+            enqueue_response(conn, &WireMsg::Promoted(created))
+        }
+        WireMsg::Stats => {
+            let json = frame_telemetry::to_json(&ctx.broker.telemetry().snapshot());
+            enqueue_response(conn, &WireMsg::StatsJson(json))
+        }
+        WireMsg::Trace => {
+            let json = frame_telemetry::flight_to_json(&ctx.broker.telemetry().flight_snapshot());
+            enqueue_response(conn, &WireMsg::TraceJson(json))
+        }
+        WireMsg::PollAck(_)
+        | WireMsg::Deliver(_)
+        | WireMsg::Promoted(_)
+        | WireMsg::StatsJson(_)
+        | WireMsg::TraceJson(_) => {
+            // Server-to-client frames arriving at the server: protocol
+            // violation; drop the connection.
+            false
+        }
+    }
+}
+
+/// Queues a control response (unbounded by the delivery cap: the client
+/// asked for it). `false` only on a serialization failure.
+fn enqueue_response(conn: &mut Conn, msg: &WireMsg) -> bool {
+    match encode_frame(msg) {
+        Ok(frame) => {
+            conn.out.push(frame);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Answers bridged polls the broker acked; expires the rest silently.
+/// `Err(())` = close (response serialization failed).
+fn settle_polls(conn: &mut Conn) -> Result<(), ()> {
+    while let Some(front) = conn.pending_polls.front() {
+        match front.rx.try_recv() {
+            Ok(()) => {
+                let token = front.token;
+                conn.pending_polls.pop_front();
+                if !enqueue_response(conn, &WireMsg::PollAck(token)) {
+                    return Err(());
+                }
+            }
+            Err(TryRecvError::Empty) => {
+                if Instant::now() >= front.expires_at {
+                    // Broker never answered in time: silence, so the
+                    // detector's timeout fires exactly as with a dead
+                    // threaded handler.
+                    conn.pending_polls.pop_front();
+                    continue;
+                }
+                break;
+            }
+            Err(TryRecvError::Disconnected) => {
+                // Proxy thread gone (broker dead): silent.
+                conn.pending_polls.pop_front();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The wake-up a worker invokes after pushing deliveries for this
+/// connection: queue the tag once and nudge the loop's poller.
+fn delivery_notify(shared: &Arc<LoopShared>, tag: &Arc<ConnTag>) -> DeliveryNotify {
+    let shared = shared.clone();
+    let tag = tag.clone();
+    Arc::new(move || {
+        if tag.closed.load(Ordering::Acquire) {
+            return;
+        }
+        if !tag.queued.swap(true, Ordering::AcqRel) {
+            shared.delivery_ready.lock().push(tag.clone());
+            let _ = shared.poller.notify();
+        }
+    })
+}

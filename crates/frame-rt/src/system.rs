@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 
 use crate::broker_rt::{BrokerMsg, Delivered, RtBroker, RtBrokerThreads};
 use crate::fault::{fate_of, FaultHook, Hop, SharedFaultHook};
+use crate::reactor::{serve_ingress, IngressMode, IngressServer};
 
 /// A publisher with retention and fail-over re-send, bound to the broker
 /// pair.
@@ -137,6 +138,7 @@ pub struct RtSystem {
     flight_sink: Option<FlightSink>,
     obs_sampler: Option<ObsSampler>,
     obs_server: Option<ObsServer>,
+    ingress_server: Option<IngressServer>,
     hook: SharedFaultHook,
 }
 
@@ -201,6 +203,8 @@ pub struct RtSystemBuilder {
     clock: Option<Arc<dyn Clock>>,
     obs: Option<String>,
     sampler: SamplerConfig,
+    ingress: IngressMode,
+    listen: Option<String>,
     hook: SharedFaultHook,
 }
 
@@ -265,6 +269,23 @@ impl RtSystemBuilder {
         self
     }
 
+    /// Which TCP ingress transport [`RtSystemBuilder::listen`] uses
+    /// (default [`IngressMode::Reactor`]). Keep both selectable for A/B
+    /// measurement of thread-per-connection vs the event-loop reactor.
+    pub fn ingress(mut self, mode: IngressMode) -> Self {
+        self.ingress = mode;
+        self
+    }
+
+    /// Serve the Primary broker's wire protocol on `addr` (e.g.
+    /// `"127.0.0.1:0"`; read the bound port back with
+    /// [`RtSystem::ingress_addr`]) using the transport chosen via
+    /// [`RtSystemBuilder::ingress`].
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = Some(addr.into());
+        self
+    }
+
     /// Starts the broker pair and (if configured) the flight-dump sink,
     /// metrics sampler and observability endpoint.
     ///
@@ -282,6 +303,8 @@ impl RtSystemBuilder {
             clock,
             obs,
             sampler,
+            ingress,
+            listen,
             hook,
         } = self;
         let clock: Arc<dyn Clock> = clock.unwrap_or_else(|| Arc::new(MonotonicClock::new()));
@@ -320,6 +343,10 @@ impl RtSystemBuilder {
                 (Some(obs_sampler), Some(server))
             }
         };
+        let ingress_server = match listen {
+            None => None,
+            Some(addr) => Some(serve_ingress(addr.as_str(), primary.clone(), ingress)?),
+        };
         Ok(RtSystem {
             primary,
             backup,
@@ -333,6 +360,7 @@ impl RtSystemBuilder {
             flight_sink,
             obs_sampler,
             obs_server,
+            ingress_server,
             hook,
         })
     }
@@ -351,6 +379,8 @@ impl RtSystem {
             clock: None,
             obs: None,
             sampler: SamplerConfig::default(),
+            ingress: IngressMode::default(),
+            listen: None,
             hook: None,
         }
     }
@@ -386,6 +416,12 @@ impl RtSystem {
     /// [`RtSystemBuilder::obs`] was configured (useful with port 0).
     pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
         self.obs_server.as_ref().map(ObsServer::local_addr)
+    }
+
+    /// The bound TCP ingress address, if [`RtSystemBuilder::listen`] was
+    /// configured (useful with port 0).
+    pub fn ingress_addr(&self) -> Option<std::net::SocketAddr> {
+        self.ingress_server.as_ref().map(IngressServer::local_addr)
     }
 
     /// The shared metrics sampler behind the observability endpoint, if
@@ -554,6 +590,9 @@ impl RtSystem {
 
     /// Stops every component and joins all threads.
     pub fn shutdown(mut self) {
+        if let Some(server) = self.ingress_server.take() {
+            server.shutdown();
+        }
         self.primary.kill();
         self.backup.kill();
         if let Some(d) = self.detector.take() {

@@ -12,9 +12,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_types::{FrameError, Message, MessageKey, SubscriberId};
+use parking_lot::Mutex;
+use polling::{Event, Events, Poller};
 use serde::{Deserialize, Serialize};
 
 use crate::broker_rt::{BackupEffect, BrokerMsg, Delivered, RtBroker};
@@ -137,7 +140,7 @@ pub fn read_frame_checked<R: Read>(stream: &mut R) -> Result<WireMsg, FrameReadE
     let mut len = [0u8; 4];
     stream.read_exact(&mut len).map_err(FrameReadError::Io)?;
     let len = u32::from_le_bytes(len) as usize;
-    if len > 16 << 20 {
+    if len > MAX_FRAME_LEN {
         return Err(FrameReadError::Io(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "frame exceeds sanity limit",
@@ -162,11 +165,187 @@ pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<WireMsg> {
     })
 }
 
+/// Sanity limit on a frame body, shared by the blocking reader and the
+/// incremental decoder: a length prefix above this is treated as stream
+/// corruption, not a real frame.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// One completed frame out of a [`FrameDecoder`].
+#[derive(Debug)]
+pub enum Decoded {
+    /// A complete, parseable frame.
+    Frame(WireMsg),
+    /// A complete frame whose body did not parse. The byte stream is still
+    /// frame-aligned, so the connection can keep going (mirrors
+    /// [`FrameReadError::Malformed`]).
+    Malformed(String),
+}
+
+/// Incremental, sans-IO mirror of [`read_frame_checked`] for nonblocking
+/// sockets: bytes are fed in whatever chunks the kernel hands back —
+/// mid-prefix, mid-body, many frames at once — and completed frames come
+/// out through the sink in order. The reactor keeps one per connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    prefix: [u8; 4],
+    prefix_filled: usize,
+    in_body: bool,
+    body_target: usize,
+    body: Vec<u8>,
+}
+
+/// Body capacity retained across frames. Anything larger is returned to
+/// the allocator once decoded, so one huge frame does not pin ~16 MB to a
+/// connection for its lifetime.
+const DECODER_RETAIN_CAP: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// A decoder at the start of a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Consumes `chunk`, invoking `sink` once per completed frame.
+    ///
+    /// # Errors
+    ///
+    /// An oversized length prefix (> [`MAX_FRAME_LEN`]) is unrecoverable —
+    /// the stream can no longer be trusted to be frame-aligned — and is
+    /// returned as `InvalidData`; the decoder must not be fed again.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        sink: &mut impl FnMut(Decoded),
+    ) -> std::io::Result<()> {
+        loop {
+            if !self.in_body {
+                if chunk.is_empty() {
+                    return Ok(());
+                }
+                let take = (4 - self.prefix_filled).min(chunk.len());
+                self.prefix[self.prefix_filled..self.prefix_filled + take]
+                    .copy_from_slice(&chunk[..take]);
+                self.prefix_filled += take;
+                chunk = &chunk[take..];
+                if self.prefix_filled < 4 {
+                    return Ok(());
+                }
+                let len = u32::from_le_bytes(self.prefix) as usize;
+                if len > MAX_FRAME_LEN {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "frame exceeds sanity limit",
+                    ));
+                }
+                self.in_body = true;
+                self.body_target = len;
+                self.body.clear();
+            }
+            let take = (self.body_target - self.body.len()).min(chunk.len());
+            self.body.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.body.len() < self.body_target {
+                return Ok(());
+            }
+            let decoded = match serde_json::from_slice(&self.body) {
+                Ok(msg) => Decoded::Frame(msg),
+                Err(e) => Decoded::Malformed(e.to_string()),
+            };
+            self.prefix_filled = 0;
+            self.in_body = false;
+            if self.body.capacity() > DECODER_RETAIN_CAP {
+                self.body = Vec::new();
+            } else {
+                self.body.clear();
+            }
+            sink(decoded);
+        }
+    }
+
+    /// Whether bytes of an unfinished frame are buffered — at EOF this
+    /// means the peer truncated mid-frame (the blocking reader's
+    /// `UnexpectedEof`).
+    pub fn is_mid_frame(&self) -> bool {
+        self.prefix_filled > 0 || self.in_body
+    }
+}
+
+/// Encodes one frame (length prefix + JSON body) into a fresh owned
+/// buffer, for write paths that queue frames rather than write them
+/// inline (the reactor's per-connection write queues).
+///
+/// # Errors
+///
+/// Propagates serialization failures as `InvalidData`.
+pub fn encode_frame(msg: &WireMsg) -> std::io::Result<Vec<u8>> {
+    let body = serde_json::to_vec(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let len = u32::try_from(body.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&body);
+    Ok(buf)
+}
+
+/// Rate-limiter for accept-loop error logging: the first error in a run
+/// logs immediately, repeats back off exponentially (1 s, 2 s, … capped at
+/// 30 s) and report how many lines were suppressed in between. A
+/// successful accept resets the backoff, so distinct incidents each get an
+/// immediate first line.
+pub(crate) struct LogBackoff {
+    suppressed: u64,
+    next_log: Option<Instant>,
+    interval: Duration,
+}
+
+impl LogBackoff {
+    const FIRST_INTERVAL: Duration = Duration::from_secs(1);
+    const MAX_INTERVAL: Duration = Duration::from_secs(30);
+
+    pub(crate) fn new() -> LogBackoff {
+        LogBackoff {
+            suppressed: 0,
+            next_log: None,
+            interval: LogBackoff::FIRST_INTERVAL,
+        }
+    }
+
+    /// Logs `line()` unless still inside the backoff window.
+    pub(crate) fn report(&mut self, line: impl FnOnce() -> String) {
+        let now = Instant::now();
+        if let Some(t) = self.next_log {
+            if now < t {
+                self.suppressed += 1;
+                return;
+            }
+        }
+        if self.suppressed > 0 {
+            eprintln!("{} ({} similar errors suppressed)", line(), self.suppressed);
+        } else {
+            eprintln!("{}", line());
+        }
+        self.suppressed = 0;
+        self.next_log = Some(now + self.interval);
+        self.interval = (self.interval * 2).min(LogBackoff::MAX_INTERVAL);
+    }
+
+    pub(crate) fn reset(&mut self) {
+        *self = LogBackoff::new();
+    }
+}
+
 /// A TCP front end for a broker: accepts publisher, subscriber, peer and
 /// detector connections and bridges them to the broker's channel protocol.
+///
+/// One OS thread per connection — simple and sufficient at testbed scale.
+/// For high fan-in use [`crate::reactor::ReactorServer`], which serves the
+/// same protocol from a fixed pool of event loops.
 pub struct TcpBrokerServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
+    last_error: Arc<Mutex<Option<FrameError>>>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -181,38 +360,88 @@ impl TcpBrokerServer {
         let listener = TcpListener::bind(addr).map_err(FrameError::net)?;
         let addr = listener.local_addr().map_err(FrameError::net)?;
         listener.set_nonblocking(true).map_err(FrameError::net)?;
+        // Readiness-driven accept: park in `wait` until a connection (or a
+        // shutdown notify) arrives instead of sleep-polling `WouldBlock`.
+        let poller = Arc::new(Poller::new().map_err(FrameError::net)?);
+        const LISTENER_KEY: usize = 0;
+        poller
+            .add(&listener, Event::readable(LISTENER_KEY))
+            .map_err(FrameError::net)?;
+        let last_error: Arc<Mutex<Option<FrameError>>> = Arc::new(Mutex::new(None));
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
+        let (stop2, poller2, errs) = (stop.clone(), poller.clone(), last_error.clone());
         let accept_thread = std::thread::Builder::new()
             .name("frame-tcp-accept".into())
             .spawn(move || {
                 let mut conns: Vec<JoinHandle<()>> = Vec::new();
-                while !stop2.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, peer)) => {
-                            stream.set_nonblocking(false).ok();
-                            let broker = broker.clone();
-                            let stop = stop2.clone();
-                            match std::thread::Builder::new()
-                                .name("frame-tcp-conn".into())
-                                .spawn(move || serve_connection(stream, broker, stop))
-                            {
-                                Ok(handle) => conns.push(handle),
-                                Err(e) => {
-                                    // Thread exhaustion must not kill the
-                                    // accept loop; shed this connection.
-                                    eprintln!(
-                                        "frame-rt/tcp: dropping connection from {peer}: \
-                                         cannot spawn handler: {e}"
-                                    );
+                let mut events = Events::new();
+                let mut backoff = LogBackoff::new();
+                'accepting: while !stop2.load(Ordering::Acquire) {
+                    events.clear();
+                    // The timeout is only a safety net against a missed
+                    // notify; steady state wakes on readiness.
+                    let _ = poller2.wait(&mut events, Some(Duration::from_millis(100)));
+                    if events.is_empty() {
+                        continue;
+                    }
+                    // Drain the backlog, then re-arm the oneshot interest.
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                if let Err(e) = stream.set_nonblocking(false) {
+                                    // The blocking handler cannot serve a
+                                    // nonblocking socket; shed the
+                                    // connection and surface the error.
+                                    let err = FrameError::net(&e);
+                                    backoff.report(|| {
+                                        format!(
+                                            "frame-rt/tcp: dropping connection from {peer}: \
+                                             set_nonblocking(false) failed: {err:?}"
+                                        )
+                                    });
+                                    *errs.lock() = Some(err);
+                                    continue;
+                                }
+                                let broker = broker.clone();
+                                let stop = stop2.clone();
+                                match std::thread::Builder::new()
+                                    .name("frame-tcp-conn".into())
+                                    .spawn(move || serve_connection(stream, broker, stop))
+                                {
+                                    Ok(handle) => {
+                                        backoff.reset();
+                                        conns.push(handle);
+                                    }
+                                    Err(e) => {
+                                        // Thread exhaustion must not kill
+                                        // the accept loop; shed this
+                                        // connection.
+                                        let err = FrameError::net(&e);
+                                        backoff.report(|| {
+                                            format!(
+                                                "frame-rt/tcp: dropping connection from {peer}: \
+                                                 cannot spawn handler: {err:?}"
+                                            )
+                                        });
+                                        *errs.lock() = Some(err);
+                                    }
                                 }
                             }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) => {
+                                let err = FrameError::net(&e);
+                                backoff.report(|| format!("frame-rt/tcp: accept failed: {err:?}"));
+                                *errs.lock() = Some(err);
+                                // EMFILE/ENFILE and friends: yield to the
+                                // poller instead of spinning on the error.
+                                break;
+                            }
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        if stop2.load(Ordering::Acquire) {
+                            break 'accepting;
                         }
-                        Err(_) => break,
                     }
+                    let _ = poller2.modify(&listener, Event::readable(LISTENER_KEY));
                 }
                 for c in conns {
                     let _ = c.join();
@@ -222,6 +451,8 @@ impl TcpBrokerServer {
         Ok(TcpBrokerServer {
             addr,
             stop,
+            poller,
+            last_error,
             accept_thread: Some(accept_thread),
         })
     }
@@ -231,10 +462,18 @@ impl TcpBrokerServer {
         self.addr
     }
 
+    /// Takes the most recent accept-loop failure ([`FrameError::Net`]), if
+    /// any. The loop itself keeps serving across per-connection errors;
+    /// this is how they surface to the embedding process.
+    pub fn take_last_error(&self) -> Option<FrameError> {
+        self.last_error.lock().take()
+    }
+
     /// Stops accepting and joins the accept loop. Open connections close
     /// as their peers disconnect or the broker dies.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
+        let _ = self.poller.notify();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }

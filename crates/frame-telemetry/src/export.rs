@@ -421,6 +421,68 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
             );
         }
     }
+    if !snapshot.reactor_loops.is_empty() {
+        w.family(
+            "frame_reactor_registered_conns",
+            "gauge",
+            "Connections registered with a reactor event loop's poller.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_registered_conns",
+                &[("loop", &l.loop_index.to_string())],
+                l.registered_conns,
+            );
+        }
+        w.family(
+            "frame_reactor_accepted_total",
+            "counter",
+            "Connections accepted by a reactor event loop.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_accepted_total",
+                &[("loop", &l.loop_index.to_string())],
+                l.accepted,
+            );
+        }
+        w.family(
+            "frame_reactor_wakeups_total",
+            "counter",
+            "Poller wakeups of a reactor event loop.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_wakeups_total",
+                &[("loop", &l.loop_index.to_string())],
+                l.wakeups,
+            );
+        }
+        w.family(
+            "frame_reactor_read_budget_exhaustions_total",
+            "counter",
+            "Connections parked with their per-wakeup read budget spent.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_read_budget_exhaustions_total",
+                &[("loop", &l.loop_index.to_string())],
+                l.budget_exhaustions,
+            );
+        }
+        w.family(
+            "frame_reactor_write_queue_drops_total",
+            "counter",
+            "Delivery frames dropped on full per-connection write queues.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_write_queue_drops_total",
+                &[("loop", &l.loop_index.to_string())],
+                l.write_queue_drops,
+            );
+        }
+    }
     w.family(
         "frame_shard_contention_total",
         "counter",
@@ -535,6 +597,25 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
         "{:<20} {:>10}",
         "shard_contention", snapshot.shard_contention
     );
+    if !snapshot.reactor_loops.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<20} {:>10} {:>10} {:>10} {:>14} {:>12}",
+            "reactor", "conns", "accepted", "wakeups", "budget_exh", "write_drops"
+        );
+        for l in &snapshot.reactor_loops {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>10} {:>10} {:>14} {:>12}",
+                format!("loop-{}", l.loop_index),
+                l.registered_conns,
+                l.accepted,
+                l.wakeups,
+                l.budget_exhaustions,
+                l.write_queue_drops
+            );
+        }
+    }
     if !snapshot.incidents.is_empty() {
         let _ = writeln!(
             out,

@@ -93,6 +93,75 @@ struct QueueEntry {
     ingress_watermark: AtomicU64,
 }
 
+/// One reactor event loop's ingress counters. `registered` is a gauge
+/// (stored by the owning loop, which is the only writer); the rest are
+/// monotonic counters.
+struct ReactorLoopEntry {
+    registered: AtomicU64,
+    accepted: AtomicU64,
+    wakeups: AtomicU64,
+    budget_exhaustions: AtomicU64,
+    write_queue_drops: AtomicU64,
+}
+
+/// Cheap per-loop recording handle for the ingress reactor: the entry is
+/// resolved once at loop start-up, so the hot path is a branch and a
+/// relaxed atomic op — no registry lookups per wakeup.
+#[derive(Clone)]
+pub struct ReactorGauges {
+    entry: Option<Arc<ReactorLoopEntry>>,
+}
+
+impl ReactorGauges {
+    /// A no-op handle (disabled telemetry).
+    pub fn disabled() -> ReactorGauges {
+        ReactorGauges { entry: None }
+    }
+
+    /// Stores the number of connections currently registered with this
+    /// loop's poller (including its listener share).
+    #[inline]
+    pub fn set_registered(&self, n: u64) {
+        if let Some(e) = &self.entry {
+            e.registered.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one accepted connection.
+    #[inline]
+    pub fn record_accept(&self) {
+        if let Some(e) = &self.entry {
+            e.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one poller wakeup (a `wait` return, whatever the cause).
+    #[inline]
+    pub fn record_wakeup(&self) {
+        if let Some(e) = &self.entry {
+            e.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one connection hitting its per-wakeup read budget (the loop
+    /// moved on with bytes likely still buffered in the kernel).
+    #[inline]
+    pub fn record_budget_exhaustion(&self) {
+        if let Some(e) = &self.entry {
+            e.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one delivery frame dropped because a connection's bounded
+    /// write queue was full (slow-consumer backpressure).
+    #[inline]
+    pub fn record_write_queue_drop(&self) {
+        if let Some(e) = &self.entry {
+            e.write_queue_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Per-topic delivery histogram plus SLO accounting. All counters are
 /// relaxed atomics; the delivery path for one topic is serialized by the
 /// topic-shard lock, so the sequence-gap bookkeeping needs no stronger
@@ -156,6 +225,9 @@ struct Inner {
     /// Per-broker queue gauges, sorted by `BrokerId` (same append-only
     /// binary-searched scheme as `topics`).
     queues: RwLock<Vec<(BrokerId, Arc<QueueEntry>)>>,
+    /// Per-event-loop reactor counters, sorted by loop index (same
+    /// append-only scheme; loops resolve their entry once at start-up).
+    reactor_loops: RwLock<Vec<(u64, Arc<ReactorLoopEntry>)>>,
     /// Recent delivery spans + incidents.
     flight: FlightRecorder,
 }
@@ -244,6 +316,7 @@ impl Telemetry {
                     beats: AtomicU64::new(0),
                 }),
                 queues: RwLock::new(Vec::new()),
+                reactor_loops: RwLock::new(Vec::new()),
                 flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY),
             })),
         }
@@ -522,6 +595,40 @@ impl Telemetry {
         }
     }
 
+    /// The recording handle for reactor event loop `loop_index`, created
+    /// if absent. Resolve once at loop start-up and keep the handle; a
+    /// disabled registry yields a no-op handle.
+    pub fn reactor_gauges(&self, loop_index: usize) -> ReactorGauges {
+        let Some(inner) = &self.inner else {
+            return ReactorGauges::disabled();
+        };
+        let key = loop_index as u64;
+        {
+            let loops = inner.reactor_loops.read().expect("reactor lock");
+            if let Ok(i) = loops.binary_search_by_key(&key, |(l, _)| *l) {
+                return ReactorGauges {
+                    entry: Some(loops[i].1.clone()),
+                };
+            }
+        }
+        let mut loops = inner.reactor_loops.write().expect("reactor lock");
+        let entry = match loops.binary_search_by_key(&key, |(l, _)| *l) {
+            Ok(i) => loops[i].1.clone(),
+            Err(i) => {
+                let entry = Arc::new(ReactorLoopEntry {
+                    registered: AtomicU64::new(0),
+                    accepted: AtomicU64::new(0),
+                    wakeups: AtomicU64::new(0),
+                    budget_exhaustions: AtomicU64::new(0),
+                    write_queue_drops: AtomicU64::new(0),
+                });
+                loops.insert(i, (key, entry.clone()));
+                entry
+            }
+        };
+        ReactorGauges { entry: Some(entry) }
+    }
+
     /// Current count for one decision kind.
     pub fn decision_count(&self, kind: DecisionKind) -> u64 {
         match &self.inner {
@@ -633,6 +740,20 @@ impl Telemetry {
                 ingress_watermark: e.ingress_watermark.load(Ordering::Relaxed),
             })
             .collect();
+        let reactor_loops = inner
+            .reactor_loops
+            .read()
+            .expect("reactor lock")
+            .iter()
+            .map(|(idx, e)| ReactorLoopSnapshot {
+                loop_index: *idx,
+                registered_conns: e.registered.load(Ordering::Relaxed),
+                accepted: e.accepted.load(Ordering::Relaxed),
+                wakeups: e.wakeups.load(Ordering::Relaxed),
+                budget_exhaustions: e.budget_exhaustions.load(Ordering::Relaxed),
+                write_queue_drops: e.write_queue_drops.load(Ordering::Relaxed),
+            })
+            .collect();
         TelemetrySnapshot {
             stages,
             topics,
@@ -653,6 +774,7 @@ impl Telemetry {
             admits: inner.admits.get(),
             heartbeats,
             queues,
+            reactor_loops,
         }
     }
 }
@@ -741,6 +863,24 @@ pub struct QueueGaugeSnapshot {
     pub ingress_watermark: u64,
 }
 
+/// One reactor event loop's ingress counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReactorLoopSnapshot {
+    /// The event loop's index within its reactor.
+    pub loop_index: u64,
+    /// Connections currently registered with the loop's poller.
+    pub registered_conns: u64,
+    /// Connections accepted over the loop's lifetime.
+    pub accepted: u64,
+    /// Poller wakeups (`wait` returns).
+    pub wakeups: u64,
+    /// Wakeups where a connection hit its read budget and was put back on
+    /// the poller with bytes likely still pending.
+    pub budget_exhaustions: u64,
+    /// Delivery frames dropped on full per-connection write queues.
+    pub write_queue_drops: u64,
+}
+
 /// One decision kind's total.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionCount {
@@ -788,6 +928,11 @@ pub struct TelemetrySnapshot {
     /// snapshots.
     #[serde(default)]
     pub queues: Vec<QueueGaugeSnapshot>,
+    /// Per-event-loop reactor ingress counters, sorted by loop index
+    /// (empty when the threaded ingress is used). `default` for older
+    /// snapshots.
+    #[serde(default)]
+    pub reactor_loops: Vec<ReactorLoopSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -820,6 +965,13 @@ impl TelemetrySnapshot {
     /// The queue gauges for `broker`, if present.
     pub fn queue(&self, broker: BrokerId) -> Option<&QueueGaugeSnapshot> {
         self.queues.iter().find(|q| q.broker == broker)
+    }
+
+    /// The reactor counters for one event loop, if present.
+    pub fn reactor_loop(&self, loop_index: u64) -> Option<&ReactorLoopSnapshot> {
+        self.reactor_loops
+            .iter()
+            .find(|l| l.loop_index == loop_index)
     }
 }
 

@@ -1,0 +1,483 @@
+//! Offline stand-in for the `polling` crate: portable readiness notification
+//! for sockets and other file descriptors, in the API subset FRAME uses.
+//!
+//! On Linux this is a thin safe wrapper over raw `epoll(7)` syscalls (declared
+//! directly via `extern "C"`, no libc crate) with **oneshot** semantics: once a
+//! registered source fires, it stays disarmed until re-armed with
+//! [`Poller::modify`]. Cross-thread wake-ups use an `eventfd(2)` registered on
+//! a reserved key; [`Poller::notify`] makes a concurrent or subsequent
+//! [`Poller::wait`] return early with zero events.
+//!
+//! On non-Linux targets a degraded-but-correct fallback reports every armed
+//! source as ready after the wait timeout elapses (callers use nonblocking I/O,
+//! so spurious readiness is safe); `notify` still wakes waiters immediately.
+//! FRAME's CI and benches run on Linux, where the real epoll path is used.
+//!
+//! Supported API: `Poller::{new, add, modify, delete, wait, notify}`,
+//! `Event::{readable, writable, all, none}`, `Events::{new, clear, iter, len,
+//! is_empty}`.
+
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::time::Duration;
+
+/// Key reserved for the poller's internal wake-up source.
+///
+/// [`Poller::add`] rejects it so user sources can never alias the notifier.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// Interest in (or occurrence of) readiness on a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back by [`Poller::wait`].
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest; the source stays registered but disarmed.
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+/// Reusable buffer of events returned by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    list: Vec<Event>,
+}
+
+impl Events {
+    pub fn new() -> Events {
+        Events { list: Vec::with_capacity(256) }
+    }
+
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.list.iter().copied()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+
+    // Values from the Linux UAPI headers (asm-generic); stable ABI.
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const EINTR: i32 = 4;
+
+    // x86-64 epoll_event is packed (no padding between events and data);
+    // other 64-bit arches use the natural C layout.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// epoll-backed poller with oneshot re-arm semantics.
+    pub struct Poller {
+        epfd: i32,
+        notify_fd: i32,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let notify_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller { epfd, notify_fd };
+            // The notifier is level-triggered (not oneshot): it keeps firing
+            // until drained, so a notify can never be lost between waits.
+            let mut ev = EpollEvent { events: EPOLLIN, data: NOTIFY_KEY as u64 };
+            if let Err(e) = cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, notify_fd, &mut ev) }) {
+                return Err(e); // Drop closes both fds.
+            }
+            Ok(poller)
+        }
+
+        fn interest_bits(interest: Event) -> u32 {
+            let mut bits = EPOLLONESHOT | EPOLLRDHUP;
+            if interest.readable {
+                bits |= EPOLLIN;
+            }
+            if interest.writable {
+                bits |= EPOLLOUT;
+            }
+            bits
+        }
+
+        /// Registers `source` with the given interest (oneshot: disarmed after
+        /// the first event until [`Poller::modify`] re-arms it).
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            if interest.key == NOTIFY_KEY {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved for the poller's notifier",
+                ));
+            }
+            let mut ev = EpollEvent {
+                events: Self::interest_bits(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, source.as_raw_fd(), &mut ev) })?;
+            Ok(())
+        }
+
+        /// Replaces (and re-arms) the interest of an already-added source.
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            if interest.key == NOTIFY_KEY {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved for the poller's notifier",
+                ));
+            }
+            let mut ev = EpollEvent {
+                events: Self::interest_bits(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, source.as_raw_fd(), &mut ev) })?;
+            Ok(())
+        }
+
+        /// Unregisters a source. Must be called before the fd is closed.
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            cvt(unsafe {
+                epoll_ctl(self.epfd, EPOLL_CTL_DEL, source.as_raw_fd(), std::ptr::null_mut())
+            })?;
+            Ok(())
+        }
+
+        /// Blocks until at least one source fires, `notify` is called, or the
+        /// timeout elapses (`None` = wait forever). Appends fired events to
+        /// `events` and returns how many were added; a bare notification (or
+        /// EINTR) yields `Ok(0)`.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => {
+                    // Round up so sub-millisecond timeouts still block briefly
+                    // instead of spinning.
+                    let ms = d.as_millis();
+                    let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+                    ms.min(i32::MAX as u128) as i32
+                }
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = match cvt(unsafe {
+                epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.raw_os_error() == Some(EINTR) => return Ok(0),
+                Err(e) => return Err(e),
+            };
+            let mut added = 0;
+            for ev in buf.iter().take(n) {
+                let key = { ev.data } as usize; // copy out of packed struct
+                let bits = { ev.events };
+                if key == NOTIFY_KEY {
+                    // Drain the eventfd counter so it stops firing.
+                    let mut word = [0u8; 8];
+                    unsafe { read(self.notify_fd, word.as_mut_ptr(), word.len()) };
+                    continue;
+                }
+                // Errors/hangups are surfaced as both readable and writable so
+                // the caller's next nonblocking I/O attempt observes them.
+                let err = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.list.push(Event {
+                    key,
+                    readable: bits & EPOLLIN != 0 || err,
+                    writable: bits & EPOLLOUT != 0 || err,
+                });
+                added += 1;
+            }
+            Ok(added)
+        }
+
+        /// Wakes a concurrent or subsequent [`Poller::wait`].
+        pub fn notify(&self) -> io::Result<()> {
+            let word: [u8; 8] = 1u64.to_ne_bytes();
+            // An EAGAIN here means the counter is already nonzero, i.e. a
+            // wake-up is pending anyway.
+            unsafe { write(self.notify_fd, word.as_ptr(), word.len()) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.notify_fd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::*;
+    use std::collections::HashMap;
+    use std::os::unix::io::RawFd;
+    use std::sync::{Condvar, Mutex};
+
+    struct State {
+        // fd -> (interest, armed)
+        sources: HashMap<RawFd, (Event, bool)>,
+        notified: bool,
+    }
+
+    /// Portable fallback: every armed source is reported ready once the wait
+    /// timeout elapses. Callers use nonblocking I/O, so spurious readiness
+    /// costs a `WouldBlock` and nothing else; latency degrades to the wait
+    /// timeout instead of true readiness.
+    pub struct Poller {
+        state: Mutex<State>,
+        cond: Condvar,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                state: Mutex::new(State { sources: HashMap::new(), notified: false }),
+                cond: Condvar::new(),
+            })
+        }
+
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            if interest.key == NOTIFY_KEY {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "reserved key"));
+            }
+            let mut st = self.state.lock().unwrap();
+            st.sources.insert(source.as_raw_fd(), (interest, true));
+            Ok(())
+        }
+
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            if interest.key == NOTIFY_KEY {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "reserved key"));
+            }
+            let mut st = self.state.lock().unwrap();
+            match st.sources.get_mut(&source.as_raw_fd()) {
+                Some(slot) => {
+                    *slot = (interest, true);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "source not registered")),
+            }
+        }
+
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            let mut st = self.state.lock().unwrap();
+            st.sources.remove(&source.as_raw_fd());
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut st = self.state.lock().unwrap();
+            if !st.notified {
+                st = match timeout {
+                    Some(d) => self.cond.wait_timeout(st, d).unwrap().0,
+                    None => {
+                        // Without a timeout we can only honor explicit notifies;
+                        // poll at a coarse interval to pick up armed sources.
+                        self.cond.wait_timeout(st, Duration::from_millis(50)).unwrap().0
+                    }
+                };
+            }
+            if st.notified {
+                st.notified = false;
+                return Ok(0);
+            }
+            let mut added = 0;
+            for (interest, armed) in st.sources.values_mut() {
+                if *armed && (interest.readable || interest.writable) {
+                    events.list.push(*interest);
+                    *armed = false; // oneshot
+                    added += 1;
+                }
+            }
+            Ok(added)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let mut st = self.state.lock().unwrap();
+            st.notified = true;
+            self.cond.notify_all();
+            Ok(())
+        }
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn wait_times_out_without_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn notify_wakes_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = poller.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        // Far longer than the notify delay: only the wake-up can end it early.
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() < Duration::from_secs(4));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost() {
+        let poller = Poller::new().unwrap();
+        poller.notify().unwrap();
+        let mut events = Events::new();
+        let start = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn readable_event_fires_and_stays_disarmed_until_rearm() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Drain, then confirm the oneshot stays quiet until re-armed.
+        let mut buf = [0u8; 16];
+        let mut server_reader = &server;
+        let _ = server_reader.read(&mut buf).unwrap();
+        client.write_all(b"pong").unwrap();
+        #[cfg(target_os = "linux")]
+        {
+            events.clear();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            assert_eq!(n, 0, "oneshot source fired without re-arm");
+        }
+        events.clear();
+        poller.modify(&server, Event::readable(7)).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn writable_interest_fires_on_open_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&client, Event::writable(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 3);
+        assert!(ev.writable);
+        poller.delete(&client).unwrap();
+    }
+
+    #[test]
+    fn reserved_key_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        assert!(poller.add(&listener, Event::readable(NOTIFY_KEY)).is_err());
+    }
+}
