@@ -47,6 +47,12 @@ struct RunResult {
     messages: u64,
     dispatches: u64,
     queue_high_watermark: u64,
+    /// Hot-path heap allocations per published message (sum over the
+    /// proxy/worker roles below) — the figure the perf gate watches.
+    allocs_per_msg: f64,
+    /// Per-role resource deltas over this run (allocations, CPU,
+    /// syscalls), from the frame-telemetry role profile.
+    roles: Vec<frame_bench::RoleCost>,
 }
 
 #[derive(Serialize)]
@@ -68,6 +74,9 @@ struct BenchReport {
     messages_per_run: u64,
     repeats: usize,
     job_service_time_us: u64,
+    /// Whether the counting global allocator was compiled in; when false
+    /// every `allocs_per_msg` figure reads 0 and the gate skips it.
+    alloc_profiling: bool,
     note: &'static str,
     results: Vec<RunResult>,
     speedup: Speedups,
@@ -76,6 +85,7 @@ struct BenchReport {
 /// One full pass: flood `messages` across the topics, wait until every
 /// subscriber channel drained its copy of each, return msgs/sec.
 fn run_once(policy: SchedulingPolicy, workers: usize, messages: u64) -> RunResult {
+    let profile_before = frame_telemetry::snapshot_roles();
     let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
     let config = BrokerConfig {
         policy,
@@ -144,6 +154,13 @@ fn run_once(policy: SchedulingPolicy, workers: usize, messages: u64) -> RunResul
     let stats = broker.stats();
     broker.shutdown();
     threads.join();
+    // Worker/proxy threads stamp their CPU totals on exit, so the diff is
+    // only complete once the pool has joined.
+    let roles = frame_bench::role_costs(
+        &profile_before,
+        &frame_telemetry::snapshot_roles(),
+        messages,
+    );
     RunResult {
         policy: match policy {
             SchedulingPolicy::Edf => "edf",
@@ -155,6 +172,8 @@ fn run_once(policy: SchedulingPolicy, workers: usize, messages: u64) -> RunResul
         messages,
         dispatches: stats.dispatches,
         queue_high_watermark: stats.queue_high_watermark,
+        allocs_per_msg: frame_bench::hot_path_allocs_per_msg(&roles),
+        roles,
     }
 }
 
@@ -192,8 +211,8 @@ fn main() {
         for workers in WORKER_COUNTS {
             let r = best_of(repeats, policy, workers, messages);
             eprintln!(
-                "{:<5} workers={}  {:>10.0} msgs/s  ({:.0} ms)",
-                r.policy, r.workers, r.msgs_per_sec, r.elapsed_ms
+                "{:<5} workers={}  {:>10.0} msgs/s  ({:.0} ms)  {:.1} allocs/msg",
+                r.policy, r.workers, r.msgs_per_sec, r.elapsed_ms, r.allocs_per_msg
             );
             results.push(r);
         }
@@ -220,10 +239,14 @@ fn main() {
         messages_per_run: messages,
         repeats,
         job_service_time_us: SERVICE_TIME_US,
+        alloc_profiling: frame_telemetry::alloc_profiling_enabled(),
         note: "Each job carries an emulated downstream wire service time \
                (set_job_service_time), so msgs/sec reflects how well the \
                worker pool overlaps dispatch work under the two-plane \
-               locking design, independent of host core count.",
+               locking design, independent of host core count. Per-run \
+               `roles` rows attribute allocations, CPU and syscalls to \
+               broker roles via the frame-telemetry profile table; \
+               `allocs_per_msg` sums the hot-path roles.",
         results,
         speedup,
     };

@@ -67,6 +67,11 @@ struct RunResult {
     msgs_per_sec: f64,
     elapsed_ms: f64,
     messages: u64,
+    /// Hot-path heap allocations per published message (broker pipeline
+    /// only; the sans-IO core pass runs on the unattributed main thread).
+    allocs_per_msg: f64,
+    /// Per-role resource deltas over this run (broker pipeline only).
+    roles: Vec<frame_bench::RoleCost>,
 }
 
 #[derive(Serialize)]
@@ -76,6 +81,10 @@ struct BenchReport {
     host: frame_bench::HostMeta,
     quick: bool,
     repeats: usize,
+    /// Whether the counting global allocator was compiled in — the
+    /// overhead figures below are measured with profiling active, so the
+    /// ≤5% budget covers the traced *and* profiled hot path.
+    alloc_profiling: bool,
     note: &'static str,
     results: Vec<RunResult>,
     /// Sans-IO per-message cost of tracing, nanoseconds (trend metric).
@@ -131,6 +140,8 @@ fn run_core(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunRes
         msgs_per_sec: messages as f64 / elapsed.as_secs_f64(),
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         messages,
+        allocs_per_msg: 0.0,
+        roles: Vec::new(),
     }
 }
 
@@ -143,6 +154,7 @@ fn run_broker(
     messages: u64,
     with_sampler: bool,
 ) -> RunResult {
+    let profile_before = frame_telemetry::snapshot_roles();
     let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
     let (broker, threads) = RtBroker::spawn_with_telemetry(
         BrokerId(0),
@@ -208,12 +220,19 @@ fn run_broker(
     }
     broker.shutdown();
     threads.join();
+    let roles = frame_bench::role_costs(
+        &profile_before,
+        &frame_telemetry::snapshot_roles(),
+        messages,
+    );
     RunResult {
         pipeline: "broker",
         variant,
         msgs_per_sec: messages as f64 / elapsed.as_secs_f64(),
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         messages,
+        allocs_per_msg: frame_bench::hot_path_allocs_per_msg(&roles),
+        roles,
     }
 }
 
@@ -288,6 +307,7 @@ fn main() {
         host: frame_bench::HostMeta::capture(),
         quick,
         repeats,
+        alloc_profiling: frame_telemetry::alloc_profiling_enabled(),
         note: "`core` is the sans-IO facade (pure CPU, worst case for \
                tracing; the cost is reported per message). `broker` is the \
                threaded worker pool with emulated downstream wire time — \

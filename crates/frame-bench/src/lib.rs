@@ -139,6 +139,76 @@ impl HostMeta {
     }
 }
 
+/// Per-role resource cost over one bench run, derived by diffing the
+/// process-global [`frame_telemetry`] role profile around the run.
+///
+/// Counters in the profile table are cumulative for the process lifetime;
+/// a bench takes one snapshot before the run and one after and keeps the
+/// difference, so repeated runs in the same process stay independent.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RoleCost {
+    /// Role name as registered (`reactor-0`, `worker-3`, `proxy`, …).
+    pub role: String,
+    /// Whether the role sits on the per-message hot path.
+    pub hot_path: bool,
+    /// Heap allocations attributed to the role during the run.
+    pub allocs: u64,
+    /// Bytes allocated by the role during the run.
+    pub alloc_bytes: u64,
+    /// `allocs / messages`: allocations this role charges each message.
+    pub allocs_per_msg: f64,
+    /// Thread CPU time consumed by the role during the run, milliseconds.
+    pub cpu_ms: f64,
+    /// `read(2)` calls issued by the role during the run.
+    pub read_syscalls: u64,
+    /// `write(2)` calls issued by the role during the run.
+    pub write_syscalls: u64,
+}
+
+/// Diffs two role-profile snapshots (see
+/// [`frame_telemetry::snapshot_roles`]) taken around a run of `messages`
+/// messages, keeping only roles that did something in between.
+pub fn role_costs(
+    before: &[frame_telemetry::RoleProfileSnapshot],
+    after: &[frame_telemetry::RoleProfileSnapshot],
+    messages: u64,
+) -> Vec<RoleCost> {
+    let base = |role: &str, field: fn(&frame_telemetry::RoleProfileSnapshot) -> u64| {
+        before.iter().find(|b| b.role == role).map_or(0, field)
+    };
+    let mut costs = Vec::new();
+    for a in after {
+        let delta = |field: fn(&frame_telemetry::RoleProfileSnapshot) -> u64| {
+            field(a).saturating_sub(base(&a.role, field))
+        };
+        let cost = RoleCost {
+            role: a.role.clone(),
+            hot_path: a.hot_path,
+            allocs: delta(|r| r.allocs),
+            alloc_bytes: delta(|r| r.alloc_bytes),
+            allocs_per_msg: delta(|r| r.allocs) as f64 / messages.max(1) as f64,
+            cpu_ms: delta(|r| r.cpu_ns) as f64 / 1e6,
+            read_syscalls: delta(|r| r.read_syscalls),
+            write_syscalls: delta(|r| r.write_syscalls),
+        };
+        if cost.allocs > 0 || cost.cpu_ms > 0.0 || cost.read_syscalls > 0 || cost.write_syscalls > 0
+        {
+            costs.push(cost);
+        }
+    }
+    costs
+}
+
+/// Sum of [`RoleCost::allocs_per_msg`] over hot-path roles: the headline
+/// allocations-per-message figure a perf gate watches.
+pub fn hot_path_allocs_per_msg(costs: &[RoleCost]) -> f64 {
+    costs
+        .iter()
+        .filter(|c| c.hot_path)
+        .map(|c| c.allocs_per_msg)
+        .sum()
+}
+
 /// Reads the open-file limits from `/proc/self/limits`; `(0, 0)` when the
 /// file is unreadable (non-Linux).
 fn nofile_limits() -> (u64, u64) {
@@ -306,6 +376,40 @@ mod tests {
             assert!(m.nofile_soft > 0, "limits file parses on Linux");
             assert!(m.nofile_hard >= m.nofile_soft);
         }
+    }
+
+    #[test]
+    fn role_costs_diff_against_baseline_and_roll_up_hot_path() {
+        let snap = |role: &str, hot_path: bool, allocs: u64, cpu_ns: u64| {
+            frame_telemetry::RoleProfileSnapshot {
+                role: role.to_string(),
+                allocs,
+                deallocs: 0,
+                alloc_bytes: allocs * 64,
+                dealloc_bytes: 0,
+                current_bytes: 0,
+                peak_bytes: 0,
+                cpu_ns,
+                read_syscalls: 0,
+                write_syscalls: 0,
+                hot_path,
+            }
+        };
+        let before = vec![snap("worker-0", true, 100, 1_000_000)];
+        let after = vec![
+            snap("worker-0", true, 300, 5_000_000),
+            snap("proxy", true, 50, 0),
+            snap("sampler", false, 10, 0),
+            snap("detector", false, 0, 0), // idle: dropped from the diff
+        ];
+        let costs = role_costs(&before, &after, 100);
+        assert_eq!(costs.len(), 3, "idle roles are dropped");
+        let worker = costs.iter().find(|c| c.role == "worker-0").unwrap();
+        assert_eq!(worker.allocs, 200, "baseline subtracted");
+        assert!((worker.allocs_per_msg - 2.0).abs() < 1e-9);
+        assert!((worker.cpu_ms - 4.0).abs() < 1e-9);
+        // Hot-path roll-up: worker (2.0) + proxy (0.5), sampler excluded.
+        assert!((hot_path_allocs_per_msg(&costs) - 2.5).abs() < 1e-9);
     }
 
     #[test]

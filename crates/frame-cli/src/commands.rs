@@ -448,17 +448,63 @@ pub fn cmd_top(
     let snap = frame_telemetry::from_json(&fetch_stats_json(addr)?)
         .map_err(|e| format!("malformed snapshot: {e}"))?;
     sampler.observe(&snap, now);
+    let width = terminal_width();
+    let mut first = true;
     let mut render = || -> Result<(), String> {
         let now = clock.now();
         let snap = frame_telemetry::from_json(&fetch_stats_json(addr)?)
             .map_err(|e| format!("malformed snapshot: {e}"))?;
         let point = sampler.observe(&snap, now);
+        let screen = clip_to_width(&render_top(addr, &point, &snap), width);
         if clear_screen {
-            write!(out, "\x1b[2J\x1b[H").map_err(|e| e.to_string())?;
+            // Full clear only once; afterwards repaint in place (home the
+            // cursor, erase to end-of-line per line, erase below at the
+            // end) so the refresh never flickers through a blank frame.
+            let prefix = if first { "\x1b[2J\x1b[H" } else { "\x1b[H" };
+            first = false;
+            let mut painted = String::with_capacity(screen.len() + 64);
+            painted.push_str(prefix);
+            for line in screen.lines() {
+                painted.push_str(line);
+                painted.push_str("\x1b[K\r\n");
+            }
+            painted.push_str("\x1b[J");
+            write!(out, "{painted}").map_err(|e| e.to_string())
+        } else {
+            write!(out, "{screen}").map_err(|e| e.to_string())
         }
-        write!(out, "{}", render_top(addr, &point, &snap)).map_err(|e| e.to_string())
     };
     watch(interval, max_rounds, stop, &mut render)
+}
+
+/// The terminal width `top` clips its lines to: `$COLUMNS` when set and
+/// sane (the shell exports it on resize), otherwise no clipping. Reading
+/// the tty size without libc would need a raw ioctl; the env fallback
+/// degrades to full-width lines, which terminals wrap on their own.
+fn terminal_width() -> Option<usize> {
+    std::env::var("COLUMNS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 20)
+}
+
+/// Clips every line of a rendered screen to `width` characters so an
+/// in-place repaint never wraps (wrapped lines would scroll the screen
+/// and break the home-cursor redraw).
+fn clip_to_width(screen: &str, width: Option<usize>) -> String {
+    let Some(width) = width else {
+        return screen.to_string();
+    };
+    let mut s = String::with_capacity(screen.len());
+    for line in screen.lines() {
+        if line.chars().count() > width {
+            s.extend(line.chars().take(width));
+        } else {
+            s.push_str(line);
+        }
+        s.push('\n');
+    }
+    s
 }
 
 /// Renders one `top` screen from a differentiated sample plus the raw
@@ -478,12 +524,14 @@ fn render_top(
     );
     let _ = writeln!(
         s,
-        "rates/s   admit {:>8.1}  deliver {:>8.1}  replicate {:>8.1}  miss {:>6.1}  loss {:>6.1}",
+        "rates/s   admit {:>8.1}  deliver {:>8.1}  replicate {:>8.1}  miss {:>6.1}  loss {:>6.1}  allocs/msg {}",
         p.admit_rate(),
         p.deliver_rate(),
         p.replicate_rate(),
         p.miss_rate(),
         p.loss_rate(),
+        p.allocs_per_message()
+            .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
     );
     let _ = writeln!(
         s,
@@ -505,6 +553,26 @@ fn render_top(
             beats.join("   ")
         }
     );
+    if !p.roles.is_empty() {
+        let _ = writeln!(
+            s,
+            "roles     {:<14} {:>6}  {:>10}  {:>9}  {:>8}  {:>8}",
+            "role", "cpu%", "allocs/s", "live_kb", "reads/s", "writes/s"
+        );
+        for r in &p.roles {
+            let per_sec = |delta: u64| delta as f64 / (p.dt_ns.max(1) as f64 / 1e9);
+            let _ = writeln!(
+                s,
+                "          {:<14} {:>5.1}%  {:>10.0}  {:>9}  {:>8.0}  {:>8.0}",
+                r.role,
+                r.cpu_utilization(p.dt_ns) * 100.0,
+                per_sec(r.allocs_delta),
+                r.current_bytes / 1024,
+                per_sec(r.reads_delta),
+                per_sec(r.writes_delta),
+            );
+        }
+    }
     let _ = writeln!(s, "topics    id  delivered  misses  lost  violations");
     for slo in &snap.slos {
         let _ = writeln!(
@@ -634,6 +702,14 @@ pub fn cmd_chaos(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clip_to_width_truncates_long_lines_only() {
+        let screen = "short\na-very-long-line-that-overflows\n";
+        assert_eq!(clip_to_width(screen, None), screen);
+        let clipped = clip_to_width(screen, Some(20));
+        assert_eq!(clipped, "short\na-very-long-line-tha\n");
+    }
 
     #[test]
     fn parse_config_names() {
@@ -841,6 +917,24 @@ mod tests {
             deliver_rate > 0.0,
             "deliver rate must be non-zero while publishing: {screen}"
         );
+
+        // Live mode repaints in place: one full clear up front, then
+        // home-cursor + erase-to-eol repaints (no second \x1b[2J flicker).
+        let mut sink = Vec::new();
+        cmd_top(
+            addr,
+            std::time::Duration::from_millis(50),
+            2,
+            true,
+            &stop,
+            &mut sink,
+        )
+        .unwrap();
+        let live = String::from_utf8(sink).unwrap();
+        assert_eq!(live.matches("\x1b[2J").count(), 1, "one full clear only");
+        assert_eq!(live.matches("\x1b[H").count(), 2, "homed per render");
+        assert!(live.contains("\x1b[K"), "lines erased to end-of-line");
+        assert!(live.ends_with("\x1b[J"), "tail erased below the screen");
 
         // stats --watch shares the loop: two renders, cleared in between.
         let mut sink = Vec::new();

@@ -5,7 +5,7 @@
 //! frame-cli broker    --manifest topics.json --listen 0.0.0.0:7400
 //!                     [--role primary|backup] [--config frame|fcfs|fcfs-]
 //!                     [--workers N] [--backup-addr host:port]
-//!                     [--obs host:port]     # /metrics + /healthz + /series
+//!                     [--obs host:port]     # /metrics /healthz /series /profile
 //! frame-cli publish   --manifest topics.json --addr host:port
 //!                     [--publisher-id N] [--rounds N]
 //! frame-cli subscribe --addr host:port --subscriber-id N [--count N]
@@ -110,7 +110,7 @@ fn run(args: &[String]) -> Result<i32, String> {
             );
             if let Some((_, obs)) = &running.obs {
                 eprintln!(
-                    "observability on http://{} (/metrics /healthz /series)",
+                    "observability on http://{} (/metrics /healthz /series /profile)",
                     obs.local_addr()
                 );
             }

@@ -65,6 +65,10 @@ pub struct HealthConfig {
     /// Max deadline misses + loss-bound violations per second before the
     /// SLO is considered burning (`Degraded`).
     pub slo_burn_per_sec: f64,
+    /// Max reactor write-queue drops per second (summed over loops)
+    /// before slow consumers are considered to be shedding deliveries
+    /// (`Degraded`).
+    pub write_drop_per_sec: f64,
 }
 
 impl Default for HealthConfig {
@@ -75,6 +79,7 @@ impl Default for HealthConfig {
             detector_stall: Duration::from_secs(1),
             primary_silence: Duration::from_millis(250),
             slo_burn_per_sec: 1.0,
+            write_drop_per_sec: 1.0,
         }
     }
 }
@@ -204,6 +209,28 @@ pub fn evaluate(
             );
         }
 
+        // Reactor write queues shedding delivery frames: slow consumers
+        // are losing their own traffic faster than tolerated. Sustained
+        // (rate over the interval), not cumulative, so a long-lived system
+        // with an old burst stays healthy.
+        let drops = |s: &TelemetrySnapshot| {
+            s.reactor_loops
+                .iter()
+                .map(|l| l.write_queue_drops)
+                .sum::<u64>()
+        };
+        let drop_delta = drops(snap).saturating_sub(drops(prev));
+        if drop_delta as f64 / dt_secs > cfg.write_drop_per_sec {
+            raise(
+                HealthVerdict::Degraded,
+                format!(
+                    "reactor shedding deliveries: write-queue drops above {}/s",
+                    cfg.write_drop_per_sec
+                ),
+                &mut reasons,
+            );
+        }
+
         // Deliveries frozen while jobs sit queued: a wedged pipeline even
         // though every thread still beats.
         let delivered = |s: &TelemetrySnapshot| s.slos.iter().map(|t| t.delivered).sum::<u64>();
@@ -308,5 +335,26 @@ mod tests {
         let r = evaluate(&cfg, Some(&frozen), &t.snapshot(), ms(200), ms(100));
         assert_eq!(r.verdict, HealthVerdict::Degraded);
         assert!(r.reasons[0].contains("deliveries stalled"));
+    }
+
+    #[test]
+    fn sustained_write_queue_drops_degrade() {
+        let cfg = HealthConfig::default();
+        let t = Telemetry::new();
+        let gauges = t.reactor_gauges(0);
+        let before = t.snapshot();
+        // 5 drops over a 100ms interval = 50/s, above the 1/s default.
+        for _ in 0..5 {
+            gauges.record_write_queue_drop();
+        }
+        let r = evaluate(&cfg, Some(&before), &t.snapshot(), ms(100), ms(100));
+        assert_eq!(r.verdict, HealthVerdict::Degraded);
+        assert!(r.reasons[0].contains("write-queue drops"));
+
+        // The counter is cumulative but the rule is a rate: a quiet
+        // interval after the burst goes back to healthy.
+        let after_burst = t.snapshot();
+        let r = evaluate(&cfg, Some(&after_burst), &t.snapshot(), ms(200), ms(100));
+        assert_eq!(r.verdict, HealthVerdict::Healthy);
     }
 }

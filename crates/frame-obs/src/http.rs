@@ -1,6 +1,8 @@
 //! A minimal embedded HTTP/1.1 scrape surface over std's `TcpListener`:
 //! `GET /metrics` (Prometheus exposition), `GET /healthz` (JSON verdict),
-//! `GET /series` (the ring time-series as JSON).
+//! `GET /series` (the ring time-series as JSON: an index of series names
+//! without a query, one ring with `?metric=NAME`) and `GET /profile`
+//! (the per-role resource profile joined with the latest sample rates).
 //!
 //! This is deliberately not a web framework: one readiness-driven accept
 //! loop, one short-lived thread per connection, `Connection: close` on
@@ -94,6 +96,7 @@ fn accept_loop(
     sampler: SharedSampler,
     stop: Arc<AtomicBool>,
 ) {
+    frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Obs, 0);
     let mut events = Events::new();
     while !stop.load(Ordering::Acquire) {
         // Park until the listener is readable or `shutdown` notifies; the
@@ -113,7 +116,12 @@ fn accept_loop(
                     let _ = std::thread::Builder::new()
                         .name("frame-obs-conn".into())
                         .spawn(move || {
+                            frame_telemetry::register_thread_role(
+                                frame_telemetry::RoleKind::Obs,
+                                0,
+                            );
                             let _ = handle_connection(stream, &telemetry, &sampler);
+                            frame_telemetry::stamp_thread_cpu();
                         });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -193,11 +201,18 @@ fn route(method: &str, target: &str, telemetry: &Telemetry, sampler: &SharedSamp
             respond(code, text, "application/json", &json_line(&body))
         }
         "/series" => series_body(query, sampler),
+        "/profile" => respond(
+            200,
+            "OK",
+            "application/json",
+            &profile_body(telemetry, sampler),
+        ),
         _ => respond(
             404,
             "Not Found",
             "text/plain; charset=utf-8",
-            "unknown path; try /metrics, /healthz or /series\n",
+            "unknown path; try /metrics, /healthz, /series (index; ?metric=NAME for one ring) \
+             or /profile\n",
         ),
     }
 }
@@ -248,10 +263,15 @@ fn latest_health(sampler: &SharedSampler) -> HealthReport {
 }
 
 fn series_body(query: &str, sampler: &SharedSampler) -> String {
-    let metric = query.split('&').find_map(|kv| {
-        kv.strip_prefix("metric=")
-            .map(|v| v.replace("%2F", "/").replace('+', " "))
-    });
+    // `?metric=` with an empty value is the same ask as no query at all:
+    // serve the index instead of a guaranteed-404 lookup of "".
+    let metric = query
+        .split('&')
+        .find_map(|kv| {
+            kv.strip_prefix("metric=")
+                .map(|v| v.replace("%2F", "/").replace('+', " "))
+        })
+        .filter(|name| !name.is_empty());
     let guard = match sampler.lock() {
         Ok(g) => g,
         Err(_) => {
@@ -306,6 +326,83 @@ fn series_body(query: &str, sampler: &SharedSampler) -> String {
             }
         },
     }
+}
+
+/// The per-role resource profile: cumulative counters from the live
+/// snapshot joined with the latest sample's interval rates (CPU
+/// utilization, allocations-per-second, allocations-per-message).
+fn profile_body(telemetry: &Telemetry, sampler: &SharedSampler) -> String {
+    let snap = telemetry.snapshot();
+    let opt_f64 = |v: Option<f64>| v.map(Value::F64).unwrap_or(Value::Null);
+    let (latest_roles, allocs_per_msg, dt_ns) = match sampler.lock() {
+        Ok(s) => match s.latest() {
+            Some(p) => (p.roles.clone(), p.allocs_per_message(), p.dt_ns),
+            None => (Vec::new(), None, 0),
+        },
+        Err(_) => (Vec::new(), None, 0),
+    };
+    let roles = snap
+        .roles
+        .iter()
+        .map(|r| {
+            let rate = latest_roles.iter().find(|lr| lr.role == r.role);
+            Value::Object(vec![
+                ("role".to_string(), Value::Str(r.role.clone())),
+                ("hot_path".to_string(), Value::Bool(r.hot_path)),
+                ("cpu_ns".to_string(), Value::U64(r.cpu_ns)),
+                (
+                    "cpu_util".to_string(),
+                    opt_f64(rate.map(|lr| lr.cpu_utilization(dt_ns))),
+                ),
+                ("allocs".to_string(), Value::U64(r.allocs)),
+                ("deallocs".to_string(), Value::U64(r.deallocs)),
+                (
+                    "allocs_per_sec".to_string(),
+                    opt_f64(rate.map(|lr| lr.allocs_delta as f64 / (dt_ns.max(1) as f64 / 1e9))),
+                ),
+                ("alloc_bytes".to_string(), Value::U64(r.alloc_bytes)),
+                ("current_bytes".to_string(), Value::U64(r.current_bytes)),
+                ("peak_bytes".to_string(), Value::U64(r.peak_bytes)),
+                ("read_syscalls".to_string(), Value::U64(r.read_syscalls)),
+                ("write_syscalls".to_string(), Value::U64(r.write_syscalls)),
+            ])
+        })
+        .collect();
+    let loops = snap
+        .reactor_loops
+        .iter()
+        .map(|l| {
+            let wall = l.busy_ns + l.parked_ns;
+            Value::Object(vec![
+                ("loop".to_string(), Value::U64(l.loop_index)),
+                ("busy_ns".to_string(), Value::U64(l.busy_ns)),
+                ("parked_ns".to_string(), Value::U64(l.parked_ns)),
+                (
+                    "busy_ratio".to_string(),
+                    if wall > 0 {
+                        Value::F64(l.busy_ns as f64 / wall as f64)
+                    } else {
+                        Value::Null
+                    },
+                ),
+                (
+                    "write_queue_drops".to_string(),
+                    Value::U64(l.write_queue_drops),
+                ),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        (
+            "alloc_profiling".to_string(),
+            Value::Bool(frame_telemetry::alloc_profiling_enabled()),
+        ),
+        ("interval_ns".to_string(), Value::U64(dt_ns)),
+        ("allocs_per_message".to_string(), opt_f64(allocs_per_msg)),
+        ("roles".to_string(), Value::Array(roles)),
+        ("reactor_loops".to_string(), Value::Array(loops)),
+    ]);
+    json_line(&body)
 }
 
 /// Renders a JSON value as a newline-terminated body.
@@ -417,6 +514,47 @@ mod tests {
 
         let (code, _) = get(server.local_addr(), "/series?metric=nope");
         assert_eq!(code, 404);
+
+        // An empty metric value is an index request, not a 404.
+        let (code, body) = get(server.local_addr(), "/series?metric=");
+        assert_eq!(code, 200);
+        let parsed = serde_json::parse_value(&body).expect("json");
+        assert!(matches!(parsed.get("series"), Some(Value::Array(_))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_endpoint_reports_roles_and_rates() {
+        frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Other, 51);
+        frame_telemetry::stamp_thread_cpu();
+        let (mut server, telemetry, sampler) = serve();
+        // A second observation gives the sampler a real interval to rate.
+        telemetry.record_delivery(
+            TopicId(1),
+            SeqNo(1),
+            Time::from_millis(100),
+            Time::from_millis(110),
+            None,
+        );
+        sampler
+            .lock()
+            .unwrap()
+            .observe(&telemetry.snapshot(), Time::from_millis(200));
+        let (code, body) = get(server.local_addr(), "/profile");
+        assert_eq!(code, 200);
+        let parsed = serde_json::parse_value(&body).expect("json");
+        let roles = match parsed.get("roles").expect("roles key") {
+            Value::Array(roles) => roles,
+            other => panic!("roles is not an array: {other:?}"),
+        };
+        assert!(!roles.is_empty(), "profile reports no roles");
+        for role in roles {
+            assert!(role.get("role").and_then(Value::as_str).is_some());
+            assert!(role.get("cpu_ns").is_some());
+            assert!(role.get("allocs").is_some());
+        }
+        assert!(parsed.get("allocs_per_message").is_some());
+        assert!(parsed.get("reactor_loops").is_some());
         server.shutdown();
     }
 

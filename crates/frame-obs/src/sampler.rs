@@ -92,11 +92,66 @@ pub struct SamplePoint {
     pub ingress_watermark: u64,
     /// The health verdict at this sample.
     pub health: HealthReport,
+    /// Per-role resource deltas over the interval (empty before the
+    /// profiler has registered any role, or against pre-profiler peers).
+    pub roles: Vec<RoleRate>,
+}
+
+/// One thread role's resource consumption over a sampling interval,
+/// differentiated from two consecutive [`TelemetrySnapshot`]s.
+#[derive(Clone, Debug, Default)]
+pub struct RoleRate {
+    /// Stable role name (`reactor-0`, `worker-3`, `proxy`, ...).
+    pub role: String,
+    /// Whether the role is on the per-message hot path (counted in
+    /// [`SamplePoint::allocs_per_message`]).
+    pub hot_path: bool,
+    /// Cumulative thread CPU nanoseconds.
+    pub cpu_ns: u64,
+    /// CPU nanoseconds consumed during the interval.
+    pub cpu_delta_ns: u64,
+    /// Cumulative heap allocations.
+    pub allocs: u64,
+    /// Heap allocations during the interval.
+    pub allocs_delta: u64,
+    /// Bytes allocated during the interval.
+    pub alloc_bytes_delta: u64,
+    /// Live heap bytes at the sample.
+    pub current_bytes: u64,
+    /// `read(2)`-family syscalls during the interval.
+    pub reads_delta: u64,
+    /// `write(2)`-family syscalls during the interval.
+    pub writes_delta: u64,
+}
+
+impl RoleRate {
+    /// Fraction of one core this role consumed over `dt_ns` (can exceed
+    /// 1.0 for roles aggregating several threads, e.g. `conn`).
+    pub fn cpu_utilization(&self, dt_ns: u64) -> f64 {
+        self.cpu_delta_ns as f64 / dt_ns.max(1) as f64
+    }
 }
 
 impl SamplePoint {
     fn per_sec(&self, delta: u64) -> f64 {
         delta as f64 / (self.dt_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Steady-state allocations per delivered message over the interval:
+    /// hot-path role allocations divided by deliveries. `None` while
+    /// nothing was delivered (an idle interval says nothing about the
+    /// per-message cost).
+    pub fn allocs_per_message(&self) -> Option<f64> {
+        if self.delivered_delta == 0 {
+            return None;
+        }
+        let hot: u64 = self
+            .roles
+            .iter()
+            .filter(|r| r.hot_path)
+            .map(|r| r.allocs_delta)
+            .sum();
+        Some(hot as f64 / self.delivered_delta as f64)
     }
 
     /// Admitted messages per second over the last interval.
@@ -136,6 +191,30 @@ pub struct Sampler {
 
 fn sum_slo(snap: &TelemetrySnapshot, f: impl Fn(&frame_telemetry::TopicSloSnapshot) -> u64) -> u64 {
     snap.slos.iter().map(f).sum()
+}
+
+/// Differentiates the per-role profiler counters of two snapshots. A role
+/// absent from `prev` (just registered) baselines at zero.
+fn diff_roles(prev: &TelemetrySnapshot, snap: &TelemetrySnapshot) -> Vec<RoleRate> {
+    snap.roles
+        .iter()
+        .map(|r| {
+            let p = prev.role(&r.role);
+            let base = |f: fn(&frame_telemetry::RoleProfileSnapshot) -> u64| p.map_or(0, f);
+            RoleRate {
+                role: r.role.clone(),
+                hot_path: r.hot_path,
+                cpu_ns: r.cpu_ns,
+                cpu_delta_ns: r.cpu_ns.saturating_sub(base(|p| p.cpu_ns)),
+                allocs: r.allocs,
+                allocs_delta: r.allocs.saturating_sub(base(|p| p.allocs)),
+                alloc_bytes_delta: r.alloc_bytes.saturating_sub(base(|p| p.alloc_bytes)),
+                current_bytes: r.current_bytes,
+                reads_delta: r.read_syscalls.saturating_sub(base(|p| p.read_syscalls)),
+                writes_delta: r.write_syscalls.saturating_sub(base(|p| p.write_syscalls)),
+            }
+        })
+        .collect()
 }
 
 impl Sampler {
@@ -211,6 +290,7 @@ impl Sampler {
                 .max()
                 .unwrap_or(0),
             health,
+            roles: diff_roles(prev, snap),
         };
         self.record_series(snap, &point);
         self.prev = Some((t_ns, snap.clone()));
@@ -233,6 +313,21 @@ impl Sampler {
             .push("gauge.ingress_backlog", t, p.ingress_backlog as f64);
         self.store
             .push("health.severity", t, f64::from(p.health.verdict.severity()));
+        if let Some(apm) = p.allocs_per_message() {
+            self.store.push("rate.allocs_per_msg", t, apm);
+        }
+        for r in &p.roles {
+            self.store.push(
+                &format!("role.{}.cpu_util", r.role),
+                t,
+                r.cpu_utilization(p.dt_ns),
+            );
+            self.store.push(
+                &format!("role.{}.allocs_per_sec", r.role),
+                t,
+                p.per_sec(r.allocs_delta),
+            );
+        }
         for s in &snap.stages {
             if s.histogram.is_empty() {
                 continue;
@@ -263,6 +358,24 @@ impl Sampler {
                 t,
                 burn as f64 / dt_secs,
             );
+        }
+        for l in &snap.reactor_loops {
+            let (pb, pp) = prev
+                .and_then(|ps| {
+                    ps.reactor_loops
+                        .iter()
+                        .find(|p| p.loop_index == l.loop_index)
+                })
+                .map_or((0, 0), |p| (p.busy_ns, p.parked_ns));
+            let busy = l.busy_ns.saturating_sub(pb);
+            let wall = busy + l.parked_ns.saturating_sub(pp);
+            if wall > 0 {
+                self.store.push(
+                    &format!("reactor.{}.busy_ratio", l.loop_index),
+                    t,
+                    busy as f64 / wall as f64,
+                );
+            }
         }
     }
 
@@ -325,11 +438,13 @@ pub fn spawn_sampler(
         std::thread::Builder::new()
             .name("frame-obs-sampler".into())
             .spawn(move || {
+                frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Sampler, 0);
                 let cadence = config.cadence.to_std();
                 let slice = std::time::Duration::from_millis(20).min(cadence);
                 while !stop.load(Ordering::Acquire) {
                     let snap = telemetry.sample_snapshot();
                     let now = clock.now();
+                    frame_telemetry::stamp_thread_cpu();
                     if let Ok(mut sampler) = shared.lock() {
                         sampler.observe(&snap, now);
                     }

@@ -61,6 +61,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::fault::{fate_of, BackupEffectKind, Hop, SharedFaultHook};
 
+/// Loop iterations between thread-CPU stamps on the proxy and worker
+/// threads: one `clock_gettime` per this many messages (or idle
+/// timeouts), so profiling stays off the per-message path.
+const CPU_STAMP_EVERY: u32 = 64;
+
 /// A delivery handed to a subscriber.
 #[derive(Clone, Debug)]
 pub struct Delivered {
@@ -515,7 +520,13 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("frame-proxy".into())
         .spawn(move || {
+            frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Proxy, 0);
+            let mut iters = 0u32;
             loop {
+                iters = iters.wrapping_add(1);
+                if iters.is_multiple_of(CPU_STAMP_EVERY) {
+                    frame_telemetry::stamp_thread_cpu();
+                }
                 // recv with a timeout so kill() is noticed even when no
                 // traffic arrives (a blocking recv would deadlock join()).
                 let msg = match rx.recv_timeout(std::time::Duration::from_millis(10)) {
@@ -584,6 +595,7 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
                     inner.job_ready.notify_all();
                 }
             }
+            frame_telemetry::stamp_thread_cpu();
         })
         .expect("spawn proxy thread")
 }
@@ -591,94 +603,104 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
 fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("frame-delivery-{index}"))
-        .spawn(move || loop {
-            if !inner.alive.load(Ordering::Acquire) {
-                return;
-            }
-            // Pop under the scheduler lock alone; wait on it when idle
-            // (with a timeout so kill() is always noticed).
-            inner
-                .telemetry
-                .heartbeat(HeartbeatKind::Worker, inner.clock.now());
-            let job = {
-                let mut sched = inner.sched.lock();
-                match sched.pop() {
-                    Some(job) => {
-                        // Gauge stored while the lock is still held, so
-                        // stores land in mutation order.
+        .spawn(move || {
+            frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Worker, index);
+            let mut iters = 0u32;
+            loop {
+                iters = iters.wrapping_add(1);
+                if iters.is_multiple_of(CPU_STAMP_EVERY) {
+                    frame_telemetry::stamp_thread_cpu();
+                }
+                if !inner.alive.load(Ordering::Acquire) {
+                    frame_telemetry::stamp_thread_cpu();
+                    return;
+                }
+                // Pop under the scheduler lock alone; wait on it when idle
+                // (with a timeout so kill() is always noticed).
+                inner
+                    .telemetry
+                    .heartbeat(HeartbeatKind::Worker, inner.clock.now());
+                let job = {
+                    let mut sched = inner.sched.lock();
+                    match sched.pop() {
+                        Some(job) => {
+                            // Gauge stored while the lock is still held, so
+                            // stores land in mutation order.
+                            inner
+                                .telemetry
+                                .record_queue_depth(inner.id, sched.len() as u64);
+                            job
+                        }
+                        None => {
+                            inner
+                                .job_ready
+                                .wait_for(&mut sched, std::time::Duration::from_millis(10));
+                            continue;
+                        }
+                    }
+                };
+                if let Some(hook) = inner.hook.as_deref() {
+                    if let Some(stall) = hook.on_worker_job(job.topic, job.key.seq) {
+                        // Scripted worker stall: lock-free, so it consumes
+                        // queue-wait budget exactly like a preempted worker.
+                        std::thread::sleep(stall);
+                    }
+                }
+                let now = inner.clock.now();
+                inner
+                    .telemetry
+                    .record_stage(Stage::QueueWait, now.saturating_since(job.release));
+                let Some(slot) = shard_of(&inner, job.topic) else {
+                    continue;
+                };
+                let kind = job.kind;
+                let started = inner.clock.now();
+                {
+                    let mut guard = lock_shard(&inner, &slot);
+                    let ShardSlot { shard, stats } = &mut *guard;
+                    let mut active = match shard.resolve(job, inner.config.coordination, now, stats)
+                    {
+                        Resolution::Active(active) => active,
+                        Resolution::Skipped => continue,
+                    };
+                    if let Some(trace) = active.message.trace.as_mut() {
+                        // Popped at the queue pop, Locked once the shard lock is
+                        // held — their gap is this worker's lock wait.
+                        trace.stamp(SpanPoint::Popped, now);
+                        trace.stamp(SpanPoint::Locked, inner.clock.now());
+                    }
+                    let outcome = shard.finish(&active, inner.config.coordination, started, stats);
+                    if let Some(id) = outcome.cancel {
+                        let mut sched = inner.sched.lock();
+                        sched.cancel(id);
                         inner
                             .telemetry
                             .record_queue_depth(inner.id, sched.len() as u64);
-                        job
                     }
-                    None => {
-                        inner
-                            .job_ready
-                            .wait_for(&mut sched, std::time::Duration::from_millis(10));
-                        continue;
-                    }
+                    // Backup-bound effects leave while the shard lock is held:
+                    // for this topic, channel order is the Table-3 order, so a
+                    // prune can never overtake its replica. Subscriber pushes
+                    // also happen here (crossbeam sends never block), which
+                    // keeps per-topic delivery order; other topics' workers are
+                    // unaffected.
+                    send_backup_batch(&inner, &outcome.effects);
+                    deliver(&inner, &outcome.effects, started);
                 }
-            };
-            if let Some(hook) = inner.hook.as_deref() {
-                if let Some(stall) = hook.on_worker_job(job.topic, job.key.seq) {
-                    // Scripted worker stall: lock-free, so it consumes
-                    // queue-wait budget exactly like a preempted worker.
-                    std::thread::sleep(stall);
+                let service_ns = inner.job_service_ns.load(Ordering::Relaxed);
+                if service_ns > 0 {
+                    // Emulated wire time (see `set_job_service_time`): blocked,
+                    // lock-free, so it overlaps across workers exactly like
+                    // real socket writes to subscriber hosts would.
+                    std::thread::sleep(std::time::Duration::from_nanos(service_ns));
                 }
-            }
-            let now = inner.clock.now();
-            inner
-                .telemetry
-                .record_stage(Stage::QueueWait, now.saturating_since(job.release));
-            let Some(slot) = shard_of(&inner, job.topic) else {
-                continue;
-            };
-            let kind = job.kind;
-            let started = inner.clock.now();
-            {
-                let mut guard = lock_shard(&inner, &slot);
-                let ShardSlot { shard, stats } = &mut *guard;
-                let mut active = match shard.resolve(job, inner.config.coordination, now, stats) {
-                    Resolution::Active(active) => active,
-                    Resolution::Skipped => continue,
+                let stage = match kind {
+                    JobKind::Dispatch => Stage::DispatchExec,
+                    JobKind::Replicate => Stage::ReplicateExec,
                 };
-                if let Some(trace) = active.message.trace.as_mut() {
-                    // Popped at the queue pop, Locked once the shard lock is
-                    // held — their gap is this worker's lock wait.
-                    trace.stamp(SpanPoint::Popped, now);
-                    trace.stamp(SpanPoint::Locked, inner.clock.now());
-                }
-                let outcome = shard.finish(&active, inner.config.coordination, started, stats);
-                if let Some(id) = outcome.cancel {
-                    let mut sched = inner.sched.lock();
-                    sched.cancel(id);
-                    inner
-                        .telemetry
-                        .record_queue_depth(inner.id, sched.len() as u64);
-                }
-                // Backup-bound effects leave while the shard lock is held:
-                // for this topic, channel order is the Table-3 order, so a
-                // prune can never overtake its replica. Subscriber pushes
-                // also happen here (crossbeam sends never block), which
-                // keeps per-topic delivery order; other topics' workers are
-                // unaffected.
-                send_backup_batch(&inner, &outcome.effects);
-                deliver(&inner, &outcome.effects, started);
+                inner
+                    .telemetry
+                    .record_stage(stage, inner.clock.now().saturating_since(started));
             }
-            let service_ns = inner.job_service_ns.load(Ordering::Relaxed);
-            if service_ns > 0 {
-                // Emulated wire time (see `set_job_service_time`): blocked,
-                // lock-free, so it overlaps across workers exactly like
-                // real socket writes to subscriber hosts would.
-                std::thread::sleep(std::time::Duration::from_nanos(service_ns));
-            }
-            let stage = match kind {
-                JobKind::Dispatch => Stage::DispatchExec,
-                JobKind::Replicate => Stage::ReplicateExec,
-            };
-            inner
-                .telemetry
-                .record_stage(stage, inner.clock.now().saturating_since(started));
         })
         .expect("spawn delivery worker")
 }

@@ -128,6 +128,11 @@ const WAIT_TIMEOUT: Duration = Duration::from_millis(25);
 /// connections.
 const READ_CHUNK: usize = 16 * 1024;
 
+/// Wakeups between thread-CPU stamps: one `clock_gettime` per this many
+/// poller returns keeps the profiler off the per-event path while the
+/// idle-loop cadence (25ms timeouts) still refreshes within ~2s.
+const CPU_STAMP_EVERY: u32 = 64;
+
 /// Connections accepted per listener event before re-arming, so a connect
 /// storm cannot monopolize loop 0.
 const ACCEPT_BATCH: usize = 512;
@@ -362,7 +367,9 @@ impl WriteQueue {
     /// Writes as much as the socket accepts; `Ok(true)` when drained.
     fn write_some(&mut self, stream: &mut TcpStream) -> std::io::Result<bool> {
         while let Some(front) = self.frames.front() {
-            match stream.write(&front[self.front_pos..]) {
+            let wrote = stream.write(&front[self.front_pos..]);
+            frame_telemetry::record_write_syscalls(1);
+            match wrote {
                 Ok(0) => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::WriteZero,
@@ -401,6 +408,7 @@ struct LoopCtx {
 }
 
 fn run_loop(ctx: LoopCtx) {
+    frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Reactor, ctx.index);
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut events = Events::new();
@@ -411,11 +419,26 @@ fn run_loop(ctx: LoopCtx) {
     let mut next_loop = 0usize;
     let mut accept_backoff = LogBackoff::new();
     let mut broker_was_alive = true;
+    // Busy-vs-parked attribution: everything between poller returns is
+    // busy; the wait itself is parked. CPU stamps are throttled so the
+    // clock_gettime syscall stays off the per-wakeup path.
+    let mut iter_end = Instant::now();
+    let mut wakeups_since_stamp = 0u32;
 
     loop {
         events.clear();
+        let before_wait = Instant::now();
+        let busy_ns = before_wait.duration_since(iter_end).as_nanos() as u64;
         let _ = ctx.shared.poller.wait(&mut events, Some(WAIT_TIMEOUT));
+        iter_end = Instant::now();
+        let parked_ns = iter_end.duration_since(before_wait).as_nanos() as u64;
+        ctx.gauges.record_loop_time(busy_ns, parked_ns);
         ctx.gauges.record_wakeup();
+        wakeups_since_stamp += 1;
+        if wakeups_since_stamp >= CPU_STAMP_EVERY {
+            wakeups_since_stamp = 0;
+            frame_telemetry::stamp_thread_cpu();
+        }
         if ctx.stop.load(Ordering::Acquire) {
             break;
         }
@@ -534,6 +557,7 @@ fn run_loop(ctx: LoopCtx) {
     }
     // Shutdown: dropping a Conn closes its socket; subscribers see EOF.
     ctx.gauges.set_registered(0);
+    frame_telemetry::stamp_thread_cpu();
 }
 
 /// Accepts a batch of connections and deals them round-robin across
@@ -690,7 +714,9 @@ fn read_budgeted(
 ) -> bool {
     let mut used = 0usize;
     loop {
-        let n = match conn.stream.read(buf) {
+        let got = conn.stream.read(buf);
+        frame_telemetry::record_read_syscalls(1);
+        let n = match got {
             Ok(0) => return false, // EOF
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,

@@ -159,8 +159,14 @@ fn spawn_flight_sink(telemetry: Telemetry, dir: &std::path::Path) -> std::io::Re
     let thread = std::thread::Builder::new()
         .name("frame-flight-sink".into())
         .spawn(move || {
+            frame_telemetry::register_thread_role(frame_telemetry::RoleKind::FlightSink, 0);
             let mut dumped = 0u64;
+            let mut iters = 0u32;
             loop {
+                iters = iters.wrapping_add(1);
+                if iters.is_multiple_of(64) {
+                    frame_telemetry::stamp_thread_cpu();
+                }
                 let stopping = stop2.load(Ordering::Acquire);
                 let count = telemetry.incident_count();
                 if count > dumped {
@@ -529,8 +535,10 @@ impl RtSystem {
         let handle = std::thread::Builder::new()
             .name("frame-detector".into())
             .spawn(move || {
+                frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Detector, 0);
                 let mut detector = PollingDetector::new(interval, timeout, clock.now());
                 loop {
+                    frame_telemetry::stamp_thread_cpu();
                     if let Some(h) = hook.as_deref() {
                         if let Some(stall) = h.on_detector_poll() {
                             // Scripted detector stall: stretches the

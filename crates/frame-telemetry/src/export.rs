@@ -482,6 +482,128 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
                 l.write_queue_drops,
             );
         }
+        w.family(
+            "frame_reactor_busy_seconds_total",
+            "counter",
+            "Wall time a reactor event loop spent working between waits.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_busy_seconds_total",
+                &[("loop", &l.loop_index.to_string())],
+                format_args!("{:.9}", l.busy_ns as f64 / 1e9),
+            );
+        }
+        w.family(
+            "frame_reactor_parked_seconds_total",
+            "counter",
+            "Wall time a reactor event loop spent parked in poller waits.",
+        );
+        for l in &snapshot.reactor_loops {
+            w.sample(
+                "frame_reactor_parked_seconds_total",
+                &[("loop", &l.loop_index.to_string())],
+                format_args!("{:.9}", l.parked_ns as f64 / 1e9),
+            );
+        }
+    }
+    if !snapshot.roles.is_empty() {
+        w.family(
+            "frame_role_cpu_seconds_total",
+            "counter",
+            "CPU time self-stamped by a thread role (CLOCK_THREAD_CPUTIME_ID).",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_cpu_seconds_total",
+                &[("role", &r.role)],
+                format_args!("{:.9}", r.cpu_ns as f64 / 1e9),
+            );
+        }
+        w.family(
+            "frame_role_allocations_total",
+            "counter",
+            "Heap allocations charged to a thread role by the counting allocator.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_allocations_total",
+                &[("role", &r.role)],
+                r.allocs,
+            );
+        }
+        w.family(
+            "frame_role_deallocations_total",
+            "counter",
+            "Heap deallocations charged to a thread role.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_deallocations_total",
+                &[("role", &r.role)],
+                r.deallocs,
+            );
+        }
+        w.family(
+            "frame_role_allocated_bytes_total",
+            "counter",
+            "Heap bytes allocated by a thread role.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_allocated_bytes_total",
+                &[("role", &r.role)],
+                r.alloc_bytes,
+            );
+        }
+        w.family(
+            "frame_role_heap_bytes",
+            "gauge",
+            "Live heap bytes currently attributed to a thread role.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_heap_bytes",
+                &[("role", &r.role)],
+                r.current_bytes,
+            );
+        }
+        w.family(
+            "frame_role_heap_peak_bytes",
+            "gauge",
+            "High-water mark of live heap bytes attributed to a thread role.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_heap_peak_bytes",
+                &[("role", &r.role)],
+                r.peak_bytes,
+            );
+        }
+        w.family(
+            "frame_role_read_syscalls_total",
+            "counter",
+            "Kernel read-family calls counted on the ingress paths, by role.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_read_syscalls_total",
+                &[("role", &r.role)],
+                r.read_syscalls,
+            );
+        }
+        w.family(
+            "frame_role_write_syscalls_total",
+            "counter",
+            "Kernel write-family calls counted on the ingress paths, by role.",
+        );
+        for r in &snapshot.roles {
+            w.sample(
+                "frame_role_write_syscalls_total",
+                &[("role", &r.role)],
+                r.write_syscalls,
+            );
+        }
     }
     w.family(
         "frame_shard_contention_total",
@@ -613,6 +735,26 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
                 l.wakeups,
                 l.budget_exhaustions,
                 l.write_queue_drops
+            );
+        }
+    }
+    if !snapshot.roles.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<20} {:>10} {:>12} {:>12} {:>10} {:>8} {:>8}",
+            "role", "cpu", "allocs", "live_bytes", "peak", "reads", "writes"
+        );
+        for r in &snapshot.roles {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>12} {:>12} {:>10} {:>8} {:>8}",
+                r.role,
+                fmt_ns(r.cpu_ns),
+                r.allocs,
+                r.current_bytes,
+                r.peak_bytes,
+                r.read_syscalls,
+                r.write_syscalls
             );
         }
     }
@@ -817,6 +959,13 @@ mod tests {
         t.record_queue_depth(frame_types::BrokerId(0), 4);
         t.record_queue_depth(frame_types::BrokerId(0), 1);
         t.record_ingress_backlog(frame_types::BrokerId(0), 2);
+        let gauges = t.reactor_gauges(0);
+        gauges.record_accept();
+        gauges.record_loop_time(3_000_000, 22_000_000);
+        // Make sure at least one role row exists even when this test runs
+        // alone (snapshot() folds in the process-global role table).
+        crate::profile::register_thread_role(crate::profile::RoleKind::Other, 50);
+        crate::profile::stamp_thread_cpu();
         t.snapshot()
     }
 
@@ -953,6 +1102,16 @@ mod tests {
             "frame_incidents_total",
             "frame_queue_depth",
             "frame_heartbeat_beats_total",
+            "frame_reactor_busy_seconds_total",
+            "frame_reactor_parked_seconds_total",
+            "frame_role_cpu_seconds_total",
+            "frame_role_allocations_total",
+            "frame_role_deallocations_total",
+            "frame_role_allocated_bytes_total",
+            "frame_role_heap_bytes",
+            "frame_role_heap_peak_bytes",
+            "frame_role_read_syscalls_total",
+            "frame_role_write_syscalls_total",
         ] {
             assert!(
                 text.contains(&format!("# HELP {family} ")),

@@ -19,6 +19,9 @@
 //!   drainable while the broker keeps running.
 //! * [`export`] — Prometheus text format, JSON round-tripping, and the
 //!   aligned table rendered by `frame-cli stats`.
+//! * [`profile`] — process-wide per-role resource accounting: a counting
+//!   `#[global_allocator]` wrapper (feature `alloc-profile`, default-on),
+//!   self-stamped per-thread CPU time and ingress syscall counters.
 //!
 //! A [`Telemetry::disabled`] handle turns every recording call into a
 //! single branch, so instrumentation can stay in release builds.
@@ -29,6 +32,7 @@
 pub mod export;
 pub mod histogram;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod span;
 pub mod stage;
@@ -42,6 +46,10 @@ pub use export::{
 };
 pub use histogram::LatencyHistogram;
 pub use metrics::{AtomicHistogram, ShardedCounter};
+pub use profile::{
+    alloc_profiling_enabled, record_read_syscalls, record_write_syscalls, register_thread_role,
+    snapshot_roles, stamp_thread_cpu, thread_cpu_now_ns, RoleKind, RoleProfileSnapshot,
+};
 pub use recorder::{FlightRecorder, FlightSnapshot, Incident, IncidentKind};
 pub use span::{attribute, Attribution, BudgetSlice, BudgetStage, SpanRecord};
 pub use stage::Stage;

@@ -102,6 +102,10 @@ struct ReactorLoopEntry {
     wakeups: AtomicU64,
     budget_exhaustions: AtomicU64,
     write_queue_drops: AtomicU64,
+    /// Nanoseconds the loop spent working between `wait` returns.
+    busy_ns: AtomicU64,
+    /// Nanoseconds the loop spent parked inside `poller.wait`.
+    parked_ns: AtomicU64,
 }
 
 /// Cheap per-loop recording handle for the ingress reactor: the entry is
@@ -158,6 +162,21 @@ impl ReactorGauges {
     pub fn record_write_queue_drop(&self) {
         if let Some(e) = &self.entry {
             e.write_queue_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds wall time this loop spent working (between `wait` returns)
+    /// and parked (inside `wait`). Together with the role CPU stamps this
+    /// yields per-loop busy-vs-parked utilization.
+    #[inline]
+    pub fn record_loop_time(&self, busy_ns: u64, parked_ns: u64) {
+        if let Some(e) = &self.entry {
+            if busy_ns > 0 {
+                e.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+            }
+            if parked_ns > 0 {
+                e.parked_ns.fetch_add(parked_ns, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -621,6 +640,8 @@ impl Telemetry {
                     wakeups: AtomicU64::new(0),
                     budget_exhaustions: AtomicU64::new(0),
                     write_queue_drops: AtomicU64::new(0),
+                    busy_ns: AtomicU64::new(0),
+                    parked_ns: AtomicU64::new(0),
                 });
                 loops.insert(i, (key, entry.clone()));
                 entry
@@ -752,6 +773,8 @@ impl Telemetry {
                 wakeups: e.wakeups.load(Ordering::Relaxed),
                 budget_exhaustions: e.budget_exhaustions.load(Ordering::Relaxed),
                 write_queue_drops: e.write_queue_drops.load(Ordering::Relaxed),
+                busy_ns: e.busy_ns.load(Ordering::Relaxed),
+                parked_ns: e.parked_ns.load(Ordering::Relaxed),
             })
             .collect();
         TelemetrySnapshot {
@@ -775,6 +798,7 @@ impl Telemetry {
             heartbeats,
             queues,
             reactor_loops,
+            roles: crate::profile::snapshot_roles(),
         }
     }
 }
@@ -879,6 +903,14 @@ pub struct ReactorLoopSnapshot {
     pub budget_exhaustions: u64,
     /// Delivery frames dropped on full per-connection write queues.
     pub write_queue_drops: u64,
+    /// Wall nanoseconds the loop spent working between `wait` returns.
+    /// `default` for pre-profiler snapshots.
+    #[serde(default)]
+    pub busy_ns: u64,
+    /// Wall nanoseconds the loop spent parked inside `poller.wait`.
+    /// `default` for pre-profiler snapshots.
+    #[serde(default)]
+    pub parked_ns: u64,
 }
 
 /// One decision kind's total.
@@ -933,6 +965,11 @@ pub struct TelemetrySnapshot {
     /// snapshots.
     #[serde(default)]
     pub reactor_loops: Vec<ReactorLoopSnapshot>,
+    /// Per-role resource accounting (process-wide: allocations, CPU
+    /// stamps and syscall counts from [`crate::profile`]), ordered by
+    /// role kind. `default` for pre-profiler snapshots.
+    #[serde(default)]
+    pub roles: Vec<crate::profile::RoleProfileSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -972,6 +1009,11 @@ impl TelemetrySnapshot {
         self.reactor_loops
             .iter()
             .find(|l| l.loop_index == loop_index)
+    }
+
+    /// The resource-accounting counters for one role, if present.
+    pub fn role(&self, name: &str) -> Option<&crate::profile::RoleProfileSnapshot> {
+        self.roles.iter().find(|r| r.role == name)
     }
 }
 
