@@ -70,6 +70,12 @@ struct RunResult {
     /// Hot-path heap allocations per published message (broker pipeline
     /// only; the sans-IO core pass runs on the unattributed main thread).
     allocs_per_msg: f64,
+    /// Declared allocation budget for this row, allocs/msg. Rows that pay
+    /// for a feature by design (per-message tracing allocates its flight-
+    /// recorder records) stamp the budget they are allowed; `bench_gate`
+    /// uses it in place of the global absolute ceiling, which is meant
+    /// for the untraced steady-state delivery path.
+    alloc_budget: Option<f64>,
     /// Per-role resource deltas over this run (broker pipeline only).
     roles: Vec<frame_bench::RoleCost>,
 }
@@ -141,6 +147,7 @@ fn run_core(variant: &'static str, make: MakeTelemetry, messages: u64) -> RunRes
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         messages,
         allocs_per_msg: 0.0,
+        alloc_budget: None,
         roles: Vec::new(),
     }
 }
@@ -232,6 +239,13 @@ fn run_broker(
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         messages,
         allocs_per_msg: frame_bench::hot_path_allocs_per_msg(&roles),
+        // Tracing on means ~2 allocs/msg of flight-recorder records by
+        // design; the untraced row keeps the gate's 0.5 hot-path ceiling.
+        alloc_budget: if variant == "disabled" {
+            None
+        } else {
+            Some(2.5)
+        },
         roles,
     }
 }

@@ -275,13 +275,17 @@ pub fn cmd_detector(
     timeout: std::time::Duration,
     stop: &StopFlag,
 ) -> Result<Option<u64>, String> {
-    use frame_rt::{read_frame, write_frame, WireMsg};
+    use frame_rt::{read_frame, WireMsg};
+    use frame_types::wire::WireCodec;
     let clock = MonotonicClock::new();
     let mut detector = frame_core::PollingDetector::new(
         frame_types::Duration::from_std(interval),
         frame_types::Duration::from_std(timeout),
         clock.now(),
     );
+    // One codec for the detector's lifetime: each poll reuses its
+    // serialization scratch instead of re-allocating per connection.
+    let mut codec = WireCodec::new();
     let mut token = 0u64;
     loop {
         if stop.load(Ordering::Acquire) {
@@ -291,14 +295,14 @@ pub fn cmd_detector(
         token += 1;
         // Fresh connection per poll: also detects a dead host, not only a
         // dead process.
-        let acked = (|| -> std::io::Result<bool> {
+        let acked = (|codec: &mut WireCodec| -> std::io::Result<bool> {
             let mut s = std::net::TcpStream::connect_timeout(&primary, timeout)?;
             s.set_read_timeout(Some(timeout))?;
-            write_frame(&mut s, &WireMsg::Poll(token))?;
+            codec.encode_into(&mut s, &WireMsg::Poll(token))?;
             matches!(read_frame(&mut s)?, WireMsg::PollAck(t) if t == token)
                 .then_some(true)
                 .ok_or_else(|| std::io::Error::other("bad ack"))
-        })()
+        })(&mut codec)
         .unwrap_or(false);
         if acked {
             detector.on_ack(clock.now());
@@ -307,7 +311,9 @@ pub fn cmd_detector(
             let mut s = std::net::TcpStream::connect(backup).map_err(|e| e.to_string())?;
             s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
                 .map_err(|e| e.to_string())?;
-            write_frame(&mut s, &WireMsg::Promote).map_err(|e| e.to_string())?;
+            codec
+                .encode_into(&mut s, &WireMsg::Promote)
+                .map_err(|e| e.to_string())?;
             return match read_frame(&mut s).map_err(|e| e.to_string())? {
                 WireMsg::Promoted(n) => Ok(Some(n)),
                 other => Err(format!("unexpected promotion reply: {other:?}")),
@@ -320,11 +326,14 @@ pub fn cmd_detector(
 /// Fetches a broker's live telemetry snapshot over TCP as raw JSON — the
 /// shared poll step behind `stats`, `stats --watch` and `top`.
 fn fetch_stats_json(addr: SocketAddr) -> Result<String, String> {
-    use frame_rt::{read_frame, write_frame, WireMsg};
+    use frame_rt::{read_frame, WireMsg};
+    use frame_types::wire::EncodedFrame;
     let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
     s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
         .map_err(|e| e.to_string())?;
-    write_frame(&mut s, &WireMsg::Stats).map_err(|e| e.to_string())?;
+    EncodedFrame::encode(&WireMsg::Stats)
+        .and_then(|f| f.write_to(&mut s))
+        .map_err(|e| e.to_string())?;
     match read_frame(&mut s).map_err(|e| e.to_string())? {
         WireMsg::StatsJson(json) => Ok(json),
         other => Err(format!("unexpected stats reply: {other:?}")),
@@ -613,13 +622,16 @@ pub fn cmd_trace(
     find: Option<(u32, u64)>,
     out: &mut impl std::io::Write,
 ) -> Result<(), String> {
-    use frame_rt::{read_frame, write_frame, WireMsg};
+    use frame_rt::{read_frame, WireMsg};
+    use frame_types::wire::EncodedFrame;
     let snapshot = match source {
         TraceSource::Addr(addr) => {
             let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
             s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
                 .map_err(|e| e.to_string())?;
-            write_frame(&mut s, &WireMsg::Trace).map_err(|e| e.to_string())?;
+            EncodedFrame::encode(&WireMsg::Trace)
+                .and_then(|f| f.write_to(&mut s))
+                .map_err(|e| e.to_string())?;
             match read_frame(&mut s).map_err(|e| e.to_string())? {
                 WireMsg::TraceJson(json) => frame_telemetry::flight_from_json(&json)
                     .map_err(|e| format!("malformed flight snapshot: {e}"))?,

@@ -271,6 +271,21 @@ impl TopicShard {
         stats: &mut BrokerStats,
     ) -> FinishOutcome {
         let mut effects = Vec::new();
+        let cancel = self.finish_into(active, coordination, now, stats, &mut effects);
+        FinishOutcome { effects, cancel }
+    }
+
+    /// [`TopicShard::finish`], but appending effects into a caller-owned
+    /// buffer so hot loops can reuse one allocation across jobs. Returns
+    /// the job the caller must cancel in the scheduler, if any.
+    pub fn finish_into(
+        &mut self,
+        active: &ActiveJob,
+        coordination: bool,
+        now: Time,
+        stats: &mut BrokerStats,
+        effects: &mut Vec<Effect>,
+    ) -> Option<JobId> {
         let mut cancel = None;
         if now > active.job.deadline {
             match active.job.kind {
@@ -355,7 +370,7 @@ impl TopicShard {
                 });
             }
         }
-        FinishOutcome { effects, cancel }
+        cancel
     }
 
     /// Backup entry point: stores a replica pushed by the Primary.

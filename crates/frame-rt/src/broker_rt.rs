@@ -73,6 +73,13 @@ pub struct Delivered {
     pub message: Message,
     /// Broker-side completion time (runtime clock).
     pub dispatched_at: Time,
+    /// The outbound [`WireMsg::Deliver`](crate::tcp::WireMsg) frame,
+    /// encoded **once** at dispatch and shared (refcounted) across the
+    /// whole fan-out — wire transports write it as-is instead of
+    /// re-encoding per subscriber. `None` when no wire subscriber is
+    /// connected (in-process consumers never pay an encode) or when a
+    /// fault hook may perturb payloads per subscriber.
+    pub wire: Option<frame_types::wire::EncodedFrame>,
 }
 
 /// One Primary→Backup coordination effect, as carried in a batch.
@@ -140,6 +147,10 @@ struct Inner {
     alive: AtomicBool,
     clock: Arc<dyn Clock>,
     subscribers: RwLock<std::collections::HashMap<SubscriberId, SubscriberEntry>>,
+    /// Set once a wire transport (TCP server or reactor) connects a
+    /// subscriber. Until then `deliver` skips frame encoding entirely:
+    /// in-process workloads pay zero wire cost.
+    wire_subscribers: AtomicBool,
     backup_tx: RwLock<Option<Sender<BrokerMsg>>>,
     telemetry: Telemetry,
     /// Emulated downstream wire/service time per finished job, in
@@ -229,6 +240,7 @@ impl RtBroker {
             alive: AtomicBool::new(true),
             clock,
             subscribers: RwLock::new(std::collections::HashMap::new()),
+            wire_subscribers: AtomicBool::new(false),
             backup_tx: RwLock::new(None),
             telemetry,
             job_service_ns: std::sync::atomic::AtomicU64::new(0),
@@ -287,7 +299,9 @@ impl RtBroker {
         Ok(())
     }
 
-    /// Connects a subscriber's delivery channel.
+    /// Connects a subscriber's delivery channel (in-process consumer:
+    /// deliveries carry no pre-encoded wire frame unless some wire
+    /// subscriber is also connected).
     pub fn connect_subscriber(&self, id: SubscriberId, tx: Sender<Delivered>) {
         self.inner
             .subscribers
@@ -295,15 +309,27 @@ impl RtBroker {
             .insert(id, SubscriberEntry { tx, notify: None });
     }
 
+    /// Connects a subscriber that will be served over a wire transport:
+    /// like [`RtBroker::connect_subscriber`], but additionally turns on
+    /// encode-once delivery, so every [`Delivered`] carries the shared
+    /// outbound frame ([`Delivered::wire`]) the transport writes verbatim.
+    pub fn connect_subscriber_wire(&self, id: SubscriberId, tx: Sender<Delivered>) {
+        self.inner.wire_subscribers.store(true, Ordering::Release);
+        self.connect_subscriber(id, tx);
+    }
+
     /// Connects a subscriber's delivery channel with a wake-up callback,
     /// invoked after deliveries are pushed so an event-driven transport
-    /// can schedule the drain instead of polling the channel.
+    /// (the ingress reactor — a wire transport, so this also enables
+    /// encode-once delivery) can schedule the drain instead of polling
+    /// the channel.
     pub fn connect_subscriber_with_notify(
         &self,
         id: SubscriberId,
         tx: Sender<Delivered>,
         notify: DeliveryNotify,
     ) {
+        self.inner.wire_subscribers.store(true, Ordering::Release);
         self.inner.subscribers.write().insert(
             id,
             SubscriberEntry {
@@ -600,12 +626,26 @@ fn spawn_proxy(inner: Arc<Inner>, rx: Receiver<BrokerMsg>) -> JoinHandle<()> {
         .expect("spawn proxy thread")
 }
 
+/// Jobs' worth of emulated wire time a worker accumulates before paying
+/// it in one sleep — the model of one vectored `writev` whose wire time is
+/// the sum of its frames. Per-job sleeps eat the kernel's wake-up
+/// overshoot (~100 µs on Linux) once per message; batching pays it once
+/// per ~64, which is where the 8-worker throughput ceiling moves.
+const SERVICE_DEBT_BATCH: u64 = 64;
+
 fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("frame-delivery-{index}"))
         .spawn(move || {
             frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Worker, index);
             let mut iters = 0u32;
+            // Reused per-worker scratch: finish effects land here
+            // (`finish_into`), so steady state allocates no Vec per job.
+            let mut effects: Vec<Effect> = Vec::new();
+            // Emulated wire time owed but not yet slept (see
+            // SERVICE_DEBT_BATCH). Deliveries themselves are never
+            // deferred — only the modelled wire latency is.
+            let mut debt_ns: u64 = 0;
             loop {
                 iters = iters.wrapping_add(1);
                 if iters.is_multiple_of(CPU_STAMP_EVERY) {
@@ -629,15 +669,26 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
                             inner
                                 .telemetry
                                 .record_queue_depth(inner.id, sched.len() as u64);
-                            job
+                            Some(job)
                         }
                         None => {
-                            inner
-                                .job_ready
-                                .wait_for(&mut sched, std::time::Duration::from_millis(10));
-                            continue;
+                            if debt_ns == 0 {
+                                inner
+                                    .job_ready
+                                    .wait_for(&mut sched, std::time::Duration::from_millis(10));
+                            }
+                            None
                         }
                     }
+                };
+                let Some(job) = job else {
+                    if debt_ns > 0 {
+                        // Queue drained: settle the batch's wire debt in one
+                        // sleep (the `writev` of the accumulated frames).
+                        std::thread::sleep(std::time::Duration::from_nanos(debt_ns));
+                        debt_ns = 0;
+                    }
+                    continue;
                 };
                 if let Some(hook) = inner.hook.as_deref() {
                     if let Some(stall) = hook.on_worker_job(job.topic, job.key.seq) {
@@ -669,8 +720,15 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
                         trace.stamp(SpanPoint::Popped, now);
                         trace.stamp(SpanPoint::Locked, inner.clock.now());
                     }
-                    let outcome = shard.finish(&active, inner.config.coordination, started, stats);
-                    if let Some(id) = outcome.cancel {
+                    effects.clear();
+                    let cancel = shard.finish_into(
+                        &active,
+                        inner.config.coordination,
+                        started,
+                        stats,
+                        &mut effects,
+                    );
+                    if let Some(id) = cancel {
                         let mut sched = inner.sched.lock();
                         sched.cancel(id);
                         inner
@@ -683,23 +741,36 @@ fn spawn_worker(inner: Arc<Inner>, index: usize) -> JoinHandle<()> {
                     // also happen here (crossbeam sends never block), which
                     // keeps per-topic delivery order; other topics' workers are
                     // unaffected.
-                    send_backup_batch(&inner, &outcome.effects);
-                    deliver(&inner, &outcome.effects, started);
+                    send_backup_batch(&inner, &effects);
+                    deliver(&inner, &effects, started);
                 }
                 let service_ns = inner.job_service_ns.load(Ordering::Relaxed);
                 if service_ns > 0 {
-                    // Emulated wire time (see `set_job_service_time`): blocked,
-                    // lock-free, so it overlaps across workers exactly like
-                    // real socket writes to subscriber hosts would.
-                    std::thread::sleep(std::time::Duration::from_nanos(service_ns));
+                    // Emulated wire time (see `set_job_service_time`):
+                    // accrued as debt and paid in one sleep per batch —
+                    // blocked, lock-free, so it overlaps across workers
+                    // exactly like real vectored socket writes to
+                    // subscriber hosts would.
+                    debt_ns += service_ns;
+                    if debt_ns >= service_ns.saturating_mul(SERVICE_DEBT_BATCH) {
+                        std::thread::sleep(std::time::Duration::from_nanos(debt_ns));
+                        debt_ns = 0;
+                    }
                 }
                 let stage = match kind {
                     JobKind::Dispatch => Stage::DispatchExec,
                     JobKind::Replicate => Stage::ReplicateExec,
                 };
-                inner
-                    .telemetry
-                    .record_stage(stage, inner.clock.now().saturating_since(started));
+                // The stage still reports exec + the job's modelled wire
+                // time even when the sleep itself is batched.
+                inner.telemetry.record_stage(
+                    stage,
+                    inner
+                        .clock
+                        .now()
+                        .saturating_since(started)
+                        .saturating_add(frame_types::Duration::from_nanos(service_ns)),
+                );
             }
         })
         .expect("spawn delivery worker")
@@ -795,6 +866,14 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
     } else {
         now
     };
+    // Encode-once fan-out: every Deliver effect in one finish batch
+    // carries the same message, so the outbound frame is encoded at most
+    // once here and shared (refcounted) by all N subscriber channels.
+    // Skipped when no wire subscriber exists (in-process workloads pay
+    // nothing) and under a fault hook (fates may perturb payloads per
+    // subscriber, so transports must encode what they actually send).
+    let want_wire = inner.hook.is_none() && inner.wire_subscribers.load(Ordering::Acquire);
+    let mut wire: Option<frame_types::wire::EncodedFrame> = None;
     let mut recorded = false;
     for effect in effects {
         if let Effect::Deliver {
@@ -824,6 +903,15 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                     message.trace.as_ref(),
                 );
             }
+            if want_wire && wire.is_none() {
+                // All fan-out copies share one stamped timeline (send_at is
+                // batch-wide), so this frame is byte-identical for every
+                // subscriber of this message.
+                wire = frame_types::wire::EncodedFrame::encode(&crate::tcp::WireMsg::Deliver(
+                    message.clone(),
+                ))
+                .ok();
+            }
             if let Some(entry) = subs.get(subscriber) {
                 // The broker→subscriber hop crosses the fault hook last:
                 // the dispatch above is already accounted (the broker did
@@ -848,6 +936,7 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                             let _ = entry.tx.send(Delivered {
                                 message: message.clone(),
                                 dispatched_at: now,
+                                wire: wire.clone(),
                             });
                         }
                         if let Some(notify) = &entry.notify {
@@ -857,12 +946,16 @@ fn deliver(inner: &Inner, effects: &[Effect], now: Time) {
                     Some(delay) => {
                         let tx = entry.tx.clone();
                         let notify = entry.notify.clone();
+                        // Delayed fates only exist under a hook, where
+                        // `wire` is never populated — the transport
+                        // encodes the (possibly perturbed) message itself.
                         std::thread::spawn(move || {
                             std::thread::sleep(delay);
                             for _ in 0..fate.copies {
                                 let _ = tx.send(Delivered {
                                     message: message.clone(),
                                     dispatched_at: now,
+                                    wire: None,
                                 });
                             }
                             if let Some(notify) = &notify {

@@ -47,3 +47,6 @@ pub use tcp::{
     write_frame_into, Decoded, FrameDecoder, TcpBackupBridge, TcpBrokerServer, TcpPublisher,
     TcpSubscriber, WireMsg, MAX_FRAME_LEN,
 };
+// The wire codec itself lives with the passive vocabulary types; re-export
+// the pieces transports and tools reach for alongside the runtime.
+pub use frame_types::wire::{EncodedFrame, FrameSink, FrameWriteQueue, WireCodec};

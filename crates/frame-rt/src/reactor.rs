@@ -30,7 +30,7 @@
 //! management round-trip never blocks a data loop either.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,7 +44,9 @@ use parking_lot::Mutex;
 use polling::{Event, Events, Poller};
 
 use crate::broker_rt::{BrokerMsg, Delivered, DeliveryNotify, RtBroker};
-use crate::tcp::{encode_frame, Decoded, FrameDecoder, LogBackoff, TcpBrokerServer, WireMsg};
+use frame_types::wire::{EncodedFrame, FrameSink, FrameWriteQueue};
+
+use crate::tcp::{Decoded, FrameDecoder, LogBackoff, TcpBrokerServer, WireMsg};
 
 /// Which transport serves a broker's TCP ingress.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -315,82 +317,17 @@ struct Conn {
     tag: Arc<ConnTag>,
     peer: String,
     decoder: FrameDecoder,
-    out: WriteQueue,
+    /// The byte-bounded outbound queue — the same [`FrameWriteQueue`]
+    /// (behind [`FrameSink`]) the threaded path flushes, so drop
+    /// accounting, vectored writes and partial-write resume are one
+    /// implementation, not two divergent copies.
+    out: FrameWriteQueue,
     /// Writable interest is registered (a write backlog exists).
     wants_write: bool,
     /// Set once the connection subscribes.
     deliveries: Option<Receiver<Delivered>>,
     /// Bridged liveness polls awaiting the broker's ack, oldest first.
     pending_polls: VecDeque<PendingPoll>,
-}
-
-/// A bounded FIFO of encoded frames with partial-write tracking.
-struct WriteQueue {
-    frames: VecDeque<Vec<u8>>,
-    /// Bytes of the front frame already written.
-    front_pos: usize,
-    bytes: usize,
-    cap: usize,
-}
-
-impl WriteQueue {
-    fn new(cap: usize) -> WriteQueue {
-        WriteQueue {
-            frames: VecDeque::new(),
-            front_pos: 0,
-            bytes: 0,
-            cap,
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.frames.is_empty()
-    }
-
-    /// Enqueues a delivery frame unless the queue is over its byte cap;
-    /// returns whether it was accepted.
-    fn push_bounded(&mut self, frame: Vec<u8>) -> bool {
-        if self.bytes + frame.len() > self.cap {
-            return false;
-        }
-        self.push(frame);
-        true
-    }
-
-    /// Enqueues unconditionally (request/response control frames: the
-    /// client asked, so the answer is bounded by the request rate).
-    fn push(&mut self, frame: Vec<u8>) {
-        self.bytes += frame.len();
-        self.frames.push_back(frame);
-    }
-
-    /// Writes as much as the socket accepts; `Ok(true)` when drained.
-    fn write_some(&mut self, stream: &mut TcpStream) -> std::io::Result<bool> {
-        while let Some(front) = self.frames.front() {
-            let wrote = stream.write(&front[self.front_pos..]);
-            frame_telemetry::record_write_syscalls(1);
-            match wrote {
-                Ok(0) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::WriteZero,
-                        "socket accepted no bytes",
-                    ))
-                }
-                Ok(n) => {
-                    self.front_pos += n;
-                    if self.front_pos == front.len() {
-                        self.bytes -= front.len();
-                        self.front_pos = 0;
-                        self.frames.pop_front();
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(true)
-    }
 }
 
 /// Everything one event loop needs; moved onto its thread.
@@ -641,7 +578,7 @@ fn register_conn(
         }),
         peer,
         decoder: FrameDecoder::new(),
-        out: WriteQueue::new(ctx.config.write_queue_cap),
+        out: FrameWriteQueue::bounded(ctx.config.write_queue_cap),
         wants_write: false,
         deliveries: None,
         pending_polls: VecDeque::new(),
@@ -672,10 +609,12 @@ fn rearm(poller: &Poller, conn: &Conn) -> bool {
     poller.modify(&conn.stream, interest).is_ok()
 }
 
-/// Writes queued frames; updates writable interest. `false` = close.
+/// Writes queued frames (vectored: a backlog of small frames leaves in
+/// one `writev`); updates writable interest. `false` = close.
 fn flush(conn: &mut Conn) -> bool {
-    match conn.out.write_some(&mut conn.stream) {
-        Ok(drained) => {
+    match conn.out.write_vectored_some(&mut conn.stream) {
+        Ok((drained, syscalls)) => {
+            frame_telemetry::record_write_syscalls(syscalls);
             conn.wants_write = !drained;
             true
         }
@@ -684,19 +623,24 @@ fn flush(conn: &mut Conn) -> bool {
 }
 
 /// Drains the subscriber channel into the write queue (dropping on a full
-/// queue) and flushes. `false` = close.
+/// queue) and flushes. Deliveries normally arrive with the frame already
+/// encoded once at dispatch ([`Delivered::wire`]) and shared across the
+/// fan-out; only hook-perturbed deliveries are encoded here. `false` =
+/// close.
 fn pump_deliveries(conn: &mut Conn, ctx: &LoopCtx) -> bool {
     let Some(rx) = conn.deliveries.clone() else {
         return true;
     };
     while let Ok(d) = rx.try_recv() {
-        match encode_frame(&WireMsg::Deliver(d.message)) {
-            Ok(frame) => {
-                if !conn.out.push_bounded(frame) {
-                    ctx.gauges.record_write_queue_drop();
-                }
-            }
-            Err(_) => return false,
+        let frame = match d.wire {
+            Some(frame) => frame,
+            None => match EncodedFrame::encode(&WireMsg::Deliver(d.message)) {
+                Ok(frame) => frame,
+                Err(_) => return false,
+            },
+        };
+        if !conn.out.push_delivery(frame) {
+            ctx.gauges.record_write_queue_drop();
         }
     }
     flush(conn)
@@ -852,9 +796,9 @@ fn handle_frame(
 /// Queues a control response (unbounded by the delivery cap: the client
 /// asked for it). `false` only on a serialization failure.
 fn enqueue_response(conn: &mut Conn, msg: &WireMsg) -> bool {
-    match encode_frame(msg) {
+    match EncodedFrame::encode(msg) {
         Ok(frame) => {
-            conn.out.push(frame);
+            conn.out.push_control(frame);
             true
         }
         Err(_) => false,

@@ -799,6 +799,7 @@ impl Telemetry {
             queues,
             reactor_loops,
             roles: crate::profile::snapshot_roles(),
+            pool: crate::profile::snapshot_pool(),
         }
     }
 }
@@ -970,6 +971,10 @@ pub struct TelemetrySnapshot {
     /// role kind. `default` for pre-profiler snapshots.
     #[serde(default)]
     pub roles: Vec<crate::profile::RoleProfileSnapshot>,
+    /// Buffer-pool recycling counters (wire-codec scratch free-lists).
+    /// `default` for pre-pool snapshots.
+    #[serde(default)]
+    pub pool: crate::profile::PoolProfileSnapshot,
 }
 
 impl TelemetrySnapshot {

@@ -20,6 +20,7 @@ pub mod message;
 pub mod spec;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use config::{Hop, NetworkParams, SystemConfig};
 pub use error::{AdmissionFailure, FrameError, Result};
@@ -28,3 +29,6 @@ pub use message::{Message, MessageKey};
 pub use spec::{Destination, LossTolerance, SubscriberRequirement, TopicSpec};
 pub use time::{Duration, Time};
 pub use trace::{SpanPoint, TraceCtx};
+pub use wire::{
+    BufferPool, EncodedFrame, FrameSink, FrameWriteQueue, PoolStats, WireCodec, MAX_FRAME_LEN,
+};

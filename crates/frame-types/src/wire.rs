@@ -1,0 +1,682 @@
+//! Wire codec and buffer lifecycle for length-prefixed JSON frames.
+//!
+//! Every FRAME transport speaks the same framing: a little-endian `u32`
+//! length prefix followed by a JSON body. This module owns that encoding
+//! as a first-class API so the byte lifecycle is explicit end to end:
+//!
+//! - [`EncodedFrame`] — one frame, fully assembled (prefix + body) in a
+//!   refcounted [`Bytes`]. Produced **once** per outbound message and
+//!   shared by every write path that carries it: a fan-out of N
+//!   subscribers clones the handle (a refcount bump), never re-encodes.
+//! - [`WireCodec`] — the encoder. Owns reusable scratch buffers so a warm
+//!   codec encodes without growing the heap; buffers can be rented from a
+//!   [`BufferPool`] and returned when a connection closes.
+//! - [`FrameSink`] — the one queueing API both delivery write paths
+//!   (the threaded per-connection writer and the reactor's byte-bounded
+//!   write queues) implement, so drop accounting and flush semantics have
+//!   a single surface.
+//! - [`FrameWriteQueue`] — the [`FrameSink`] implementation: a FIFO of
+//!   [`EncodedFrame`]s flushed with `writev`-style vectored writes
+//!   ([`FrameWriteQueue::write_vectored_some`]), resuming cleanly across
+//!   partial writes.
+//! - [`BufferPool`] — a fixed free-list of scratch buffers with counted,
+//!   graceful fallback to the global allocator when exhausted.
+//!
+//! This crate stays passive — no threads, no sockets; the queue writes
+//! into any [`std::io::Write`] the runtime hands it.
+
+use std::collections::VecDeque;
+use std::io::{IoSlice, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Sanity limit on a frame body: a length prefix above this is treated as
+/// stream corruption, not a real frame. Shared by every encoder and
+/// decoder in the workspace.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Frames encoded process-wide (every [`EncodedFrame`] construction).
+/// Tests assert fan-out shares one encode by diffing this counter.
+static ENCODED_FRAMES: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`EncodedFrame`]s produced since process start.
+pub fn encoded_frame_count() -> u64 {
+    ENCODED_FRAMES.load(Ordering::Relaxed)
+}
+
+/// One outbound frame: length prefix and JSON body assembled in a single
+/// refcounted buffer. Cloning is a refcount bump; the bytes are immutable
+/// and identical on every connection that writes them.
+#[derive(Clone, Debug)]
+pub struct EncodedFrame {
+    bytes: Bytes,
+}
+
+impl EncodedFrame {
+    /// Encodes `msg` into a fresh frame (one allocation for the shared
+    /// buffer). Hot paths that encode repeatedly should prefer
+    /// [`WireCodec::encode`], which reuses serialization scratch.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failure or a body over [`MAX_FRAME_LEN`] is
+    /// `InvalidData`.
+    pub fn encode<T: Serialize>(msg: &T) -> std::io::Result<EncodedFrame> {
+        let body = serde_json::to_vec(msg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if body.len() > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame too large",
+            ));
+        }
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        Ok(EncodedFrame::from_assembled(Bytes::from(buf)))
+    }
+
+    /// Wraps an already-assembled `[prefix][body]` buffer. The caller
+    /// guarantees the layout ([`WireCodec`] is the in-tree caller).
+    fn from_assembled(bytes: Bytes) -> EncodedFrame {
+        ENCODED_FRAMES.fetch_add(1, Ordering::Relaxed);
+        EncodedFrame { bytes }
+    }
+
+    /// The full frame: prefix and body.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_ref()
+    }
+
+    /// The JSON body (prefix stripped).
+    pub fn body(&self) -> &[u8] {
+        &self.bytes.as_ref()[4..]
+    }
+
+    /// Total frame length in bytes (prefix included).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the frame is empty (never true for an encoded frame).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Decodes the body back into `T` (tests and loopback shortcuts).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the body does not parse as `T`.
+    pub fn decode<T: Deserialize>(&self) -> std::io::Result<T> {
+        serde_json::from_slice(self.body())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Writes the whole frame with one `write_all` (one syscall on an
+    /// unbuffered socket).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(self.bytes.as_ref())
+    }
+}
+
+/// The frame encoder: reusable scratch for serialization and frame
+/// assembly, so a warm codec encodes without touching the allocator for
+/// its own bookkeeping (the shared [`EncodedFrame`] buffer is the one
+/// unavoidable allocation, and inline writes avoid even that).
+#[derive(Debug, Default)]
+pub struct WireCodec {
+    /// JSON text scratch (serde target), reused across frames.
+    json: String,
+    /// Frame assembly scratch (`[prefix][body]`), reused across frames.
+    frame: Vec<u8>,
+}
+
+impl WireCodec {
+    /// A codec with empty scratch buffers (they warm up on first use).
+    pub fn new() -> WireCodec {
+        WireCodec::default()
+    }
+
+    /// A codec over rented scratch buffers (see [`BufferPool`]); return
+    /// them with [`WireCodec::into_buffers`] when the connection closes.
+    pub fn with_buffers(json: Vec<u8>, frame: Vec<u8>) -> WireCodec {
+        // An empty (cleared) buffer is trivially valid UTF-8; keep the
+        // capacity, drop any stale contents.
+        let mut json = json;
+        json.clear();
+        WireCodec {
+            json: String::from_utf8(json).unwrap_or_default(),
+            frame,
+        }
+    }
+
+    /// Surrenders the scratch buffers for pooling.
+    pub fn into_buffers(self) -> (Vec<u8>, Vec<u8>) {
+        (self.json.into_bytes(), self.frame)
+    }
+
+    /// Serializes `msg` into the internal scratch; returns the assembled
+    /// frame as a slice valid until the next encode.
+    fn assemble<T: Serialize>(&mut self, msg: &T) -> std::io::Result<&[u8]> {
+        self.json.clear();
+        serde_json::to_string_into(msg, &mut self.json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let body = self.json.as_bytes();
+        if body.len() > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame too large",
+            ));
+        }
+        self.frame.clear();
+        self.frame.reserve(4 + body.len());
+        self.frame
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.frame.extend_from_slice(body);
+        Ok(&self.frame)
+    }
+
+    /// Encodes `msg` into a shareable [`EncodedFrame`]: serialization runs
+    /// in the reusable scratch, then one allocation copies the assembled
+    /// frame into the shared refcounted buffer.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failure or an oversized body is `InvalidData`.
+    pub fn encode<T: Serialize>(&mut self, msg: &T) -> std::io::Result<EncodedFrame> {
+        let assembled = self.assemble(msg)?;
+        Ok(EncodedFrame::from_assembled(Bytes::copy_from_slice(
+            assembled,
+        )))
+    }
+
+    /// Encodes `msg` and writes it inline with one `write_all` — the
+    /// allocation-free path for frames that go to exactly one writer
+    /// (publisher sends, control responses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and socket errors.
+    pub fn encode_into<W: Write, T: Serialize>(
+        &mut self,
+        writer: &mut W,
+        msg: &T,
+    ) -> std::io::Result<()> {
+        self.assemble(msg)?;
+        writer.write_all(&self.frame)
+    }
+}
+
+/// The queueing API shared by every delivery write path. Delivery frames
+/// respect the sink's byte bound (a slow consumer drops its own frames);
+/// control responses are always accepted (the client asked, so the answer
+/// is bounded by the request rate).
+pub trait FrameSink {
+    /// Queues a delivery frame; `false` means the sink's byte cap would be
+    /// exceeded and the frame was dropped (the caller counts it).
+    fn push_delivery(&mut self, frame: EncodedFrame) -> bool;
+    /// Queues a control frame unconditionally.
+    fn push_control(&mut self, frame: EncodedFrame);
+    /// Bytes currently queued.
+    fn queued_bytes(&self) -> usize;
+    /// Whether nothing is queued.
+    fn is_empty(&self) -> bool;
+}
+
+/// Upper bound on frames submitted to one vectored write. Linux caps
+/// `writev` at `IOV_MAX` (1024); 64 already amortizes the syscall while
+/// keeping the stack array small.
+const MAX_WRITE_VECTORS: usize = 64;
+
+/// A FIFO of [`EncodedFrame`]s with byte-bounded delivery admission,
+/// vectored flushing and partial-write resume.
+#[derive(Debug)]
+pub struct FrameWriteQueue {
+    frames: VecDeque<EncodedFrame>,
+    /// Bytes of the front frame already written (partial-write resume).
+    front_pos: usize,
+    bytes: usize,
+    cap: usize,
+}
+
+impl FrameWriteQueue {
+    /// A queue dropping delivery frames beyond `cap` queued bytes.
+    pub fn bounded(cap: usize) -> FrameWriteQueue {
+        FrameWriteQueue {
+            frames: VecDeque::new(),
+            front_pos: 0,
+            bytes: 0,
+            cap,
+        }
+    }
+
+    /// A queue that never drops (blocking write paths, where the flush
+    /// itself is the backpressure).
+    pub fn unbounded() -> FrameWriteQueue {
+        FrameWriteQueue::bounded(usize::MAX)
+    }
+
+    /// Queued frame count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing is queued (the [`FrameSink`] impl delegates
+    /// here).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Writes as much as the socket accepts using vectored writes — up to
+    /// [`MAX_WRITE_VECTORS`] queued frames leave per syscall, the first
+    /// offset by the partial-write position. Returns `(drained, syscalls)`
+    /// so callers can attribute kernel writes to their role.
+    ///
+    /// # Errors
+    ///
+    /// A socket that accepts zero bytes is `WriteZero`; other socket
+    /// errors propagate. `WouldBlock` is not an error — it returns
+    /// `Ok((false, syscalls))` with the remainder still queued.
+    pub fn write_vectored_some<W: Write>(
+        &mut self,
+        writer: &mut W,
+    ) -> std::io::Result<(bool, u64)> {
+        let mut syscalls = 0u64;
+        while !self.frames.is_empty() {
+            let wrote = {
+                let mut bufs = [IoSlice::new(&[]); MAX_WRITE_VECTORS];
+                let mut n = 0;
+                for (i, frame) in self.frames.iter().take(MAX_WRITE_VECTORS).enumerate() {
+                    let slice = frame.as_bytes();
+                    bufs[n] = IoSlice::new(if i == 0 {
+                        &slice[self.front_pos..]
+                    } else {
+                        slice
+                    });
+                    n += 1;
+                }
+                syscalls += 1;
+                writer.write_vectored(&bufs[..n])
+            };
+            match wrote {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => self.consume(n),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok((false, syscalls))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((true, syscalls))
+    }
+
+    /// Flushes until fully drained (blocking writers: the socket itself is
+    /// the backpressure). Returns the number of kernel writes used.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (including `WriteZero`).
+    pub fn flush_blocking<W: Write>(&mut self, writer: &mut W) -> std::io::Result<u64> {
+        let mut syscalls = 0u64;
+        loop {
+            let (drained, calls) = self.write_vectored_some(writer)?;
+            syscalls += calls;
+            if drained {
+                return Ok(syscalls);
+            }
+            // A blocking socket only reports WouldBlock under a write
+            // timeout; yield to it by retrying (the vectored write blocks).
+        }
+    }
+
+    /// Advances the queue past `n` written bytes, dropping fully-written
+    /// frames and recording the partial position of the new front.
+    /// `bytes` tracks *unwritten* bytes, so partially-written frames stop
+    /// counting against the admission cap as they leave.
+    fn consume(&mut self, mut n: usize) {
+        while n > 0 {
+            let Some(front) = self.frames.front() else {
+                debug_assert!(false, "consumed more bytes than queued");
+                self.bytes = 0;
+                self.front_pos = 0;
+                return;
+            };
+            let remaining = front.len() - self.front_pos;
+            let take = n.min(remaining);
+            self.bytes -= take;
+            n -= take;
+            if take == remaining {
+                self.front_pos = 0;
+                self.frames.pop_front();
+            } else {
+                self.front_pos += take;
+            }
+        }
+    }
+}
+
+impl FrameSink for FrameWriteQueue {
+    fn push_delivery(&mut self, frame: EncodedFrame) -> bool {
+        if self.bytes + frame.len() > self.cap {
+            return false;
+        }
+        self.push_control(frame);
+        true
+    }
+
+    fn push_control(&mut self, frame: EncodedFrame) {
+        self.bytes += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Counters describing a [`BufferPool`]'s behaviour since creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `get` calls served from the free-list.
+    pub hits: u64,
+    /// `get` calls that fell back to the allocator (pool empty). A miss is
+    /// counted, never an error: exhaustion degrades to plain allocation.
+    pub misses: u64,
+    /// Buffers returned to the free-list by `put`.
+    pub returns: u64,
+    /// Buffers dropped by `put` (free-list full, or buffer over the
+    /// retention cap — one huge frame must not pin its buffer forever).
+    pub discards: u64,
+}
+
+/// A fixed free-list of scratch buffers (decoder bodies, codec scratch).
+///
+/// `get` pops a warm buffer or — when the pool is empty — falls back to
+/// the global allocator, counting the miss. `put` returns a buffer unless
+/// the list is full or the buffer outgrew the retention cap. All paths are
+/// non-panicking; exhaustion is a counter, not a failure.
+#[derive(Debug)]
+pub struct BufferPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+    max_slots: usize,
+    /// Buffers with capacity above this are not retained on `put`.
+    retain_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    discards: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool retaining up to `max_slots` buffers of at most `retain_cap`
+    /// capacity each. Usable in statics.
+    pub const fn new(max_slots: usize, retain_cap: usize) -> BufferPool {
+        BufferPool {
+            slots: Mutex::new(Vec::new()),
+            max_slots,
+            retain_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            discards: AtomicU64::new(0),
+        }
+    }
+
+    /// A cleared scratch buffer: pooled when available, freshly allocated
+    /// (and counted as a miss) when not. Returns whether it was a hit
+    /// alongside the buffer so callers can mirror the counter into
+    /// telemetry.
+    pub fn get(&self) -> (Vec<u8>, bool) {
+        let pooled = self.slots.lock().ok().and_then(|mut slots| slots.pop());
+        match pooled {
+            Some(mut buf) => {
+                buf.clear();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (buf, true)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (Vec::new(), false)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free-list; oversized buffers and overflow
+    /// beyond `max_slots` are dropped (counted). Returns whether the
+    /// buffer was retained.
+    pub fn put(&self, buf: Vec<u8>) -> bool {
+        if buf.capacity() <= self.retain_cap {
+            if let Ok(mut slots) = self.slots.lock() {
+                if slots.len() < self.max_slots {
+                    slots.push(buf);
+                    self.returns.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        self.discards.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Buffers currently on the free-list.
+    pub fn available(&self) -> usize {
+        self.slots.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Probe {
+        a: u32,
+        b: String,
+    }
+
+    fn probe(i: u32) -> Probe {
+        Probe {
+            a: i,
+            b: format!("payload-{i}"),
+        }
+    }
+
+    #[test]
+    fn encoded_frame_layout_and_roundtrip() {
+        let frame = EncodedFrame::encode(&probe(7)).unwrap();
+        let bytes = frame.as_bytes();
+        assert_eq!(
+            bytes[..4],
+            (bytes.len() as u32 - 4).to_le_bytes(),
+            "prefix counts the body only"
+        );
+        assert_eq!(frame.body(), &bytes[4..]);
+        assert_eq!(frame.decode::<Probe>().unwrap(), probe(7));
+    }
+
+    #[test]
+    fn codec_matches_standalone_encode_bit_for_bit() {
+        let mut codec = WireCodec::new();
+        for i in 0..3 {
+            let via_codec = codec.encode(&probe(i)).unwrap();
+            let standalone = EncodedFrame::encode(&probe(i)).unwrap();
+            assert_eq!(via_codec.as_bytes(), standalone.as_bytes());
+            let mut inline = Vec::new();
+            codec.encode_into(&mut inline, &probe(i)).unwrap();
+            assert_eq!(inline, standalone.as_bytes());
+        }
+    }
+
+    #[test]
+    fn codec_scratch_rents_and_returns() {
+        let pool = BufferPool::new(4, 1 << 20);
+        let (json, hit_a) = pool.get();
+        let (frame, hit_b) = pool.get();
+        assert!(!hit_a && !hit_b, "fresh pool misses");
+        let mut codec = WireCodec::with_buffers(json, frame);
+        let encoded = codec.encode(&probe(1)).unwrap();
+        assert_eq!(encoded.decode::<Probe>().unwrap(), probe(1));
+        let (json, frame) = codec.into_buffers();
+        assert!(json.capacity() > 0, "scratch warmed up");
+        assert!(pool.put(json) && pool.put(frame));
+        let (_, hit) = pool.get();
+        assert!(hit, "warm buffer comes back");
+    }
+
+    #[test]
+    fn clone_shares_identical_bytes() {
+        let frame = EncodedFrame::encode(&probe(3)).unwrap();
+        let before = encoded_frame_count();
+        let clones: Vec<EncodedFrame> = (0..64).map(|_| frame.clone()).collect();
+        assert_eq!(encoded_frame_count(), before, "cloning never re-encodes");
+        for c in &clones {
+            assert_eq!(c.as_bytes(), frame.as_bytes());
+        }
+    }
+
+    /// A writer that accepts a fixed number of bytes per call, then
+    /// signals `WouldBlock` — the shape of a nonblocking socket under
+    /// pressure.
+    struct Throttled {
+        accepted: Vec<u8>,
+        per_call: usize,
+        calls_left: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            if self.calls_left == 0 {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"));
+            }
+            self.calls_left -= 1;
+            let mut left = self.per_call;
+            let mut wrote = 0;
+            for b in bufs {
+                let take = left.min(b.len());
+                self.accepted.extend_from_slice(&b[..take]);
+                wrote += take;
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+            Ok(wrote)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_flush_resumes_across_partial_writes() {
+        let mut q = FrameWriteQueue::unbounded();
+        let mut expect = Vec::new();
+        for i in 0..5 {
+            let f = EncodedFrame::encode(&probe(i)).unwrap();
+            expect.extend_from_slice(f.as_bytes());
+            q.push_control(f);
+        }
+        let total = q.queued_bytes();
+        // First flush: 3 calls of 7 bytes each, then WouldBlock.
+        let mut w = Throttled {
+            accepted: Vec::new(),
+            per_call: 7,
+            calls_left: 3,
+        };
+        let (drained, syscalls) = q.write_vectored_some(&mut w).unwrap();
+        assert!(!drained);
+        assert_eq!(syscalls, 4, "three accepting calls plus the WouldBlock");
+        assert_eq!(w.accepted.len(), 21);
+        assert_eq!(q.queued_bytes(), total - 21);
+        // Resume: unlimited writer drains the rest; the byte stream is the
+        // frames in order, unbroken across the partial-write boundary.
+        let mut rest = Throttled {
+            accepted: Vec::new(),
+            per_call: usize::MAX,
+            calls_left: usize::MAX,
+        };
+        let (drained, _) = q.write_vectored_some(&mut rest).unwrap();
+        assert!(drained);
+        assert!(q.is_empty());
+        let mut all = w.accepted;
+        all.extend_from_slice(&rest.accepted);
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn bounded_sink_drops_deliveries_but_not_control() {
+        let frame = EncodedFrame::encode(&probe(0)).unwrap();
+        let mut q = FrameWriteQueue::bounded(frame.len() + frame.len() / 2);
+        assert!(q.push_delivery(frame.clone()));
+        assert!(!q.push_delivery(frame.clone()), "over cap: dropped");
+        q.push_control(frame.clone());
+        assert_eq!(q.len(), 2, "control frames always queue");
+    }
+
+    #[test]
+    fn pool_exhaustion_falls_back_to_the_allocator_counted() {
+        let pool = BufferPool::new(2, 1024);
+        // Warm two slots.
+        assert!(pool.put(Vec::with_capacity(64)));
+        assert!(pool.put(Vec::with_capacity(64)));
+        // Draw three: two hits, then a graceful (counted) allocator miss.
+        let (a, h1) = pool.get();
+        let (b, h2) = pool.get();
+        let (c, h3) = pool.get();
+        assert!(h1 && h2 && !h3);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        // Returns beyond capacity and oversized buffers are discarded,
+        // never a panic.
+        assert!(pool.put(a) && pool.put(b));
+        assert!(!pool.put(c), "free-list full: dropped");
+        assert!(!pool.put(Vec::with_capacity(4096)), "over retain cap");
+        let s = pool.stats();
+        // The two warm-up puts count as returns too.
+        assert_eq!((s.returns, s.discards), (4, 2));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_not_sent() {
+        let big = "x".repeat(MAX_FRAME_LEN + 1);
+        let err = EncodedFrame::encode(&big).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let mut codec = WireCodec::new();
+        let mut out = Vec::new();
+        assert!(codec.encode_into(&mut out, &big).is_err());
+        assert!(out.is_empty(), "nothing partial leaves");
+    }
+}

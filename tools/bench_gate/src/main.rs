@@ -19,7 +19,11 @@
 //!   different workload sizes, so their absolute rates are not comparable.
 //! - **allocations** — `allocs_per_msg` may not grow more than
 //!   `--max-alloc-growth-pct` (default 15) plus a 0.5 allocs/msg absolute
-//!   slack over the baseline. Allocation counts per message are nearly
+//!   slack over the baseline, and may never exceed the absolute ceiling
+//!   `--max-allocs-per-msg` (default 0.5) no matter what the baseline
+//!   says — the pooled delivery path is allocation-free in steady state,
+//!   so anything above that is a hot-path leak even if the committed
+//!   baseline drifted with it. Allocation counts per message are nearly
 //!   workload-independent, so this check runs even across a quick/full
 //!   mismatch, but only when both reports say `alloc_profiling: true`.
 //!
@@ -38,6 +42,11 @@ struct GateConfig {
     /// Absolute allocs/msg slack on top of the percentage, so baselines
     /// near zero don't fail on ±1 allocation of jitter.
     alloc_abs_slack: f64,
+    /// Hard ceiling on candidate allocs/msg, independent of the baseline.
+    /// The steady-state delivery path is pooled and allocation-free, so a
+    /// candidate above this is a hot-path allocation leak even if the
+    /// committed baseline drifted upward with it.
+    alloc_abs_max: f64,
 }
 
 impl Default for GateConfig {
@@ -46,6 +55,7 @@ impl Default for GateConfig {
             max_regression_pct: 20.0,
             max_alloc_growth_pct: 15.0,
             alloc_abs_slack: 0.5,
+            alloc_abs_max: 0.5,
         }
     }
 }
@@ -71,6 +81,7 @@ struct Verdict {
     gate: &'static str,
     max_regression_pct: f64,
     max_alloc_growth_pct: f64,
+    max_allocs_per_msg: f64,
     comparisons: Vec<Comparison>,
     /// Human-readable context: skipped families, schema gaps, failures.
     notes: Vec<String>,
@@ -215,7 +226,17 @@ fn compare_reports(
             });
         }
 
-        // Allocations: candidate may not grow past the envelope.
+        // Allocations: candidate may not grow past the envelope, and may
+        // never exceed the absolute allocs/msg ceiling regardless of what
+        // the committed baseline says. Rows that pay for a feature by
+        // design (e.g. per-message tracing allocates its flight-recorder
+        // records) declare their own `alloc_budget`, which replaces the
+        // global ceiling for that row; the baseline's declaration wins so
+        // a candidate cannot quietly raise its own allowance.
+        let declared = |r: &Value| r.get("alloc_budget").and_then(as_f64).filter(|b| *b > 0.0);
+        let ceiling = declared(base_row)
+            .or_else(|| declared(cand_row))
+            .unwrap_or(cfg.alloc_abs_max);
         match base_row.get("allocs_per_msg").and_then(as_f64) {
             Some(base) if alloc_gate => {
                 let cand = cand_row
@@ -228,6 +249,12 @@ fn compare_reports(
                 } else {
                     0.0
                 };
+                if cand > ceiling {
+                    notes.push(format!(
+                        "{bench}: row `{key}` candidate allocs_per_msg {cand} exceeds the \
+                         absolute ceiling {ceiling} — hot-path allocation leak"
+                    ));
+                }
                 comparisons.push(Comparison {
                     bench: bench.clone(),
                     row: key.clone(),
@@ -236,16 +263,44 @@ fn compare_reports(
                     candidate: cand,
                     change_pct,
                     limit_pct: cfg.max_alloc_growth_pct,
-                    status: if cand > limit { "fail" } else { "pass" },
+                    status: if cand > limit || cand > ceiling {
+                        "fail"
+                    } else {
+                        "pass"
+                    },
                 });
             }
             Some(_) => {}
             None => {
-                if alloc_gate {
-                    notes.push(format!(
-                        "{bench}: row `{key}` has no allocs_per_msg in the baseline — \
-                         allocation check skipped (refresh the committed baseline)"
-                    ));
+                // No baseline metric: the growth check has nothing to
+                // compare against, but the absolute ceiling still applies
+                // to the candidate.
+                match cand_row.get("allocs_per_msg").and_then(as_f64) {
+                    Some(cand) if alloc_gate => {
+                        notes.push(format!(
+                            "{bench}: row `{key}` has no allocs_per_msg in the baseline — \
+                             growth check skipped, absolute ceiling still enforced \
+                             (refresh the committed baseline)"
+                        ));
+                        comparisons.push(Comparison {
+                            bench: bench.clone(),
+                            row: key.clone(),
+                            metric: "allocs_per_msg",
+                            baseline: 0.0,
+                            candidate: cand,
+                            change_pct: 0.0,
+                            limit_pct: 0.0,
+                            status: if cand > ceiling { "fail" } else { "pass" },
+                        });
+                    }
+                    _ => {
+                        if alloc_gate {
+                            notes.push(format!(
+                                "{bench}: row `{key}` has no allocs_per_msg in either report — \
+                                 allocation check skipped"
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -261,7 +316,8 @@ fn load(path: &str) -> Value {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--out PATH] [--max-regression-pct N] \
-         [--max-alloc-growth-pct N] BASELINE=CANDIDATE [BASELINE=CANDIDATE ...]"
+         [--max-alloc-growth-pct N] [--max-allocs-per-msg N] \
+         BASELINE=CANDIDATE [BASELINE=CANDIDATE ...]"
     );
     std::process::exit(2)
 }
@@ -282,6 +338,12 @@ fn main() {
             }
             "--max-alloc-growth-pct" => {
                 cfg.max_alloc_growth_pct = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-allocs-per-msg" => {
+                cfg.alloc_abs_max = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -312,6 +374,7 @@ fn main() {
         gate: "bench_gate",
         max_regression_pct: cfg.max_regression_pct,
         max_alloc_growth_pct: cfg.max_alloc_growth_pct,
+        max_allocs_per_msg: cfg.alloc_abs_max,
         comparisons,
         notes,
         failures,
@@ -382,8 +445,8 @@ mod tests {
     #[test]
     fn matching_rows_within_tolerance_pass() {
         let (cmp, _) = run(
-            &report(true, true, 10_000.0, 1.4),
-            &report(true, true, 9_000.0, 1.5),
+            &report(true, true, 10_000.0, 0.2),
+            &report(true, true, 9_000.0, 0.25),
         );
         assert_eq!(cmp.len(), 2);
         assert!(
@@ -396,8 +459,8 @@ mod tests {
     #[test]
     fn throughput_regression_beyond_limit_fails() {
         let (cmp, _) = run(
-            &report(true, true, 10_000.0, 1.4),
-            &report(true, true, 7_000.0, 1.4),
+            &report(true, true, 10_000.0, 0.2),
+            &report(true, true, 7_000.0, 0.2),
         );
         let tput = cmp.iter().find(|c| c.metric == "msgs_per_sec").unwrap();
         assert_eq!(tput.status, "fail", "-30% breaches the 20% limit");
@@ -442,7 +505,7 @@ mod tests {
     }
 
     #[test]
-    fn baseline_without_alloc_metric_is_tolerated() {
+    fn baseline_without_alloc_metric_keeps_the_absolute_ceiling() {
         let base: Value = serde_json::from_str(
             r#"{"bench": "broker_throughput", "quick": true,
                 "alloc_profiling": true, "results": [
@@ -450,8 +513,27 @@ mod tests {
                 ]}"#,
         )
         .unwrap();
-        let (cmp, notes) = run(&base, &report(true, true, 10_000.0, 1.4));
+        // A low-allocation candidate passes (growth check skipped)...
+        let (cmp, notes) = run(&base, &report(true, true, 10_000.0, 0.2));
         assert!(cmp.iter().all(|c| c.status == "pass"));
         assert!(notes.iter().any(|n| n.contains("no allocs_per_msg")));
+        // ...but a candidate over the ceiling still fails without any
+        // baseline number to grow from.
+        let (cmp, _) = run(&base, &report(true, true, 10_000.0, 1.4));
+        let alloc = cmp.iter().find(|c| c.metric == "allocs_per_msg").unwrap();
+        assert_eq!(alloc.status, "fail");
+    }
+
+    #[test]
+    fn absolute_alloc_ceiling_fails_despite_generous_baseline() {
+        // Growth envelope would allow 1.4 * 1.15 + 0.5 ≈ 2.1, but the
+        // 0.5 allocs/msg absolute ceiling catches the drifted pair.
+        let (cmp, notes) = run(
+            &report(true, true, 10_000.0, 1.4),
+            &report(true, true, 10_000.0, 1.45),
+        );
+        let alloc = cmp.iter().find(|c| c.metric == "allocs_per_msg").unwrap();
+        assert_eq!(alloc.status, "fail");
+        assert!(notes.iter().any(|n| n.contains("absolute ceiling")));
     }
 }

@@ -128,6 +128,14 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON appended to `out`, reusing the
+/// buffer's capacity. Hot encode paths keep one buffer per
+/// connection/codec so steady state does not re-grow it.
+pub fn to_string_into<T: Serialize>(value: &T, out: &mut String) -> Result<()> {
+    write_value(&value.to_value(), out, None);
+    Ok(())
+}
+
 /// Serializes `value` to 2-space-indented JSON.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
