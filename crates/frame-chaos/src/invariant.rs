@@ -44,6 +44,10 @@ pub struct ChaosEvidence {
     /// `(topic, seq)` of every `DeadlineMiss` incident in the flight
     /// recorder.
     pub deadline_misses: Vec<(u32, u64)>,
+    /// `(topic, seq)` of every `LoadShed` incident — the overload
+    /// controller's admission-boundary drops (rung 2) and eviction
+    /// rejections (rung 3), accumulated across the run.
+    pub sheds: Vec<(u32, u64)>,
 }
 
 /// One check's outcome.
@@ -93,6 +97,7 @@ pub fn check(plan: &FaultPlan, evidence: &ChaosEvidence) -> Verdict {
         check_deadline_budget(plan, evidence),
         check_table3_order(evidence),
         check_dispatch_multiplicity(plan, evidence),
+        check_overload_ladder(plan, evidence),
     ];
     Verdict {
         passed: checks.iter().all(|c| c.passed),
@@ -181,6 +186,13 @@ fn miss_is_explained(plan: &FaultPlan, topic: u32, seq: u64) -> bool {
         if seq + retention >= crash.at_seq {
             return true;
         }
+    }
+    // Scripted overload: a message published in a burst round arrived as
+    // part of offered load deliberately past capacity — its miss is the
+    // ramp's cost, and the overload check (not Lemma 2) judges whether
+    // the controller degraded acceptably.
+    if plan.overload.is_some() && plan.burst_of_seq(seq) > 1 {
+        return true;
     }
     false
 }
@@ -293,6 +305,134 @@ fn check_dispatch_multiplicity(plan: &FaultPlan, evidence: &ChaosEvidence) -> Ch
     }
 }
 
+/// Whether a missing `(topic, seq)` has a non-overload scripted cause: a
+/// fault rule perturbing its frame path, or the crash-recovery window.
+fn loss_has_fault_cause(plan: &FaultPlan, topic: u32, seq: u64) -> bool {
+    for rule in &plan.rules {
+        if matches!(rule.surface, Surface::Frame(_)) && rule.covers(TopicId(topic), seq) {
+            return true;
+        }
+    }
+    if let Some(crash) = plan.crash {
+        let retention = plan
+            .topics
+            .iter()
+            .find(|t| t.id == topic)
+            .map_or(0, |t| u64::from(t.retention));
+        if seq + retention >= crash.at_seq {
+            return true;
+        }
+    }
+    false
+}
+
+/// Overload ladder: every controller decision is safe and attributed.
+///
+/// * no `LoadShed` ever lands on a hard topic (`L_i = 0`) — the shard's
+///   run guard plus the controller's eligibility rule leave no path;
+/// * on a loss-bounded topic, the longest *consecutive* shed run stays
+///   within `L_i` even while the pressure signal is saturated;
+/// * every sequence number a subscriber never saw is attributed: either a
+///   `LoadShed` incident names it, a fault rule covers it, or it falls in
+///   the crash-recovery window — silent loss fails the check;
+/// * shedding only happens under a scripted `[overload]` ramp, and a plan
+///   that declares `expect_shedding` must actually reach rung 2.
+fn check_overload_ladder(plan: &FaultPlan, evidence: &ChaosEvidence) -> CheckResult {
+    let mut violations = Vec::new();
+
+    // Index sheds per topic for run-length and attribution scans.
+    let mut shed_by_topic: BTreeMap<u32, std::collections::BTreeSet<u64>> = BTreeMap::new();
+    for &(topic, seq) in &evidence.sheds {
+        shed_by_topic.entry(topic).or_default().insert(seq);
+    }
+
+    if plan.overload.is_none() && !evidence.sheds.is_empty() {
+        violations.push(format!(
+            "{} sheds without an [overload] section in the plan",
+            evidence.sheds.len()
+        ));
+    }
+
+    for topic in &plan.topics {
+        let empty = std::collections::BTreeSet::new();
+        let sheds = shed_by_topic.get(&topic.id).unwrap_or(&empty);
+        match topic.loss_tolerance {
+            Some(0) => {
+                if let Some(seq) = sheds.iter().next() {
+                    violations.push(format!(
+                        "topic {} is hard (L_i = 0) but was shed at seq {seq} ({} total)",
+                        topic.id,
+                        sheds.len()
+                    ));
+                }
+            }
+            Some(bound) => {
+                let mut run = 0u64;
+                let mut worst = 0u64;
+                for seq in 0..plan.messages {
+                    if sheds.contains(&seq) {
+                        run += 1;
+                        worst = worst.max(run);
+                    } else {
+                        run = 0;
+                    }
+                }
+                if worst > u64::from(bound) {
+                    violations.push(format!(
+                        "topic {}: {} consecutive sheds > L_i {}",
+                        topic.id, worst, bound
+                    ));
+                }
+            }
+            None => {}
+        }
+        // Attribution: every never-delivered seq must have a named cause.
+        for &sub in &topic.subscribers {
+            let empty_counts = BTreeMap::new();
+            let delivered = evidence
+                .delivered
+                .get(&(sub, topic.id))
+                .unwrap_or(&empty_counts);
+            for seq in 0..plan.messages {
+                if delivered.contains_key(&seq)
+                    || sheds.contains(&seq)
+                    || loss_has_fault_cause(plan, topic.id, seq)
+                {
+                    continue;
+                }
+                violations.push(format!(
+                    "topic {} seq {seq} never reached subscriber {sub} and no \
+                     shed incident or fault window explains it",
+                    topic.id
+                ));
+            }
+        }
+    }
+
+    if let Some(ov) = &plan.overload {
+        if ov.expect_shedding && evidence.sheds.is_empty() {
+            violations.push(
+                "plan expects shedding but the controller never shed (ramp too gentle \
+                 or the ladder never reached rung 2)"
+                    .to_string(),
+            );
+        }
+    }
+
+    CheckResult {
+        name: "overload_shed_attribution".into(),
+        passed: violations.is_empty(),
+        detail: if violations.is_empty() {
+            format!(
+                "{} sheds, all on shed-eligible topics within L_i; every loss attributed",
+                evidence.sheds.len()
+            )
+        } else {
+            violations.join("; ")
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +465,7 @@ mod tests {
             delivered,
             backup_order: Vec::new(),
             deadline_misses: Vec::new(),
+            sheds: Vec::new(),
         }
     }
 
@@ -332,7 +473,7 @@ mod tests {
     fn clean_run_passes_everything() {
         let v = check(&plan(BASE), &evidence(full_delivery(8)));
         assert!(v.passed, "{}", v.render());
-        assert_eq!(v.checks.len(), 4);
+        assert_eq!(v.checks.len(), 5);
     }
 
     #[test]
@@ -399,6 +540,128 @@ mod tests {
         e.delivered.get_mut(&(1, 1)).unwrap().insert(0, 2);
         let v = check(&p, &e);
         assert!(!v.checks[3].passed);
+    }
+
+    const OVERLOAD: &str = r#"
+        messages = 8
+        pace_ms = 10
+
+        [[topics]]
+        id = 1
+        deadline_ms = 100
+        loss_tolerance = 0
+        subscribers = [1]
+
+        [[topics]]
+        id = 2
+        deadline_ms = 100
+        loss_tolerance = 2
+        subscribers = [1]
+
+        [overload]
+        capacity_per_sec = 100.0
+        ramp = [1, 2, 1]
+        rounds_per_step = 2
+        expect_shedding = true
+    "#;
+
+    fn overload_delivery(skip: &[(u32, u64)]) -> DeliveryCounts {
+        let mut m: DeliveryCounts = BTreeMap::new();
+        for topic in [1u32, 2] {
+            let counts: BTreeMap<u64, u32> = (0..8)
+                .filter(|&s| !skip.contains(&(topic, s)))
+                .map(|s| (s, 1))
+                .collect();
+            m.insert((1, topic), counts);
+        }
+        m
+    }
+
+    #[test]
+    fn attributed_sheds_within_li_pass_the_overload_check() {
+        let p = plan(OVERLOAD);
+        // Topic 2 (L_i = 2) shed twice in the burst window; topic 1 intact.
+        let mut e = evidence(overload_delivery(&[(2, 3), (2, 4)]));
+        e.sheds = vec![(2, 3), (2, 4)];
+        let v = check(&p, &e);
+        assert!(v.passed, "{}", v.render());
+        assert!(
+            v.checks[4].detail.contains("2 sheds"),
+            "{}",
+            v.checks[4].detail
+        );
+    }
+
+    #[test]
+    fn shed_on_hard_topic_fails() {
+        let p = plan(OVERLOAD);
+        let mut e = evidence(overload_delivery(&[(1, 3)]));
+        e.sheds = vec![(1, 3)];
+        let v = check(&p, &e);
+        assert!(!v.checks[4].passed);
+        assert!(
+            v.checks[4].detail.contains("hard"),
+            "{}",
+            v.checks[4].detail
+        );
+    }
+
+    #[test]
+    fn shed_run_beyond_li_fails_even_with_attribution() {
+        let p = plan(OVERLOAD);
+        let skip = [(2u32, 3u64), (2, 4), (2, 5)]; // 3 consecutive > L_i = 2
+        let mut e = evidence(overload_delivery(&skip));
+        e.sheds = skip.to_vec();
+        let v = check(&p, &e);
+        assert!(!v.checks[4].passed);
+        assert!(
+            v.checks[4].detail.contains("consecutive sheds"),
+            "{}",
+            v.checks[4].detail
+        );
+    }
+
+    #[test]
+    fn silent_loss_without_shed_incident_fails_attribution() {
+        let p = plan(OVERLOAD);
+        let e = evidence(overload_delivery(&[(2, 3)])); // lost but never shed
+        let v = check(&p, &e);
+        assert!(!v.checks[4].passed);
+        assert!(
+            v.checks[4].detail.contains("never reached subscriber"),
+            "{}",
+            v.checks[4].detail
+        );
+    }
+
+    #[test]
+    fn expected_shedding_must_happen_and_unscripted_sheds_fail() {
+        let p = plan(OVERLOAD);
+        let v = check(&p, &evidence(overload_delivery(&[])));
+        assert!(!v.checks[4].passed, "expect_shedding unmet must fail");
+
+        // Sheds on a plan with no [overload] section are unscripted.
+        let mut e = evidence(full_delivery(8));
+        e.sheds = vec![(1, 2)];
+        let v = check(&plan(BASE), &e);
+        assert!(!v.checks[4].passed);
+        assert!(
+            v.checks[4].detail.contains("without an [overload] section"),
+            "{}",
+            v.checks[4].detail
+        );
+    }
+
+    #[test]
+    fn burst_round_misses_are_explained_by_the_ramp() {
+        let p = plan(OVERLOAD);
+        let mut e = evidence(overload_delivery(&[]));
+        e.deadline_misses.push((1, 3)); // seq 3 is in a burst-3 round
+        let v = check(&p, &e);
+        assert!(v.checks[1].passed, "{}", v.checks[1].detail);
+        e.deadline_misses.push((1, 0)); // seq 0 is a burst-1 round: no excuse
+        let v = check(&p, &e);
+        assert!(!v.checks[1].passed);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub use inject::{BackupObservation, ChaosInjector, InjectedFault};
 pub use invariant::{check, ChaosEvidence, CheckResult, DeliveryCounts, Verdict};
 pub use plan::{
     Action, CheckPolicy, CompiledRule, CrashRule, DelaySource, DetectorRule, FaultPlan, FaultRule,
-    PlanTopic, Surface,
+    OverloadRule, PlanTopic, Surface,
 };
 pub use runner::{run, ChaosReport};

@@ -353,6 +353,60 @@ pub struct CheckPolicy {
     pub allow_unexplained_misses: u64,
 }
 
+fn default_rounds_per_step() -> u64 {
+    1
+}
+fn default_enter_pressure() -> f64 {
+    1.0
+}
+fn default_exit_pressure() -> f64 {
+    0.5
+}
+fn default_escalate_ticks() -> u32 {
+    1
+}
+fn default_cooldown_ticks() -> u32 {
+    2
+}
+
+/// The `[overload]` section: a diurnal offered-load ramp plus the tuning
+/// of the admission-boundary [`frame_core::OverloadController`] that must
+/// ride it out. The ramp is in *publish-round* space: each ramp entry is
+/// a burst multiplier (messages published per round per topic), held for
+/// `rounds_per_step` rounds, so the offered rate over one round is
+/// `burst × topics / pace` — all schedule-determined, which keeps the
+/// controller's pressure signal (and therefore every shed/evict/restore
+/// decision) byte-reproducible across same-seed runs.
+#[derive(Clone, Debug, Deserialize)]
+pub struct OverloadRule {
+    /// Sustainable admission rate fed to the controller (messages/s);
+    /// offered load above it reads as pressure ≥ 1.
+    pub capacity_per_sec: f64,
+    /// Burst multipliers, one ramp step at a time (the diurnal shape,
+    /// e.g. `[1, 2, 4, 2, 1]`).
+    pub ramp: Vec<u64>,
+    /// Publish rounds each ramp step lasts (default 1).
+    #[serde(default = "default_rounds_per_step")]
+    pub rounds_per_step: u64,
+    /// Pressure at or above which a control tick counts as hot.
+    #[serde(default = "default_enter_pressure")]
+    pub enter_pressure: f64,
+    /// Pressure at or below which a tick counts as cool (hysteresis).
+    #[serde(default = "default_exit_pressure")]
+    pub exit_pressure: f64,
+    /// Consecutive hot ticks before climbing one rung (default 1).
+    #[serde(default = "default_escalate_ticks")]
+    pub escalate_ticks: u32,
+    /// Consecutive cool ticks before descending one rung (default 2).
+    #[serde(default = "default_cooldown_ticks")]
+    pub cooldown_ticks: u32,
+    /// Whether the checker must see the controller actually shed (set on
+    /// plans whose ramp is scripted to exceed capacity long enough to
+    /// reach rung 2; a ramp that never sheds then fails the run).
+    #[serde(default)]
+    pub expect_shedding: bool,
+}
+
 /// A parsed, validated fault plan.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
@@ -372,6 +426,8 @@ pub struct FaultPlan {
     pub detector: DetectorRule,
     /// Checker tolerances.
     pub check: CheckPolicy,
+    /// Optional offered-load ramp with overload control.
+    pub overload: Option<OverloadRule>,
 }
 
 /// The raw deserialized document, before cross-field validation.
@@ -392,6 +448,8 @@ struct RawPlan {
     detector: Option<DetectorRule>,
     #[serde(default)]
     check: Option<CheckPolicy>,
+    #[serde(default)]
+    overload: Option<OverloadRule>,
 }
 
 impl FaultPlan {
@@ -455,6 +513,32 @@ impl FaultPlan {
                 )));
             }
         }
+        if let Some(ov) = &raw.overload {
+            if ov.ramp.is_empty() {
+                return Err(FrameError::store("overload.ramp must not be empty"));
+            }
+            if ov.ramp.contains(&0) {
+                return Err(FrameError::store("overload.ramp entries must be >= 1"));
+            }
+            if ov.rounds_per_step == 0 {
+                return Err(FrameError::store("overload.rounds_per_step must be >= 1"));
+            }
+            if ov.capacity_per_sec <= 0.0 {
+                return Err(FrameError::store("overload.capacity_per_sec must be > 0"));
+            }
+            // The ramp *is* the publish schedule: require the declared
+            // message count to match it so sequence-space windows (fault
+            // rules, the crash trigger, the checker's 0..messages scan)
+            // stay meaningful.
+            let scheduled: u64 = ov.ramp.iter().sum::<u64>() * ov.rounds_per_step;
+            if scheduled != raw.messages {
+                return Err(FrameError::store(format!(
+                    "messages = {} does not match the overload ramp's schedule \
+                     (sum(ramp) x rounds_per_step = {scheduled})",
+                    raw.messages
+                )));
+            }
+        }
         Ok(FaultPlan {
             name: raw.name,
             messages: raw.messages,
@@ -464,7 +548,44 @@ impl FaultPlan {
             crash: raw.crash,
             detector: raw.detector.unwrap_or_default(),
             check: raw.check.unwrap_or_default(),
+            overload: raw.overload,
         })
+    }
+
+    /// Messages published per topic in each publish round: all ones for
+    /// plans without an `[overload]` section, the diurnal ramp otherwise.
+    /// `sum(round_bursts()) == messages` by construction.
+    pub fn round_bursts(&self) -> Vec<u64> {
+        match &self.overload {
+            None => vec![1; self.messages as usize],
+            Some(ov) => ov
+                .ramp
+                .iter()
+                .flat_map(|&b| std::iter::repeat_n(b, ov.rounds_per_step as usize))
+                .collect(),
+        }
+    }
+
+    /// The burst multiplier of the round that published `seq` (1 when the
+    /// plan has no ramp). Sequence numbers past the schedule report the
+    /// final round's burst.
+    pub fn burst_of_seq(&self, seq: u64) -> u64 {
+        let bursts = match &self.overload {
+            None => return 1,
+            Some(ov) => ov,
+        };
+        let mut next = 0u64;
+        let mut last = 1u64;
+        for &b in &bursts.ramp {
+            for _ in 0..bursts.rounds_per_step {
+                next += b;
+                last = b;
+                if seq < next {
+                    return b;
+                }
+            }
+        }
+        last
     }
 
     /// The period of `topic`, for virtual-time delay sources (aperiodic
@@ -543,6 +664,55 @@ mod tests {
         assert!(FaultPlan::from_toml_str(&bad_crash).is_err());
         let bad_topic = PLAN.replace("topic = 1\n        from_seq", "topic = 9\n        from_seq");
         assert!(FaultPlan::from_toml_str(&bad_topic).is_err());
+    }
+
+    #[test]
+    fn overload_ramp_parses_and_schedules_bursts() {
+        let text = r#"
+            messages = 16
+            pace_ms = 10
+
+            [[topics]]
+            id = 1
+            deadline_ms = 100
+
+            [overload]
+            capacity_per_sec = 400.0
+            ramp = [1, 2, 4, 1]
+            rounds_per_step = 2
+            expect_shedding = true
+        "#;
+        let plan = FaultPlan::from_toml_str(text).unwrap();
+        let ov = plan.overload.as_ref().unwrap();
+        assert_eq!(ov.escalate_ticks, 1, "defaulted");
+        assert_eq!(ov.cooldown_ticks, 2, "defaulted");
+        assert!(ov.expect_shedding);
+        let bursts = plan.round_bursts();
+        assert_eq!(bursts, vec![1, 1, 2, 2, 4, 4, 1, 1]);
+        assert_eq!(bursts.iter().sum::<u64>(), plan.messages);
+        // seq → burst of the publishing round: seqs 0,1 are the two
+        // burst-1 rounds; 2..5 the burst-2 rounds; 6..13 burst-4; 14,15
+        // the closing burst-1 rounds.
+        assert_eq!(plan.burst_of_seq(0), 1);
+        assert_eq!(plan.burst_of_seq(3), 2);
+        assert_eq!(plan.burst_of_seq(6), 4);
+        assert_eq!(plan.burst_of_seq(13), 4);
+        assert_eq!(plan.burst_of_seq(14), 1);
+
+        let mismatched = text.replace("messages = 16", "messages = 10");
+        assert!(FaultPlan::from_toml_str(&mismatched).is_err());
+        let zero_burst = text.replace("[1, 2, 4, 1]", "[1, 0, 4, 1]");
+        assert!(FaultPlan::from_toml_str(&zero_burst).is_err());
+        let no_capacity = text.replace("capacity_per_sec = 400.0", "capacity_per_sec = 0.0");
+        assert!(FaultPlan::from_toml_str(&no_capacity).is_err());
+    }
+
+    #[test]
+    fn plans_without_overload_publish_one_per_round() {
+        let plan = FaultPlan::from_toml_str(PLAN).unwrap();
+        assert!(plan.overload.is_none());
+        assert_eq!(plan.round_bursts(), vec![1; 6]);
+        assert_eq!(plan.burst_of_seq(3), 1);
     }
 
     #[test]

@@ -16,16 +16,16 @@
 //! runs of a delay-free plan, and the promotion/deadline-miss set
 //! deterministic for every plan.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use frame_clock::{Clock, SimClock};
-use frame_core::BrokerConfig;
+use frame_core::{BrokerConfig, OverloadConfig};
 use frame_obs::{HealthConfig, Sampler, SamplerConfig, TimelinePoint};
 use frame_rt::{FaultHook, RtPublisher, RtSystem};
 use frame_telemetry::{HeartbeatKind, IncidentKind, Stage, Telemetry};
-use frame_types::{Duration, FrameError, PublisherId, SubscriberId, Time, TopicId};
+use frame_types::{Duration, FrameError, NetworkParams, PublisherId, SubscriberId, Time, TopicId};
 
 use crate::inject::{ChaosInjector, InjectedFault};
 use crate::invariant::{self, ChaosEvidence, DeliveryCounts, Verdict};
@@ -48,6 +48,8 @@ pub struct ChaosReport {
     /// The timeline as JSONL (the `metrics.jsonl` artifact) —
     /// byte-identical across same-seed runs of a delay-free plan.
     pub metrics_jsonl: String,
+    /// `(topic, seq)` shed by the overload controller, in order.
+    pub sheds: Vec<(u32, u64)>,
 }
 
 /// How long a broker must hold a stable counter fingerprint (wall time)
@@ -90,17 +92,39 @@ struct Driver {
     last_ack_ms: u64,
     stall_until_ms: u64,
     promoted: bool,
+    /// Overload control-tick cadence in logical ms (0 = no controller).
+    /// One tick per publish round keeps the differentiated offered-rate
+    /// signal aligned with the ramp instead of the sub-step grain.
+    control_cadence_ms: u64,
+    next_control_ms: u64,
+    /// `LoadShed` incidents seen so far, accumulated every sub-step so
+    /// the flight recorder's bounded incident ring cannot age them out
+    /// before the checker reads them.
+    sheds: BTreeSet<(u32, u64)>,
+    /// Same accumulation for `DeadlineMiss` incidents.
+    misses: BTreeSet<(u32, u64)>,
 }
 
 impl Driver {
     /// One logical sub-step: advance the clock, wait for the brokers to
-    /// quiesce, sample the metrics timeline, then run one detector round.
-    /// Sampling *before* the detector acts makes a crash window visible
-    /// as `Degraded` at the very sub-step that detects it.
+    /// quiesce, run any due overload control tick, sample the metrics
+    /// timeline, then run one detector round. Sampling *before* the
+    /// detector acts makes a crash window visible as `Degraded` at the
+    /// very sub-step that detects it; ticking the controller before
+    /// sampling makes every rung change visible at the sub-step that
+    /// decided it.
     fn sub_step(&mut self, dt_ms: u64) {
         self.lt_ms += dt_ms;
         self.clock.advance_to(Time::from_millis(self.lt_ms));
         self.quiesce();
+        if self.control_cadence_ms > 0 && self.lt_ms >= self.next_control_ms {
+            self.sys
+                .primary
+                .control_tick_at(Time::from_millis(self.lt_ms));
+            while self.next_control_ms <= self.lt_ms {
+                self.next_control_ms += self.control_cadence_ms;
+            }
+        }
         let point = self
             .sampler
             .observe(&self.telemetry.snapshot(), Time::from_millis(self.lt_ms));
@@ -108,7 +132,25 @@ impl Driver {
         self.metrics_jsonl.push_str(&tp.to_json_line());
         self.metrics_jsonl.push('\n');
         self.timeline.push(tp);
+        self.drain_incidents();
         self.detector_step();
+    }
+
+    /// Copies the flight recorder's current shed/miss incidents into the
+    /// run-long accumulators (the ring is bounded; a long ramp would
+    /// otherwise evict early evidence).
+    fn drain_incidents(&mut self) {
+        for i in &self.telemetry.flight_snapshot().incidents {
+            match i.kind {
+                IncidentKind::LoadShed => {
+                    self.sheds.insert((i.topic.0, i.seq.0));
+                }
+                IncidentKind::DeadlineMiss => {
+                    self.misses.insert((i.topic.0, i.seq.0));
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Waits (wall time) until the counter fingerprint has been stable for
@@ -223,11 +265,26 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
     let telemetry = Telemetry::new();
     let injector = ChaosInjector::new(plan.clone(), seed, telemetry.clone());
     let clock = SimClock::new();
-    let mut sys = RtSystem::builder(BrokerConfig::frame())
+    let mut builder = RtSystem::builder(BrokerConfig::frame())
         .telemetry(telemetry.clone())
         .clock(Arc::new(clock.clone()))
-        .chaos(injector.clone() as Arc<dyn FaultHook>)
-        .start()?;
+        .chaos(injector.clone() as Arc<dyn FaultHook>);
+    if let Some(ov) = &plan.overload {
+        // Manual mode: the driver ticks the controller at deterministic
+        // logical instants (one per publish round), so every rung change
+        // and shed decision is schedule-determined.
+        builder = builder.overload_manual(OverloadConfig {
+            capacity_per_sec: ov.capacity_per_sec,
+            target_queue_depth: 0, // quiesced samples always read empty
+            enter_pressure: ov.enter_pressure,
+            exit_pressure: ov.exit_pressure,
+            escalate_ticks: ov.escalate_ticks,
+            cooldown_ticks: ov.cooldown_ticks,
+            tick_interval: Duration::from_millis(plan.pace_ms.max(1)),
+            ..OverloadConfig::new(NetworkParams::paper_example())
+        });
+    }
+    let mut sys = builder.start()?;
 
     let mut specs = Vec::new();
     for topic in &plan.topics {
@@ -265,6 +322,7 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         },
         ..SamplerConfig::default()
     });
+    let control_cadence_ms = plan.overload.as_ref().map_or(0, |_| plan.pace_ms.max(1));
     let mut driver = Driver {
         stable_window: stability_window(plan),
         detector_timeout_ms: plan.detector.timeout_ms,
@@ -280,22 +338,42 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         last_ack_ms: 0,
         stall_until_ms: 0,
         promoted: false,
+        control_cadence_ms,
+        // First control tick at the first round boundary: it establishes
+        // the rate baseline; from then on every tick differentiates the
+        // offered counters over exactly one round.
+        next_control_ms: control_cadence_ms,
+        sheds: BTreeSet::new(),
+        misses: BTreeSet::new(),
     };
 
-    // Drive the schedule: one publish round per sequence number, advanced
-    // in detector-interval sub-steps so the Primary has processed a
-    // message before the next round — and, crucially, before a scripted
-    // crash. That keeps the set of frames that crossed each hop (and so
-    // the incident and metrics logs) schedule-determined rather than
-    // race-determined.
+    // Drive the schedule: one publish round per ramp burst (one message
+    // per topic per round without an [overload] section), advanced in
+    // detector-interval sub-steps so the Primary has processed a round
+    // before the next one — and, crucially, before a scripted crash. That
+    // keeps the set of frames that crossed each hop (and so the incident
+    // and metrics logs) schedule-determined rather than race-determined.
     let mut crashed = false;
-    for seq in 0..plan.messages {
-        for topic in &plan.topics {
-            let payload = format!("{:016}", seq).into_bytes();
-            // Publishing into a crashed Primary is part of the scenario:
-            // the message lands in the retention buffer and is re-sent on
-            // fail-over, so a send error here is evidence, not a bug.
-            let _ = driver.publisher.publish(TopicId(topic.id), payload);
+    let mut next_seq = 0u64;
+    for burst in plan.round_bursts() {
+        for _ in 0..burst {
+            for topic in &plan.topics {
+                let payload = format!("{:016}", next_seq).into_bytes();
+                // Publishing into a crashed Primary is part of the
+                // scenario: the message lands in the retention buffer and
+                // is re-sent on fail-over, so a send error here is
+                // evidence, not a bug.
+                let _ = driver.publisher.publish(TopicId(topic.id), payload);
+            }
+            next_seq += 1;
+            // Let each burst iteration land before the next: two dispatch
+            // jobs of the same topic in the queue at once can invert at
+            // the shard lock (whichever worker locks first delivers
+            // first), and an inversion reads as a sequence gap — i.e. the
+            // loss accounting would be race-determined, not
+            // schedule-determined. Offered-rate pressure is counter-based,
+            // so the overload controller sees the burst all the same.
+            driver.quiesce();
         }
         let mut remaining = plan.pace_ms.max(1);
         while remaining > 0 {
@@ -304,7 +382,7 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
             remaining -= dt;
         }
         if let Some(crash) = plan.crash {
-            if !crashed && crash.at_seq == seq {
+            if !crashed && crash.at_seq < next_seq {
                 crashed = true;
                 driver.sys.crash_primary();
                 telemetry.incident(
@@ -345,26 +423,27 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         }
     }
 
-    let deadline_misses: Vec<(u32, u64)> = telemetry
-        .flight_snapshot()
-        .incidents
-        .iter()
-        .filter(|i| i.kind == IncidentKind::DeadlineMiss)
-        .map(|i| (i.topic.0, i.seq.0))
-        .collect();
-
+    // One final drain so anything recorded after the last sub-step's scan
+    // (channel-emptying above cannot create incidents, but belt and
+    // braces) is in the accumulators.
+    driver.drain_incidents();
     let Driver {
         sys,
         timeline,
         metrics_jsonl,
+        sheds,
+        misses,
         ..
     } = driver;
     sys.shutdown();
 
+    let deadline_misses: Vec<(u32, u64)> = misses.into_iter().collect();
+    let sheds: Vec<(u32, u64)> = sheds.into_iter().collect();
     let evidence = ChaosEvidence {
         delivered: delivered.clone(),
         backup_order: injector.backup_order(),
         deadline_misses: deadline_misses.clone(),
+        sheds: sheds.clone(),
     };
     let verdict = invariant::check(plan, &evidence);
     Ok(ChaosReport {
@@ -375,6 +454,7 @@ pub fn run(plan: &FaultPlan, seed: u64) -> Result<ChaosReport, FrameError> {
         deadline_misses: deadline_misses.len(),
         timeline,
         metrics_jsonl,
+        sheds,
     })
 }
 
@@ -410,6 +490,43 @@ mod tests {
         assert_eq!(last.delivered, 5);
         assert!(report.timeline.iter().all(|p| p.health == "healthy"));
         assert_eq!(report.metrics_jsonl.lines().count(), report.timeline.len());
+    }
+
+    #[test]
+    fn overload_ramp_degrades_on_the_ladder_and_replays_byte_identically() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/plans/overload_ramp.toml");
+        let plan = FaultPlan::load(&path).unwrap();
+        let a = run(&plan, 7).unwrap();
+        assert!(a.verdict.passed, "{}", a.verdict.render());
+
+        // The ramp forced real shedding, every drop attributed — and the
+        // hard topic (L_i = 0) was never touched.
+        assert!(!a.sheds.is_empty(), "scripted ramp must shed");
+        assert!(
+            a.sheds.iter().all(|&(topic, _)| topic != 1),
+            "hard topic shed: {:?}",
+            a.sheds
+        );
+
+        // The ladder climbed to eviction at the peak and de-escalated
+        // back to normal service once the ramp drained.
+        let peak = a.timeline.iter().map(|p| p.rung).max().unwrap_or(0);
+        assert_eq!(peak, 3, "peak rung");
+        assert_eq!(a.timeline.last().unwrap().rung, 0, "settled to normal");
+        // Degradation is visible in the sampled health verdict while the
+        // rung is raised (the `Degraded` overload reason).
+        assert!(a
+            .timeline
+            .iter()
+            .any(|p| p.rung > 0 && p.health == "degraded"));
+
+        // Same plan + same seed ⇒ byte-identical artifacts (the chaos
+        // gauntlet's reproducibility bar, now including control ticks).
+        let b = run(&plan, 7).unwrap();
+        assert_eq!(a.incidents_jsonl, b.incidents_jsonl);
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl);
+        assert_eq!(a.sheds, b.sheds);
     }
 
     #[test]

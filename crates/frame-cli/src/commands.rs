@@ -340,16 +340,22 @@ fn fetch_stats_json(addr: SocketAddr) -> Result<String, String> {
     }
 }
 
+/// The minimum pause between watch ticks. A zero interval would make
+/// [`watch`] spin flat out — hammering the broker with Stats fetches and
+/// the terminal with screen-clears — so anything below this is floored.
+pub const WATCH_FLOOR: std::time::Duration = std::time::Duration::from_millis(100);
+
 /// The shared polling loop behind `top` and `stats --watch`: runs `tick`
 /// up to `max_rounds` times with `interval` of sleep *before* each one
 /// (every tick observes a full interval of activity), stopping early when
-/// `stop` is set.
+/// `stop` is set. Intervals below [`WATCH_FLOOR`] are floored to it.
 fn watch(
     interval: std::time::Duration,
     max_rounds: u64,
     stop: &StopFlag,
     mut tick: impl FnMut() -> Result<(), String>,
 ) -> Result<(), String> {
+    let interval = interval.max(WATCH_FLOOR);
     for _ in 0..max_rounds {
         // Sleep in short slices so Ctrl-C doesn't wait out the interval.
         let deadline = std::time::Instant::now() + interval;
@@ -590,6 +596,21 @@ fn render_top(
             slo.topic.0, slo.delivered, slo.deadline_misses, slo.lost, slo.loss_bound_violations,
         );
     }
+    if snap.overload.degraded() || snap.overload.escalations > 0 {
+        let o = &snap.overload;
+        let _ = writeln!(
+            s,
+            "overload  rung {} ({})  pressure {:.2}  suppressed {}  shedding {}  evicted {}  esc/deesc {}/{}",
+            o.rung,
+            o.rung_name(),
+            o.pressure(),
+            o.suppressed_topics,
+            o.shedding_topics,
+            o.evicted_topics,
+            o.escalations,
+            o.deescalations,
+        );
+    }
     if !p.health.reasons.is_empty() {
         let _ = writeln!(s, "reasons   {}", p.health.reasons.join("; "));
     }
@@ -721,6 +742,24 @@ mod tests {
         assert_eq!(clip_to_width(screen, None), screen);
         let clipped = clip_to_width(screen, Some(20));
         assert_eq!(clipped, "short\na-very-long-line-tha\n");
+    }
+
+    #[test]
+    fn watch_floors_zero_interval() {
+        let stop: StopFlag = Arc::new(AtomicBool::new(false));
+        let start = std::time::Instant::now();
+        let mut ticks = 0;
+        watch(std::time::Duration::ZERO, 2, &stop, || {
+            ticks += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ticks, 2);
+        assert!(
+            start.elapsed() >= WATCH_FLOOR,
+            "a zero interval must be floored, not spun: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

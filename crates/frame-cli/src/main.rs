@@ -175,12 +175,12 @@ fn run(args: &[String]) -> Result<i32, String> {
             match flags.get("--watch") {
                 None => cmd_stats(addr, format, &mut std::io::stdout())?,
                 Some(secs) => {
-                    let secs: u64 = secs.parse().map_err(|_| "bad --watch".to_owned())?;
+                    let secs = parse_interval_secs("--watch", secs)?;
                     let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
                     cmd_stats_watch(
                         addr,
                         format,
-                        std::time::Duration::from_secs(secs.max(1)),
+                        std::time::Duration::from_secs(secs),
                         u64::MAX,
                         &stop,
                         &mut std::io::stdout(),
@@ -199,11 +199,9 @@ fn run(args: &[String]) -> Result<i32, String> {
                 // --once differentiates two snapshots a short window apart.
                 None if once => std::time::Duration::from_millis(200),
                 None => std::time::Duration::from_secs(2),
-                Some(secs) => std::time::Duration::from_secs(
-                    secs.parse::<u64>()
-                        .map_err(|_| "bad --interval".to_owned())?
-                        .max(1),
-                ),
+                Some(secs) => {
+                    std::time::Duration::from_secs(parse_interval_secs("--interval", secs)?)
+                }
             };
             let stop: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
             let rounds = if once { 1 } else { u64::MAX };
@@ -326,6 +324,20 @@ fn run(args: &[String]) -> Result<i32, String> {
     }
 }
 
+/// Parses a watch/refresh interval given in whole seconds, rejecting 0:
+/// a zero interval used to parse fine and then spin the watch loop flat
+/// out against the broker (see `commands::WATCH_FLOOR` for the
+/// library-level backstop).
+fn parse_interval_secs(flag: &str, value: &str) -> Result<u64, String> {
+    let secs: u64 = value.parse().map_err(|_| format!("bad {flag}"))?;
+    if secs == 0 {
+        return Err(format!(
+            "{flag} 0 would busy-loop against the broker; use {flag} >= 1"
+        ));
+    }
+    Ok(secs)
+}
+
 fn usage() -> String {
     "usage:\n  frame-cli admit     --manifest topics.json\n  \
      frame-cli broker    --manifest topics.json --listen ADDR [--role primary|backup]\n            \
@@ -341,4 +353,29 @@ fn usage() -> String {
      frame-cli chaos run PLAN.toml [--seed N] [--out DIR]\n  \
      frame-cli example-manifest"
         .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<i32, String> {
+        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn zero_watch_and_interval_are_rejected_at_parse_time() {
+        // The address never gets connected: the interval is validated
+        // first, so a bogus port is fine.
+        let err = run_strs(&["stats", "--addr", "127.0.0.1:9", "--watch", "0"]).unwrap_err();
+        assert!(err.contains("--watch 0 would busy-loop"), "got: {err}");
+        let err = run_strs(&["top", "--addr", "127.0.0.1:9", "--interval", "0"]).unwrap_err();
+        assert!(err.contains("--interval 0 would busy-loop"), "got: {err}");
+        // Non-numeric still reads as a parse error, not a busy-loop one.
+        let err = run_strs(&["stats", "--addr", "127.0.0.1:9", "--watch", "x"]).unwrap_err();
+        assert_eq!(err, "bad --watch");
+        // And a sane value passes the parser.
+        assert_eq!(parse_interval_secs("--watch", "3"), Ok(3));
+    }
 }

@@ -49,6 +49,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::bounds::AdmittedTopic;
 use crate::job::{BufferSource, Job, Scheduler, SchedulingPolicy};
+use crate::overload::{
+    ControlAction, OverloadConfig, OverloadController, PressureSample, TopicClass,
+};
 use crate::shard::{AdmitCtx, Resolution, TopicShard};
 
 /// Which fault-tolerance role a broker currently plays.
@@ -209,6 +212,11 @@ pub struct BrokerStats {
     pub replication_deadline_misses: u64,
     /// Highest number of live jobs ever waiting in the delivery queue.
     pub queue_high_watermark: u64,
+    /// Messages dropped at the admission boundary by the overload
+    /// controller (rung-2 `L_i`-bounded sheds plus rung-3 evicted-topic
+    /// rejects). `default` so pre-controller snapshots still deserialize.
+    #[serde(default)]
+    pub messages_shed: u64,
 }
 
 impl BrokerStats {
@@ -234,6 +242,7 @@ impl BrokerStats {
         self.dispatch_deadline_misses += other.dispatch_deadline_misses;
         self.replication_deadline_misses += other.replication_deadline_misses;
         self.queue_high_watermark = self.queue_high_watermark.max(other.queue_high_watermark);
+        self.messages_shed += other.messages_shed;
     }
 }
 
@@ -250,6 +259,7 @@ pub struct Broker {
     has_backup_peer: bool,
     stats: BrokerStats,
     telemetry: Telemetry,
+    overload: Option<OverloadController>,
 }
 
 impl Broker {
@@ -264,7 +274,71 @@ impl Broker {
             has_backup_peer: role == BrokerRole::Primary,
             stats: BrokerStats::default(),
             telemetry: Telemetry::disabled(),
+            overload: None,
         }
+    }
+
+    /// Attaches an overload controller. Every already-registered topic is
+    /// classified into the controller's ladder; topics registered later
+    /// join automatically. The embedding drives the loop by calling
+    /// [`Broker::control_tick`] at the configured cadence.
+    pub fn set_overload(&mut self, config: OverloadConfig) {
+        let mut controller = OverloadController::new(config);
+        for shard in self.shards.values() {
+            controller.register_topic(TopicClass::from_admitted(shard.admitted()));
+        }
+        self.overload = Some(controller);
+    }
+
+    /// The attached overload controller, if any.
+    pub fn overload(&self) -> Option<&OverloadController> {
+        self.overload.as_ref()
+    }
+
+    /// Runs one overload-control tick at `now`: reads the pressure
+    /// signals (queue depth, offered load, deadline misses), advances the
+    /// ladder, and applies any per-topic degradations/restorations to the
+    /// shards. Returns the number of actions applied. A no-op without an
+    /// attached controller.
+    pub fn control_tick(&mut self, now: Time) -> usize {
+        let Some(controller) = &mut self.overload else {
+            return 0;
+        };
+        let sample = PressureSample {
+            queue_depth: self.sched.len() as u64,
+            offered_total: self.stats.messages_in + self.stats.messages_shed,
+            miss_total: self.stats.dispatch_deadline_misses,
+            queue_wait_p99: frame_types::Duration::ZERO,
+        };
+        let outcome = controller.tick(now, sample);
+        if let Some((from, to)) = outcome.transition {
+            if to > from {
+                self.telemetry.record_overload_escalation();
+            } else {
+                self.telemetry.record_overload_deescalation();
+            }
+            self.telemetry.incident(
+                IncidentKind::OverloadControl,
+                TopicId(0),
+                SeqNo(to.index() as u64),
+                now,
+                format!("rung {from} -> {to} at pressure {:.3}", outcome.pressure),
+            );
+        }
+        let applied = outcome.actions.len();
+        let net = controller.config().net;
+        let (suppressed, shedding, evicted) = controller.degraded_counts();
+        let rung = controller.rung().index() as u64;
+        let pressure = controller.last_pressure();
+        for action in outcome.actions {
+            let Some(shard) = self.shards.get_mut(&action.topic()) else {
+                continue;
+            };
+            apply_control_action(shard, action, &net, now, &self.telemetry);
+        }
+        self.telemetry
+            .set_overload_state(rung, suppressed, shedding, evicted, pressure);
+        applied
     }
 
     /// Attaches a telemetry registry. Every Table-3 decision point and the
@@ -328,6 +402,9 @@ impl Broker {
         }
         let deadline = admitted.spec.deadline;
         let loss_bound = admitted.spec.loss_tolerance.bound();
+        if let Some(controller) = &mut self.overload {
+            controller.register_topic(TopicClass::from_admitted(&admitted));
+        }
         self.shards.insert(
             id,
             TopicShard::new(admitted, subscribers, &self.config, self.telemetry.clone()),
@@ -544,6 +621,101 @@ impl Broker {
             created += shard.recovery_jobs(now, &mut self.sched, &mut self.stats);
         }
         Ok(created)
+    }
+}
+
+/// Applies one overload [`ControlAction`] to a topic shard, recording the
+/// flight-recorder incident that attributes it. Shared by the sans-IO
+/// facade and the threaded runtime (which calls it under the shard lock).
+/// Returns whether the shard state actually changed.
+pub fn apply_control_action(
+    shard: &mut TopicShard,
+    action: ControlAction,
+    net: &frame_types::NetworkParams,
+    now: Time,
+    telemetry: &Telemetry,
+) -> bool {
+    let topic = action.topic();
+    match action {
+        ControlAction::SuppressReplication(_) => {
+            let changed = shard.set_replication_suppressed(true);
+            if changed {
+                telemetry.incident(
+                    IncidentKind::OverloadControl,
+                    topic,
+                    SeqNo(0),
+                    now,
+                    "replication suppressed (Proposition 1: optional)".to_string(),
+                );
+            }
+            changed
+        }
+        ControlAction::RestoreReplication(_) => shard.set_replication_suppressed(false),
+        ControlAction::StartShedding(_) => {
+            let changed = shard.set_shedding(true);
+            if changed {
+                telemetry.incident(
+                    IncidentKind::OverloadControl,
+                    topic,
+                    SeqNo(0),
+                    now,
+                    format!(
+                        "shedding within L_i {}",
+                        shard
+                            .admitted()
+                            .spec
+                            .loss_tolerance
+                            .bound()
+                            .map_or("∞".to_string(), |l| l.to_string())
+                    ),
+                );
+            }
+            changed
+        }
+        ControlAction::StopShedding(_) => shard.set_shedding(false),
+        ControlAction::Evict(_) => {
+            let changed = shard.set_evicted(true);
+            if changed {
+                telemetry.incident(
+                    IncidentKind::TopicEvicted,
+                    topic,
+                    SeqNo(0),
+                    now,
+                    "best-effort topic evicted from admission set".to_string(),
+                );
+            }
+            changed
+        }
+        ControlAction::Restore(_) => {
+            if !shard.is_evicted() {
+                return false;
+            }
+            // Dynamic re-admission: the topic only comes back through the
+            // same admission math that let it in at startup.
+            match crate::bounds::admit(&shard.admitted().spec, net) {
+                Ok(_) => {
+                    shard.set_evicted(false);
+                    telemetry.incident(
+                        IncidentKind::TopicRestored,
+                        topic,
+                        SeqNo(0),
+                        now,
+                        "re-admitted after overload eviction".to_string(),
+                    );
+                    true
+                }
+                Err(_) => {
+                    telemetry.incident(
+                        IncidentKind::AdmissionReject,
+                        topic,
+                        SeqNo(0),
+                        now,
+                        "restore refused: admission test failed".to_string(),
+                    );
+                    false
+                }
+            }
+        }
     }
 }
 
@@ -961,6 +1133,61 @@ mod tests {
         }
         assert_eq!(b.stats().dispatch_deadline_misses, 1);
         assert!(b.stats().queue_high_watermark >= 2);
+    }
+
+    #[test]
+    fn saturated_pressure_sheds_within_li_and_never_on_hard_topics() {
+        let telemetry = Telemetry::new();
+        let mut b = Broker::new(BrokerId(1), BrokerRole::Primary, BrokerConfig::frame());
+        b.register_topic(admitted(2, T1), vec![S1]).unwrap(); // hard: L_i = 0
+        b.register_topic(admitted(1, TopicId(2)), vec![S1]).unwrap(); // L_i = 3
+        b.set_telemetry(telemetry.clone());
+        b.set_overload(OverloadConfig {
+            target_queue_depth: 1,
+            escalate_ticks: 1,
+            cooldown_ticks: 1_000,
+            ..OverloadConfig::new(net())
+        });
+        // Never drain the scheduler: the depth term stays saturated for
+        // the entire run — the hardest case for the shard's run guard.
+        for seq in 0..40u64 {
+            let now = Time::from_millis(seq * 10);
+            b.on_message(msg(T1, seq, seq * 10), now).unwrap();
+            b.on_message(msg(TopicId(2), seq, seq * 10), now).unwrap();
+            b.control_tick(now);
+        }
+        assert!(b.overload().unwrap().rung() >= crate::overload::Rung::Shed);
+        assert!(b.stats().messages_shed > 0, "saturation must shed");
+
+        let sheds: Vec<(u32, u64)> = telemetry
+            .flight_snapshot()
+            .incidents
+            .iter()
+            .filter(|i| i.kind == IncidentKind::LoadShed)
+            .map(|i| (i.topic.0, i.seq.0))
+            .collect();
+        assert!(!sheds.is_empty());
+        assert!(
+            sheds.iter().all(|&(topic, _)| topic != 1),
+            "hard topic (L_i = 0) was shed: {sheds:?}"
+        );
+        // The tolerant topic's consecutive shed runs saturate at exactly
+        // L_i = 3 — never beyond — no matter how long the pressure lasts.
+        let shed_seqs: std::collections::BTreeSet<u64> = sheds
+            .iter()
+            .filter(|&&(topic, _)| topic == 2)
+            .map(|&(_, seq)| seq)
+            .collect();
+        let (mut run, mut worst) = (0u64, 0u64);
+        for seq in 0..40 {
+            if shed_seqs.contains(&seq) {
+                run += 1;
+                worst = worst.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert_eq!(worst, 3, "shed runs must cap at L_i, not exceed it");
     }
 
     #[test]

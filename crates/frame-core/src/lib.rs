@@ -53,6 +53,7 @@ pub mod broker;
 pub mod buffer;
 pub mod detector;
 pub mod job;
+pub mod overload;
 pub mod publisher;
 pub mod shard;
 pub mod subscriber;
@@ -61,11 +62,17 @@ pub use bounds::{
     admit, deadline_ordering, dispatch_deadline, min_admissible_retention, replication_deadline,
     replication_needed, AdmittedTopic, Deadline, DeadlineKind, LabelledDeadline, PseudoDeadlines,
 };
-pub use broker::{ActiveJob, Broker, BrokerConfig, BrokerRole, BrokerStats, Effect};
+pub use broker::{
+    apply_control_action, ActiveJob, Broker, BrokerConfig, BrokerRole, BrokerStats, Effect,
+};
 pub use buffer::{BufferedMessage, CopyFlags, RingBuffer, SlotRef};
 pub use detector::{PollingDetector, PrimaryStatus};
 pub use job::{
     BufferSource, EdfQueue, FcfsQueue, Job, JobId, JobKind, JobQueue, Scheduler, SchedulingPolicy,
+};
+pub use overload::{
+    ControlAction, OverloadConfig, OverloadController, PressureSample, Rung, TickOutcome,
+    TopicClass,
 };
 pub use publisher::{PublishTarget, Publisher, RetentionBuffer};
 pub use shard::{AdmitCtx, FinishOutcome, Resolution, TopicShard};

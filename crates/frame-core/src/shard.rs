@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use frame_telemetry::{DecisionKind, Telemetry};
+use frame_telemetry::{DecisionKind, IncidentKind, Telemetry};
 use frame_types::{Message, MessageKey, SeqNo, SpanPoint, SubscriberId, Time, TopicId};
 
 use crate::bounds::{AdmittedTopic, Deadline};
@@ -80,6 +80,20 @@ pub struct TopicShard {
     backup: RingBuffer<BackupEntry>,
     backup_index: HashMap<SeqNo, SlotRef>,
     telemetry: Telemetry,
+    /// Overload rung 1: the controller suppressed replication for this
+    /// topic (Proposition 1 says it is optional). Dynamic counterpart of
+    /// `BrokerConfig::selective_replication`.
+    replication_suppressed: bool,
+    /// Overload rung 2: the controller is shedding this topic at the
+    /// admission boundary (within `L_i`).
+    shedding: bool,
+    /// Overload rung 3: this best-effort topic is evicted — nothing is
+    /// admitted until the controller restores it.
+    evicted: bool,
+    /// Consecutive messages shed so far in the current run. Reset on
+    /// every admitted message; compared against `L_i` so the controller
+    /// can never manufacture a Lemma-1 violation.
+    shed_run: u32,
 }
 
 impl TopicShard {
@@ -101,6 +115,10 @@ impl TopicShard {
             backup: RingBuffer::new(config.backup_buffer_capacity),
             backup_index: HashMap::new(),
             telemetry,
+            replication_suppressed: false,
+            shedding: false,
+            evicted: false,
+            shed_run: 0,
         }
     }
 
@@ -122,6 +140,76 @@ impl TopicShard {
     /// Replaces the telemetry handle.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Overload rung 1: dynamically suppress (or restore) replication for
+    /// this topic. Returns whether the state changed.
+    pub fn set_replication_suppressed(&mut self, on: bool) -> bool {
+        let changed = self.replication_suppressed != on;
+        self.replication_suppressed = on;
+        changed
+    }
+
+    /// Whether the controller currently suppresses this topic's
+    /// replication.
+    pub fn replication_suppressed(&self) -> bool {
+        self.replication_suppressed
+    }
+
+    /// Overload rung 2: start (or stop) shedding this topic at the
+    /// admission boundary. Refused (returns `false`) for hard-bound
+    /// topics (`L_i = 0`): Lemma 1 leaves them no shed budget. Ending a
+    /// shed phase resets the run counter.
+    pub fn set_shedding(&mut self, on: bool) -> bool {
+        if on && self.admitted.spec.loss_tolerance.bound() == Some(0) {
+            return false;
+        }
+        let changed = self.shedding != on;
+        self.shedding = on;
+        if !on {
+            self.shed_run = 0;
+        }
+        changed
+    }
+
+    /// Whether the controller is currently shedding this topic.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Overload rung 3: evict (or restore) this topic. Returns whether
+    /// the state changed. The caller is responsible for only evicting
+    /// topics whose loss tolerance permits it and for re-running the
+    /// admission test on restore.
+    pub fn set_evicted(&mut self, on: bool) -> bool {
+        let changed = self.evicted != on;
+        self.evicted = on;
+        if !on {
+            self.shed_run = 0;
+        }
+        changed
+    }
+
+    /// Whether this topic is currently evicted.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+    }
+
+    /// The current consecutive shed run (test/diagnostic surface).
+    pub fn shed_run(&self) -> u32 {
+        self.shed_run
+    }
+
+    /// Whether rung-2 shedding may drop the next message without the
+    /// consecutive run exceeding `L_i` (best-effort topics have no
+    /// bound). At `shed_run == L_i` the next message *must* be admitted,
+    /// which resets the run — so the controller can never manufacture a
+    /// Lemma-1 violation no matter how long the pressure lasts.
+    fn shed_budget_left(&self) -> bool {
+        match self.admitted.spec.loss_tolerance.bound() {
+            Some(l) => self.shed_run < l,
+            None => true,
+        }
     }
 
     fn dispatch_abs_deadline(&self, message: &Message) -> Time {
@@ -149,14 +237,49 @@ impl TopicShard {
         sched: &mut Scheduler,
         stats: &mut BrokerStats,
     ) -> usize {
+        let key = message.key();
+        if self.evicted {
+            // Rung 3: the topic is out of the admission set entirely.
+            // Only best-effort topics get here (the controller's
+            // eligibility rule), so no loss bound is at stake.
+            stats.messages_shed += 1;
+            self.telemetry
+                .decision(DecisionKind::Shed, self.topic, key.seq, now);
+            self.telemetry
+                .incident_with(IncidentKind::LoadShed, self.topic, key.seq, now, |d| {
+                    d.push_str("rejected at admission: topic evicted");
+                });
+            return 0;
+        }
+        if self.shedding && self.shed_budget_left() {
+            // Rung 2: drop at the admission boundary, never letting the
+            // consecutive run exceed L_i (Lemma 1). The run resets on the
+            // next admitted message below.
+            self.shed_run += 1;
+            stats.messages_shed += 1;
+            self.telemetry
+                .decision(DecisionKind::Shed, self.topic, key.seq, now);
+            let run = self.shed_run;
+            let bound = self.admitted.spec.loss_tolerance.bound();
+            self.telemetry
+                .incident_with(IncidentKind::LoadShed, self.topic, key.seq, now, |d| {
+                    use std::fmt::Write;
+                    let _ = match bound {
+                        Some(l) => write!(d, "shed at admission: run {run}/{l}"),
+                        None => write!(d, "shed at admission: run {run} (best-effort)"),
+                    };
+                });
+            return 0;
+        }
+        self.shed_run = 0;
         stats.messages_in += 1;
         if source == BufferSource::Resend {
             stats.resends_in += 1;
         }
-        let key = message.key();
         let dispatch_deadline = self.dispatch_abs_deadline(&message);
-        let replicate = ctx.has_backup_peer
-            && (!ctx.config.selective_replication || self.admitted.deadlines.replication_needed);
+        let suppress = self.replication_suppressed
+            || (ctx.config.selective_replication && !self.admitted.deadlines.replication_needed);
+        let replicate = ctx.has_backup_peer && !suppress;
         let replicate_deadline = self.replicate_abs_deadline(&message);
         let subscriber_count = self.subscribers.len() as u32;
 
@@ -188,7 +311,7 @@ impl TopicShard {
             });
             self.pending_replication.insert(key.seq, id);
             created += 1;
-        } else if ctx.config.selective_replication && ctx.has_backup_peer {
+        } else if suppress && ctx.has_backup_peer {
             stats.replications_suppressed += 1;
             self.telemetry
                 .decision(DecisionKind::Suppress, self.topic, key.seq, now);

@@ -189,6 +189,25 @@ pub fn evaluate(
         }
     }
 
+    // Overload control above Normal means the broker is deliberately
+    // degrading (suppressing replication, shedding within L_i, evicting
+    // best-effort topics). The system is coping, not failing — Degraded,
+    // with the ladder state spelled out.
+    if snap.overload.degraded() {
+        raise(
+            HealthVerdict::Degraded,
+            format!(
+                "overload control active: rung {} ({}), topics suppressed/shedding/evicted {}/{}/{}",
+                snap.overload.rung,
+                snap.overload.rung_name(),
+                snap.overload.suppressed_topics,
+                snap.overload.shedding_topics,
+                snap.overload.evicted_topics
+            ),
+            &mut reasons,
+        );
+    }
+
     if let Some(prev) = prev {
         let burn = |s: &TelemetrySnapshot| {
             s.slos
@@ -335,6 +354,34 @@ mod tests {
         let r = evaluate(&cfg, Some(&frozen), &t.snapshot(), ms(200), ms(100));
         assert_eq!(r.verdict, HealthVerdict::Degraded);
         assert!(r.reasons[0].contains("deliveries stalled"));
+    }
+
+    #[test]
+    fn overload_rung_above_normal_degrades_with_ladder_state() {
+        let t = Telemetry::new();
+        t.set_overload_state(2, 1, 3, 0, 1.7);
+        let r = evaluate(
+            &HealthConfig::default(),
+            None,
+            &t.snapshot(),
+            ms(100),
+            ms(100),
+        );
+        assert_eq!(r.verdict, HealthVerdict::Degraded);
+        assert!(r.reasons[0].contains("overload control active"));
+        assert!(r.reasons[0].contains("rung 2 (shed)"));
+        assert!(r.reasons[0].contains("1/3/0"));
+
+        // Back at Normal the reason clears.
+        t.set_overload_state(0, 0, 0, 0, 0.1);
+        let r = evaluate(
+            &HealthConfig::default(),
+            None,
+            &t.snapshot(),
+            ms(100),
+            ms(100),
+        );
+        assert_eq!(r.verdict, HealthVerdict::Healthy);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use frame_clock::Clock;
 use frame_telemetry::{DecisionKind, Telemetry, TelemetrySnapshot};
 use frame_types::{Duration, Time};
 
-use crate::health::{evaluate, HealthConfig, HealthReport};
+use crate::health::{evaluate, HealthConfig, HealthReport, HealthVerdict};
 use crate::series::SeriesStore;
 
 /// Sampler cadence, ring sizing and health thresholds.
@@ -30,6 +30,11 @@ pub struct SamplerConfig {
     pub ring_capacity: usize,
     /// Cardinality guard: max distinct series before points are dropped.
     pub max_series: usize,
+    /// Max cardinality-guard drops per second before the blind spot is
+    /// surfaced as a `Degraded` health reason. The guard itself stays
+    /// silent otherwise — without this rule a saturated store sheds
+    /// every new topic's series invisibly.
+    pub series_drop_per_sec: f64,
     /// Health watchdog thresholds.
     pub health: HealthConfig,
 }
@@ -40,6 +45,7 @@ impl Default for SamplerConfig {
             cadence: Duration::from_millis(100),
             ring_capacity: 512,
             max_series: 256,
+            series_drop_per_sec: 1.0,
             health: HealthConfig::default(),
         }
     }
@@ -90,6 +96,10 @@ pub struct SamplePoint {
     pub ingress_backlog: u64,
     /// Deepest ingress backlog watermark across brokers.
     pub ingress_watermark: u64,
+    /// Overload-controller rung at this sample (0 = normal service).
+    pub rung: u64,
+    /// Cumulative messages shed by the overload controller.
+    pub shed: u64,
     /// The health verdict at this sample.
     pub health: HealthReport,
     /// Per-role resource deltas over the interval (empty before the
@@ -187,6 +197,10 @@ pub struct Sampler {
     store: SeriesStore,
     prev: Option<(u64, TelemetrySnapshot)>,
     latest: Option<SamplePoint>,
+    /// Cardinality-guard drops already accounted in a previous sample.
+    dropped_seen: u64,
+    /// Whether the first guard drop has been logged (once per sampler).
+    drop_logged: bool,
 }
 
 fn sum_slo(snap: &TelemetrySnapshot, f: impl Fn(&frame_telemetry::TopicSloSnapshot) -> u64) -> u64 {
@@ -225,6 +239,8 @@ impl Sampler {
             config,
             prev: None,
             latest: None,
+            dropped_seen: 0,
+            drop_logged: false,
         }
     }
 
@@ -257,7 +273,7 @@ impl Sampler {
             t_ns,
             dt_ns,
         );
-        let point = SamplePoint {
+        let mut point = SamplePoint {
             t_ns,
             dt_ns,
             admits: snap.admits,
@@ -289,13 +305,45 @@ impl Sampler {
                 .map(|q| q.ingress_watermark)
                 .max()
                 .unwrap_or(0),
+            rung: snap.overload.rung,
+            shed: snap.decision_count(DecisionKind::Shed),
             health,
             roles: diff_roles(prev, snap),
         };
         self.record_series(snap, &point);
+        self.surface_series_drops(&mut point);
         self.prev = Some((t_ns, snap.clone()));
         self.latest = Some(point.clone());
         point
+    }
+
+    /// Surfaces the series store's cardinality-guard drops: logged once
+    /// on the very first drop, and folded into the sample's health report
+    /// as `Degraded` while the sustained drop rate stays above the
+    /// configured threshold. Without this the guard sheds new series
+    /// silently and the dashboard's blind spot is itself invisible.
+    fn surface_series_drops(&mut self, point: &mut SamplePoint) {
+        let dropped = self.store.dropped();
+        if dropped > 0 && !self.drop_logged {
+            self.drop_logged = true;
+            eprintln!(
+                "frame-obs: series cardinality guard engaged: {} distinct series cap reached, \
+                 new series are being dropped (raise SamplerConfig::max_series to widen)",
+                self.config.max_series
+            );
+        }
+        let delta = dropped.saturating_sub(self.dropped_seen);
+        self.dropped_seen = dropped;
+        let dt_secs = point.dt_ns.max(1) as f64 / 1e9;
+        if delta as f64 / dt_secs > self.config.series_drop_per_sec {
+            if point.health.verdict < HealthVerdict::Degraded {
+                point.health.verdict = HealthVerdict::Degraded;
+            }
+            point.health.reasons.push(format!(
+                "metrics series dropped: cardinality guard at the {}-series cap is shedding new series",
+                self.config.max_series
+            ));
+        }
     }
 
     fn record_series(&mut self, snap: &TelemetrySnapshot, p: &SamplePoint) {
@@ -313,6 +361,14 @@ impl Sampler {
             .push("gauge.ingress_backlog", t, p.ingress_backlog as f64);
         self.store
             .push("health.severity", t, f64::from(p.health.verdict.severity()));
+        // The overload ladder, once it has ever moved: rung + raw
+        // pressure, so `top`/timeline can correlate sheds with load.
+        if snap.overload.degraded() || snap.overload.escalations > 0 {
+            self.store
+                .push("overload.rung", t, snap.overload.rung as f64);
+            self.store
+                .push("overload.pressure", t, snap.overload.pressure());
+        }
         if let Some(apm) = p.allocs_per_message() {
             self.store.push("rate.allocs_per_msg", t, apm);
         }
@@ -506,6 +562,46 @@ mod tests {
         assert_eq!(deliver.last(), Some(50.0));
         assert!(sampler.store().get("topic.1.slo_burn_per_sec").is_some());
         assert_eq!(sampler.latest().unwrap().delivered, 5);
+    }
+
+    #[test]
+    fn series_cardinality_drops_surface_as_degraded() {
+        // A 1-series store: the first observe() fills the cap, so every
+        // further series push is dropped by the guard.
+        let t = Telemetry::new();
+        let mut sampler = Sampler::new(SamplerConfig {
+            max_series: 1,
+            ..SamplerConfig::default()
+        });
+        let p = sampler.observe(&t.snapshot(), Time::from_millis(100));
+        // Dozens of drops over 100ms is far above the 1/s threshold.
+        assert!(sampler.store().dropped() > 0, "guard engaged");
+        assert_eq!(p.health.verdict, HealthVerdict::Degraded);
+        assert!(
+            p.health
+                .reasons
+                .iter()
+                .any(|r| r.contains("cardinality guard")),
+            "reasons: {:?}",
+            p.health.reasons
+        );
+        assert_eq!(sampler.latest().unwrap().health.verdict, p.health.verdict);
+    }
+
+    #[test]
+    fn overload_series_recorded_once_ladder_moves() {
+        let t = Telemetry::new();
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        sampler.observe(&t.snapshot(), Time::from_millis(100));
+        assert!(sampler.store().get("overload.rung").is_none());
+
+        t.record_overload_escalation();
+        t.set_overload_state(1, 2, 0, 0, 1.25);
+        sampler.observe(&t.snapshot(), Time::from_millis(200));
+        let rung = sampler.store().get("overload.rung").expect("series");
+        assert_eq!(rung.last(), Some(1.0));
+        let pressure = sampler.store().get("overload.pressure").expect("series");
+        assert_eq!(pressure.last(), Some(1.25));
     }
 
     #[test]

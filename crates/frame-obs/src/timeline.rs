@@ -39,6 +39,11 @@ pub struct TimelinePoint {
     /// watermark stays on the live surfaces (`/metrics`, `/series`, `top`)
     /// and out of this artifact.
     pub queue_depth: u64,
+    /// Overload-controller rung at this sample (0 = normal service) —
+    /// deterministic because control ticks ride the logical schedule.
+    pub rung: u64,
+    /// Cumulative messages shed by the overload controller.
+    pub shed: u64,
     /// Health verdict name (`healthy` / `degraded` / `unhealthy`).
     pub health: String,
     /// Health reasons (deterministic rule strings, no raw ages).
@@ -59,6 +64,8 @@ impl TimelinePoint {
             loss_violations: p.loss_violations,
             incidents: p.incidents,
             queue_depth: p.queue_depth,
+            rung: p.rung,
+            shed: p.shed,
             health: p.health.verdict.name().to_string(),
             reasons: p.health.reasons.clone(),
         }

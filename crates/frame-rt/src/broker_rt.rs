@@ -48,8 +48,9 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::Clock;
 use frame_core::{
-    AdmitCtx, AdmittedTopic, BrokerConfig, BrokerRole, BrokerStats, BufferSource, Effect, JobKind,
-    Resolution, Scheduler, TopicShard,
+    apply_control_action, AdmitCtx, AdmittedTopic, BrokerConfig, BrokerRole, BrokerStats,
+    BufferSource, Effect, JobKind, OverloadConfig, OverloadController, PressureSample, Resolution,
+    Scheduler, TopicClass, TopicShard,
 };
 use frame_telemetry::{DecisionKind, HeartbeatKind, IncidentKind, Stage, Telemetry};
 use frame_types::{
@@ -159,6 +160,10 @@ struct Inner {
     job_service_ns: std::sync::atomic::AtomicU64,
     /// Scripted fault hook ([`crate::fault`]); `None` in production.
     hook: SharedFaultHook,
+    /// Overload controller ([`frame_core::overload`]); `None` until
+    /// [`RtBroker::set_overload`]. Locked only on the control tick, never
+    /// on the message path.
+    overload: Mutex<Option<OverloadController>>,
 }
 
 /// Handle to a running threaded broker.
@@ -245,6 +250,7 @@ impl RtBroker {
             telemetry,
             job_service_ns: std::sync::atomic::AtomicU64::new(0),
             hook,
+            overload: Mutex::new(None),
         });
 
         let mut handles = Vec::with_capacity(workers + 1);
@@ -295,6 +301,11 @@ impl RtBroker {
             })),
         );
         drop(shards);
+        if let Some(controller) = self.inner.overload.lock().as_mut() {
+            if let Some(slot) = shard_of(&self.inner, id) {
+                controller.register_topic(TopicClass::from_admitted(slot.lock().shard.admitted()));
+            }
+        }
         self.inner.telemetry.set_topic_slo(id, deadline, loss_bound);
         Ok(())
     }
@@ -457,6 +468,90 @@ impl RtBroker {
     /// Live jobs waiting in the delivery queue.
     pub fn queue_len(&self) -> usize {
         self.inner.sched.lock().len()
+    }
+
+    /// Attaches an overload controller (see [`frame_core::overload`]).
+    /// Already-registered topics are classified immediately; later
+    /// registrations join automatically. The controller only acts when
+    /// some thread drives [`RtBroker::control_tick`] at the configured
+    /// cadence — `RtSystem` spawns that thread, chaos harnesses tick
+    /// manually on the logical clock.
+    pub fn set_overload(&self, config: OverloadConfig) {
+        let mut controller = OverloadController::new(config);
+        let slots: Vec<Arc<Mutex<ShardSlot>>> =
+            self.inner.shards.read().values().cloned().collect();
+        for slot in slots {
+            controller.register_topic(TopicClass::from_admitted(slot.lock().shard.admitted()));
+        }
+        *self.inner.overload.lock() = Some(controller);
+    }
+
+    /// Runs one overload-control tick at the runtime clock's now; see
+    /// [`RtBroker::control_tick_at`].
+    pub fn control_tick(&self) -> usize {
+        self.control_tick_at(self.inner.clock.now())
+    }
+
+    /// Runs one overload-control tick at `now`: folds the pressure
+    /// signals across shards (offered load, sheds, deadline misses, queue
+    /// depth), advances the ladder, and applies any per-topic
+    /// degradations/restorations under each shard's own lock. Returns the
+    /// number of actions applied; a no-op without an attached controller.
+    ///
+    /// Lock order is overload → shard (the message path never takes the
+    /// overload lock), so ticking cannot deadlock against ingress or
+    /// workers.
+    pub fn control_tick_at(&self, now: Time) -> usize {
+        let mut guard = self.inner.overload.lock();
+        let Some(controller) = guard.as_mut() else {
+            return 0;
+        };
+        let mut offered_total = 0u64;
+        let mut miss_total = 0u64;
+        let slots: Vec<Arc<Mutex<ShardSlot>>> =
+            self.inner.shards.read().values().cloned().collect();
+        for slot in &slots {
+            let stats = &slot.lock().stats;
+            offered_total += stats.messages_in + stats.messages_shed;
+            miss_total += stats.dispatch_deadline_misses;
+        }
+        let sample = PressureSample {
+            queue_depth: self.inner.sched.lock().len() as u64,
+            offered_total,
+            miss_total,
+            queue_wait_p99: frame_types::Duration::ZERO,
+        };
+        let outcome = controller.tick(now, sample);
+        if let Some((from, to)) = outcome.transition {
+            if to > from {
+                self.inner.telemetry.record_overload_escalation();
+            } else {
+                self.inner.telemetry.record_overload_deescalation();
+            }
+            self.inner.telemetry.incident(
+                IncidentKind::OverloadControl,
+                TopicId(0),
+                SeqNo(to.index() as u64),
+                now,
+                format!("rung {from} -> {to} at pressure {:.3}", outcome.pressure),
+            );
+        }
+        let applied = outcome.actions.len();
+        let net = controller.config().net;
+        let (suppressed, shedding, evicted) = controller.degraded_counts();
+        let rung = controller.rung().index() as u64;
+        let pressure = controller.last_pressure();
+        for action in outcome.actions {
+            let Some(slot) = shard_of(&self.inner, action.topic()) else {
+                continue;
+            };
+            let mut guard = lock_shard(&self.inner, &slot);
+            apply_control_action(&mut guard.shard, action, &net, now, &self.inner.telemetry);
+        }
+        self.inner
+            .telemetry
+            .set_overload_state(rung, suppressed, shedding, evicted, pressure);
+        applied
     }
 }
 
@@ -1163,6 +1258,75 @@ mod tests {
         }
         backup.shutdown();
         bt.join();
+    }
+
+    #[test]
+    fn overload_controller_degrades_and_sheds_under_offered_load() {
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let (broker, threads) = RtBroker::spawn(
+            BrokerId(0),
+            BrokerRole::Primary,
+            BrokerConfig::frame(),
+            1,
+            clock.clone(),
+        );
+        // Category 4 is best-effort: shed- and evict-eligible.
+        broker
+            .register_topic(admitted(4, 1), vec![SubscriberId(1)])
+            .unwrap();
+        let (tx, rx) = unbounded();
+        broker.connect_subscriber(SubscriberId(1), tx);
+
+        // Rate-driven pressure only: 1 msg/s capacity against a burst of
+        // hundreds in milliseconds reads as saturated on every tick.
+        let mut config = OverloadConfig::new(frame_types::NetworkParams::paper_example());
+        config.capacity_per_sec = 1.0;
+        config.target_queue_depth = 0;
+        config.escalate_ticks = 1;
+        config.cooldown_ticks = 10_000;
+        broker.set_overload(config);
+
+        let ingest = |n: u64, from: u64| {
+            for seq in from..from + n {
+                broker
+                    .sender()
+                    .send(BrokerMsg::Publish(msg(1, seq, clock.as_ref())))
+                    .unwrap();
+            }
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                let s = broker.stats();
+                if s.messages_in + s.messages_shed >= from + n {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "ingest stalled: {s:?}"
+                );
+                std::thread::yield_now();
+            }
+        };
+
+        ingest(100, 0);
+        broker.control_tick(); // establishes the rate baseline
+        ingest(100, 100);
+        broker.control_tick(); // hot: climb to replication suppression
+        ingest(100, 200);
+        broker.control_tick(); // hot: climb to shedding
+        ingest(100, 300);
+
+        let stats = broker.stats();
+        assert!(
+            stats.messages_shed > 0,
+            "best-effort topic should shed at admission under rung 2: {stats:?}"
+        );
+        let snap = broker.telemetry().snapshot();
+        assert!(snap.overload.rung >= 2, "rung climbed: {:?}", snap.overload);
+        assert!(snap.overload.escalations >= 2);
+        assert!(snap.overload.shedding_topics >= 1);
+        drop(rx);
+        broker.shutdown();
+        threads.join();
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::thread::JoinHandle;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use frame_clock::{Clock, MonotonicClock};
-use frame_core::{admit, BrokerConfig, BrokerRole, PollingDetector, PrimaryStatus, Publisher};
+use frame_core::{
+    admit, BrokerConfig, BrokerRole, OverloadConfig, PollingDetector, PrimaryStatus, Publisher,
+};
 use frame_obs::{spawn_sampler, ObsSampler, ObsServer, SamplerConfig};
 use frame_store::FlightDump;
 use frame_telemetry::{HeartbeatKind, IncidentKind, Stage, Telemetry, TelemetrySnapshot};
@@ -139,7 +141,32 @@ pub struct RtSystem {
     obs_sampler: Option<ObsSampler>,
     obs_server: Option<ObsServer>,
     ingress_server: Option<IngressServer>,
+    overload_ticker: Option<OverloadTicker>,
     hook: SharedFaultHook,
+}
+
+/// The background thread driving the Primary's overload-control loop.
+struct OverloadTicker {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+/// Spawns the control-loop thread: one [`RtBroker::control_tick`] per
+/// `tick_interval`, until stopped.
+fn spawn_overload_ticker(primary: RtBroker, tick: Duration) -> OverloadTicker {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("frame-overload".into())
+        .spawn(move || {
+            frame_telemetry::register_thread_role(frame_telemetry::RoleKind::Other, 0);
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::sleep(tick.to_std());
+                primary.control_tick();
+            }
+        })
+        .expect("spawn overload ticker");
+    OverloadTicker { stop, thread }
 }
 
 /// The background thread persisting flight-recorder snapshots on incident.
@@ -211,10 +238,30 @@ pub struct RtSystemBuilder {
     sampler: SamplerConfig,
     ingress: IngressMode,
     listen: Option<String>,
+    overload: Option<(OverloadConfig, bool)>,
     hook: SharedFaultHook,
 }
 
 impl RtSystemBuilder {
+    /// Attach an adaptive overload controller to the Primary and spawn
+    /// the control-loop thread ticking it every
+    /// [`OverloadConfig::tick_interval`]. Under pressure the controller
+    /// climbs the degradation ladder: suppress Proposition-1-optional
+    /// replication, shed within each topic's `L_i` bound, evict
+    /// best-effort topics — and walks back down as pressure clears.
+    pub fn overload(mut self, config: OverloadConfig) -> Self {
+        self.overload = Some((config, true));
+        self
+    }
+
+    /// Attach the overload controller without spawning the tick thread:
+    /// the embedding drives [`RtBroker::control_tick_at`] itself. This is
+    /// how the chaos harness keeps control decisions on the logical
+    /// clock (deterministic replays).
+    pub fn overload_manual(mut self, config: OverloadConfig) -> Self {
+        self.overload = Some((config, false));
+        self
+    }
     /// Number of delivery worker threads per broker (default 2; the paper
     /// uses 3 × CPU cores on its testbed).
     pub fn workers(mut self, workers: usize) -> Self {
@@ -311,6 +358,7 @@ impl RtSystemBuilder {
             sampler,
             ingress,
             listen,
+            overload,
             hook,
         } = self;
         let clock: Arc<dyn Clock> = clock.unwrap_or_else(|| Arc::new(MonotonicClock::new()));
@@ -353,6 +401,14 @@ impl RtSystemBuilder {
             None => None,
             Some(addr) => Some(serve_ingress(addr.as_str(), primary.clone(), ingress)?),
         };
+        let overload_ticker = match overload {
+            None => None,
+            Some((config, auto)) => {
+                let tick = config.tick_interval;
+                primary.set_overload(config);
+                auto.then(|| spawn_overload_ticker(primary.clone(), tick))
+            }
+        };
         Ok(RtSystem {
             primary,
             backup,
@@ -367,6 +423,7 @@ impl RtSystemBuilder {
             obs_sampler,
             obs_server,
             ingress_server,
+            overload_ticker,
             hook,
         })
     }
@@ -387,6 +444,7 @@ impl RtSystem {
             sampler: SamplerConfig::default(),
             ingress: IngressMode::default(),
             listen: None,
+            overload: None,
             hook: None,
         }
     }
@@ -600,6 +658,10 @@ impl RtSystem {
     pub fn shutdown(mut self) {
         if let Some(server) = self.ingress_server.take() {
             server.shutdown();
+        }
+        if let Some(ticker) = self.overload_ticker.take() {
+            ticker.stop.store(true, Ordering::Release);
+            let _ = ticker.thread.join();
         }
         self.primary.kill();
         self.backup.kill();

@@ -345,6 +345,57 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
         "Messages admitted at ingress.",
     );
     w.sample("frame_admitted_total", &[], snapshot.admits);
+    w.family(
+        "frame_overload_rung",
+        "gauge",
+        "Overload controller degradation rung (0 = normal service).",
+    );
+    w.sample("frame_overload_rung", &[], snapshot.overload.rung);
+    w.family(
+        "frame_overload_transitions_total",
+        "counter",
+        "Overload rung transitions by direction.",
+    );
+    w.sample(
+        "frame_overload_transitions_total",
+        &[("direction", "escalate")],
+        snapshot.overload.escalations,
+    );
+    w.sample(
+        "frame_overload_transitions_total",
+        &[("direction", "deescalate")],
+        snapshot.overload.deescalations,
+    );
+    w.family(
+        "frame_overload_degraded_topics",
+        "gauge",
+        "Topics currently degraded by the overload controller, by mode.",
+    );
+    w.sample(
+        "frame_overload_degraded_topics",
+        &[("mode", "suppressed")],
+        snapshot.overload.suppressed_topics,
+    );
+    w.sample(
+        "frame_overload_degraded_topics",
+        &[("mode", "shedding")],
+        snapshot.overload.shedding_topics,
+    );
+    w.sample(
+        "frame_overload_degraded_topics",
+        &[("mode", "evicted")],
+        snapshot.overload.evicted_topics,
+    );
+    w.family(
+        "frame_overload_pressure_millionths",
+        "gauge",
+        "Blended overload pressure at the last control tick (1e6 = saturated).",
+    );
+    w.sample(
+        "frame_overload_pressure_millionths",
+        &[],
+        snapshot.overload.pressure_millionths,
+    );
     if !snapshot.heartbeats.is_empty() {
         w.family(
             "frame_heartbeat_beats_total",
@@ -751,6 +802,20 @@ pub fn render_pretty(snapshot: &TelemetrySnapshot) -> String {
         "{:<20} {:>10}",
         "shard_contention", snapshot.shard_contention
     );
+    let o = &snapshot.overload;
+    if o.rung > 0 || o.escalations > 0 {
+        let _ = writeln!(
+            out,
+            "\noverload: rung {} pressure {:.2} | suppressed {} shedding {} evicted {} | escalations {} de-escalations {}",
+            o.rung,
+            o.pressure(),
+            o.suppressed_topics,
+            o.shedding_topics,
+            o.evicted_topics,
+            o.escalations,
+            o.deescalations
+        );
+    }
     if !snapshot.reactor_loops.is_empty() {
         let _ = writeln!(
             out,
@@ -1134,6 +1199,10 @@ mod tests {
             "frame_incidents_total",
             "frame_queue_depth",
             "frame_heartbeat_beats_total",
+            "frame_overload_rung",
+            "frame_overload_transitions_total",
+            "frame_overload_degraded_topics",
+            "frame_overload_pressure_millionths",
             "frame_reactor_busy_seconds_total",
             "frame_reactor_parked_seconds_total",
             "frame_role_cpu_seconds_total",

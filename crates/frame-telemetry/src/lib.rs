@@ -55,8 +55,9 @@ pub use recorder::{FlightRecorder, FlightSnapshot, Incident, IncidentKind};
 pub use span::{attribute, Attribution, BudgetSlice, BudgetStage, SpanRecord};
 pub use stage::Stage;
 pub use telemetry::{
-    DecisionCount, HeartbeatKind, HeartbeatSnapshot, QueueGaugeSnapshot, ReactorGauges,
-    ReactorLoopSnapshot, StageSnapshot, Telemetry, TelemetrySnapshot, TopicSloSnapshot,
-    TopicSnapshot, DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY, DEFAULT_TRACE_CAPACITY,
+    DecisionCount, HeartbeatKind, HeartbeatSnapshot, OverloadSnapshot, QueueGaugeSnapshot,
+    ReactorGauges, ReactorLoopSnapshot, StageSnapshot, Telemetry, TelemetrySnapshot,
+    TopicSloSnapshot, TopicSnapshot, DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
 };
 pub use trace::{DecisionEvent, DecisionKind, DecisionTrace};

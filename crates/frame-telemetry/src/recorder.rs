@@ -37,16 +37,33 @@ pub enum IncidentKind {
     /// and action so a post-run checker can separate injected misbehaviour
     /// from organic failures.
     FaultInjected,
+    /// The overload controller dropped one message at the admission
+    /// boundary. `detail` carries the shed run position against `L_i`, so
+    /// the post-run checker can attribute every sequence gap.
+    LoadShed,
+    /// The overload controller changed rung. `detail` carries the
+    /// transition and the pressure reading that drove it.
+    OverloadControl,
+    /// The overload controller evicted a best-effort topic from the
+    /// admission set.
+    TopicEvicted,
+    /// The overload controller re-admitted a previously evicted topic
+    /// (after re-running the admission test).
+    TopicRestored,
 }
 
 impl IncidentKind {
     /// Every kind.
-    pub const ALL: [IncidentKind; 5] = [
+    pub const ALL: [IncidentKind; 9] = [
         IncidentKind::DeadlineMiss,
         IncidentKind::LossBurst,
         IncidentKind::AdmissionReject,
         IncidentKind::Promotion,
         IncidentKind::FaultInjected,
+        IncidentKind::LoadShed,
+        IncidentKind::OverloadControl,
+        IncidentKind::TopicEvicted,
+        IncidentKind::TopicRestored,
     ];
 
     /// Stable snake_case name.
@@ -57,6 +74,10 @@ impl IncidentKind {
             IncidentKind::AdmissionReject => "admission_reject",
             IncidentKind::Promotion => "promotion",
             IncidentKind::FaultInjected => "fault_injected",
+            IncidentKind::LoadShed => "load_shed",
+            IncidentKind::OverloadControl => "overload_control",
+            IncidentKind::TopicEvicted => "topic_evicted",
+            IncidentKind::TopicRestored => "topic_restored",
         }
     }
 }
@@ -191,6 +212,40 @@ impl FlightRecorder {
             incidents.pop_front();
         }
         incidents.push_back(incident);
+        drop(incidents);
+        self.incident_count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Records an incident whose detail is written by `detail` into a
+    /// staging buffer recycled from the incident the ring evicts. Once the
+    /// ring is full — which is exactly when incidents are frequent enough
+    /// to matter — each call reuses the evicted detail's capacity, so
+    /// sustained incident storms (deadline-miss bursts, admission-boundary
+    /// shedding) stop allocating on the hot path.
+    pub fn incident_with(
+        &self,
+        kind: IncidentKind,
+        topic: TopicId,
+        seq: SeqNo,
+        at: Time,
+        detail: impl FnOnce(&mut String),
+    ) {
+        let mut incidents = self.incidents.lock().expect("incidents lock");
+        let mut staged = if incidents.len() == self.incident_capacity {
+            let mut recycled = incidents.pop_front().expect("ring is full").detail;
+            recycled.clear();
+            recycled
+        } else {
+            String::with_capacity(96)
+        };
+        detail(&mut staged);
+        incidents.push_back(Incident {
+            kind,
+            at,
+            topic,
+            seq,
+            detail: staged,
+        });
         drop(incidents);
         self.incident_count.fetch_add(1, Ordering::Release);
     }
@@ -369,6 +424,37 @@ mod tests {
         let found = snap.find(TopicId(1), SeqNo(3)).unwrap();
         assert_eq!(found.e2e_ns, 700);
         assert!(snap.find(TopicId(9), SeqNo(3)).is_none());
+    }
+
+    #[test]
+    fn incident_with_stages_into_recycled_buffers() {
+        let r = FlightRecorder::new(8, 3);
+        for i in 0..7u64 {
+            r.incident_with(
+                IncidentKind::LoadShed,
+                TopicId(2),
+                SeqNo(i),
+                Time::from_millis(i),
+                |d| {
+                    use std::fmt::Write;
+                    let _ = write!(d, "shed at admission: run {i}");
+                },
+            );
+        }
+        assert_eq!(r.incident_count(), 7);
+        let kept = r.incidents();
+        // The ring keeps the newest `incident_capacity`, details intact —
+        // recycling an evicted buffer must never leak the old text.
+        assert_eq!(kept.len(), 3);
+        let details: Vec<&str> = kept.iter().map(|i| i.detail.as_str()).collect();
+        assert_eq!(
+            details,
+            [
+                "shed at admission: run 4",
+                "shed at admission: run 5",
+                "shed at admission: run 6"
+            ]
+        );
     }
 
     #[test]

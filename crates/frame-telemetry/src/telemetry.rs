@@ -247,8 +247,24 @@ struct Inner {
     /// Per-event-loop reactor counters, sorted by loop index (same
     /// append-only scheme; loops resolve their entry once at start-up).
     reactor_loops: RwLock<Vec<(u64, Arc<ReactorLoopEntry>)>>,
+    /// Overload-controller state gauges and transition counters.
+    overload: OverloadEntry,
     /// Recent delivery spans + incidents.
     flight: FlightRecorder,
+}
+
+/// Overload-controller gauges: the rung and per-rung degraded-topic
+/// counts are stored by the controller's tick (single writer), the
+/// transition counters are monotone.
+struct OverloadEntry {
+    rung: AtomicU64,
+    escalations: AtomicU64,
+    deescalations: AtomicU64,
+    suppressed_topics: AtomicU64,
+    shedding_topics: AtomicU64,
+    evicted_topics: AtomicU64,
+    /// Pressure at the last tick, in millionths (gauges are integers).
+    pressure_millionths: AtomicU64,
 }
 
 impl Inner {
@@ -336,6 +352,15 @@ impl Telemetry {
                 }),
                 queues: RwLock::new(Vec::new()),
                 reactor_loops: RwLock::new(Vec::new()),
+                overload: OverloadEntry {
+                    rung: AtomicU64::new(0),
+                    escalations: AtomicU64::new(0),
+                    deescalations: AtomicU64::new(0),
+                    suppressed_topics: AtomicU64::new(0),
+                    shedding_topics: AtomicU64::new(0),
+                    evicted_topics: AtomicU64::new(0),
+                    pressure_millionths: AtomicU64::new(0),
+                },
                 flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY, DEFAULT_INCIDENT_CAPACITY),
             })),
         }
@@ -449,13 +474,16 @@ impl Telemetry {
                 let bound = entry.loss_bound.load(Ordering::Relaxed);
                 if gap > bound {
                     entry.loss_bound_violations.fetch_add(1, Ordering::Relaxed);
-                    inner.flight.incident(Incident {
-                        kind: IncidentKind::LossBurst,
-                        at: delivered_at,
+                    inner.flight.incident_with(
+                        IncidentKind::LossBurst,
                         topic,
-                        seq: SeqNo(expected),
-                        detail: format!("consecutive-loss run {gap} > L_i {bound}"),
-                    });
+                        SeqNo(expected),
+                        delivered_at,
+                        |detail| {
+                            use std::fmt::Write;
+                            let _ = write!(detail, "consecutive-loss run {gap} > L_i {bound}");
+                        },
+                    );
                 }
             }
         }
@@ -463,29 +491,36 @@ impl Telemetry {
         if deadline_ns > 0 && e2e.as_nanos() > deadline_ns {
             entry.deadline_misses.fetch_add(1, Ordering::Relaxed);
             let attribution = attribute(created_at, delivered_at, trace);
-            let detail = match attribution.dominant {
-                Some(stage) => {
-                    entry.miss_by_stage[stage.index()].fetch_add(1, Ordering::Relaxed);
-                    format!(
-                        "e2e {}ns > D_i {}ns, dominant {} ({}ns)",
-                        attribution.e2e_ns,
-                        deadline_ns,
-                        stage,
-                        attribution.slices[stage.index()]
-                    )
-                }
-                None => format!(
-                    "e2e {}ns > D_i {deadline_ns}ns, no stamps",
-                    attribution.e2e_ns
-                ),
-            };
-            inner.flight.incident(Incident {
-                kind: IncidentKind::DeadlineMiss,
-                at: delivered_at,
+            if let Some(stage) = attribution.dominant {
+                entry.miss_by_stage[stage.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            // Misses arrive in bursts (an overloaded queue misses every
+            // deadline at once), so the detail is staged into the flight
+            // ring's recycled buffer instead of a fresh `format!` string.
+            inner.flight.incident_with(
+                IncidentKind::DeadlineMiss,
                 topic,
                 seq,
-                detail,
-            });
+                delivered_at,
+                |detail| {
+                    use std::fmt::Write;
+                    let _ = match attribution.dominant {
+                        Some(stage) => write!(
+                            detail,
+                            "e2e {}ns > D_i {}ns, dominant {} ({}ns)",
+                            attribution.e2e_ns,
+                            deadline_ns,
+                            stage,
+                            attribution.slices[stage.index()]
+                        ),
+                        None => write!(
+                            detail,
+                            "e2e {}ns > D_i {deadline_ns}ns, no stamps",
+                            attribution.e2e_ns
+                        ),
+                    };
+                },
+            );
         }
     }
 
@@ -507,6 +542,27 @@ impl Telemetry {
                 seq,
                 detail,
             });
+        }
+    }
+
+    /// Records an incident whose detail is formatted *only if* telemetry
+    /// is enabled, into the flight ring's recycled staging buffer. This is
+    /// the hot-path variant of [`Telemetry::incident`]: callers that fire
+    /// per message under pressure (admission-boundary shedding, deadline
+    /// misses) pay zero allocations with a disabled handle and, once the
+    /// incident ring is full, zero steady-state allocations with an
+    /// enabled one.
+    #[inline]
+    pub fn incident_with(
+        &self,
+        kind: IncidentKind,
+        topic: TopicId,
+        seq: SeqNo,
+        at: Time,
+        detail: impl FnOnce(&mut String),
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.flight.incident_with(kind, topic, seq, at, detail);
         }
     }
 
@@ -648,6 +704,44 @@ impl Telemetry {
             }
         };
         ReactorGauges { entry: Some(entry) }
+    }
+
+    /// Stores the overload controller's state after a tick: the current
+    /// rung index, how many topics each active rung is degrading, and the
+    /// blended pressure reading (stored in millionths). Single writer
+    /// (the control loop), so plain stores suffice.
+    pub fn set_overload_state(
+        &self,
+        rung: u64,
+        suppressed_topics: u64,
+        shedding_topics: u64,
+        evicted_topics: u64,
+        pressure: f64,
+    ) {
+        if let Some(inner) = &self.inner {
+            let o = &inner.overload;
+            o.rung.store(rung, Ordering::Relaxed);
+            o.suppressed_topics
+                .store(suppressed_topics, Ordering::Relaxed);
+            o.shedding_topics.store(shedding_topics, Ordering::Relaxed);
+            o.evicted_topics.store(evicted_topics, Ordering::Relaxed);
+            o.pressure_millionths
+                .store((pressure.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one overload rung climb.
+    pub fn record_overload_escalation(&self) {
+        if let Some(inner) = &self.inner {
+            inner.overload.escalations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one overload rung descent.
+    pub fn record_overload_deescalation(&self) {
+        if let Some(inner) = &self.inner {
+            inner.overload.deescalations.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Current count for one decision kind.
@@ -798,6 +892,15 @@ impl Telemetry {
             heartbeats,
             queues,
             reactor_loops,
+            overload: OverloadSnapshot {
+                rung: inner.overload.rung.load(Ordering::Relaxed),
+                escalations: inner.overload.escalations.load(Ordering::Relaxed),
+                deescalations: inner.overload.deescalations.load(Ordering::Relaxed),
+                suppressed_topics: inner.overload.suppressed_topics.load(Ordering::Relaxed),
+                shedding_topics: inner.overload.shedding_topics.load(Ordering::Relaxed),
+                evicted_topics: inner.overload.evicted_topics.load(Ordering::Relaxed),
+                pressure_millionths: inner.overload.pressure_millionths.load(Ordering::Relaxed),
+            },
             roles: crate::profile::snapshot_roles(),
             pool: crate::profile::snapshot_pool(),
         }
@@ -914,6 +1017,51 @@ pub struct ReactorLoopSnapshot {
     pub parked_ns: u64,
 }
 
+/// The overload controller's exported state: which degradation rung it
+/// sits on, how many topics each active rung touches, and the pressure
+/// signal driving it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadSnapshot {
+    /// Current degradation rung (0 = normal service).
+    pub rung: u64,
+    /// Rung climbs since start-up.
+    pub escalations: u64,
+    /// Rung descents since start-up.
+    pub deescalations: u64,
+    /// Topics with replication currently suppressed by the controller.
+    pub suppressed_topics: u64,
+    /// Topics currently being shed at the admission boundary.
+    pub shedding_topics: u64,
+    /// Best-effort topics currently evicted.
+    pub evicted_topics: u64,
+    /// Blended pressure at the last control tick, in millionths
+    /// (1_000_000 = saturated).
+    pub pressure_millionths: u64,
+}
+
+impl OverloadSnapshot {
+    /// The pressure as a float (1.0 = saturated).
+    pub fn pressure(&self) -> f64 {
+        self.pressure_millionths as f64 / 1e6
+    }
+
+    /// Whether the controller is degrading anything right now.
+    pub fn degraded(&self) -> bool {
+        self.rung > 0
+    }
+
+    /// Stable snake_case rung name (mirrors `frame_core::Rung::name`,
+    /// which this crate cannot depend on).
+    pub fn rung_name(&self) -> &'static str {
+        match self.rung {
+            0 => "normal",
+            1 => "suppress_replication",
+            2 => "shed",
+            _ => "evict",
+        }
+    }
+}
+
 /// One decision kind's total.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionCount {
@@ -966,6 +1114,10 @@ pub struct TelemetrySnapshot {
     /// snapshots.
     #[serde(default)]
     pub reactor_loops: Vec<ReactorLoopSnapshot>,
+    /// Overload-controller state (all-zero when no controller runs).
+    /// `default` for pre-controller snapshots.
+    #[serde(default)]
+    pub overload: OverloadSnapshot,
     /// Per-role resource accounting (process-wide: allocations, CPU
     /// stamps and syscall counts from [`crate::profile`]), ordered by
     /// role kind. `default` for pre-profiler snapshots.

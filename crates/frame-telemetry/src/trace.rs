@@ -43,11 +43,15 @@ pub enum DecisionKind {
     /// A non-discarded Backup Buffer copy was selected for dispatch during
     /// promotion (Table 3, Recovery step 2).
     RecoveryDispatch,
+    /// The overload controller dropped the message at the admission
+    /// boundary (within the topic's `L_i` run budget, or on an evicted
+    /// best-effort topic).
+    Shed,
 }
 
 impl DecisionKind {
     /// Every kind, in Table-3 order.
-    pub const ALL: [DecisionKind; 9] = [
+    pub const ALL: [DecisionKind; 10] = [
         DecisionKind::Dispatch,
         DecisionKind::Replicate,
         DecisionKind::Suppress,
@@ -57,6 +61,7 @@ impl DecisionKind {
         DecisionKind::Prune,
         DecisionKind::Promote,
         DecisionKind::RecoveryDispatch,
+        DecisionKind::Shed,
     ];
 
     /// Stable snake_case name (used as the Prometheus label value).
@@ -71,6 +76,7 @@ impl DecisionKind {
             DecisionKind::Prune => "prune",
             DecisionKind::Promote => "promote",
             DecisionKind::RecoveryDispatch => "recovery_dispatch",
+            DecisionKind::Shed => "shed",
         }
     }
 
@@ -87,6 +93,7 @@ impl DecisionKind {
             DecisionKind::Prune => 6,
             DecisionKind::Promote => 7,
             DecisionKind::RecoveryDispatch => 8,
+            DecisionKind::Shed => 9,
         }
     }
 
